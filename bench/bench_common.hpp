@@ -1,0 +1,51 @@
+// Shared plumbing for the per-table/per-figure bench binaries: CLI parsing
+// with common defaults, and banner printing so every bench's output is
+// self-describing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "netbase/cli.hpp"
+#include "netbase/table.hpp"
+
+namespace benchtool {
+
+struct BenchSetup {
+  core::PipelineConfig config;
+  double scale = 0.5;
+  std::uint64_t seed = 1;
+};
+
+inline BenchSetup setup_from_cli(int argc, char** argv,
+                                 double default_scale = 0.5) {
+  nb::Cli cli(argc, argv);
+  BenchSetup setup;
+  setup.scale = cli.get_double("scale", default_scale);
+  setup.seed = cli.get_u64("seed", 1);
+  setup.config = core::PipelineConfig::with(setup.scale, setup.seed);
+  setup.config.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
+  return setup;
+}
+
+inline void banner(const char* name, const char* paper_artifact,
+                   const BenchSetup& setup) {
+  std::printf("%s", nb::section(name).c_str());
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("synthetic internet: scale=%.2f seed=%llu (see DESIGN.md for "
+              "the data substitution)\n\n",
+              setup.scale, static_cast<unsigned long long>(setup.seed));
+}
+
+inline void print_dataset_line(const core::Pipeline& pipeline) {
+  std::printf(
+      "dataset: %zu observation points in %zu ASes (%zu multi-feed), "
+      "%zu records, %zu AS pairs\n\n",
+      pipeline.dataset.points.size(),
+      pipeline.dataset.observation_ases().size(),
+      pipeline.dataset.multi_feed_ases(), pipeline.dataset.records.size(),
+      pipeline.dataset.as_pair_count());
+}
+
+}  // namespace benchtool

@@ -1,0 +1,71 @@
+// F2 / F2b -- Figure 2 and the prefixes-per-AS-path histogram (Section 3.2).
+//
+// Figure 2: histogram of the number of distinct AS-paths observed between
+// (origin AS, observation AS) pairs, log-scaled y axis.  Paper findings to
+// reproduce in shape:
+//   * >30% of AS pairs see more than one AS-path;
+//   * a heavy tail of pairs with >10 distinct paths.
+//
+// Section 3.2 companion series: how many prefixes propagate along each
+// unique AS-path -- most paths carry one prefix, a few carry very many
+// (linear on log-log axes).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "data/dataset_stats.hpp"
+#include "netbase/stats.hpp"
+#include "netbase/strings.hpp"
+
+int main(int argc, char** argv) {
+  auto setup = benchtool::setup_from_cli(argc, argv);
+  benchtool::banner("bench_fig2_diversity",
+                    "Figure 2 (distinct AS-paths per AS pair) + Section 3.2 "
+                    "prefixes-per-path histogram",
+                    setup);
+
+  core::Pipeline pipeline = core::make_pipeline(setup.config);
+  core::run_data_stages(pipeline);
+  benchtool::print_dataset_line(pipeline);
+
+  auto stats = data::compute_diversity(pipeline.dataset,
+                                       &pipeline.internet.prefix_counts);
+
+  std::printf("Figure 2: # distinct AS-paths per (origin AS, observation AS) "
+              "pair\n");
+  std::printf("%s\n", stats.paths_per_pair.render().c_str());
+
+  const double multi = stats.paths_per_pair.fraction_at_least(2);
+  const auto ten_plus = stats.paths_per_pair.count_at_least(10);
+  std::printf("AS pairs with >1 path: %s   (paper: >30%%)\n",
+              nb::fmt_percent(multi).c_str());
+  std::printf("AS pairs with >=10 paths: %s   (paper: >5,000 pairs of 3.27M "
+              "-- a heavy tail)\n\n",
+              nb::fmt_count(ten_plus).c_str());
+
+  std::printf("Section 3.2: # prefixes propagated along each unique "
+              "AS-path\n");
+  std::printf("%s\n", stats.prefixes_per_path.render().c_str());
+  const double single_prefix_share =
+      stats.prefixes_per_path.total() == 0
+          ? 0
+          : static_cast<double>(stats.prefixes_per_path.count_of(1)) /
+                stats.prefixes_per_path.total();
+  std::printf("paths used by a single prefix: %s   (paper: <50%% of paths... "
+              "popular paths carry >1,000 prefixes)\n",
+              nb::fmt_percent(single_prefix_share).c_str());
+
+  // Log-log linearity check (paper: "one can see a linear relationship").
+  std::vector<double> xs, ys;
+  for (auto& [value, count] : stats.prefixes_per_path.buckets()) {
+    if (value == 0 || count == 0) continue;
+    xs.push_back(std::log10(static_cast<double>(value)));
+    ys.push_back(std::log10(static_cast<double>(count)));
+  }
+  if (xs.size() >= 3) {
+    auto fit = nb::fit_line(xs, ys);
+    std::printf("log-log fit: slope=%.2f r2=%.2f   (paper: linear on "
+                "log-log)\n",
+                fit.slope, fit.r2);
+  }
+  return 0;
+}

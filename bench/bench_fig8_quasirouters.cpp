@@ -1,0 +1,86 @@
+// F8 -- quasi-router census after refinement: how many quasi-routers does
+// each AS need?  The paper motivates this with Table 1 (the number of unique
+// received paths lower-bounds the routers needed) and the Fig. 3 example
+// ("AS 3356 needs eight routers to propagate all paths further downstream").
+// This bench compares the realized per-AS quasi-router counts against the
+// observed-diversity lower bound, by hierarchy level.
+#include <map>
+
+#include "bench_common.hpp"
+#include "netbase/stats.hpp"
+#include "netbase/strings.hpp"
+
+int main(int argc, char** argv) {
+  auto setup = benchtool::setup_from_cli(argc, argv);
+  benchtool::banner("bench_fig8_quasirouters",
+                    "quasi-router distribution after refinement "
+                    "(Sections 3.2/4.6)",
+                    setup);
+
+  core::Pipeline pipeline = core::make_pipeline(setup.config);
+  core::run_data_stages(pipeline);
+  core::run_model_stages(pipeline);
+
+  // Lower bound from the training data: per AS, the max number of distinct
+  // suffixes it must select simultaneously for one prefix.
+  std::map<nb::Asn, std::size_t> need;
+  for (auto& [origin, paths] : pipeline.split.training.paths_by_origin()) {
+    std::map<nb::Asn, std::set<std::vector<nb::Asn>>> per_as;
+    for (const auto& path : paths) {
+      const auto& hops = path.hops();
+      for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+        per_as[hops[i]].insert(std::vector<nb::Asn>(
+            hops.begin() + static_cast<std::ptrdiff_t>(i), hops.end()));
+    }
+    for (auto& [asn, suffixes] : per_as)
+      need[asn] = std::max(need[asn], suffixes.size());
+  }
+
+  nb::Histogram routers_hist, need_hist;
+  std::size_t multi = 0, slack_total = 0;
+  auto counts = pipeline.model.router_counts();
+  for (auto& [asn, count] : counts) {
+    routers_hist.add(count);
+    const std::size_t lower = need.count(asn) ? need[asn] : 1;
+    need_hist.add(lower);
+    if (count > 1) ++multi;
+    slack_total += count - std::min(count, lower);
+  }
+
+  std::printf("quasi-routers per AS (model):\n%s\n",
+              routers_hist.render().c_str());
+  std::printf("diversity lower bound per AS (training data):\n%s\n",
+              need_hist.render().c_str());
+
+  nb::TextTable table({"Statistic", "Value"});
+  table.add_row({"ASes in model", nb::fmt_count(counts.size())});
+  table.add_row({"ASes with >1 quasi-router", nb::fmt_count(multi)});
+  table.add_row({"max quasi-routers in one AS",
+                 nb::fmt_count(routers_hist.max())});
+  table.add_row({"total quasi-routers",
+                 nb::fmt_count(pipeline.model.num_routers())});
+  table.add_row({"mean quasi-routers per AS",
+                 nb::fmt_fixed(routers_hist.mean(), 2)});
+  table.add_row({"slack above the lower bound (total routers)",
+                 nb::fmt_count(slack_total)});
+  std::printf("%s\n", table.render().c_str());
+
+  // Per-level breakdown: the core needs more quasi-routers.
+  nb::TextTable levels({"level", "ASes", "mean routers", "max routers"});
+  auto level_row = [&](const char* name, topo::Level level) {
+    nb::Histogram h;
+    for (auto& [asn, count] : counts)
+      if (pipeline.hierarchy.level_of(asn) == level) h.add(count);
+    if (h.empty()) return;
+    levels.add_row({name, nb::fmt_count(h.total()),
+                    nb::fmt_fixed(h.mean(), 2), nb::fmt_count(h.max())});
+  };
+  level_row("level-1", topo::Level::kLevel1);
+  level_row("level-2", topo::Level::kLevel2);
+  level_row("other", topo::Level::kOther);
+  std::printf("%s\n", levels.render().c_str());
+  std::printf("expected shape: every AS meets its diversity lower bound;\n"
+              "core (level-1) ASes carry the most quasi-routers, as in the\n"
+              "paper's AS 3356 example.\n");
+  return 0;
+}

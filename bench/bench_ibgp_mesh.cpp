@@ -1,0 +1,65 @@
+// IBGP -- extension experiment: the modeling alternative the paper REJECTED
+// (Section 4.6): "we do not establish ibgp sessions between the
+// quasi-routers within an AS.  Experiments with such an approach have shown
+// that it is extremely difficult to control route selection, in particular
+// to install different routes at neighboring ibgp routers."
+//
+// We reproduce that experiment: fit the same training data once with the
+// paper's isolated quasi-routers and once with a full iBGP mesh inside every
+// AS (mates share their best external route; eBGP preferred over iBGP).
+// Expected shape: the isolated model reaches the exact training fixpoint;
+// the meshed model cannot -- a mate's shorter external route arrives over
+// the mesh, wins the AS-path-length step, and no session-level filter can
+// block it.
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "netbase/strings.hpp"
+
+int main(int argc, char** argv) {
+  auto setup = benchtool::setup_from_cli(argc, argv, 0.35);
+  benchtool::banner("bench_ibgp_mesh",
+                    "rejected alternative: iBGP mesh between quasi-routers "
+                    "(Section 4.6)",
+                    setup);
+
+  core::Pipeline pipeline = core::make_pipeline(setup.config);
+  core::run_data_stages(pipeline);
+  benchtool::print_dataset_line(pipeline);
+
+  struct Variant {
+    const char* name;
+    bool mesh;
+  };
+  nb::TextTable table({"variant", "training exact", "training RIB-Out",
+                       "training down-to-tie-break", "val down-to-tie-break",
+                       "routers", "iters"});
+  for (const Variant& variant :
+       {Variant{"isolated quasi-routers (paper)", false},
+        Variant{"iBGP full mesh", true}}) {
+    topo::Model model = topo::Model::one_router_per_as(pipeline.graph);
+    core::RefineConfig config = setup.config.refine;
+    config.engine.use_ibgp_mesh = variant.mesh;
+    config.max_iterations = 48;
+    auto refined = core::refine_model(model, pipeline.split.training, config);
+
+    core::EvalOptions options;
+    options.threads = setup.config.threads;
+    options.engine.use_ibgp_mesh = variant.mesh;
+    auto train = core::evaluate_predictions(model, pipeline.split.training,
+                                            options);
+    auto val = core::evaluate_predictions(model, pipeline.split.validation,
+                                          options);
+    table.add_row({variant.name, refined.success ? "yes" : "NO",
+                   nb::fmt_percent(train.stats.rib_out_rate()),
+                   nb::fmt_percent(train.stats.potential_or_better_rate()),
+                   nb::fmt_percent(val.stats.potential_or_better_rate()),
+                   nb::fmt_count(model.num_routers()),
+                   std::to_string(refined.iterations)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Section 4.6): with ibgp sessions it is 'extremely "
+              "difficult to control route selection'; hence quasi-routers\n"
+              "are kept isolated.  Expected shape: the isolated variant is "
+              "exact, the meshed variant is not.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// T1 -- Table 1: percentiles of the maximum number of unique AS-paths each
+// AS receives toward any destination prefix.  This is the paper's lower
+// bound on how many quasi-routers an AS needs to propagate all its routes
+// downstream (Section 3.2).
+//
+// Paper findings to reproduce in shape: >50% of ASes receive two unique
+// AS-paths for at least one prefix, 10% more than 5, 2% more than 10.
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "data/dataset_stats.hpp"
+#include "netbase/strings.hpp"
+
+int main(int argc, char** argv) {
+  auto setup = benchtool::setup_from_cli(argc, argv);
+  benchtool::banner("bench_table1_maxpaths",
+                    "Table 1 (max # unique AS-paths received, percentiles)",
+                    setup);
+
+  core::Pipeline pipeline = core::make_pipeline(setup.config);
+  core::run_data_stages(pipeline);
+  benchtool::print_dataset_line(pipeline);
+
+  auto stats = data::compute_diversity(pipeline.dataset,
+                                       &pipeline.internet.prefix_counts);
+  std::printf("%s\n", core::render_table1(stats).c_str());
+
+  std::printf("ASes receiving >=2 unique paths for some prefix: %s  "
+              "(paper: >50%%)\n",
+              nb::fmt_percent(stats.max_unique_received.fraction_at_least(2))
+                  .c_str());
+  std::printf("ASes receiving >5:  %s  (paper: ~10%%)\n",
+              nb::fmt_percent(stats.max_unique_received.fraction_at_least(6))
+                  .c_str());
+  std::printf("ASes receiving >10: %s  (paper: ~2%%)\n",
+              nb::fmt_percent(stats.max_unique_received.fraction_at_least(11))
+                  .c_str());
+  std::printf("\nfull distribution:\n%s",
+              stats.max_unique_received.render().c_str());
+  return 0;
+}

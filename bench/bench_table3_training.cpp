@@ -1,0 +1,57 @@
+// T3 -- training-set fixpoint (Sections 4.3-4.6): the iterative refinement
+// must reproduce EVERY training AS-path exactly ("we find that we can build
+// an AS-routing model that matches the training set exactly"), within a
+// number of iterations that is a small multiple of the maximum AS-path
+// length.  Also reports the model growth: quasi-routers added, per-prefix
+// filters and rankings installed, and Fig.-7 filter deletions.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  auto setup = benchtool::setup_from_cli(argc, argv);
+  benchtool::banner("bench_table3_training",
+                    "training-set refinement fixpoint (Sections 4.3-4.6)",
+                    setup);
+
+  core::Pipeline pipeline = core::make_pipeline(setup.config);
+  core::run_data_stages(pipeline);
+  core::run_model_stages(pipeline);
+
+  std::printf("training records: %zu   unique (origin, path) pairs: %zu\n",
+              pipeline.split.training.records.size(),
+              pipeline.training_eval.stats.total);
+
+  std::size_t max_len = 0;
+  for (const auto& record : pipeline.split.training.records)
+    max_len = std::max(max_len, record.path.length());
+  std::printf("max AS-path length: %zu\n\n", max_len);
+
+  std::printf("refinement trace:\n%s\n",
+              core::render_refine_log(pipeline.refine_result).c_str());
+
+  std::printf("model growth: %zu -> %zu quasi-routers (+%zu), "
+              "%zu policy adjustments, %zu filter deletions\n",
+              pipeline.graph.num_nodes(), pipeline.model.num_routers(),
+              pipeline.refine_result.routers_added,
+              pipeline.refine_result.policies_changed,
+              pipeline.refine_result.filters_relaxed);
+  auto stats = pipeline.model.policy_stats();
+  std::printf("installed rules: %zu filters, %zu rankings over %zu "
+              "prefixes\n\n",
+              stats.filters, stats.rankings, stats.prefixes_with_policy);
+
+  std::printf("%s\n", core::render_validation(
+                          "training set (must be exact)",
+                          pipeline.training_eval.stats)
+                          .c_str());
+  std::printf("shape checks:\n");
+  std::printf("  exact training match: %s (paper: yes)\n",
+              pipeline.refine_result.success ? "yes" : "NO");
+  std::printf("  iterations (%zu) <= 4 x max path length (%zu): %s "
+              "(paper: 'a multiple of the maximum AS-path length')\n",
+              pipeline.refine_result.iterations, 4 * max_len,
+              pipeline.refine_result.iterations <= 4 * max_len ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Route-diversity study (the Section 3 analysis as a reusable tool):
+//
+//   $ diversity_study [--scale 0.5] [--seed 1] [--sweep]
+//
+// Generates a synthetic Internet with router-level ground truth, observes it
+// from BGP feeds and reports the paper's diversity statistics: distinct
+// AS-paths per AS pair (Fig. 2), max unique paths received per AS (Table 1)
+// and the share of diversity attributable to multi-router ASes.  With
+// --sweep, repeats the study across ground-truth router budgets to show how
+// intra-AS structure drives observed diversity -- the paper's core argument
+// that ASes are not atomic.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/dataset_stats.hpp"
+#include "netbase/cli.hpp"
+#include "netbase/strings.hpp"
+#include "netbase/table.hpp"
+
+namespace {
+
+struct StudyRow {
+  int max_core_routers;
+  data::DiversityStats stats;
+  std::size_t routers;
+};
+
+StudyRow run_study(double scale, std::uint64_t seed, int max_core_routers) {
+  core::PipelineConfig config = core::PipelineConfig::with(scale, seed);
+  if (max_core_routers > 0) {
+    config.ground_truth.routers_tier1_max = max_core_routers;
+    config.ground_truth.routers_level2_max = std::min(max_core_routers, 5);
+    config.ground_truth.routers_level3_max = std::min(max_core_routers, 3);
+    config.ground_truth.routers_level3_min = max_core_routers > 1 ? 2 : 1;
+    config.ground_truth.routers_core_min = max_core_routers > 1 ? 2 : 1;
+  }
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+  StudyRow row;
+  row.max_core_routers = max_core_routers;
+  row.stats = data::compute_diversity(pipeline.dataset,
+                                      &pipeline.internet.prefix_counts);
+  row.routers = pipeline.ground_truth.model.num_routers();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nb::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.5);
+  const std::uint64_t seed = cli.get_u64("seed", 1);
+
+  std::printf("%s", nb::section("route-diversity study").c_str());
+
+  if (!cli.get_bool("sweep")) {
+    StudyRow row = run_study(scale, seed, 0);
+    std::printf("Fig. 2 -- distinct AS-paths per (origin, observer) pair:\n%s\n",
+                row.stats.paths_per_pair.render().c_str());
+    std::printf("Table 1 -- max unique AS-paths received per AS:\n%s\n",
+                row.stats.max_unique_received.render().c_str());
+    std::printf("AS pairs with >1 path: %s   ASes receiving >=2 unique "
+                "paths: %s\n",
+                nb::fmt_percent(row.stats.paths_per_pair.fraction_at_least(2))
+                    .c_str(),
+                nb::fmt_percent(
+                    row.stats.max_unique_received.fraction_at_least(2))
+                    .c_str());
+    return 0;
+  }
+
+  // Sweep the ground truth's router budget: with single-router ASes the
+  // observable diversity collapses; it grows with intra-AS structure.
+  nb::TextTable table({"core routers (max)", "gt routers",
+                       "pairs with >1 path", "ASes recv >=2 paths",
+                       "max recv paths"});
+  for (int max_core_routers : {1, 2, 4, 6, 8}) {
+    StudyRow row = run_study(scale, seed, max_core_routers);
+    table.add_row(
+        {std::to_string(max_core_routers), nb::fmt_count(row.routers),
+         nb::fmt_percent(row.stats.paths_per_pair.fraction_at_least(2)),
+         nb::fmt_percent(row.stats.max_unique_received.fraction_at_least(2)),
+         row.stats.max_unique_received.empty()
+             ? "-"
+             : std::to_string(row.stats.max_unique_received.max())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: a single router per AS (row 1) cannot express the\n"
+              "observed route diversity -- the motivation for quasi-routers\n"
+              "(paper Sections 3.2/3.3).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Developer probe: coarse timing of the pipeline stages at a given scale.
+#include <chrono>
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "netbase/cli.hpp"
+
+using Clock = std::chrono::steady_clock;
+
+static double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+int main(int argc, char** argv) {
+  nb::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  core::PipelineConfig config =
+      core::PipelineConfig::with(scale, cli.get_u64("seed", 1));
+
+  auto t0 = Clock::now();
+  auto internet = data::generate_internet(config.internet);
+  std::printf("generate: %.1f ms (%zu ASes, %zu edges)\n", ms_since(t0),
+              internet.graph.num_nodes(), internet.graph.num_edges());
+
+  t0 = Clock::now();
+  auto gt = data::build_ground_truth(internet, config.ground_truth);
+  std::printf("ground truth: %.1f ms (%zu routers, %zu sessions)\n",
+              ms_since(t0), gt.model.num_routers(), gt.model.num_sessions());
+
+  bgp::Engine engine(gt.model, gt.config.engine_options());
+  t0 = Clock::now();
+  int runs = 0;
+  std::uint64_t messages = 0;
+  for (nb::Asn asn : internet.graph.nodes()) {
+    auto sim = engine.run(nb::Prefix::for_asn(asn), asn);
+    messages += sim.messages;
+    if (++runs >= 20) break;
+  }
+  std::printf("engine: %.2f ms/prefix (%lu msgs/prefix avg)\n",
+              ms_since(t0) / runs,
+              static_cast<unsigned long>(messages / runs));
+
+  t0 = Clock::now();
+  bgp::ThreadPool pool(config.threads);
+  auto dataset = data::observe(gt, internet, config.observation, pool);
+  std::printf("observe (all %zu prefixes): %.1f ms, %zu records\n",
+              internet.graph.num_nodes(), ms_since(t0),
+              dataset.records.size());
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bgp/decision.hpp"
+
+namespace bgp {
+
+const char* decision_step_name(DecisionStep step) {
+  switch (step) {
+    case DecisionStep::kLocalPref:
+      return "local-pref";
+    case DecisionStep::kPathLength:
+      return "as-path-length";
+    case DecisionStep::kMed:
+      return "med";
+    case DecisionStep::kEbgpOverIbgp:
+      return "ebgp-over-ibgp";
+    case DecisionStep::kIgpCost:
+      return "igp-cost";
+    case DecisionStep::kTieBreak:
+      return "lowest-router-id";
+    case DecisionStep::kEqual:
+      return "equal";
+  }
+  return "?";
+}
+
+Comparison compare_routes(const Route& a, const Route& b,
+                          std::span<const std::uint32_t> sender_ids) {
+  if (a.local_pref != b.local_pref) {
+    return {a.local_pref > b.local_pref ? -1 : 1, DecisionStep::kLocalPref};
+  }
+  if (a.path.size() != b.path.size()) {
+    return {a.path.size() < b.path.size() ? -1 : 1, DecisionStep::kPathLength};
+  }
+  if (a.med != b.med) {
+    return {a.med < b.med ? -1 : 1, DecisionStep::kMed};
+  }
+  if (a.ibgp != b.ibgp) {
+    return {a.ibgp ? 1 : -1, DecisionStep::kEbgpOverIbgp};
+  }
+  if (a.igp_cost != b.igp_cost) {
+    return {a.igp_cost < b.igp_cost ? -1 : 1, DecisionStep::kIgpCost};
+  }
+  std::uint32_t ida = sender_ids[a.sender];
+  std::uint32_t idb = sender_ids[b.sender];
+  if (ida != idb) {
+    return {ida < idb ? -1 : 1, DecisionStep::kTieBreak};
+  }
+  return {0, DecisionStep::kEqual};
+}
+
+int select_best(std::span<const Route> candidates,
+                std::span<const std::uint32_t> sender_ids) {
+  int best = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    Comparison cmp = compare_routes(candidates[i],
+                                    candidates[static_cast<std::size_t>(best)],
+                                    sender_ids);
+    if (cmp.order < 0) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace bgp

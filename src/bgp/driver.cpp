@@ -1,0 +1,25 @@
+#include "bgp/driver.hpp"
+
+#include <mutex>
+
+namespace bgp {
+
+std::vector<SimJob> jobs_for_all_ases(const Model& model) {
+  std::vector<SimJob> jobs;
+  for (nb::Asn asn : model.asns())
+    jobs.push_back({Prefix::for_asn(asn), asn});
+  return jobs;
+}
+
+void run_jobs(
+    const Engine& engine, const std::vector<SimJob>& jobs, ThreadPool& pool,
+    const std::function<void(std::size_t, PrefixSimResult&&)>& consume) {
+  std::mutex consume_mutex;
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    PrefixSimResult result = engine.run(jobs[i].prefix, jobs[i].origin);
+    std::lock_guard lock(consume_mutex);
+    consume(i, std::move(result));
+  });
+}
+
+}  // namespace bgp

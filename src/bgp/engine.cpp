@@ -1,0 +1,281 @@
+#include "bgp/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace bgp {
+
+using topo::NeighborClass;
+using topo::PrefixPolicy;
+
+std::vector<std::uint32_t> dense_ids(const Model& model) {
+  std::vector<std::uint32_t> ids(model.num_routers());
+  for (Model::Dense r = 0; r < ids.size(); ++r)
+    ids[r] = model.router_id(r).value();
+  return ids;
+}
+
+Engine::Engine(const Model& model, EngineOptions options)
+    : model_(&model), options_(options) {}
+
+std::optional<Route> Engine::export_route(const PrefixPolicy* policy,
+                                          Model::Dense from, Model::Dense to,
+                                          const Route& best) const {
+  const nb::RouterId from_id = model_->router_id(from);
+  const nb::RouterId to_id = model_->router_id(to);
+  if (options_.use_relationship_policies) {
+    // Valley-free export: routes learned from a peer or provider are only
+    // exported to customers.  Unknown classes are permissive on both sides
+    // (the paper's agnostic stance: absent information must not disconnect).
+    const NeighborClass to_class =
+        model_->neighbor_class(from_id.asn(), to_id.asn());
+    if (to_class == NeighborClass::kPeer ||
+        to_class == NeighborClass::kProvider) {
+      bool from_customer_or_self = best.originated();
+      if (!from_customer_or_self) {
+        const Asn learned_from = best.path.front();
+        const NeighborClass learned_class =
+            model_->neighbor_class(from_id.asn(), learned_from);
+        from_customer_or_self = learned_class == NeighborClass::kCustomer ||
+                                learned_class == NeighborClass::kUnknown;
+      }
+      // Per-prefix leak: an export-allow exempts this session.
+      if (!from_customer_or_self &&
+          !(policy != nullptr &&
+            policy->export_allows.count(topo::session_key(from_id, to_id)) >
+                0)) {
+        return std::nullopt;
+      }
+    }
+  }
+  const std::size_t arriving_len = best.path.size() + 1;
+  if (const topo::ExportFilter* filter =
+          model_->find_export_filter(from, to, policy);
+      filter != nullptr && filter->blocks(arriving_len)) {
+    return std::nullopt;
+  }
+  Route exported;
+  exported.sender = from;
+  exported.path.reserve(arriving_len);
+  exported.path.push_back(from_id.asn());
+  exported.path.insert(exported.path.end(), best.path.begin(),
+                       best.path.end());
+  return exported;
+}
+
+std::optional<Route> Engine::import_route(const PrefixSimResult&,
+                                          const PrefixPolicy* policy,
+                                          Model::Dense receiver,
+                                          Model::Dense sender,
+                                          const Route& exported) const {
+  const nb::RouterId receiver_id = model_->router_id(receiver);
+  const nb::RouterId sender_id = model_->router_id(sender);
+  if (path_contains(exported.path, receiver_id.asn())) return std::nullopt;
+
+  Route imported = exported;
+  imported.sender = sender;
+  imported.local_pref = kDefaultLocalPref;
+  if (options_.use_relationship_policies) {
+    switch (model_->neighbor_class(receiver_id.asn(), sender_id.asn())) {
+      case NeighborClass::kCustomer:
+        imported.local_pref = options_.lp_customer;
+        break;
+      case NeighborClass::kPeer:
+        imported.local_pref = options_.lp_peer;
+        break;
+      case NeighborClass::kProvider:
+        imported.local_pref = options_.lp_provider;
+        break;
+      case NeighborClass::kUnknown:
+        imported.local_pref = options_.lp_unknown;
+        break;
+    }
+  }
+  imported.med = topo::kDefaultMed;
+  bool has_prefix_ranking = false;
+  if (policy != nullptr) {
+    if (auto it = policy->lp_overrides.find(
+            topo::router_asn_key(receiver_id, sender_id.asn()));
+        it != policy->lp_overrides.end()) {
+      imported.local_pref = it->second;
+    }
+    if (auto it = policy->rankings.find(receiver_id.value());
+        it != policy->rankings.end()) {
+      has_prefix_ranking = true;
+      if (it->second.preferred_neighbor == sender_id.asn())
+        imported.med = topo::kPreferredMed;
+    }
+  }
+  // Prefix-independent ranking applies only when no per-prefix rule exists
+  // for this router (generalized models; see core/generalize).
+  if (!has_prefix_ranking &&
+      model_->default_ranking(receiver) == sender_id.asn()) {
+    imported.med = topo::kPreferredMed;
+  }
+  imported.igp_cost =
+      options_.use_igp_cost ? model_->igp_cost(receiver, sender) : 0;
+  return imported;
+}
+
+PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
+  PrefixSimResult res;
+  res.prefix = prefix;
+  res.origin = origin;
+  const std::size_t n = model_->num_routers();
+  res.routers.resize(n);
+
+  const PrefixPolicy* policy = model_->find_policy(prefix);
+  const std::vector<std::uint32_t> ids = dense_ids(*model_);
+
+  const std::uint64_t message_cap =
+      options_.message_cap_factor *
+      std::max<std::uint64_t>(model_->num_sessions(), 1);
+
+  std::deque<Model::Dense> queue;
+  std::vector<char> queued(n, 0);
+  auto enqueue = [&](Model::Dense r) {
+    if (!queued[r]) {
+      queued[r] = 1;
+      queue.push_back(r);
+    }
+  };
+
+  // Origination: each quasi-router of the origin AS injects a route with an
+  // empty path (sender = self, MED 0 so an origin router never prefers a
+  // learned alternative -- vacuous anyway since the empty path wins on
+  // length).
+  for (Model::Dense r : model_->routers_of(origin)) {
+    Route self;
+    self.sender = r;
+    self.med = 0;
+    res.routers[r].rib_in.push_back(std::move(self));
+    res.routers[r].best = 0;
+    res.routers[r].best_external = 0;
+    enqueue(r);
+  }
+
+  // Recomputes a router's best (and external best); returns true if either
+  // selection changed in a way that requires re-advertising.
+  auto reselect = [&](RouterState& state) {
+    const Route old_best =
+        state.best_route() != nullptr ? *state.best_route() : Route{};
+    const bool had_best = state.best_route() != nullptr;
+    const Route old_external =
+        state.external_route() != nullptr ? *state.external_route() : Route{};
+    const bool had_external = state.external_route() != nullptr;
+
+    state.best = select_best(state.rib_in, ids);
+    state.best_external = -1;
+    if (options_.use_ibgp_mesh) {
+      for (std::size_t i = 0; i < state.rib_in.size(); ++i) {
+        if (state.rib_in[i].ibgp) continue;
+        if (state.best_external < 0 ||
+            compare_routes(state.rib_in[i],
+                           state.rib_in[static_cast<std::size_t>(
+                               state.best_external)],
+                           ids)
+                    .order < 0) {
+          state.best_external = static_cast<int>(i);
+        }
+      }
+    } else {
+      state.best_external = state.best;
+    }
+
+    auto differs = [](bool had, const Route& old_route, const Route* now) {
+      if (had != (now != nullptr)) return true;
+      return now != nullptr && (now->sender != old_route.sender ||
+                                now->path != old_route.path);
+    };
+    return differs(had_best, old_best, state.best_route()) ||
+           differs(had_external, old_external, state.external_route());
+  };
+
+  while (!queue.empty()) {
+    if (res.messages > message_cap) {
+      res.converged = false;
+      break;
+    }
+    const Model::Dense r = queue.front();
+    queue.pop_front();
+    queued[r] = 0;
+    const Route* best = res.routers[r].best_route();
+
+    // iBGP mesh: push this router's best external route to its AS-mates.
+    if (options_.use_ibgp_mesh) {
+      const Route* external = res.routers[r].external_route();
+      const nb::RouterId r_id = model_->router_id(r);
+      for (Model::Dense mate : model_->routers_of(r_id.asn())) {
+        if (mate == r) continue;
+        ++res.messages;
+        std::optional<Route> incoming;
+        if (external != nullptr) {
+          Route shared = *external;
+          shared.sender = r;
+          shared.ibgp = true;
+          shared.igp_cost =
+              options_.use_igp_cost ? model_->igp_cost(mate, r) : 0;
+          incoming = std::move(shared);
+        }
+        RouterState& state = res.routers[mate];
+        auto existing = std::find_if(
+            state.rib_in.begin(), state.rib_in.end(),
+            [&](const Route& route) { return route.sender == r; });
+        if (!incoming.has_value()) {
+          if (existing == state.rib_in.end()) continue;
+          state.rib_in.erase(existing);
+        } else if (existing != state.rib_in.end()) {
+          if (existing->path == incoming->path &&
+              existing->local_pref == incoming->local_pref &&
+              existing->med == incoming->med &&
+              existing->igp_cost == incoming->igp_cost &&
+              existing->ibgp == incoming->ibgp) {
+            continue;
+          }
+          *existing = std::move(*incoming);
+        } else {
+          state.rib_in.push_back(std::move(*incoming));
+        }
+        if (reselect(state)) enqueue(mate);
+      }
+    }
+
+    for (const Model::Dense peer : model_->peers(r)) {
+      ++res.messages;
+      std::optional<Route> incoming;
+      if (best != nullptr) {
+        if (std::optional<Route> exported =
+                export_route(policy, r, peer, *best);
+            exported.has_value()) {
+          incoming = import_route(res, policy, peer, r, *exported);
+        }
+      }
+
+      RouterState& state = res.routers[peer];
+      auto existing =
+          std::find_if(state.rib_in.begin(), state.rib_in.end(),
+                       [&](const Route& route) { return route.sender == r; });
+
+      if (!incoming.has_value()) {
+        if (existing == state.rib_in.end()) continue;  // nothing to withdraw
+        state.rib_in.erase(existing);
+      } else if (existing != state.rib_in.end()) {
+        if (existing->path == incoming->path &&
+            existing->local_pref == incoming->local_pref &&
+            existing->med == incoming->med &&
+            existing->igp_cost == incoming->igp_cost) {
+          continue;  // unchanged advertisement
+        }
+        *existing = std::move(*incoming);
+      } else {
+        state.rib_in.push_back(std::move(*incoming));
+      }
+
+      // Re-run the decision process; propagate only if a selection changed.
+      if (reselect(state)) enqueue(peer);
+    }
+  }
+  return res;
+}
+
+}  // namespace bgp

@@ -1,0 +1,123 @@
+// Steady-state, per-prefix BGP route propagation over a quasi-router model --
+// the functional equivalent of C-BGP as the paper uses it (Section 4.1):
+// "C-BGP only computes the steady-state choice of the BGP routers after the
+// exchange of the BGP messages has converged", supporting multiple routers
+// per AS, eBGP sessions, route filters and policies.
+//
+// The engine runs one prefix at a time (route decisions are independent per
+// prefix), which is also how the paper's refinement loop consumes it.
+//
+// Mechanics: the origin AS's routers originate the prefix; a FIFO queue of
+// "dirty" routers propagates best-route changes over sessions.  Export
+// applies (a) the valley-free relationship rule when relationship policies
+// are enabled (Section 3.3 baseline / ground truth) and (b) per-prefix
+// deny-below-length filters (refinement).  Import applies receiver-side
+// AS-loop detection, local-pref (relationship class or per-prefix override)
+// and the per-prefix MED ranking.  Determinism: peers are visited in
+// router-id order and the queue is FIFO, so results are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "bgp/route.hpp"
+#include "netbase/ids.hpp"
+#include "netbase/ip.hpp"
+#include "topology/model.hpp"
+
+namespace bgp {
+
+using nb::Prefix;
+using topo::Model;
+
+struct EngineOptions {
+  /// Apply relationship-based local-pref and valley-free export rules
+  /// (Section 3.3 baseline and the ground-truth network).
+  bool use_relationship_policies = false;
+  /// Apply per-session IGP costs in the decision process (hot-potato step;
+  /// used by the ground truth to create intra-AS route diversity).
+  bool use_igp_cost = false;
+  /// Connect the routers of each AS with an implicit full iBGP mesh: every
+  /// router shares its best EXTERNAL route with its AS-mates (no
+  /// re-advertisement of iBGP-learned routes), and the decision process
+  /// prefers eBGP over iBGP.  This is the alternative the paper REJECTED in
+  /// Section 4.6 ("extremely difficult to control route selection");
+  /// bench_ibgp_mesh reproduces why.
+  bool use_ibgp_mesh = false;
+
+  std::uint32_t lp_customer = 130;
+  std::uint32_t lp_peer = 100;
+  std::uint32_t lp_provider = 80;
+  std::uint32_t lp_unknown = 100;
+
+  /// Message-processing cap = factor * max(#sessions, 1); exceeding it marks
+  /// the run non-converged (divergence guard; see paper Section 4.6 on why
+  /// local-pref games can diverge -- our policies cannot, but the guard stays).
+  std::uint64_t message_cap_factor = 512;
+};
+
+/// Per-router outcome of a prefix simulation.
+struct RouterState {
+  /// Adj-RIB-In after import processing; at most one entry per announcing
+  /// router.  Includes the self-originated route at origin routers and,
+  /// in ibgp-mesh mode, one iBGP entry per AS-mate.
+  std::vector<Route> rib_in;
+  /// Index of the best route in rib_in, -1 if none.
+  int best = -1;
+  /// Index of the best non-iBGP route (== best unless ibgp-mesh mode).
+  int best_external = -1;
+
+  const Route* best_route() const {
+    return best < 0 ? nullptr : &rib_in[static_cast<std::size_t>(best)];
+  }
+  const Route* external_route() const {
+    return best_external < 0
+               ? nullptr
+               : &rib_in[static_cast<std::size_t>(best_external)];
+  }
+};
+
+struct PrefixSimResult {
+  Prefix prefix;
+  nb::Asn origin = nb::kInvalidAsn;
+  std::vector<RouterState> routers;  // indexed by dense router index
+  bool converged = true;
+  std::uint64_t messages = 0;
+
+  const RouterState& state(Model::Dense r) const { return routers[r]; }
+};
+
+/// Maps dense index -> router-id value for tie-breaking and reporting.
+std::vector<std::uint32_t> dense_ids(const Model& model);
+
+class Engine {
+ public:
+  explicit Engine(const Model& model, EngineOptions options = {});
+
+  /// Simulates propagation of `prefix` originated by all routers of
+  /// `origin`.  Re-reads the model on every call, so model mutations between
+  /// calls (refinement) are picked up.
+  PrefixSimResult run(const Prefix& prefix, nb::Asn origin) const;
+
+  const Model& model() const { return *model_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  std::optional<Route> import_route(const PrefixSimResult& res,
+                                    const topo::PrefixPolicy* policy,
+                                    Model::Dense receiver, Model::Dense sender,
+                                    const Route& exported) const;
+  /// Whether `best` at router `from` may be exported toward `to`; if so the
+  /// exported route (path prepended with from's AS) is returned.
+  std::optional<Route> export_route(const topo::PrefixPolicy* policy,
+                                    Model::Dense from, Model::Dense to,
+                                    const Route& best) const;
+
+  const Model* model_;
+  EngineOptions options_;
+};
+
+}  // namespace bgp

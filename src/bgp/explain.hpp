@@ -1,0 +1,32 @@
+// Human-readable explanation of a quasi-router's route selection: every
+// RIB-In candidate annotated with the decision step at which it was
+// eliminated relative to the best route.  Powers the what-if example and
+// debugging ("why did the model pick this path?").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgp/engine.hpp"
+
+namespace bgp {
+
+struct RouteExplanation {
+  struct Candidate {
+    Route route;
+    bool is_best = false;
+    /// For non-best candidates: the decisive elimination step.
+    DecisionStep lost_at = DecisionStep::kEqual;
+  };
+  nb::RouterId router;
+  std::vector<Candidate> candidates;  // best first, then by elimination step
+
+  std::string str(const Model& model) const;
+};
+
+/// Explains the selection at `router` for a finished simulation.
+RouteExplanation explain_selection(const Model& model,
+                                   const PrefixSimResult& sim,
+                                   Model::Dense router);
+
+}  // namespace bgp

@@ -1,0 +1,23 @@
+#include "bgp/route.hpp"
+
+#include <algorithm>
+
+namespace bgp {
+
+std::string Route::str() const {
+  std::string out = "path=[";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += std::to_string(path[i]);
+  }
+  out += "] lp=" + std::to_string(local_pref) + " med=" + std::to_string(med) +
+         " igp=" + std::to_string(igp_cost) +
+         " from=" + std::to_string(sender);
+  return out;
+}
+
+bool path_contains(std::span<const Asn> path, Asn asn) {
+  return std::find(path.begin(), path.end(), asn) != path.end();
+}
+
+}  // namespace bgp

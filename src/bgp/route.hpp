@@ -1,0 +1,42 @@
+// A BGP route as stored in a quasi-router's Adj-RIB-In after import
+// processing (paper Figure 1: input filter -> attribute rewrite -> RIB-In).
+//
+// The AS-path here does NOT include the storing router's own AS; it begins
+// with the announcing neighbor's AS and ends at the origin.  A locally
+// originated route has an empty path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/ids.hpp"
+
+namespace bgp {
+
+using nb::Asn;
+
+/// Default attribute values (import processing overrides them).
+constexpr std::uint32_t kDefaultLocalPref = 100;
+
+struct Route {
+  /// Dense index of the announcing router (self for originated routes).
+  std::uint32_t sender = 0;
+  std::uint32_t local_pref = kDefaultLocalPref;
+  std::uint32_t med = 100;
+  std::uint32_t igp_cost = 0;
+  /// True if learned over the (implicit, full-mesh) iBGP inside the AS --
+  /// only produced when EngineOptions::use_ibgp_mesh is on.
+  bool ibgp = false;
+  std::vector<Asn> path;  // [announcing AS ... origin]; empty if originated
+
+  bool originated() const { return path.empty(); }
+
+  std::string str() const;
+};
+
+/// True if `path` visits `asn` (receiver-side loop detection).
+bool path_contains(std::span<const Asn> path, Asn asn);
+
+}  // namespace bgp

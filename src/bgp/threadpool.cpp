@@ -1,0 +1,77 @@
+#include "bgp/threadpool.hpp"
+
+#include <algorithm>
+
+namespace bgp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  // With one thread we run inline; no workers needed.
+  if (threads == 1) return;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    batch_ = Batch{count, 0, 0, &body};
+    has_batch_ = true;
+  }
+  work_cv_.notify_all();
+  // The calling thread participates too.
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard lock(mutex_);
+      if (!has_batch_ || batch_.next >= batch_.count) break;
+      index = batch_.next++;
+    }
+    body(index);
+    std::lock_guard lock(mutex_);
+    ++batch_.done;
+    if (batch_.done == batch_.count) done_cv_.notify_all();
+  }
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return batch_.done == batch_.count; });
+  has_batch_ = false;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* body;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (has_batch_ && batch_.next < batch_.count);
+      });
+      if (stop_) return;
+      index = batch_.next++;
+      body = batch_.body;
+    }
+    (*body)(index);
+    std::lock_guard lock(mutex_);
+    ++batch_.done;
+    if (batch_.done == batch_.count) done_cv_.notify_all();
+  }
+}
+
+}  // namespace bgp

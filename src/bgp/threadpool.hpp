@@ -1,0 +1,50 @@
+// Minimal fixed-size thread pool for fanning independent per-prefix
+// simulations across cores.  Tasks are indexed; `parallel_for` blocks until
+// every index has been processed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgp {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(i) for every i in [0, count), distributing dynamically.
+  /// body must be thread-safe.  Runs inline when the pool has one thread.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch {
+    std::size_t count = 0;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch batch_;
+  bool has_batch_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace bgp

@@ -1,0 +1,64 @@
+#include "core/generalize.hpp"
+
+#include <map>
+#include <set>
+
+namespace core {
+
+using topo::Model;
+
+namespace {
+
+// router id value -> set of preferred neighbor ASes across prefixes,
+// plus the prefixes carrying each router's rules.
+std::map<std::uint32_t, std::set<nb::Asn>> preferences_by_router(
+    const Model& model) {
+  std::map<std::uint32_t, std::set<nb::Asn>> out;
+  for (auto& [prefix, policy] : model.prefix_policies()) {
+    for (auto& [router, rule] : policy.rankings)
+      out[router].insert(rule.preferred_neighbor);
+  }
+  return out;
+}
+
+}  // namespace
+
+GranularityStats analyze_policy_granularity(const Model& model) {
+  GranularityStats stats;
+  stats.routers_total = model.num_routers();
+  const auto preferences = preferences_by_router(model);
+  stats.routers_with_rankings = preferences.size();
+  for (auto& [router, neighbors] : preferences) {
+    stats.distinct_preferences.add(neighbors.size());
+    if (neighbors.size() == 1) ++stats.routers_uniform;
+  }
+  for (auto& [prefix, policy] : model.prefix_policies())
+    stats.rankings_total += policy.rankings.size();
+  return stats;
+}
+
+GeneralizeResult generalize_rankings(Model& model) {
+  GeneralizeResult result;
+  result.stats = analyze_policy_granularity(model);
+
+  const auto preferences = preferences_by_router(model);
+  // Collect the per-prefix rules to drop first (cannot mutate the policy
+  // maps while iterating them).
+  std::vector<std::pair<nb::RouterId, nb::Prefix>> to_clear;
+  for (auto& [router_value, neighbors] : preferences) {
+    if (neighbors.size() != 1) continue;
+    const nb::RouterId router = nb::RouterId::from_value(router_value);
+    model.set_default_ranking(router, *neighbors.begin());
+    ++result.defaults_added;
+    for (auto& [prefix, policy] : model.prefix_policies()) {
+      if (policy.rankings.count(router_value)) to_clear.emplace_back(router, prefix);
+    }
+  }
+  for (auto& [router, prefix] : to_clear) {
+    model.clear_ranking(router, prefix);
+    ++result.rules_removed;
+  }
+  return result;
+}
+
+}  // namespace core

@@ -1,0 +1,44 @@
+// Policy generalization -- the paper's stated future work ("inferring the
+// actual policies will be addressed in future work") and the question of its
+// follow-up ("In Search for an Appropriate Granularity to Model Routing
+// Policies"): the refinement installs PER-PREFIX rules; how many of them are
+// really prefix-independent per-neighbor preferences in disguise?
+//
+// analyze_policy_granularity() measures, per quasi-router, how many distinct
+// preferred neighbors its per-prefix rankings use.  generalize_rankings()
+// rewrites the model: a quasi-router whose per-prefix rankings all prefer
+// the SAME neighbor AS gets a single prefix-independent default ranking
+// instead (the engine falls back to it when no per-prefix rule exists).
+// The rewrite is semantics-preserving for the prefixes that had rules and
+// EXTENDS the preference to unseen prefixes -- exactly the generalization
+// bet one makes when predicting routes for new prefixes (Section 4.7).
+#pragma once
+
+#include "netbase/stats.hpp"
+#include "topology/model.hpp"
+
+namespace core {
+
+struct GranularityStats {
+  std::size_t routers_total = 0;
+  std::size_t routers_with_rankings = 0;
+  /// Routers whose per-prefix rankings all name one neighbor.
+  std::size_t routers_uniform = 0;
+  std::size_t rankings_total = 0;  // per-prefix rules before rewrite
+  /// Distinct preferred neighbors per ranked router.
+  nb::Histogram distinct_preferences;
+};
+
+GranularityStats analyze_policy_granularity(const topo::Model& model);
+
+struct GeneralizeResult {
+  GranularityStats stats;
+  std::size_t rules_removed = 0;   // per-prefix rankings collapsed
+  std::size_t defaults_added = 0;  // router-level rules installed
+};
+
+/// In-place rewrite described above.  Routers with mixed preferences keep
+/// their per-prefix rules untouched.
+GeneralizeResult generalize_rankings(topo::Model& model);
+
+}  // namespace core

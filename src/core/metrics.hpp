@@ -1,0 +1,86 @@
+// Match metrics of Section 4.2:
+//
+//  * RIB-In match      -- the observed route is in the simulated RIB-In of at
+//                         least one quasi-router of the observed AS;
+//  * potential RIB-Out -- a RIB-In match that was eliminated ONLY in the
+//                         final lowest-router-id tie-break;
+//  * RIB-Out match     -- at least one quasi-router selected the observed
+//                         route as best.
+//
+// Plus the aggregate statistics used by Table 2 (mismatch reasons) and the
+// paper's per-prefix coverage counts (prefixes with RIB-Out matches for at
+// least 50% / 90% / 100% of their unique AS-paths).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "bgp/engine.hpp"
+#include "topology/as_path.hpp"
+#include "topology/model.hpp"
+
+namespace core {
+
+using topo::AsPath;
+using topo::Model;
+
+enum class MatchKind : std::uint8_t {
+  kRibOut,
+  kPotentialRibOut,
+  kRibInOnly,     // received somewhere, lost before the tie-break
+  kNotAvailable,  // no quasi-router of the AS received the route
+};
+
+const char* match_kind_name(MatchKind kind);
+
+struct PathMatch {
+  MatchKind kind = MatchKind::kNotAvailable;
+  /// For kPotentialRibOut / kRibInOnly: the latest decision step (across the
+  /// AS's quasi-routers) at which the observed route was eliminated.
+  bgp::DecisionStep lost_at = bgp::DecisionStep::kEqual;
+  /// Dense index of the matching quasi-router (RIB-Out) or of the router
+  /// holding the closest RIB-In entry; Model::kNoRouter if unavailable.
+  Model::Dense router = Model::kNoRouter;
+};
+
+/// Classifies an observed path against the simulation of its prefix.  The
+/// path is checked at its observer AS (hops()[0]); `ids` from dense_ids().
+PathMatch classify_path(const Model& model, const bgp::PrefixSimResult& sim,
+                        const AsPath& observed,
+                        std::span<const std::uint32_t> ids);
+
+/// True if some quasi-router of AS `asn` selected a best route whose path
+/// equals `route_path` ([neighbor ... origin], excluding `asn`).
+bool has_rib_out(const Model& model, const bgp::PrefixSimResult& sim,
+                 nb::Asn asn, std::span<const nb::Asn> route_path);
+
+/// Aggregate over many classified paths.
+struct MatchStats {
+  std::size_t total = 0;
+  std::size_t rib_out = 0;
+  std::size_t potential_rib_out = 0;
+  std::size_t rib_in_only = 0;
+  std::size_t not_available = 0;
+  /// Eliminations by decisive step, indexed by DecisionStep, over
+  /// kPotentialRibOut + kRibInOnly paths.
+  std::array<std::size_t, bgp::kNumDecisionSteps> lost_at{};
+
+  // Per-prefix coverage: of the prefixes evaluated, how many had RIB-Out
+  // matches for at least 50% / 90% / 100% of their unique observed paths.
+  std::size_t prefixes = 0;
+  std::size_t prefixes_50 = 0;
+  std::size_t prefixes_90 = 0;
+  std::size_t prefixes_100 = 0;
+
+  void add(const PathMatch& match);
+  /// Folds one prefix's per-path outcomes into the coverage counters.
+  void add_prefix_coverage(std::size_t matched, std::size_t paths);
+
+  double rib_out_rate() const;
+  double potential_or_better_rate() const;  // RIB-Out + potential (the >80% headline)
+  double rib_in_rate() const;               // any RIB-In (upper bound)
+  double not_available_rate() const;
+};
+
+}  // namespace core

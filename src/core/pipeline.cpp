@@ -1,0 +1,85 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace core {
+
+PipelineConfig PipelineConfig::with(double scale, std::uint64_t seed) {
+  PipelineConfig config;
+  config.internet = config.internet.scaled(scale);
+  config.internet.seed = seed;
+  config.ground_truth.seed = seed * 7919 + 1;
+  config.observation.seed = seed * 104729 + 2;
+  config.split.seed = seed * 1299709 + 3;
+  return config;
+}
+
+Pipeline make_pipeline(const PipelineConfig& config) {
+  Pipeline pipeline;
+  pipeline.config = config;
+  return pipeline;
+}
+
+void run_data_stages(Pipeline& pipeline) {
+  const PipelineConfig& config = pipeline.config;
+  pipeline.internet = data::generate_internet(config.internet);
+  pipeline.ground_truth =
+      data::build_ground_truth(pipeline.internet, config.ground_truth);
+
+  bgp::ThreadPool pool(config.threads);
+  pipeline.raw_dataset = data::observe(pipeline.ground_truth,
+                                       pipeline.internet,
+                                       config.observation, pool);
+
+  // Stub analysis on the raw dataset (paper Section 3.1): derive the graph,
+  // find single-homed non-transit ASes, transfer their path information to
+  // their providers.
+  const auto raw_paths = pipeline.raw_dataset.all_paths();
+  topo::AsGraph raw_graph = topo::AsGraph::from_paths(raw_paths);
+  topo::StubAnalysis stubs = topo::analyze_stubs(raw_graph, raw_paths);
+  pipeline.single_homed = stubs.single_homed;
+  pipeline.dataset =
+      data::reduce_stubs(pipeline.raw_dataset, pipeline.single_homed);
+
+  const auto reduced_paths = pipeline.dataset.all_paths();
+  pipeline.graph = topo::AsGraph::from_paths(reduced_paths);
+
+  // Level-1 detection: the paper starts from a small list of providers
+  // known to be tier-1 and grows the largest clique including them.  Our
+  // stand-in for that external knowledge is a handful of the generator's
+  // tier-1 ASes.
+  std::vector<nb::Asn> seeds(
+      pipeline.internet.tier1.begin(),
+      pipeline.internet.tier1.begin() +
+          std::min<std::size_t>(4, pipeline.internet.tier1.size()));
+  std::set<nb::Asn> level1 = topo::grow_level1_clique(pipeline.graph, seeds);
+  pipeline.hierarchy = topo::classify_hierarchy(pipeline.graph, level1);
+
+  pipeline.split = data::split_by_points(pipeline.dataset, config.split);
+}
+
+void run_model_stages(Pipeline& pipeline) {
+  // Initial model (Section 4.5): one quasi-router per AS over the graph
+  // derived from ALL feeds (training and validation), as the paper does.
+  pipeline.model = topo::Model::one_router_per_as(pipeline.graph);
+
+  pipeline.refine_result = refine_model(pipeline.model,
+                                        pipeline.split.training,
+                                        pipeline.config.refine);
+
+  EvalOptions eval;
+  eval.threads = pipeline.config.threads;
+  pipeline.training_eval =
+      evaluate_predictions(pipeline.model, pipeline.split.training, eval);
+  pipeline.validation_eval =
+      evaluate_predictions(pipeline.model, pipeline.split.validation, eval);
+}
+
+Pipeline run_full_pipeline(const PipelineConfig& config) {
+  Pipeline pipeline = make_pipeline(config);
+  run_data_stages(pipeline);
+  run_model_stages(pipeline);
+  return pipeline;
+}
+
+}  // namespace core

@@ -1,0 +1,66 @@
+// End-to-end experiment pipeline (DESIGN.md section 4):
+//
+//   synthetic Internet -> ground-truth router network -> observation points
+//   -> full RIB dataset -> single-homed-stub reduction -> AS graph
+//   -> training/validation split -> initial model -> iterative refinement
+//   -> evaluation on training and validation sets.
+//
+// Every bench and example builds on this, each consuming the stage outputs it
+// needs.  All stages are deterministic in the configured seeds.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/predict.hpp"
+#include "core/refine.hpp"
+#include "data/dataset_stats.hpp"
+#include "data/ground_truth.hpp"
+#include "data/internet_gen.hpp"
+#include "data/observations.hpp"
+#include "topology/hierarchy.hpp"
+
+namespace core {
+
+struct PipelineConfig {
+  data::InternetConfig internet;
+  data::GroundTruthConfig ground_truth;
+  data::ObservationConfig observation;
+  data::SplitConfig split;
+  RefineConfig refine;
+  unsigned threads = 1;
+
+  /// Applies one CLI-style scale factor / seed to all stages.
+  static PipelineConfig with(double scale, std::uint64_t seed);
+};
+
+struct Pipeline {
+  PipelineConfig config;
+
+  data::Internet internet;
+  data::GroundTruth ground_truth;
+  data::BgpDataset raw_dataset;      // all feeds, stubs included
+  data::BgpDataset dataset;          // after single-homed stub reduction
+  std::set<nb::Asn> single_homed;    // removed stub ASes
+  topo::AsGraph graph;               // derived from the reduced dataset
+  topo::Hierarchy hierarchy;         // clique-grown levels on that graph
+  data::DatasetSplit split;          // training/validation by obs point
+
+  topo::Model model;                 // the fitted AS-routing model
+  RefineResult refine_result;
+  EvalResult training_eval;
+  EvalResult validation_eval;
+};
+
+/// Stages. Each returns the pipeline for chaining; call in order.
+Pipeline make_pipeline(const PipelineConfig& config);
+/// Generates internet + ground truth + observations + reduction + graph +
+/// split (everything before model fitting).
+void run_data_stages(Pipeline& pipeline);
+/// Builds the initial model, refines on the training set and evaluates on
+/// both subsets.
+void run_model_stages(Pipeline& pipeline);
+/// Convenience: both of the above.
+Pipeline run_full_pipeline(const PipelineConfig& config);
+
+}  // namespace core

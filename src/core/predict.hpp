@@ -1,0 +1,40 @@
+// Prediction evaluation: runs the model for every prefix occurring in a
+// dataset and classifies each unique observed AS-path with the Section 4.2
+// metrics.  Used for the Table 2 baselines, for the training fixpoint check
+// and for the held-out validation experiment (Section 5).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "bgp/driver.hpp"
+#include "core/metrics.hpp"
+#include "data/observations.hpp"
+
+namespace core {
+
+struct EvalOptions {
+  bgp::EngineOptions engine;
+  unsigned threads = 1;
+};
+
+struct EvalResult {
+  MatchStats stats;
+  /// Per-origin outcome counts (unique paths, RIB-Out matched), for drill-in
+  /// reports.
+  struct OriginOutcome {
+    std::size_t paths = 0;
+    std::size_t rib_out = 0;
+  };
+  std::map<nb::Asn, OriginOutcome> by_origin;
+};
+
+/// Evaluates `model` against every unique (origin, observed path) in
+/// `dataset`.  `inspect`, when given, is called for each classified path.
+EvalResult evaluate_predictions(
+    const topo::Model& model, const data::BgpDataset& dataset,
+    const EvalOptions& options,
+    const std::function<void(nb::Asn origin, const topo::AsPath& path,
+                             const PathMatch& match)>& inspect = nullptr);
+
+}  // namespace core

@@ -1,0 +1,361 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bgp/driver.hpp"
+
+namespace core {
+namespace {
+
+using bgp::PrefixSimResult;
+using nb::Asn;
+using nb::Prefix;
+using nb::RouterId;
+using topo::AsPath;
+using topo::Model;
+
+bool route_path_equals(std::span<const Asn> route_path,
+                       std::span<const Asn> expected) {
+  return route_path.size() == expected.size() &&
+         std::equal(route_path.begin(), route_path.end(), expected.begin());
+}
+
+struct PrefixWork {
+  Asn origin = nb::kInvalidAsn;
+  Prefix prefix;
+  std::vector<AsPath> paths;  // deterministically sorted, shorter first
+  bool done = false;
+  std::size_t matched = 0;  // last iteration's fully matched paths
+};
+
+class Refiner {
+ public:
+  Refiner(Model& model, const RefineConfig& config)
+      : model_(model), config_(config) {}
+
+  std::size_t routers_added = 0;
+  std::size_t policies_changed = 0;
+  std::size_t filters_relaxed = 0;
+
+  /// Runs one heuristic pass for one prefix on top of its simulation.
+  /// Returns true if the model was changed.
+  bool process(PrefixWork& work, const PrefixSimResult& sim);
+
+ private:
+  // Candidate scan at AS `a` for the route path `route_path` (not including
+  // `a`).  Routers created after the simulation snapshot are skipped.
+  struct Candidates {
+    Model::Dense rib_out_unreserved = Model::kNoRouter;
+    Model::Dense rib_in_unreserved = Model::kNoRouter;
+    Model::Dense rib_in_any = Model::kNoRouter;
+  };
+  // A quasi-router is reserved for a route path (suffix), not for a whole
+  // observed path: two observed paths sharing a suffix at an AS share the
+  // quasi-router serving it.
+  using Reservations = std::unordered_map<Model::Dense, std::vector<Asn>>;
+
+  Candidates scan(const PrefixSimResult& sim, Asn a,
+                  std::span<const Asn> route_path,
+                  const Reservations& reserved) const;
+
+  /// Installs the ranking + deny-shorter filters that make `target` select
+  /// the route `route_path` (Section 4.6, "policy adjustment").
+  /// `announcer` is the quasi-router of the announcing neighbor AS that was
+  /// reserved for the rest of the path while walking from the origin
+  /// (kNoRouter when the announcing AS is the origin itself, where every
+  /// router announces the same route).  Filters are anchored to the
+  /// announcer -- not to the simulation snapshot -- so the adjustment is
+  /// stable across iterations:
+  ///   * session announcer -> target:            allow >= len(route);
+  ///   * other sessions from the announcing AS:  allow >  len(route)
+  ///     (blocks equal-length look-alikes that would steal the tie-break);
+  ///   * sessions from other ASes:               allow >= len(route)
+  ///     (equal-length routes lose to the MED ranking).
+  void adjust_policy(const PrefixWork& work, Model::Dense announcer,
+                     RouterId target, std::span<const Asn> route_path);
+
+  /// Fig. 7 filter deletion at AS `a` (= hops[k]) for the observed path.
+  /// Returns true if a filter was relaxed (possibly toward a duplicate).
+  bool try_filter_deletion(const PrefixWork& work, const PrefixSimResult& sim,
+                           std::span<const Asn> hops, std::size_t k);
+
+  Model& model_;
+  const RefineConfig& config_;
+};
+
+Refiner::Candidates Refiner::scan(
+    const PrefixSimResult& sim, Asn a, std::span<const Asn> route_path,
+    const Reservations& reserved) const {
+  Candidates out;
+  for (Model::Dense r : model_.routers_of(a)) {
+    if (r >= sim.routers.size()) continue;  // created after the snapshot
+    const bgp::RouterState& state = sim.routers[r];
+    const auto reservation = reserved.find(r);
+    // Reserved for the same suffix == available for this suffix.
+    const bool is_reserved =
+        reservation != reserved.end() &&
+        !route_path_equals(reservation->second, route_path);
+    const bgp::Route* best = state.best_route();
+    if (best != nullptr && route_path_equals(best->path, route_path)) {
+      if (!is_reserved && out.rib_out_unreserved == Model::kNoRouter)
+        out.rib_out_unreserved = r;
+      // A RIB-Out match implies a RIB-In match.
+      if (out.rib_in_any == Model::kNoRouter) out.rib_in_any = r;
+      if (!is_reserved && out.rib_in_unreserved == Model::kNoRouter)
+        out.rib_in_unreserved = r;
+      continue;
+    }
+    for (const bgp::Route& entry : state.rib_in) {
+      if (!route_path_equals(entry.path, route_path)) continue;
+      if (out.rib_in_any == Model::kNoRouter) out.rib_in_any = r;
+      if (!is_reserved && out.rib_in_unreserved == Model::kNoRouter)
+        out.rib_in_unreserved = r;
+      break;
+    }
+  }
+  return out;
+}
+
+void Refiner::adjust_policy(const PrefixWork& work, Model::Dense announcer,
+                            RouterId target,
+                            std::span<const Asn> route_path) {
+  ++policies_changed;
+  model_.clear_owned_rules(work.prefix, target);
+  const Asn next_as = route_path.front();
+  if (config_.allow_ranking)
+    model_.set_ranking(target, work.prefix, next_as);
+  if (!config_.allow_filters) return;
+
+  if (work.origin == config_.debug_origin) {
+    std::fprintf(stderr, "[refine %u]   announcer=%s\n", work.origin,
+                 announcer == Model::kNoRouter
+                     ? "origin"
+                     : model_.router_id(announcer).str().c_str());
+  }
+  const std::size_t arriving_len = route_path.size();
+  const Model::Dense target_dense = model_.dense(target);
+  for (Model::Dense peer : model_.peers(target_dense)) {
+    const RouterId peer_id = model_.router_id(peer);
+    std::uint32_t deny_below = static_cast<std::uint32_t>(arriving_len);
+    if (peer_id.asn() == next_as) {
+      if (announcer != Model::kNoRouter && peer != announcer) {
+        // Same-AS session that is not the designated announcer: an
+        // equal-length route over it would tie on MED and could steal the
+        // lowest-router-id tie-break, so require strictly longer.
+        deny_below = static_cast<std::uint32_t>(arriving_len + 1);
+      }
+    } else if (!config_.allow_ranking) {
+      // Filters-only mode (ablation): without the MED ranking, equal-length
+      // routes from other ASes would go to the tie-break, so block them too.
+      deny_below = static_cast<std::uint32_t>(arriving_len + 1);
+    }
+    model_.set_export_filter(peer_id, target, work.prefix, deny_below,
+                             target);
+  }
+}
+
+bool Refiner::try_filter_deletion(const PrefixWork& work,
+                                  const PrefixSimResult& sim,
+                                  std::span<const Asn> hops, std::size_t k) {
+  const Asn a = hops[k];
+  const Asn announcing = hops[k + 1];
+  const std::span<const Asn> neighbor_route(hops.data() + k + 2,
+                                            hops.size() - k - 2);
+  const std::size_t arriving_len = neighbor_route.size() + 1;
+  const topo::PrefixPolicy* policy = model_.find_policy(work.prefix);
+  if (policy == nullptr) return false;  // nothing can be blocking
+
+  for (Model::Dense q : model_.routers_of(announcing)) {
+    if (q >= sim.routers.size()) continue;
+    const bgp::Route* best = sim.routers[q].best_route();
+    if (best == nullptr || !route_path_equals(best->path, neighbor_route))
+      continue;
+    const RouterId q_id = model_.router_id(q);
+    for (Model::Dense r : model_.routers_of(a)) {
+      const topo::ExportFilter* filter =
+          model_.find_export_filter(q, r, policy);
+      if (filter == nullptr || !filter->blocks(arriving_len)) continue;
+      const RouterId r_id = model_.router_id(r);
+      if (config_.allow_duplication && filter->owner_target.valid() &&
+          filter->owner_target == r_id) {
+        // The filter protects r's assigned path (Fig. 7): give the blocked
+        // path a fresh landing spot instead of destroying r's setup.
+        const RouterId dup = model_.duplicate_router(r_id);
+        ++routers_added;
+        model_.relax_export_filter(q_id, dup, work.prefix, arriving_len);
+      } else {
+        model_.relax_export_filter(q_id, r_id, work.prefix, arriving_len);
+      }
+      ++filters_relaxed;
+      return true;
+    }
+    // q selects the right route and no filter blocks it; the RIB-In will
+    // appear once simulations catch up with this iteration's changes.
+  }
+  return false;
+}
+
+bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
+  bool changed = false;
+  Reservations reserved;
+  work.matched = 0;
+
+  for (std::size_t path_index = 0; path_index < work.paths.size();
+       ++path_index) {
+    const AsPath& path = work.paths[path_index];
+    const auto& hops = path.hops();
+    bool full_match = true;
+    // Quasi-router reserved for the previous (origin-side) hop; the
+    // designated announcer for the next hop's policy adjustment.
+    Model::Dense announcer = Model::kNoRouter;
+
+    for (std::size_t k = hops.size(); k-- > 0;) {
+      if (k + 1 == hops.size()) continue;  // the origin originates
+      const Asn a = hops[k];
+      const std::span<const Asn> route_path(hops.data() + k + 1,
+                                            hops.size() - k - 1);
+      Candidates c = scan(sim, a, route_path, reserved);
+
+      const std::vector<Asn> route_key(route_path.begin(), route_path.end());
+      if (c.rib_out_unreserved != Model::kNoRouter) {
+        reserved.emplace(c.rib_out_unreserved, route_key);
+        announcer = c.rib_out_unreserved;
+        continue;  // matched here; walk on toward the observation point
+      }
+
+      full_match = false;
+      const bool debug = work.origin == config_.debug_origin;
+      if (c.rib_in_unreserved != Model::kNoRouter) {
+        reserved.emplace(c.rib_in_unreserved, route_key);
+        if (debug)
+          std::fprintf(stderr, "[refine %u] adjust %s for suffix-at %u len %zu\n",
+                       work.origin,
+                       model_.router_id(c.rib_in_unreserved).str().c_str(), a,
+                       route_path.size());
+        adjust_policy(work, announcer,
+                      model_.router_id(c.rib_in_unreserved), route_path);
+        changed = true;
+      } else if (c.rib_in_any != Model::kNoRouter) {
+        if (config_.allow_duplication) {
+          const RouterId dup =
+              model_.duplicate_router(model_.router_id(c.rib_in_any));
+          ++routers_added;
+          reserved.emplace(model_.dense(dup), route_key);
+          if (debug)
+            std::fprintf(stderr, "[refine %u] duplicate %s -> %s at %u\n",
+                         work.origin,
+                         model_.router_id(c.rib_in_any).str().c_str(),
+                         dup.str().c_str(), a);
+          adjust_policy(work, announcer, dup, route_path);
+          changed = true;
+        }
+        // Without duplication the path cannot be accommodated; give up.
+      } else {
+        const bool deleted = try_filter_deletion(work, sim, hops, k);
+        if (debug)
+          std::fprintf(stderr, "[refine %u] no rib-in at %u (len %zu), "
+                       "filter-deletion=%d\n",
+                       work.origin, a, route_path.size(), deleted);
+        if (deleted) changed = true;
+      }
+      break;  // one fix per path per iteration (Section 4.6)
+    }
+    if (full_match) ++work.matched;
+  }
+  return changed;
+}
+
+}  // namespace
+
+RefineResult refine_model(topo::Model& model,
+                          const data::BgpDataset& training,
+                          const RefineConfig& config) {
+  RefineResult result;
+  std::vector<PrefixWork> work;
+  std::size_t total_paths = 0;
+  std::size_t unmatchable = 0;
+  for (auto& [origin, paths] : training.paths_by_origin()) {
+    total_paths += paths.size();
+    if (!model.has_as(origin)) {
+      unmatchable += paths.size();  // origin absent from the model graph
+      continue;
+    }
+    PrefixWork w;
+    w.origin = origin;
+    w.prefix = Prefix::for_asn(origin);
+    w.paths = paths;
+    work.push_back(std::move(w));
+  }
+
+  bgp::Engine engine(model, config.engine);  // default: policy-agnostic
+  Refiner refiner(model, config);
+
+  std::size_t routers_added_prev = 0;
+  std::size_t policies_changed_prev = 0;
+  for (std::size_t iteration = 1; iteration <= config.max_iterations;
+       ++iteration) {
+    std::size_t active = 0;
+    bool any_changed = false;
+    for (PrefixWork& w : work) {
+      if (w.done) continue;
+      ++active;
+      PrefixSimResult sim = engine.run(w.prefix, w.origin);
+      const bool changed = refiner.process(w, sim);
+      any_changed |= changed;
+      if (!changed && w.matched == w.paths.size()) w.done = true;
+    }
+    if (active == 0) break;
+
+    RefineIterationLog log;
+    log.iteration = iteration;
+    log.paths_total = total_paths;
+    log.active_prefixes = active;
+    std::size_t matched = 0;
+    for (const PrefixWork& w : work) matched += w.matched;
+    log.paths_matched = matched;
+    log.routers = model.num_routers();
+    auto policy_stats = model.policy_stats();
+    log.filters = policy_stats.filters;
+    log.rankings = policy_stats.rankings;
+    log.routers_added = refiner.routers_added - routers_added_prev;
+    log.policies_changed = refiner.policies_changed - policies_changed_prev;
+    routers_added_prev = refiner.routers_added;
+    policies_changed_prev = refiner.policies_changed;
+    result.log.push_back(log);
+    result.iterations = iteration;
+    if (config.verbose) {
+      std::fprintf(stderr,
+                   "[refine] iter=%zu matched=%zu/%zu active=%zu routers=%zu "
+                   "filters=%zu rankings=%zu\n",
+                   iteration, matched, total_paths, active,
+                   log.routers, log.filters, log.rankings);
+    }
+    if (!any_changed) {
+      // Fixpoint: either everything matched or the remaining paths cannot be
+      // accommodated under the current config (ablations).
+      bool all_done = true;
+      for (PrefixWork& w : work) {
+        if (w.matched == w.paths.size()) {
+          w.done = true;
+        } else {
+          all_done = false;
+        }
+      }
+      if (all_done) break;
+      // No change and not all matched: a further iteration cannot help.
+      break;
+    }
+  }
+
+  std::size_t matched_total = 0;
+  for (const PrefixWork& w : work) matched_total += w.matched;
+  result.unmatched_paths = total_paths - matched_total;
+  result.success = result.unmatched_paths == 0;
+  result.routers_added = refiner.routers_added;
+  result.policies_changed = refiner.policies_changed;
+  result.filters_relaxed = refiner.filters_relaxed;
+  return result;
+}
+
+}  // namespace core

@@ -1,0 +1,95 @@
+// The iterative refinement heuristic of Sections 4.3-4.6 (paper Figure 6):
+// starting from the one-quasi-router-per-AS model, repeatedly
+//
+//   1. simulate every (not yet matched) prefix,
+//   2. walk each observed AS-path from the origin toward the observation
+//      point and, at the first AS where the path is not yet a RIB-Out match:
+//        - RIB-Out at an unreserved quasi-router  -> reserve it;
+//        - RIB-In at an unreserved quasi-router   -> reserve it and adjust
+//          its per-prefix policy (deny-shorter filters at every announcing
+//          neighbor + MED ranking of the correct neighbor AS);
+//        - RIB-In only at reserved quasi-routers  -> duplicate one (the new
+//          quasi-router inherits sessions and import filters, hence the
+//          RIB-In match) and adjust the duplicate;
+//        - no RIB-In anywhere, but the announcing neighbor AS has a RIB-Out
+//          match -> *filter deletion* (Fig. 7): an earlier-created filter is
+//          blocking the path; relax it -- toward a fresh duplicate when the
+//          filter protects another path's quasi-router (provenance check),
+//          in place otherwise;
+//        - otherwise wait for a later iteration (the suffix first has to
+//          propagate closer to this AS),
+//   3. stop when every training path is a RIB-Out match and an iteration
+//      makes no changes (or the iteration cap is hit).
+//
+// Reservations are per-(prefix, iteration): a quasi-router serves at most one
+// observed path of a prefix, which is what makes multiple quasi-routers
+// carry route diversity.
+//
+// Prefixes whose paths are all matched and untouched in an iteration are
+// frozen: per-prefix policies are independent across prefixes and additional
+// quasi-routers never change another prefix's best routes (a duplicate
+// re-advertises an already-advertised path with a higher router id, which
+// loses every tie-break), so frozen prefixes stay matched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "data/observations.hpp"
+#include "topology/model.hpp"
+
+namespace core {
+
+struct RefineConfig {
+  /// Hard cap; the paper observes convergence within a small multiple of the
+  /// maximum AS-path length.
+  std::size_t max_iterations = 96;
+  unsigned threads = 1;
+
+  /// How the model is interpreted during fitting.  The default (agnostic,
+  /// no iBGP) is the paper's choice; use_ibgp_mesh reproduces the rejected
+  /// alternative of Section 4.6.
+  bgp::EngineOptions engine;
+
+  // Ablation switches (bench_ablation): disabling any of these degrades the
+  // fixpoint, quantifying each mechanism's contribution.
+  bool allow_duplication = true;
+  bool allow_filters = true;
+  bool allow_ranking = true;
+
+  bool verbose = false;
+  /// When set, every heuristic action for this origin's prefix is logged to
+  /// stderr (developer aid).
+  nb::Asn debug_origin = nb::kInvalidAsn;
+};
+
+struct RefineIterationLog {
+  std::size_t iteration = 0;
+  std::size_t paths_total = 0;
+  std::size_t paths_matched = 0;  // full RIB-Out chains origin->observer
+  std::size_t active_prefixes = 0;
+  std::size_t routers = 0;  // model size snapshots
+  std::size_t filters = 0;
+  std::size_t rankings = 0;
+  std::size_t routers_added = 0;    // this iteration
+  std::size_t policies_changed = 0; // this iteration
+};
+
+struct RefineResult {
+  bool success = false;  // every training path is a RIB-Out match
+  std::size_t iterations = 0;
+  std::size_t unmatched_paths = 0;
+  /// Total model edits across all iterations.
+  std::size_t routers_added = 0;
+  std::size_t policies_changed = 0;
+  std::size_t filters_relaxed = 0;  // Fig. 7 filter deletions
+  std::vector<RefineIterationLog> log;
+};
+
+/// Refines `model` in place against the training dataset.
+RefineResult refine_model(topo::Model& model,
+                          const data::BgpDataset& training,
+                          const RefineConfig& config);
+
+}  // namespace core

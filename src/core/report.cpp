@@ -1,0 +1,153 @@
+#include "core/report.hpp"
+
+#include "netbase/strings.hpp"
+#include "netbase/table.hpp"
+
+namespace core {
+
+using nb::fmt_count;
+using nb::fmt_percent;
+
+namespace {
+
+double ratio(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+std::size_t lost_at(const MatchStats& stats, bgp::DecisionStep step) {
+  return stats.lost_at[static_cast<std::size_t>(step)];
+}
+
+}  // namespace
+
+std::string render_match_breakdown(const std::string& title,
+                                   const MatchStats& stats) {
+  nb::TextTable table({"Criteria", title});
+  table.add_row({"AS-paths evaluated", fmt_count(stats.total)});
+  table.add_row({"AS-paths which agree (RIB-Out)",
+                 fmt_percent(stats.rib_out_rate())});
+  table.add_row({"AS-paths which disagree",
+                 fmt_percent(1.0 - stats.rib_out_rate())});
+  table.add_row({"  due to AS-path not available",
+                 fmt_percent(stats.not_available_rate())});
+  table.add_row({"  shorter AS-path exists",
+                 fmt_percent(ratio(
+                     lost_at(stats, bgp::DecisionStep::kPathLength),
+                     stats.total))});
+  table.add_row({"  lowest neighbor ID (tie-break)",
+                 fmt_percent(ratio(lost_at(stats, bgp::DecisionStep::kTieBreak),
+                                   stats.total))});
+  const std::size_t other =
+      lost_at(stats, bgp::DecisionStep::kLocalPref) +
+      lost_at(stats, bgp::DecisionStep::kMed) +
+      lost_at(stats, bgp::DecisionStep::kEbgpOverIbgp) +
+      lost_at(stats, bgp::DecisionStep::kIgpCost);
+  table.add_row({"  other policy steps (lp/med/igp)",
+                 fmt_percent(ratio(other, stats.total))});
+  return table.render();
+}
+
+std::string render_table2(const MatchStats& shortest,
+                          const MatchStats& policies) {
+  nb::TextTable table({"Criteria", "Shortest Path", "Cust/Peer Policies",
+                       "Paper SP", "Paper Pol"});
+  auto pct = [](double v) { return fmt_percent(v); };
+  table.add_row({"AS-Paths which agree", pct(shortest.rib_out_rate()),
+                 pct(policies.rib_out_rate()), "23.5%", "12.5%"});
+  table.add_row({"AS-Paths which disagree",
+                 pct(1.0 - shortest.rib_out_rate()),
+                 pct(1.0 - policies.rib_out_rate()), "76.4%", "87.5%"});
+  table.add_row({"  due to AS-path not available",
+                 pct(shortest.not_available_rate()),
+                 pct(policies.not_available_rate()), "49.4%", "54.5%"});
+  table.add_row(
+      {"  shorter AS-path exist",
+       pct(ratio(lost_at(shortest, bgp::DecisionStep::kPathLength),
+                 shortest.total)),
+       pct(ratio(lost_at(policies, bgp::DecisionStep::kPathLength),
+                 policies.total)),
+       "4.7%", "5.7%"});
+  table.add_row(
+      {"  lowest neighbor ID",
+       pct(ratio(lost_at(shortest, bgp::DecisionStep::kTieBreak),
+                 shortest.total)),
+       pct(ratio(lost_at(policies, bgp::DecisionStep::kTieBreak),
+                 policies.total)),
+       "22.2%", "27.3%"});
+  const std::size_t sp_other = lost_at(shortest, bgp::DecisionStep::kLocalPref) +
+                               lost_at(shortest, bgp::DecisionStep::kMed) +
+                               lost_at(shortest, bgp::DecisionStep::kEbgpOverIbgp) +
+                               lost_at(shortest, bgp::DecisionStep::kIgpCost);
+  const std::size_t pol_other = lost_at(policies, bgp::DecisionStep::kLocalPref) +
+                                lost_at(policies, bgp::DecisionStep::kMed) +
+                                lost_at(policies, bgp::DecisionStep::kEbgpOverIbgp) +
+                                lost_at(policies, bgp::DecisionStep::kIgpCost);
+  table.add_row({"  other policy steps", pct(ratio(sp_other, shortest.total)),
+                 pct(ratio(pol_other, policies.total)), "-", "-"});
+  return table.render();
+}
+
+std::string render_validation(const std::string& title,
+                              const MatchStats& stats) {
+  nb::TextTable table({"Metric", title});
+  table.add_row({"unique AS-paths evaluated", fmt_count(stats.total)});
+  table.add_row({"RIB-Out match", fmt_percent(stats.rib_out_rate())});
+  table.add_row({"RIB-Out + potential RIB-Out (down to tie-break)",
+                 fmt_percent(stats.potential_or_better_rate())});
+  table.add_row({"RIB-In match (upper bound)",
+                 fmt_percent(stats.rib_in_rate())});
+  table.add_row({"AS-path not available",
+                 fmt_percent(stats.not_available_rate())});
+  table.add_rule();
+  table.add_row({"prefixes evaluated", fmt_count(stats.prefixes)});
+  table.add_row({"prefixes with >=50% paths matched",
+                 fmt_percent(ratio(stats.prefixes_50, stats.prefixes))});
+  table.add_row({"prefixes with >=90% paths matched",
+                 fmt_percent(ratio(stats.prefixes_90, stats.prefixes))});
+  table.add_row({"prefixes with 100% paths matched",
+                 fmt_percent(ratio(stats.prefixes_100, stats.prefixes))});
+  return table.render();
+}
+
+std::string render_refine_log(const RefineResult& result) {
+  nb::TextTable table({"iter", "matched", "total", "active-prefixes",
+                       "routers", "filters", "rankings", "routers+",
+                       "policy-changes"});
+  for (const RefineIterationLog& log : result.log) {
+    table.add_row({std::to_string(log.iteration),
+                   fmt_count(log.paths_matched), fmt_count(log.paths_total),
+                   fmt_count(log.active_prefixes), fmt_count(log.routers),
+                   fmt_count(log.filters), fmt_count(log.rankings),
+                   fmt_count(log.routers_added),
+                   fmt_count(log.policies_changed)});
+  }
+  std::string out = table.render();
+  out += "converged: ";
+  out += result.success ? "yes (all training paths RIB-Out matched)" : "NO";
+  out += ", iterations: " + std::to_string(result.iterations);
+  out += ", unmatched paths: " + std::to_string(result.unmatched_paths) + "\n";
+  return out;
+}
+
+std::string render_table1(const data::DiversityStats& stats) {
+  nb::TextTable table({"Percentile", "max # of unique AS-paths", "Paper"});
+  // Paper Table 1 reports the larger quantiles: >50% of ASes receive two
+  // unique paths for some prefix, 10% more than 5, 2% more than 10.
+  const struct {
+    double percentile;
+    const char* paper;
+  } rows[] = {{50, "2"}, {75, "3"}, {90, ">5"}, {95, ""}, {98, ">10"}, {99, ""}};
+  for (auto& row : rows) {
+    std::string paper = row.paper;
+    table.add_row({nb::fmt_fixed(row.percentile, 0),
+                   stats.max_unique_received.empty()
+                       ? "-"
+                       : std::to_string(
+                             stats.max_unique_received.percentile(row.percentile)),
+                   paper.empty() ? "-" : paper});
+  }
+  return table.render();
+}
+
+}  // namespace core

@@ -1,0 +1,32 @@
+// Paper-style table formatting for bench binaries and examples.
+#pragma once
+
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/refine.hpp"
+#include "data/dataset_stats.hpp"
+
+namespace core {
+
+/// Table-2-style breakdown for one model variant.
+std::string render_match_breakdown(const std::string& title,
+                                   const MatchStats& stats);
+
+/// Side-by-side Table 2 (shortest path vs customer/peering policies), with
+/// the paper's reference numbers printed alongside.
+std::string render_table2(const MatchStats& shortest,
+                          const MatchStats& policies);
+
+/// Section 5 style validation table: RIB-In / potential RIB-Out / RIB-Out
+/// rates plus per-prefix coverage.
+std::string render_validation(const std::string& title,
+                              const MatchStats& stats);
+
+/// Refinement convergence trace (iterations, matches, model growth).
+std::string render_refine_log(const RefineResult& result);
+
+/// Table 1: percentiles of the max number of unique AS-paths received.
+std::string render_table1(const data::DiversityStats& stats);
+
+}  // namespace core

@@ -1,0 +1,62 @@
+#include "data/dataset_stats.hpp"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace data {
+
+using topo::AsPath;
+using topo::AsPathHash;
+
+DiversityStats compute_diversity(
+    const BgpDataset& dataset,
+    const std::map<Asn, std::uint32_t>* prefix_counts) {
+  DiversityStats stats;
+  stats.records = dataset.records.size();
+
+  // Distinct paths per (origin, observer-AS) pair.
+  std::map<std::pair<Asn, Asn>, std::set<AsPath>> per_pair;
+  // Globally unique paths.
+  std::unordered_set<AsPath, AsPathHash> unique_paths;
+  // AS -> origin -> unique received suffixes (as hash set of path hashes --
+  // exact paths kept to avoid collisions).
+  std::map<Asn, std::map<Asn, std::set<std::vector<Asn>>>> received;
+
+  for (const auto& record : dataset.records) {
+    const auto& hops = record.path.hops();
+    per_pair[{record.origin, record.path.observer()}].insert(record.path);
+    unique_paths.insert(record.path);
+    // Every AS on the path except the origin "received" the suffix that
+    // follows it.
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      received[hops[i]][record.origin].insert(
+          std::vector<Asn>(hops.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                           hops.end()));
+    }
+  }
+
+  for (auto& [pair, paths] : per_pair)
+    stats.paths_per_pair.add(paths.size());
+  stats.as_pairs = per_pair.size();
+  stats.unique_paths = unique_paths.size();
+
+  for (const AsPath& path : unique_paths) {
+    std::uint32_t count = 1;
+    if (prefix_counts != nullptr) {
+      auto it = prefix_counts->find(path.origin());
+      if (it != prefix_counts->end()) count = it->second;
+    }
+    stats.prefixes_per_path.add(count);
+  }
+
+  for (auto& [asn, by_origin] : received) {
+    std::size_t max_unique = 0;
+    for (auto& [origin, suffixes] : by_origin)
+      max_unique = std::max(max_unique, suffixes.size());
+    stats.max_unique_received.add(max_unique);
+  }
+  return stats;
+}
+
+}  // namespace data

@@ -1,0 +1,42 @@
+// Dataset statistics reproducing Section 3.1/3.2 of the paper:
+//
+//  * Figure 2 -- histogram of the number of distinct AS-paths observed
+//    between (origin AS, observation AS) pairs;
+//  * the prefixes-per-AS-path histogram (log-log linear, Section 3.2);
+//  * Table 1 -- percentiles of the maximum number of unique AS-paths each AS
+//    receives toward any destination prefix (lower bound on the number of
+//    quasi-routers the AS needs).
+//
+// All statistics are computed the way the paper computes them: from observed
+// records only (an AS "receives" a path if some observed path continues
+// through it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "data/observations.hpp"
+#include "netbase/stats.hpp"
+
+namespace data {
+
+struct DiversityStats {
+  /// Distinct AS-paths per (origin AS, observation AS) pair.
+  nb::Histogram paths_per_pair;
+  /// For each globally unique AS-path: number of prefixes propagated along
+  /// it (per-AS prefix counts supplied by the generator; 1 if absent).
+  nb::Histogram prefixes_per_path;
+  /// Per AS: max over destination prefixes of the number of unique AS-paths
+  /// the AS receives (Table 1's quantity).
+  nb::Histogram max_unique_received;
+
+  std::size_t as_pairs = 0;
+  std::size_t unique_paths = 0;
+  std::size_t records = 0;
+};
+
+DiversityStats compute_diversity(
+    const BgpDataset& dataset,
+    const std::map<Asn, std::uint32_t>* prefix_counts = nullptr);
+
+}  // namespace data

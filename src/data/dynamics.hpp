@@ -1,0 +1,81 @@
+// BGP update streams from session failures -- the paper's stated future
+// work ("In the future we are planning to also incorporate the AS-path
+// information from BGP updates", Section 3.1).
+//
+// The paper models equilibrium routing; consistently with that, an update
+// stream is generated quasi-statically: each event takes one ground-truth
+// eBGP session down, the network re-converges, and every observation point
+// reports its (possibly changed or withdrawn) best route for every prefix --
+// exactly the announcements/withdrawals a route monitor would log.  The
+// session is then restored before the next event.
+//
+// The payoff mirrors the paper's motivation: failures expose BACKUP paths
+// that a single table dump never shows, so merging update-revealed paths
+// into the training data enriches the diversity the model can learn
+// (bench_updates measures the effect).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "bgp/threadpool.hpp"
+#include "data/ground_truth.hpp"
+#include "data/observations.hpp"
+
+namespace data {
+
+struct DynamicsConfig {
+  std::uint64_t seed = 7;
+  /// Number of single-session failure events.
+  std::size_t num_events = 12;
+  /// Only fail sessions whose endpoints both have this minimum degree
+  /// (failing a stub access link reveals little).
+  std::size_t min_endpoint_peers = 2;
+};
+
+struct SessionEvent {
+  nb::RouterId a;
+  nb::RouterId b;
+};
+
+struct UpdateRecord {
+  std::uint32_t event = 0;  // index into UpdateStream::events
+  std::uint32_t point = 0;  // index into the base dataset's points
+  Asn origin = nb::kInvalidAsn;
+  /// The new best path at the observation point during the failure;
+  /// nullopt = the point withdrew the route entirely.
+  std::optional<topo::AsPath> path;
+};
+
+struct UpdateStream {
+  std::vector<SessionEvent> events;
+  /// Only differences against the base table dump are recorded (as a real
+  /// monitor would log only updates).
+  std::vector<UpdateRecord> updates;
+
+  std::size_t announcements() const;
+  std::size_t withdrawals() const;
+
+  /// Base dataset plus every update-revealed path as additional records
+  /// (duplicates removed).  Withdrawals contribute nothing.
+  BgpDataset merge_into(const BgpDataset& base) const;
+};
+
+/// Simulates `config.num_events` single-session failures on the ground
+/// truth and records the resulting updates at the base dataset's
+/// observation points.  Deterministic in config.seed.
+UpdateStream simulate_session_failures(const GroundTruth& gt,
+                                       const BgpDataset& base,
+                                       const DynamicsConfig& config,
+                                       bgp::ThreadPool& pool);
+
+/// Text serialization:
+///   event <index> <asn>.<idx> <asn>.<idx>
+///   update <event> <point> <origin> withdrawn | <path...>
+void write_updates(std::ostream& out, const UpdateStream& stream);
+std::optional<UpdateStream> read_updates(std::istream& in,
+                                         std::string* error = nullptr);
+
+}  // namespace data

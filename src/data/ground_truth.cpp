@@ -1,0 +1,139 @@
+#include "data/ground_truth.hpp"
+
+#include <algorithm>
+
+namespace data {
+
+using nb::RouterId;
+using topo::Model;
+
+namespace {
+
+std::pair<int, int> router_range_for(const Internet& net,
+                                     const GroundTruthConfig& config,
+                                     Asn asn) {
+  if (std::binary_search(net.tier1.begin(), net.tier1.end(), asn))
+    return {config.routers_core_min, config.routers_tier1_max};
+  if (std::binary_search(net.level2.begin(), net.level2.end(), asn))
+    return {config.routers_core_min, config.routers_level2_max};
+  if (std::binary_search(net.level3.begin(), net.level3.end(), asn))
+    return {std::min(config.routers_level3_min, config.routers_level3_max),
+            config.routers_level3_max};
+  return {1, 1};  // stubs
+}
+
+}  // namespace
+
+GroundTruth build_ground_truth(const Internet& net,
+                               const GroundTruthConfig& config) {
+  GroundTruth gt;
+  gt.config = config;
+  nb::Rng rng{config.seed};
+
+  // Routers per AS.
+  std::map<Asn, int> router_count;
+  for (Asn asn : net.graph.nodes()) {
+    auto [min_routers, max_routers] = router_range_for(net, config, asn);
+    min_routers = std::min(min_routers, max_routers);
+    int count = max_routers <= min_routers
+                    ? min_routers
+                    : static_cast<int>(rng.range(min_routers, max_routers));
+    router_count[asn] = count;
+    for (int i = 0; i < count; ++i) gt.model.add_router(asn);
+  }
+
+  // Sessions per AS edge: every edge gets at least one session; each router
+  // on either side gets a session on this edge with probability
+  // extra_session_prob (so multi-router ASes really do have multiple,
+  // differently-homed exits -- the paper's "multiple connections between
+  // ASes, typically from different routers").
+  for (auto [a, b] : net.graph.edges()) {
+    const int ca = router_count[a];
+    const int cb = router_count[b];
+    bool any = false;
+    for (int i = 0; i < ca; ++i) {
+      for (int j = 0; j < cb; ++j) {
+        bool mandatory = (i == 0 && j == 0) ||  // base session
+                         // Give every router a chance to reach this edge.
+                         (j == 0 && i > 0 && rng.chance(0.5)) ||
+                         (i == 0 && j > 0 && rng.chance(0.5));
+        if (mandatory || rng.chance(config.extra_session_prob)) {
+          gt.model.add_session(RouterId{a, static_cast<std::uint16_t>(i)},
+                               RouterId{b, static_cast<std::uint16_t>(j)});
+          any = true;
+        }
+      }
+    }
+    if (!any)
+      gt.model.add_session(RouterId{a, 0}, RouterId{b, 0});
+  }
+
+  // Hot-potato diversity: every session end gets a random IGP cost.
+  for (Model::Dense r = 0; r < gt.model.num_routers(); ++r) {
+    for (Model::Dense peer : gt.model.peers(r)) {
+      gt.model.set_igp_cost(
+          gt.model.router_id(r), gt.model.router_id(peer),
+          static_cast<std::uint32_t>(rng.range(1, config.igp_cost_max)));
+    }
+  }
+
+  // Business relationships drive local-pref and valley-free export.
+  gt.model.adopt_relationships(net.graph, net.relationships);
+
+  // Weird per-prefix policies at a fraction of transit ASes.
+  std::vector<Asn> transit;
+  transit.insert(transit.end(), net.level2.begin(), net.level2.end());
+  transit.insert(transit.end(), net.level3.begin(), net.level3.end());
+  std::sort(transit.begin(), transit.end());
+  std::vector<Asn> all = net.graph.nodes();
+  for (Asn asn : transit) {
+    if (!rng.chance(config.weird_as_fraction)) continue;
+    gt.weird_ases.push_back(asn);
+    const auto& routers = gt.model.routers_of(asn);
+    const auto& neighbors = net.graph.neighbors(asn);
+    for (int k = 0; k < config.weird_prefixes_per_as; ++k) {
+      Asn origin = rng.pick(all);
+      if (origin == asn) continue;
+      nb::Prefix prefix = nb::Prefix::for_asn(origin);
+      const double flavor = rng.uniform();
+      if (flavor < 0.34) {
+        // Route leak: export this prefix to one peer/provider even when the
+        // route was learned from another peer/provider.
+        Asn victim = rng.pick(neighbors);
+        for (Model::Dense r : routers) {
+          RouterId rid = gt.model.router_id(r);
+          for (Model::Dense peer : gt.model.peers(r)) {
+            RouterId pid = gt.model.router_id(peer);
+            if (pid.asn() == victim)
+              gt.model.set_export_allow(rid, pid, prefix);
+          }
+        }
+      } else if (flavor < 0.67) {
+        // Rank routes via a neighbor that relationships would not pick:
+        // raise local-pref for one random neighbor AS at every router.
+        Asn preferred = rng.pick(neighbors);
+        for (Model::Dense r : routers) {
+          gt.model.set_lp_override(gt.model.router_id(r), prefix, preferred,
+                                   150);
+        }
+      } else {
+        // Selective export: refuse to announce this prefix to one neighbor.
+        Asn victim = rng.pick(neighbors);
+        for (Model::Dense r : routers) {
+          RouterId rid = gt.model.router_id(r);
+          for (Model::Dense peer : gt.model.peers(r)) {
+            RouterId pid = gt.model.router_id(peer);
+            if (pid.asn() == victim) {
+              gt.model.set_export_filter(rid, pid, prefix,
+                                         topo::ExportFilter::kDenyAll,
+                                         nb::kInvalidRouterId);
+            }
+          }
+        }
+      }
+    }
+  }
+  return gt;
+}
+
+}  // namespace data

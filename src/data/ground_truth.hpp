@@ -1,0 +1,70 @@
+// Ground-truth router-level network built on top of a synthetic Internet.
+//
+// This plays the role of "the real Internet" in the reproduction: the model
+// of the paper is fitted to routes *observed* from this network and validated
+// against held-out observations.  Route diversity has the same causes as in
+// the wild (paper Section 3.2):
+//
+//  * several routers per AS, each with its own hot-potato (IGP-cost)
+//    preferences, so different routers of one AS pick different best routes;
+//  * multiple inter-AS links between AS pairs, landing on different routers;
+//  * business-relationship policies (local-pref + valley-free export);
+//  * a sprinkling of "weird" per-prefix policies (local-pref overrides and
+//    selective export denials) that do NOT follow the customer/peer schema --
+//    the paper's reason for staying policy-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "data/internet_gen.hpp"
+#include "netbase/rng.hpp"
+#include "topology/model.hpp"
+
+namespace data {
+
+struct GroundTruthConfig {
+  std::uint64_t seed = 2;
+
+  int routers_tier1_max = 8;
+  int routers_level2_max = 5;
+  int routers_level3_max = 3;
+  int routers_level3_min = 2;
+  /// Minimum routers for tier-1/level-2 ASes (the core is never a single
+  /// box; this drives the hot-potato diversity of Section 3.2).
+  int routers_core_min = 2;
+  // Stubs always get one router.
+
+  /// Probability that an additional (router, router) session is created on an
+  /// AS edge beyond the minimum cover.
+  double extra_session_prob = 0.6;
+
+  std::uint32_t igp_cost_max = 16;
+
+  /// Fraction of transit ASes with weird per-prefix policies.
+  double weird_as_fraction = 0.30;
+  /// Number of prefixes (origins) each weird AS tweaks.
+  int weird_prefixes_per_as = 12;
+
+  bgp::EngineOptions engine_options() const {
+    bgp::EngineOptions opts;
+    opts.use_relationship_policies = true;
+    opts.use_igp_cost = true;
+    return opts;
+  }
+};
+
+struct GroundTruth {
+  GroundTruthConfig config;
+  topo::Model model;
+  /// ASes that carry weird per-prefix policies (sorted), for reporting.
+  std::vector<Asn> weird_ases;
+};
+
+/// Builds the ground-truth network.  Deterministic in config.seed.
+GroundTruth build_ground_truth(const Internet& net,
+                               const GroundTruthConfig& config);
+
+}  // namespace data

@@ -1,0 +1,160 @@
+#include "data/internet_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace data {
+
+using topo::Relationship;
+
+InternetConfig InternetConfig::scaled(double f) const {
+  InternetConfig out = *this;
+  f = std::max(0.1, f);
+  auto scale = [&](std::size_t v) {
+    return static_cast<std::size_t>(std::max(1.0, std::round(v * f)));
+  };
+  out.num_tier1 = std::max<std::size_t>(3, scale(num_tier1));
+  out.num_level2 = scale(num_level2);
+  out.num_level3 = scale(num_level3);
+  out.num_stub_multi = scale(num_stub_multi);
+  out.num_stub_single = scale(num_stub_single);
+  return out;
+}
+
+std::vector<Asn> Internet::all_ases() const { return graph.nodes(); }
+
+bool Internet::is_stub(Asn asn) const {
+  return std::binary_search(stubs_multi.begin(), stubs_multi.end(), asn) ||
+         std::binary_search(stubs_single.begin(), stubs_single.end(), asn);
+}
+
+namespace {
+
+// Picks `count` distinct providers from `pool`, weighted by `weights`
+// (degree-preferential attachment makes realistic skewed provider degrees).
+std::vector<Asn> pick_providers(nb::Rng& rng, const std::vector<Asn>& pool,
+                                const std::vector<double>& weights,
+                                std::size_t count) {
+  std::vector<Asn> chosen;
+  std::vector<double> w = weights;
+  count = std::min(count, pool.size());
+  while (chosen.size() < count) {
+    std::size_t index = rng.weighted(w);
+    if (w[index] <= 0) {
+      // All weight exhausted (defensive); fall back to first unused.
+      bool found = false;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (std::find(chosen.begin(), chosen.end(), pool[i]) == chosen.end()) {
+          chosen.push_back(pool[i]);
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      continue;
+    }
+    w[index] = 0;
+    chosen.push_back(pool[index]);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+Internet generate_internet(const InternetConfig& config) {
+  Internet net;
+  net.config = config;
+  nb::Rng rng{config.seed};
+
+  auto add_range = [](std::vector<Asn>& out, Asn first, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(first + static_cast<Asn>(i));
+  };
+  add_range(net.tier1, 11, config.num_tier1);
+  add_range(net.level2, 101, config.num_level2);
+  add_range(net.level3, 1001, config.num_level3);
+  add_range(net.stubs_multi, 10001, config.num_stub_multi);
+  add_range(net.stubs_single, 10001 + static_cast<Asn>(config.num_stub_multi),
+            config.num_stub_single);
+
+  auto peer = [&](Asn a, Asn b) {
+    net.graph.add_edge(a, b);
+    net.relationships.set(a, b, Relationship::kPeerPeer);
+  };
+  auto provide = [&](Asn provider, Asn customer) {
+    net.graph.add_edge(provider, customer);
+    net.relationships.set(provider, customer, Relationship::kProviderCustomer);
+  };
+
+  // Tier-1 clique, all peerings.
+  for (std::size_t i = 0; i < net.tier1.size(); ++i)
+    for (std::size_t j = i + 1; j < net.tier1.size(); ++j)
+      peer(net.tier1[i], net.tier1[j]);
+
+  // Degree-preferential weights evolve as customers attach.
+  auto weights_of = [&](const std::vector<Asn>& pool) {
+    std::vector<double> w;
+    w.reserve(pool.size());
+    for (Asn asn : pool)
+      w.push_back(1.0 + static_cast<double>(net.graph.degree(asn)));
+    return w;
+  };
+
+  for (Asn asn : net.level2) {
+    auto count = static_cast<std::size_t>(rng.range(
+        config.level2_providers_min, config.level2_providers_max));
+    for (Asn provider :
+         pick_providers(rng, net.tier1, weights_of(net.tier1), count))
+      provide(provider, asn);
+  }
+  for (std::size_t i = 0; i < net.level2.size(); ++i)
+    for (std::size_t j = i + 1; j < net.level2.size(); ++j)
+      if (rng.chance(config.level2_peer_prob))
+        peer(net.level2[i], net.level2[j]);
+
+  for (Asn asn : net.level3) {
+    auto count = static_cast<std::size_t>(rng.range(
+        config.level3_providers_min, config.level3_providers_max));
+    for (Asn provider :
+         pick_providers(rng, net.level2, weights_of(net.level2), count))
+      provide(provider, asn);
+    if (rng.chance(config.level3_tier1_prob)) {
+      for (Asn provider : pick_providers(rng, net.tier1,
+                                         weights_of(net.tier1), 1))
+        provide(provider, asn);
+    }
+  }
+  for (std::size_t i = 0; i < net.level3.size(); ++i)
+    for (std::size_t j = i + 1; j < net.level3.size(); ++j)
+      if (rng.chance(config.level3_peer_prob))
+        peer(net.level3[i], net.level3[j]);
+
+  // Stub providers come from the transit levels (level-3 mostly, some
+  // level-2), so stub paths exercise the full hierarchy.
+  std::vector<Asn> transit_pool = net.level3;
+  transit_pool.insert(transit_pool.end(), net.level2.begin(),
+                      net.level2.end());
+  for (Asn asn : net.stubs_multi) {
+    auto count = static_cast<std::size_t>(
+        rng.range(config.stub_providers_min, config.stub_providers_max));
+    for (Asn provider :
+         pick_providers(rng, transit_pool, weights_of(transit_pool), count))
+      provide(provider, asn);
+  }
+  for (Asn asn : net.stubs_single) {
+    for (Asn provider :
+         pick_providers(rng, transit_pool, weights_of(transit_pool), 1))
+      provide(provider, asn);
+  }
+
+  // Heavy-tailed per-AS prefix counts.
+  for (Asn asn : net.graph.nodes()) {
+    double draw = rng.pareto(config.prefix_count_alpha);
+    net.prefix_counts[asn] = static_cast<std::uint32_t>(
+        std::min<double>(config.prefix_count_cap, std::floor(draw)));
+    if (net.prefix_counts[asn] == 0) net.prefix_counts[asn] = 1;
+  }
+  return net;
+}
+
+}  // namespace data

@@ -1,0 +1,76 @@
+// Synthetic Internet topology generator.
+//
+// Substitute for the paper's measured Nov-2005 BGP dataset (see DESIGN.md):
+// produces a hierarchical AS-level graph with known ground-truth business
+// relationships, mirroring the structure the paper reports in Section 3.1 --
+// a fully meshed tier-1 clique, transit levels below it, peering edges inside
+// levels, and a large population of single-/multi-homed stub ASes.
+//
+// ASN ranges are chosen for readability of dumps and reports:
+//   tier-1: 11..        level-2 transit: 101..
+//   level-3 transit: 1001..    stubs: 10001..
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "topology/as_graph.hpp"
+#include "topology/relationships.hpp"
+
+namespace data {
+
+using nb::Asn;
+
+struct InternetConfig {
+  std::uint64_t seed = 1;
+
+  std::size_t num_tier1 = 8;
+  std::size_t num_level2 = 48;
+  std::size_t num_level3 = 140;
+  std::size_t num_stub_multi = 260;
+  std::size_t num_stub_single = 120;
+
+  // Providers drawn per AS (uniform in [min, max]).
+  int level2_providers_min = 1, level2_providers_max = 3;   // from tier-1
+  int level3_providers_min = 2, level3_providers_max = 4;   // from level-2
+  int stub_providers_min = 2, stub_providers_max = 5;       // multi-homed
+
+  // Probability that a level-3 AS additionally buys transit from a tier-1
+  // (the "large interconnectivity in the core", Section 3.2).
+  double level3_tier1_prob = 0.20;
+
+  // Intra-level peering probabilities.
+  double level2_peer_prob = 0.15;
+  double level3_peer_prob = 0.04;
+
+  // Heavy-tailed number of prefixes originated per AS (Pareto shape); used
+  // by the Fig. 2 "prefixes per AS-path" series.
+  double prefix_count_alpha = 1.3;
+  std::uint32_t prefix_count_cap = 64;
+
+  /// Scales every population count by f (>= 0.1), for size sweeps.
+  InternetConfig scaled(double f) const;
+};
+
+struct Internet {
+  InternetConfig config;
+  topo::AsGraph graph;
+  topo::RelationshipMap relationships;  // ground truth
+  std::vector<Asn> tier1;               // the clique (sorted)
+  std::vector<Asn> level2;
+  std::vector<Asn> level3;
+  std::vector<Asn> stubs_multi;
+  std::vector<Asn> stubs_single;
+  /// Prefix count originated per AS (>= 1), for dataset statistics.
+  std::map<Asn, std::uint32_t> prefix_counts;
+
+  std::vector<Asn> all_ases() const;  // sorted
+  bool is_stub(Asn asn) const;
+};
+
+/// Generates a connected hierarchical topology.  Deterministic in the seed.
+Internet generate_internet(const InternetConfig& config);
+
+}  // namespace data

@@ -1,0 +1,95 @@
+// Observation points, observed-route datasets and training/validation splits.
+//
+// An observation point is a BGP feed from one ground-truth router (the paper
+// peers a workstation with a router inside the observation AS and records its
+// best routes).  The dataset is the union of all feeds: one record per
+// (observation point, prefix) with the AS-path the fed router selected.
+//
+// Splits (paper Section 4.2): by observation point (the paper's main
+// methodology -- all paths from a point land in exactly one subset) and by
+// originating AS (the "other prefixes" experiment of Section 4.7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bgp/driver.hpp"
+#include "data/ground_truth.hpp"
+#include "data/internet_gen.hpp"
+#include "netbase/rng.hpp"
+#include "topology/as_path.hpp"
+
+namespace data {
+
+struct ObservationConfig {
+  std::uint64_t seed = 3;
+  // Fraction of ASes per level hosting at least one observation point; the
+  // paper's feeds skew heavily toward the well-connected core.
+  double frac_tier1 = 1.0;
+  double frac_level2 = 0.8;
+  double frac_level3 = 0.5;
+  double frac_stub = 0.08;
+  /// Probability that an observed AS contributes feeds from *all* its
+  /// routers rather than one (paper: multiple locations in 30% of ASes).
+  double multi_point_prob = 0.9;
+};
+
+struct ObservationPoint {
+  nb::RouterId router;  // ground-truth router providing the feed
+};
+
+struct ObservedRecord {
+  std::uint32_t point = 0;  // index into BgpDataset::points
+  Asn origin = nb::kInvalidAsn;
+  topo::AsPath path;        // observer AS first ... origin last
+};
+
+struct BgpDataset {
+  std::vector<ObservationPoint> points;
+  std::vector<ObservedRecord> records;
+
+  std::set<Asn> observation_ases() const;
+  /// Number of observation ASes with more than one feed.
+  std::size_t multi_feed_ases() const;
+  /// All observed paths (not deduplicated).
+  std::vector<topo::AsPath> all_paths() const;
+  /// Deduplicated observed paths per originating AS, deterministically
+  /// sorted (shorter first, then lexicographic).
+  std::map<Asn, std::vector<topo::AsPath>> paths_by_origin() const;
+  /// Distinct (origin, observer-AS) pairs.
+  std::size_t as_pair_count() const;
+};
+
+/// Places observation points on the ground truth and records every feed's
+/// best routes by simulating all prefixes (one per AS).
+BgpDataset observe(const GroundTruth& gt, const Internet& net,
+                   const ObservationConfig& config, bgp::ThreadPool& pool);
+
+/// Rewrites the dataset after single-homed-stub removal: stub origins are
+/// transferred to their provider (paths shortened by one hop), observer-side
+/// stub hops are trimmed, and duplicate records are dropped.
+BgpDataset reduce_stubs(const BgpDataset& dataset,
+                        const std::set<Asn>& single_homed);
+
+struct SplitConfig {
+  std::uint64_t seed = 4;
+  double training_fraction = 2.0 / 3.0;
+};
+
+struct DatasetSplit {
+  BgpDataset training;
+  BgpDataset validation;
+};
+
+/// Random assignment of observation points to training/validation.
+DatasetSplit split_by_points(const BgpDataset& dataset,
+                             const SplitConfig& config);
+
+/// Random assignment of originating ASes to training/validation (both halves
+/// keep all observation points).
+DatasetSplit split_by_origins(const BgpDataset& dataset,
+                              const SplitConfig& config);
+
+}  // namespace data

@@ -1,0 +1,103 @@
+#include "data/rib_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "netbase/strings.hpp"
+
+namespace data {
+
+void write_dataset(std::ostream& out, const BgpDataset& dataset) {
+  out << "# route-diversity RIB dump v1\n";
+  out << "# points=" << dataset.points.size()
+      << " records=" << dataset.records.size() << "\n";
+  for (std::size_t i = 0; i < dataset.points.size(); ++i) {
+    out << "point " << i << " " << dataset.points[i].router.str() << "\n";
+  }
+  for (const auto& record : dataset.records) {
+    out << "route " << record.point << " " << record.origin << " "
+        << record.path.str() << "\n";
+  }
+}
+
+std::string dataset_to_string(const BgpDataset& dataset) {
+  std::ostringstream out;
+  write_dataset(out, dataset);
+  return out.str();
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message, std::size_t line) {
+  if (error != nullptr)
+    *error = "line " + std::to_string(line) + ": " + message;
+  return false;
+}
+
+bool parse_into(std::istream& in, BgpDataset& dataset, std::string* error) {
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text = nb::trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    auto fields = nb::split_ws(text);
+    if (fields[0] == "point") {
+      if (fields.size() != 3)
+        return fail(error, "point needs 2 fields", line_number);
+      auto index = nb::parse_u64(fields[1]);
+      if (!index || *index != dataset.points.size())
+        return fail(error, "point indices must be dense and in order",
+                    line_number);
+      auto dot = fields[2].find('.');
+      if (dot == std::string_view::npos)
+        return fail(error, "malformed router id", line_number);
+      auto asn = nb::parse_u64(fields[2].substr(0, dot));
+      auto router = nb::parse_u64(fields[2].substr(dot + 1));
+      if (!asn || !router || *asn > 0xffff || *router > 0xffff)
+        return fail(error, "malformed router id", line_number);
+      dataset.points.push_back(
+          {nb::RouterId{static_cast<nb::Asn>(*asn),
+                        static_cast<std::uint16_t>(*router)}});
+    } else if (fields[0] == "route") {
+      if (fields.size() < 4)
+        return fail(error, "route needs at least 3 fields", line_number);
+      auto point = nb::parse_u64(fields[1]);
+      auto origin = nb::parse_u64(fields[2]);
+      if (!point || *point >= dataset.points.size())
+        return fail(error, "route references unknown point", line_number);
+      if (!origin)
+        return fail(error, "malformed origin", line_number);
+      std::vector<nb::Asn> hops;
+      for (std::size_t i = 3; i < fields.size(); ++i) {
+        auto hop = nb::parse_u64(fields[i]);
+        if (!hop) return fail(error, "malformed path hop", line_number);
+        hops.push_back(static_cast<nb::Asn>(*hop));
+      }
+      if (hops.back() != *origin)
+        return fail(error, "path must end at the origin", line_number);
+      dataset.records.push_back({static_cast<std::uint32_t>(*point),
+                                 static_cast<nb::Asn>(*origin),
+                                 topo::AsPath{std::move(hops)}});
+    } else {
+      return fail(error, "unknown directive", line_number);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<BgpDataset> read_dataset(std::istream& in, std::string* error) {
+  BgpDataset dataset;
+  if (!parse_into(in, dataset, error)) return std::nullopt;
+  return dataset;
+}
+
+std::optional<BgpDataset> dataset_from_string(const std::string& text,
+                                              std::string* error) {
+  std::istringstream in(text);
+  return read_dataset(in, error);
+}
+
+}  // namespace data

@@ -1,0 +1,29 @@
+// Plain-text serialization of observed-route datasets, in the spirit of the
+// route-monitor table dumps the paper consumes.  Format (one item per line):
+//
+//   # comments / blank lines ignored
+//   point <index> <asn>.<router-index>
+//   route <point-index> <origin-asn> <asn> <asn> ... <origin-asn>
+//
+// The path is written observer first, origin last, matching the paper's
+// notation.  Reading validates point indices and path well-formedness.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "data/observations.hpp"
+
+namespace data {
+
+void write_dataset(std::ostream& out, const BgpDataset& dataset);
+std::string dataset_to_string(const BgpDataset& dataset);
+
+/// Returns nullopt (and sets *error when given) on malformed input.
+std::optional<BgpDataset> read_dataset(std::istream& in,
+                                       std::string* error = nullptr);
+std::optional<BgpDataset> dataset_from_string(const std::string& text,
+                                              std::string* error = nullptr);
+
+}  // namespace data

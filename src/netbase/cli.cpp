@@ -1,0 +1,63 @@
+#include "netbase/cli.hpp"
+
+#include "netbase/strings.hpp"
+
+namespace nb {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "1";
+    }
+  }
+}
+
+std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  auto parsed = parse_u64(it->second);
+  return parsed.value_or(def);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  auto parsed = parse_double(it->second);
+  return parsed.value_or(def);
+}
+
+std::string Cli::get_string(const std::string& name, std::string def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  return it->second != "0" && it->second != "false";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (auto& [name, value] : values_)
+    if (!used_.count(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace nb

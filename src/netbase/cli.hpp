@@ -1,0 +1,39 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports --name=value and --name value; unknown flags are reported.  Kept
+// deliberately small: benches need seeds and sizes, not a framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Value lookups with defaults.  A flag given without value counts as "1"
+  /// (boolean style).
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, std::string def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Positional (non-flag) arguments.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were set but never read; useful for typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nb

@@ -1,0 +1,10 @@
+#include "netbase/ids.hpp"
+
+namespace nb {
+
+std::string RouterId::str() const {
+  if (!valid()) return "invalid";
+  return std::to_string(asn()) + "." + std::to_string(index());
+}
+
+}  // namespace nb

@@ -1,0 +1,63 @@
+// Strong identifier types shared across the library.
+//
+// The paper (Section 4.5) assigns each quasi-router an IP address whose high
+// 16 bits are the AS number and whose low bits are a per-AS unique index; the
+// address doubles as the BGP router-id used by the final tie-break of the
+// decision process.  RouterId encodes exactly that scheme.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nb {
+
+/// Autonomous-system number (16-bit space is sufficient for the paper's data
+/// and for our synthetic topologies; stored widened for arithmetic safety).
+using Asn = std::uint32_t;
+
+constexpr Asn kInvalidAsn = 0xffffffffu;
+
+/// Identifier of a quasi-router: ASN in the high 16 bits, per-AS index in the
+/// low 16 bits.  Total order == the "lowest router id / lowest neighbor IP
+/// address" BGP tie-break.
+class RouterId {
+ public:
+  constexpr RouterId() = default;
+  constexpr RouterId(Asn asn, std::uint16_t index)
+      : value_((static_cast<std::uint32_t>(asn) << 16) | index) {}
+
+  static constexpr RouterId from_value(std::uint32_t v) {
+    RouterId id;
+    id.value_ = v;
+    return id;
+  }
+
+  constexpr Asn asn() const { return value_ >> 16; }
+  constexpr std::uint16_t index() const {
+    return static_cast<std::uint16_t>(value_ & 0xffffu);
+  }
+  constexpr std::uint32_t value() const { return value_; }
+
+  constexpr bool valid() const { return value_ != 0xffffffffu; }
+
+  friend constexpr auto operator<=>(RouterId, RouterId) = default;
+
+  /// "ASN.index", e.g. "701.2".
+  std::string str() const;
+
+ private:
+  std::uint32_t value_ = 0xffffffffu;
+};
+
+constexpr RouterId kInvalidRouterId{};
+
+}  // namespace nb
+
+template <>
+struct std::hash<nb::RouterId> {
+  std::size_t operator()(nb::RouterId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,84 @@
+#include "netbase/ip.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace nb {
+namespace {
+
+constexpr std::uint32_t mask_for_length(std::uint8_t length) {
+  return length == 0 ? 0u : (0xffffffffu << (32 - length));
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* it = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (it == end || *it != '.') return std::nullopt;
+      ++it;
+    }
+    unsigned part = 0;
+    auto [ptr, ec] = std::from_chars(it, end, part);
+    if (ec != std::errc{} || ptr == it || part > 255) return std::nullopt;
+    value = (value << 8) | part;
+    it = ptr;
+  }
+  if (it != end) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xffu);
+  }
+  return out;
+}
+
+Prefix::Prefix(Ipv4Address network, std::uint8_t length) : length_(length) {
+  if (length > 32) throw std::invalid_argument("prefix length > 32");
+  network_ = Ipv4Address{network.value() & mask_for_length(length)};
+  if (network_ != network)
+    throw std::invalid_argument("prefix has host bits set: " + network.str());
+}
+
+Prefix Prefix::for_asn(std::uint32_t asn) {
+  // 10.<asn_hi>.<asn_lo>.0/24 keeps per-AS prefixes disjoint for ASN < 2^16.
+  return Prefix{Ipv4Address{(10u << 24) | ((asn & 0xffffu) << 8)}, 24};
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  auto rest = text.substr(slash + 1);
+  auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), length);
+  if (ec != std::errc{} || ptr != rest.data() + rest.size() || length > 32)
+    return std::nullopt;
+  auto l = static_cast<std::uint8_t>(length);
+  if ((addr->value() & ~mask_for_length(l)) != 0) return std::nullopt;
+  return Prefix{*addr, l};
+}
+
+bool Prefix::contains(Ipv4Address addr) const {
+  return (addr.value() & mask_for_length(length_)) == network_.value();
+}
+
+bool Prefix::covers(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+std::string Prefix::str() const {
+  return network_.str() + "/" + std::to_string(length_);
+}
+
+}  // namespace nb

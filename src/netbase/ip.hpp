@@ -1,0 +1,86 @@
+// Minimal IPv4 address / prefix types with text parsing and formatting.
+//
+// The simulator identifies destinations by prefix.  Following the paper we
+// originate one prefix per AS, but the types support arbitrary CIDR blocks so
+// that RIB dumps read and write like real table dumps.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nb {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix.  Invariant: all host bits below `length` are zero.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Address network, std::uint8_t length);
+
+  /// The per-AS prefix used throughout the reproduction: ASN mapped into
+  /// 10.x.y.0/24 style space (asn in the middle 16 bits).
+  static Prefix for_asn(std::uint32_t asn);
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input or stray host
+  /// bits.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr Ipv4Address network() const { return network_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  /// True if `addr` falls inside this prefix.
+  bool contains(Ipv4Address addr) const;
+  /// True if `other` is equal to or more specific than this prefix.
+  bool covers(const Prefix& other) const;
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address network_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace nb
+
+template <>
+struct std::hash<nb::Ipv4Address> {
+  std::size_t operator()(nb::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<nb::Prefix> {
+  std::size_t operator()(const nb::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 8) | p.length());
+  }
+};

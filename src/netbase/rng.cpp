@@ -1,0 +1,55 @@
+#include "netbase/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nb {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection-free-enough approach: rejection sampling on the
+  // top bits keeps the distribution exactly uniform.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return 0;
+  double target = uniform() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::pareto(double alpha) {
+  double u = uniform();
+  // Avoid division by zero for u == 1 - epsilon handling not needed: u < 1.
+  return std::pow(1.0 - u, -1.0 / alpha);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t sm = (*this)() ^ (salt * 0x9e3779b97f4a7c15ull);
+  std::uint64_t derived = splitmix64(sm);
+  return Rng{derived};
+}
+
+}  // namespace nb

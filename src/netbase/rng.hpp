@@ -1,0 +1,95 @@
+// Deterministic random number generation.
+//
+// Every experiment in the repo is seeded; the same seed reproduces the same
+// synthetic Internet, the same observation-point split and the same match
+// rates.  We use xoshiro256** (public-domain, Blackman & Vigna) seeded via
+// splitmix64, rather than std::mt19937, so results are stable across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace nb {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 1) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Samples an index according to non-negative weights (empty -> 0).
+  std::size_t weighted(const std::vector<double>& weights);
+
+  /// Pareto-distributed value >= 1 with shape alpha (heavy-tailed degrees).
+  double pareto(double alpha);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+  /// Derives an independent child generator; used to give each prefix /
+  /// each AS its own stream so that changing one knob does not reshuffle
+  /// unrelated randomness.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace nb

@@ -1,0 +1,42 @@
+// Small string utilities used by parsers and report formatting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nb {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Parses an unsigned integer; whole-string match required.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Parses a double; whole-string match required.
+std::optional<double> parse_double(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Formats a double with fixed decimals.
+std::string fmt_fixed(double value, int decimals);
+
+/// Formats a ratio as a percentage string, e.g. "23.5%".
+std::string fmt_percent(double ratio, int decimals = 1);
+
+/// Thousands-separated integer, e.g. "4,730,222".
+std::string fmt_count(std::uint64_t value);
+
+}  // namespace nb

@@ -1,0 +1,63 @@
+#include "netbase/table.hpp"
+
+#include <algorithm>
+
+namespace nb {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (auto& row : rows_) cols = std::max(cols, row.cells.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (auto& row : rows_) widen(row.cells);
+
+  auto emit = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      cell.resize(widths[i], ' ');
+      out += cell;
+      if (i + 1 < cols) out += "  ";
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += "\n";
+  };
+  auto rule = [&](std::string& out) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      out += std::string(widths[i], '-');
+      if (i + 1 < cols) out += "  ";
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(header_, out);
+    rule(out);
+  }
+  for (auto& row : rows_) {
+    if (row.rule_before) rule(out);
+    emit(row.cells, out);
+  }
+  return out;
+}
+
+std::string section(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  return "\n" + bar + "\n= " + title + " =\n" + bar + "\n";
+}
+
+}  // namespace nb

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark reports (paper-style tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nb {
+
+/// Column-aligned text table with optional header separator, e.g.
+///
+///   Criteria                  Shortest Path   Policies
+///   ------------------------  --------------  ---------
+///   AS-Paths which agree      23.5%           12.5%
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Adds a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Prints a titled section banner for bench output.
+std::string section(const std::string& title);
+
+}  // namespace nb

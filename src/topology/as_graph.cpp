@@ -1,0 +1,103 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+
+namespace topo {
+
+const std::vector<Asn> AsGraph::kEmpty{};
+
+void AsGraph::add_node(Asn asn) { adjacency_.try_emplace(asn); }
+
+void AsGraph::add_edge(Asn a, Asn b) {
+  if (a == b) return;
+  auto& na = adjacency_[a];
+  auto it = std::lower_bound(na.begin(), na.end(), b);
+  if (it != na.end() && *it == b) return;  // already present
+  na.insert(it, b);
+  auto& nb_ = adjacency_[b];
+  nb_.insert(std::lower_bound(nb_.begin(), nb_.end(), a), a);
+  ++num_edges_;
+}
+
+void AsGraph::remove_node(Asn asn) {
+  auto it = adjacency_.find(asn);
+  if (it == adjacency_.end()) return;
+  for (Asn peer : it->second) {
+    auto& np = adjacency_[peer];
+    auto pit = std::lower_bound(np.begin(), np.end(), asn);
+    if (pit != np.end() && *pit == asn) np.erase(pit);
+    --num_edges_;
+  }
+  adjacency_.erase(it);
+}
+
+bool AsGraph::has_node(Asn asn) const { return adjacency_.count(asn) > 0; }
+
+bool AsGraph::has_edge(Asn a, Asn b) const {
+  auto it = adjacency_.find(a);
+  if (it == adjacency_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), b);
+}
+
+const std::vector<Asn>& AsGraph::neighbors(Asn asn) const {
+  auto it = adjacency_.find(asn);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+std::vector<Asn> AsGraph::nodes() const {
+  std::vector<Asn> out;
+  out.reserve(adjacency_.size());
+  for (auto& [asn, neighbors] : adjacency_) out.push_back(asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<Asn, Asn>> AsGraph::edges() const {
+  std::vector<std::pair<Asn, Asn>> out;
+  out.reserve(num_edges_);
+  for (auto& [asn, neighbors] : adjacency_) {
+    for (Asn peer : neighbors) {
+      if (asn < peer) out.emplace_back(asn, peer);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+AsGraph AsGraph::from_paths(std::span<const AsPath> paths) {
+  AsGraph graph;
+  for (const AsPath& path : paths) {
+    if (path.has_loop()) continue;
+    const auto& hops = path.hops();
+    if (hops.size() == 1) graph.add_node(hops[0]);
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+      graph.add_edge(hops[i], hops[i + 1]);
+  }
+  return graph;
+}
+
+std::size_t AsGraph::num_components() const {
+  std::unordered_map<Asn, bool> visited;
+  visited.reserve(adjacency_.size());
+  std::size_t components = 0;
+  std::vector<Asn> stack;
+  for (auto node : nodes()) {
+    if (visited[node]) continue;
+    ++components;
+    stack.push_back(node);
+    visited[node] = true;
+    while (!stack.empty()) {
+      Asn current = stack.back();
+      stack.pop_back();
+      for (Asn peer : neighbors(current)) {
+        if (!visited[peer]) {
+          visited[peer] = true;
+          stack.push_back(peer);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace topo

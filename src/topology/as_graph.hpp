@@ -1,0 +1,53 @@
+// Undirected AS-level graph, derived from observed AS-paths exactly as in
+// Section 3.1 of the paper: two ASes adjacent on any path are assumed to have
+// an agreement to exchange traffic and become neighbors in the graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/as_path.hpp"
+
+namespace topo {
+
+class AsGraph {
+ public:
+  /// Adds an isolated node (no-op if present).
+  void add_node(Asn asn);
+  /// Adds an undirected edge, creating nodes as needed.  Self-loops and
+  /// duplicates are ignored.
+  void add_edge(Asn a, Asn b);
+  /// Removes a node and all incident edges.
+  void remove_node(Asn asn);
+
+  bool has_node(Asn asn) const;
+  bool has_edge(Asn a, Asn b) const;
+
+  /// Sorted neighbor list; empty if the node is unknown.
+  const std::vector<Asn>& neighbors(Asn asn) const;
+  std::size_t degree(Asn asn) const { return neighbors(asn).size(); }
+
+  /// Sorted list of all nodes.
+  std::vector<Asn> nodes() const;
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// All edges as (min, max) pairs, sorted.
+  std::vector<std::pair<Asn, Asn>> edges() const;
+
+  /// Builds the graph from a set of AS-paths (loop-free hops only; paths
+  /// with loops are skipped, as in the paper's cleanup).
+  static AsGraph from_paths(std::span<const AsPath> paths);
+
+  /// Number of connected components.
+  std::size_t num_components() const;
+
+ private:
+  std::unordered_map<Asn, std::vector<Asn>> adjacency_;
+  std::size_t num_edges_ = 0;
+  static const std::vector<Asn> kEmpty;
+};
+
+}  // namespace topo

@@ -1,0 +1,73 @@
+#include "topology/as_path.hpp"
+
+#include <algorithm>
+
+#include "netbase/strings.hpp"
+
+namespace topo {
+
+bool AsPath::has_loop() const {
+  std::vector<Asn> sorted = hops_;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+AsPath AsPath::without_prepending() const {
+  std::vector<Asn> out;
+  out.reserve(hops_.size());
+  for (Asn hop : hops_) {
+    if (out.empty() || out.back() != hop) out.push_back(hop);
+  }
+  return AsPath{std::move(out)};
+}
+
+AsPath AsPath::suffix_from(std::size_t i) const {
+  return AsPath{std::vector<Asn>(hops_.begin() + static_cast<std::ptrdiff_t>(i),
+                                 hops_.end())};
+}
+
+bool AsPath::matches_route_path(std::span<const Asn> route_path) const {
+  if (hops_.empty() || route_path.size() + 1 != hops_.size()) return false;
+  return std::equal(route_path.begin(), route_path.end(), hops_.begin() + 1);
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<Asn> hops;
+  for (auto token : nb::split_ws(text)) {
+    // Accept '-' separated tokens as well.
+    for (auto part : nb::split(token, '-')) {
+      auto value = nb::parse_u64(part);
+      if (!value || *value > 0xfffffffeull) return std::nullopt;
+      hops.push_back(static_cast<Asn>(*value));
+    }
+  }
+  if (hops.empty()) return std::nullopt;
+  return AsPath{std::move(hops)};
+}
+
+std::string AsPath::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += std::to_string(hops_[i]);
+  }
+  return out;
+}
+
+std::size_t AsPathHash::operator()(const AsPath& path) const noexcept {
+  return (*this)(std::span<const Asn>(path.hops()));
+}
+
+std::size_t AsPathHash::operator()(std::span<const Asn> hops) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (Asn hop : hops) {
+    h ^= hop + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace topo

@@ -1,0 +1,79 @@
+// AS-path representation.
+//
+// Convention used throughout the repo (matching how the paper writes paths,
+// e.g. "1-7-6"): hops()[0] is the AS nearest the observer -- the AS that
+// selected/observed the route -- and hops().back() is the origin AS.
+//
+// Routes stored inside a router's RIB do NOT include the router's own AS;
+// their path begins with the announcing neighbor's AS.  The helper
+// `matches_route_path` relates the two representations.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ids.hpp"
+
+namespace topo {
+
+using nb::Asn;
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<Asn> hops) : hops_(hops) {}
+
+  const std::vector<Asn>& hops() const { return hops_; }
+  std::size_t length() const { return hops_.size(); }
+  bool empty() const { return hops_.empty(); }
+
+  Asn observer() const { return hops_.front(); }
+  Asn origin() const { return hops_.back(); }
+
+  /// Prepends an AS at the observer side (route export through `asn`).
+  void prepend(Asn asn) { hops_.insert(hops_.begin(), asn); }
+
+  /// True if any AS occurs more than once (routing loop).
+  bool has_loop() const;
+
+  /// True if `asn` occurs anywhere on the path.
+  bool contains(Asn asn) const;
+
+  /// Collapses consecutive duplicates (removes AS-path prepending), as done
+  /// for the paper's dataset (footnote 1).
+  AsPath without_prepending() const;
+
+  /// The suffix starting at hop index i: [hops[i] ... origin].
+  AsPath suffix_from(std::size_t i) const;
+
+  /// True if this path (a suffix [a, ..., origin]) corresponds to a route
+  /// stored at a router of AS `hops()[0]` whose path is `route_path`
+  /// (= [neighbor ... origin], not including the storing AS itself).
+  bool matches_route_path(std::span<const Asn> route_path) const;
+
+  /// Parses "1 7 6" or "1-7-6"; nullopt on malformed input.
+  static std::optional<AsPath> parse(std::string_view text);
+
+  /// "1 7 6".
+  std::string str() const;
+
+  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<Asn> hops_;
+};
+
+/// Hash functor so paths can key unordered containers.
+struct AsPathHash {
+  std::size_t operator()(const AsPath& path) const noexcept;
+  std::size_t operator()(std::span<const Asn> hops) const noexcept;
+};
+
+}  // namespace topo

@@ -1,0 +1,118 @@
+#include "topology/hierarchy.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace topo {
+
+Level Hierarchy::level_of(Asn asn) const {
+  if (level1.count(asn)) return Level::kLevel1;
+  if (level2.count(asn)) return Level::kLevel2;
+  return Level::kOther;
+}
+
+std::set<Asn> grow_level1_clique(const AsGraph& graph,
+                                 std::span<const Asn> seeds) {
+  // Accept seeds greedily, skipping any that would break completeness (the
+  // observed graph may lack some tier-1 interconnections).
+  std::set<Asn> clique;
+  for (Asn seed : seeds) {
+    if (!graph.has_node(seed)) continue;
+    bool complete = true;
+    for (Asn member : clique) {
+      if (!graph.has_edge(seed, member)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) clique.insert(seed);
+  }
+  // Candidates: sorted by degree descending (ASN ascending as tie-break) so
+  // the well-connected cores are considered first; greedy growth keeps the
+  // subgraph complete, mirroring the paper's construction.
+  std::vector<Asn> candidates = graph.nodes();
+  std::stable_sort(candidates.begin(), candidates.end(), [&](Asn a, Asn b) {
+    if (graph.degree(a) != graph.degree(b))
+      return graph.degree(a) > graph.degree(b);
+    return a < b;
+  });
+  for (Asn candidate : candidates) {
+    if (clique.count(candidate)) continue;
+    bool complete = true;
+    for (Asn member : clique) {
+      if (!graph.has_edge(candidate, member)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) clique.insert(candidate);
+  }
+  return clique;
+}
+
+Hierarchy classify_hierarchy(const AsGraph& graph,
+                             const std::set<Asn>& level1) {
+  Hierarchy h;
+  h.level1 = level1;
+  for (Asn asn : graph.nodes()) {
+    if (h.level1.count(asn)) continue;
+    bool adjacent_to_level1 = false;
+    for (Asn peer : graph.neighbors(asn)) {
+      if (h.level1.count(peer)) {
+        adjacent_to_level1 = true;
+        break;
+      }
+    }
+    if (adjacent_to_level1) {
+      h.level2.insert(asn);
+    } else {
+      h.other.insert(asn);
+    }
+  }
+  return h;
+}
+
+StubAnalysis analyze_stubs(const AsGraph& graph,
+                           std::span<const AsPath> paths) {
+  StubAnalysis out;
+  for (const AsPath& path : paths) {
+    const auto& hops = path.hops();
+    for (std::size_t i = 1; i + 1 < hops.size(); ++i)
+      out.transit.insert(hops[i]);
+  }
+  for (Asn asn : graph.nodes()) {
+    if (out.transit.count(asn)) continue;
+    if (graph.degree(asn) <= 1) {
+      out.single_homed.insert(asn);
+    } else {
+      out.multi_homed.insert(asn);
+    }
+  }
+  return out;
+}
+
+std::vector<AsPath> remove_single_homed_stubs(
+    std::span<const AsPath> paths, const std::set<Asn>& single_homed) {
+  std::unordered_set<AsPath, AsPathHash,
+                     std::equal_to<AsPath>>
+      seen;
+  std::vector<AsPath> out;
+  out.reserve(paths.size());
+  for (const AsPath& path : paths) {
+    if (path.has_loop()) continue;
+    std::vector<Asn> hops = path.hops();
+    // Strip single-homed stub origins (a chain of them, defensively).
+    while (hops.size() > 1 && single_homed.count(hops.back()))
+      hops.pop_back();
+    // Paths *observed at* a single-homed stub transfer to its provider too.
+    std::size_t begin = 0;
+    while (begin + 1 < hops.size() && single_homed.count(hops[begin])) ++begin;
+    AsPath reduced{std::vector<Asn>(hops.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    hops.end())};
+    if (reduced.empty()) continue;
+    if (seen.insert(reduced).second) out.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+}  // namespace topo

@@ -1,0 +1,62 @@
+// AS-hierarchy classification, following Section 3.1 of the paper:
+//
+//  * level-1: grown from a seed list of known tier-1 ASes such that the
+//    level-1 subgraph stays a clique (the largest clique including the seeds);
+//  * level-2: direct neighbors of a level-1 AS;
+//  * other:   everything else.
+//
+// Plus the stub analysis: an AS provides transit iff it appears in the middle
+// of some AS-path; non-transit (stub) ASes are single-homed or multi-homed by
+// their number of observed neighbors.  Single-homed stubs are removed from
+// the modeling graph after transferring their path information to their
+// provider (Section 3.1 / 4.1).
+#pragma once
+
+#include <set>
+#include <span>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+#include "topology/as_path.hpp"
+
+namespace topo {
+
+enum class Level { kLevel1, kLevel2, kOther };
+
+struct Hierarchy {
+  std::set<Asn> level1;
+  std::set<Asn> level2;
+  std::set<Asn> other;
+
+  Level level_of(Asn asn) const;
+};
+
+/// Grows the largest clique containing `seeds` by greedily adding
+/// highest-degree ASes that connect to every current member (deterministic:
+/// degree desc, ASN asc).  Seeds are accepted greedily in order; a seed that
+/// is missing from the graph or not adjacent to all previously accepted
+/// seeds is skipped.
+std::set<Asn> grow_level1_clique(const AsGraph& graph,
+                                 std::span<const Asn> seeds);
+
+/// Full classification given the level-1 set.
+Hierarchy classify_hierarchy(const AsGraph& graph,
+                             const std::set<Asn>& level1);
+
+struct StubAnalysis {
+  std::set<Asn> transit;       // appear in the middle of some AS-path
+  std::set<Asn> single_homed;  // stub with exactly one observed neighbor
+  std::set<Asn> multi_homed;   // stub with more than one observed neighbor
+};
+
+/// Classifies transit/stub ASes from observed paths and the derived graph.
+StubAnalysis analyze_stubs(const AsGraph& graph, std::span<const AsPath> paths);
+
+/// Rewrites observed paths so that every path ending in a single-homed stub
+/// is transferred to the stub's provider (drops the final hop), and drops
+/// paths with loops.  Paths reduced to a single hop (origin == observer)
+/// are kept: they still pin the origination.  Duplicates are removed.
+std::vector<AsPath> remove_single_homed_stubs(std::span<const AsPath> paths,
+                                              const std::set<Asn>& single_homed);
+
+}  // namespace topo

@@ -1,0 +1,326 @@
+#include "topology/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace topo {
+
+const std::vector<Model::Dense> Model::kEmptyDense{};
+
+Model Model::one_router_per_as(const AsGraph& graph) {
+  Model model;
+  for (Asn asn : graph.nodes()) model.add_router(asn);
+  for (auto [a, b] : graph.edges()) {
+    model.add_session(RouterId{a, 0}, RouterId{b, 0});
+  }
+  return model;
+}
+
+RouterId Model::add_router(Asn asn) {
+  auto& list = as_routers_[asn];
+  if (list.size() >= 0xffff)
+    throw std::length_error("too many quasi-routers in AS");
+  RouterId id{asn, static_cast<std::uint16_t>(list.size())};
+  Dense index = static_cast<Dense>(routers_.size());
+  routers_.push_back({id, {}});
+  dense_[id.value()] = index;
+  list.push_back(index);
+  return id;
+}
+
+RouterId Model::duplicate_router(RouterId src, bool copy_policies) {
+  Dense src_dense = dense(src);
+  RouterId copy = add_router(src.asn());
+  // Copy sessions (and per-session IGP costs, both directions).
+  for (Dense peer : std::vector<Dense>(routers_[src_dense].peers)) {
+    add_session(copy, routers_[peer].id);
+    auto in = igp_cost_.find(session_key(src, routers_[peer].id));
+    if (in != igp_cost_.end())
+      igp_cost_[session_key(copy, routers_[peer].id)] = in->second;
+    auto out = igp_cost_.find(session_key(routers_[peer].id, src));
+    if (out != igp_cost_.end())
+      igp_cost_[session_key(routers_[peer].id, copy)] = out->second;
+  }
+  if (!copy_policies) return copy;
+  if (auto it = default_rankings_.find(src.value());
+      it != default_rankings_.end()) {
+    default_rankings_[copy.value()] = it->second;
+  }
+  for (auto& [prefix, policy] : prefix_policies_) {
+    // Export-allow leaks involving src replicate to the copy.
+    std::vector<std::uint64_t> allow_add;
+    for (std::uint64_t key : policy.export_allows) {
+      RouterId from = RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      RouterId to = RouterId::from_value(static_cast<std::uint32_t>(key));
+      if (to == src) allow_add.push_back(session_key(from, copy));
+      if (from == src) allow_add.push_back(session_key(copy, to));
+    }
+    for (std::uint64_t key : allow_add) policy.export_allows.insert(key);
+    // Import-side filters: sessions peer -> src become peer -> copy, owned by
+    // the copy (they exist to preserve its RIB-In; the refinement pass that
+    // triggered the duplication overwrites them as needed).
+    std::vector<std::pair<std::uint64_t, ExportFilter>> to_add;
+    for (auto& [key, filter] : policy.filters) {
+      RouterId from = RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      RouterId to = RouterId::from_value(static_cast<std::uint32_t>(key));
+      if (to == src) {
+        ExportFilter copied = filter;
+        copied.owner_target = copy;
+        to_add.emplace_back(session_key(from, copy), copied);
+      } else if (from == src) {
+        // Export-side behaviour is also part of "same policies".
+        to_add.emplace_back(session_key(copy, to), filter);
+      }
+    }
+    for (auto& [key, filter] : to_add) policy.filters[key] = filter;
+    auto rank = policy.rankings.find(src.value());
+    if (rank != policy.rankings.end())
+      policy.rankings[copy.value()] = rank->second;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> lp_add;
+    for (auto& [key, lp] : policy.lp_overrides) {
+      RouterId router = RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      if (router == src) {
+        Asn neighbor = static_cast<Asn>(key & 0xffffffffu);
+        lp_add.emplace_back(router_asn_key(copy, neighbor), lp);
+      }
+    }
+    for (auto& [key, lp] : lp_add) policy.lp_overrides[key] = lp;
+  }
+  return copy;
+}
+
+void Model::add_session(RouterId a, RouterId b) {
+  if (a.asn() == b.asn())
+    throw std::invalid_argument("sessions must connect different ASes");
+  Dense da = dense(a), db = dense(b);
+  const auto& peers = routers_[da].peers;
+  auto pos = std::lower_bound(peers.begin(), peers.end(), db,
+                              [&](Dense x, Dense y) {
+                                return routers_[x].id < routers_[y].id;
+                              });
+  if (pos != peers.end() && *pos == db) return;
+  insert_peer(da, db);
+  insert_peer(db, da);
+  ++num_sessions_;
+}
+
+void Model::remove_session(RouterId a, RouterId b) {
+  if (!has_router(a) || !has_router(b)) return;
+  Dense da = dense(a), db = dense(b);
+  const auto& peers = routers_[da].peers;
+  if (!std::binary_search(peers.begin(), peers.end(), db,
+                          [&](Dense x, Dense y) {
+                            return routers_[x].id < routers_[y].id;
+                          }))
+    return;
+  erase_peer(da, db);
+  erase_peer(db, da);
+  --num_sessions_;
+}
+
+bool Model::has_session(RouterId a, RouterId b) const {
+  auto ita = dense_.find(a.value());
+  auto itb = dense_.find(b.value());
+  if (ita == dense_.end() || itb == dense_.end()) return false;
+  const auto& peers = routers_[ita->second].peers;
+  return std::binary_search(peers.begin(), peers.end(), itb->second,
+                            [&](Dense x, Dense y) {
+                              return routers_[x].id < routers_[y].id;
+                            });
+}
+
+const std::vector<Model::Dense>& Model::routers_of(Asn asn) const {
+  auto it = as_routers_.find(asn);
+  return it == as_routers_.end() ? kEmptyDense : it->second;
+}
+
+Model::Dense Model::dense(RouterId id) const {
+  auto it = dense_.find(id.value());
+  if (it == dense_.end())
+    throw std::out_of_range("unknown router " + id.str());
+  return it->second;
+}
+
+std::vector<Asn> Model::asns() const {
+  std::vector<Asn> out;
+  out.reserve(as_routers_.size());
+  for (auto& [asn, routers] : as_routers_) out.push_back(asn);
+  return out;
+}
+
+void Model::set_neighbor_class(Asn of, Asn neighbor, NeighborClass cls) {
+  neighbor_class_[{of, neighbor}] = cls;
+}
+
+NeighborClass Model::neighbor_class(Asn of, Asn neighbor) const {
+  auto it = neighbor_class_.find({of, neighbor});
+  return it == neighbor_class_.end() ? NeighborClass::kUnknown : it->second;
+}
+
+void Model::adopt_relationships(const AsGraph& graph,
+                                const RelationshipMap& rels) {
+  for (auto [a, b] : graph.edges()) {
+    set_neighbor_class(a, b, rels.classify_neighbor(a, b));
+    set_neighbor_class(b, a, rels.classify_neighbor(b, a));
+  }
+}
+
+void Model::set_igp_cost(RouterId receiver, RouterId sender,
+                         std::uint32_t cost) {
+  if (cost == 0) {
+    igp_cost_.erase(session_key(receiver, sender));
+  } else {
+    igp_cost_[session_key(receiver, sender)] = cost;
+  }
+}
+
+std::uint32_t Model::igp_cost(Dense receiver, Dense sender) const {
+  if (igp_cost_.empty()) return 0;
+  auto it = igp_cost_.find(
+      session_key(routers_[receiver].id, routers_[sender].id));
+  return it == igp_cost_.end() ? 0 : it->second;
+}
+
+void Model::set_export_filter(RouterId from, RouterId to, const Prefix& prefix,
+                              std::uint32_t deny_below_len,
+                              RouterId owner_target) {
+  auto& policy = prefix_policies_[prefix];
+  if (deny_below_len == 0) {
+    policy.filters.erase(session_key(from, to));
+  } else {
+    policy.filters[session_key(from, to)] =
+        ExportFilter{deny_below_len, owner_target};
+  }
+}
+
+void Model::relax_export_filter(RouterId from, RouterId to,
+                                const Prefix& prefix,
+                                std::size_t arriving_len) {
+  auto policy_it = prefix_policies_.find(prefix);
+  if (policy_it == prefix_policies_.end()) return;
+  auto it = policy_it->second.filters.find(session_key(from, to));
+  if (it == policy_it->second.filters.end()) return;
+  if (!it->second.blocks(arriving_len)) return;
+  if (arriving_len == 0) {
+    policy_it->second.filters.erase(it);
+  } else {
+    it->second.deny_below_len = static_cast<std::uint32_t>(arriving_len);
+  }
+}
+
+const ExportFilter* Model::find_export_filter(Dense from, Dense to,
+                                              const PrefixPolicy* policy) const {
+  if (policy == nullptr) return nullptr;
+  auto it = policy->filters.find(
+      session_key(routers_[from].id, routers_[to].id));
+  return it == policy->filters.end() ? nullptr : &it->second;
+}
+
+void Model::set_ranking(RouterId router, const Prefix& prefix, Asn preferred) {
+  prefix_policies_[prefix].rankings[router.value()] =
+      RankingRule{preferred};
+}
+
+void Model::clear_ranking(RouterId router, const Prefix& prefix) {
+  auto it = prefix_policies_.find(prefix);
+  if (it == prefix_policies_.end()) return;
+  it->second.rankings.erase(router.value());
+}
+
+void Model::set_default_ranking(RouterId router, Asn preferred) {
+  default_rankings_[router.value()] = preferred;
+}
+
+void Model::clear_default_ranking(RouterId router) {
+  default_rankings_.erase(router.value());
+}
+
+Asn Model::default_ranking(Dense router) const {
+  if (default_rankings_.empty()) return nb::kInvalidAsn;
+  auto it = default_rankings_.find(routers_[router].id.value());
+  return it == default_rankings_.end() ? nb::kInvalidAsn : it->second;
+}
+
+void Model::set_lp_override(RouterId router, const Prefix& prefix,
+                            Asn neighbor, std::uint32_t local_pref) {
+  prefix_policies_[prefix].lp_overrides[router_asn_key(router, neighbor)] =
+      local_pref;
+}
+
+void Model::set_export_allow(RouterId from, RouterId to,
+                             const Prefix& prefix) {
+  prefix_policies_[prefix].export_allows.insert(session_key(from, to));
+}
+
+void Model::clear_owned_rules(const Prefix& prefix, RouterId target) {
+  auto policy_it = prefix_policies_.find(prefix);
+  if (policy_it == prefix_policies_.end()) return;
+  auto& policy = policy_it->second;
+  for (auto it = policy.filters.begin(); it != policy.filters.end();) {
+    RouterId to = RouterId::from_value(static_cast<std::uint32_t>(it->first));
+    if (to == target && it->second.owner_target == target) {
+      it = policy.filters.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  policy.rankings.erase(target.value());
+}
+
+const PrefixPolicy* Model::find_policy(const Prefix& prefix) const {
+  auto it = prefix_policies_.find(prefix);
+  return it == prefix_policies_.end() ? nullptr : &it->second;
+}
+
+Model::PolicyStats Model::policy_stats() const {
+  PolicyStats stats;
+  for (auto& [prefix, policy] : prefix_policies_) {
+    if (policy.empty()) continue;
+    ++stats.prefixes_with_policy;
+    stats.filters += policy.filters.size();
+    stats.rankings += policy.rankings.size();
+    stats.lp_overrides += policy.lp_overrides.size();
+    stats.export_allows += policy.export_allows.size();
+  }
+  return stats;
+}
+
+std::map<Asn, std::size_t> Model::router_counts() const {
+  std::map<Asn, std::size_t> out;
+  for (auto& [asn, routers] : as_routers_) out[asn] = routers.size();
+  return out;
+}
+
+std::vector<std::tuple<RouterId, RouterId, std::uint32_t>> Model::igp_costs()
+    const {
+  std::vector<std::tuple<RouterId, RouterId, std::uint32_t>> out;
+  out.reserve(igp_cost_.size());
+  for (auto& [key, cost] : igp_cost_) {
+    out.emplace_back(RouterId::from_value(static_cast<std::uint32_t>(key >> 32)),
+                     RouterId::from_value(static_cast<std::uint32_t>(key)),
+                     cost);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Model::insert_peer(Dense at, Dense peer) {
+  auto& peers = routers_[at].peers;
+  peers.insert(std::lower_bound(peers.begin(), peers.end(), peer,
+                                [&](Dense x, Dense y) {
+                                  return routers_[x].id < routers_[y].id;
+                                }),
+               peer);
+}
+
+void Model::erase_peer(Dense at, Dense peer) {
+  auto& peers = routers_[at].peers;
+  auto it = std::lower_bound(peers.begin(), peers.end(), peer,
+                             [&](Dense x, Dense y) {
+                               return routers_[x].id < routers_[y].id;
+                             });
+  if (it != peers.end() && *it == peer) peers.erase(it);
+}
+
+}  // namespace topo

@@ -1,0 +1,276 @@
+#include "topology/model_io.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "netbase/strings.hpp"
+
+namespace topo {
+namespace {
+
+const char* class_name(NeighborClass cls) {
+  switch (cls) {
+    case NeighborClass::kCustomer:
+      return "customer";
+    case NeighborClass::kPeer:
+      return "peer";
+    case NeighborClass::kProvider:
+      return "provider";
+    case NeighborClass::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::optional<NeighborClass> class_from(std::string_view name) {
+  if (name == "customer") return NeighborClass::kCustomer;
+  if (name == "peer") return NeighborClass::kPeer;
+  if (name == "provider") return NeighborClass::kProvider;
+  if (name == "unknown") return NeighborClass::kUnknown;
+  return std::nullopt;
+}
+
+std::optional<RouterId> parse_router(std::string_view text) {
+  auto dot = text.find('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  auto asn = nb::parse_u64(text.substr(0, dot));
+  auto index = nb::parse_u64(text.substr(dot + 1));
+  if (!asn || !index || *asn > 0xffff || *index > 0xffff)
+    return std::nullopt;
+  return RouterId{static_cast<Asn>(*asn),
+                  static_cast<std::uint16_t>(*index)};
+}
+
+}  // namespace
+
+void write_model(std::ostream& out, const Model& model) {
+  out << "model v1\n";
+  out << "# routers=" << model.num_routers()
+      << " sessions=" << model.num_sessions() << "\n";
+
+  std::vector<RouterId> routers;
+  routers.reserve(model.num_routers());
+  for (Model::Dense r = 0; r < model.num_routers(); ++r)
+    routers.push_back(model.router_id(r));
+  std::sort(routers.begin(), routers.end());
+  for (RouterId id : routers) out << "router " << id.str() << "\n";
+
+  std::vector<std::pair<RouterId, RouterId>> sessions;
+  for (Model::Dense r = 0; r < model.num_routers(); ++r) {
+    for (Model::Dense peer : model.peers(r)) {
+      RouterId a = model.router_id(r), b = model.router_id(peer);
+      if (a < b) sessions.emplace_back(a, b);
+    }
+  }
+  std::sort(sessions.begin(), sessions.end());
+  for (auto& [a, b] : sessions)
+    out << "session " << a.str() << " " << b.str() << "\n";
+
+  for (auto& [receiver, sender, cost] : model.igp_costs())
+    out << "igp " << receiver.str() << " " << sender.str() << " " << cost
+        << "\n";
+
+  for (auto& [pair, cls] : model.neighbor_classes()) {
+    if (cls == NeighborClass::kUnknown) continue;
+    out << "class " << pair.first << " " << pair.second << " "
+        << class_name(cls) << "\n";
+  }
+
+  for (auto& [prefix, policy] : model.prefix_policies()) {
+    std::vector<std::pair<std::uint64_t, ExportFilter>> filters(
+        policy.filters.begin(), policy.filters.end());
+    std::sort(filters.begin(), filters.end(),
+              [](auto& x, auto& y) { return x.first < y.first; });
+    for (auto& [key, filter] : filters) {
+      RouterId from = RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      RouterId to = RouterId::from_value(static_cast<std::uint32_t>(key));
+      out << "filter " << prefix.str() << " " << from.str() << " "
+          << to.str() << " ";
+      if (filter.deny_below_len == ExportFilter::kDenyAll) {
+        out << "all";
+      } else {
+        out << filter.deny_below_len;
+      }
+      if (filter.owner_target.valid())
+        out << " owner " << filter.owner_target.str();
+      out << "\n";
+    }
+    std::vector<std::pair<std::uint32_t, RankingRule>> rankings(
+        policy.rankings.begin(), policy.rankings.end());
+    std::sort(rankings.begin(), rankings.end(),
+              [](auto& x, auto& y) { return x.first < y.first; });
+    for (auto& [router, rule] : rankings) {
+      out << "ranking " << prefix.str() << " "
+          << RouterId::from_value(router).str() << " "
+          << rule.preferred_neighbor << "\n";
+    }
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> lps(
+        policy.lp_overrides.begin(), policy.lp_overrides.end());
+    std::sort(lps.begin(), lps.end(),
+              [](auto& x, auto& y) { return x.first < y.first; });
+    for (auto& [key, lp] : lps) {
+      RouterId router = RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      Asn neighbor = static_cast<Asn>(key & 0xffffffffu);
+      out << "lp-override " << prefix.str() << " " << router.str() << " "
+          << neighbor << " " << lp << "\n";
+    }
+    std::vector<std::uint64_t> allows(policy.export_allows.begin(),
+                                      policy.export_allows.end());
+    std::sort(allows.begin(), allows.end());
+    for (std::uint64_t key : allows) {
+      RouterId from = RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      RouterId to = RouterId::from_value(static_cast<std::uint32_t>(key));
+      out << "export-allow " << prefix.str() << " " << from.str() << " "
+          << to.str() << "\n";
+    }
+  }
+}
+
+std::string model_to_string(const Model& model) {
+  std::ostringstream out;
+  write_model(out, model);
+  return out.str();
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message, std::size_t line) {
+  if (error != nullptr)
+    *error = "line " + std::to_string(line) + ": " + message;
+  return false;
+}
+
+bool parse_into(std::istream& in, Model& model, std::string* error) {
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text = nb::trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    auto fields = nb::split_ws(text);
+    const std::string_view directive = fields[0];
+
+    if (directive == "model") {
+      if (fields.size() != 2 || fields[1] != "v1")
+        return fail(error, "unsupported model version", line_number);
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header)
+      return fail(error, "missing 'model v1' header", line_number);
+
+    if (directive == "router") {
+      auto id = fields.size() == 2 ? parse_router(fields[1]) : std::nullopt;
+      if (!id) return fail(error, "malformed router", line_number);
+      // Routers must be declared in per-AS index order.
+      RouterId created = model.add_router(id->asn());
+      if (created != *id)
+        return fail(error, "router indices must be dense per AS",
+                    line_number);
+    } else if (directive == "session") {
+      auto a = fields.size() == 3 ? parse_router(fields[1]) : std::nullopt;
+      auto b = fields.size() == 3 ? parse_router(fields[2]) : std::nullopt;
+      if (!a || !b || !model.has_router(*a) || !model.has_router(*b))
+        return fail(error, "malformed session", line_number);
+      model.add_session(*a, *b);
+    } else if (directive == "igp") {
+      auto receiver = fields.size() == 4 ? parse_router(fields[1])
+                                         : std::nullopt;
+      auto sender = fields.size() == 4 ? parse_router(fields[2])
+                                       : std::nullopt;
+      auto cost = fields.size() == 4 ? nb::parse_u64(fields[3])
+                                     : std::nullopt;
+      if (!receiver || !sender || !cost || !model.has_router(*receiver) ||
+          !model.has_router(*sender))
+        return fail(error, "malformed igp", line_number);
+      model.set_igp_cost(*receiver, *sender,
+                         static_cast<std::uint32_t>(*cost));
+    } else if (directive == "class") {
+      auto of = fields.size() == 4 ? nb::parse_u64(fields[1]) : std::nullopt;
+      auto neighbor =
+          fields.size() == 4 ? nb::parse_u64(fields[2]) : std::nullopt;
+      auto cls = fields.size() == 4 ? class_from(fields[3]) : std::nullopt;
+      if (!of || !neighbor || !cls)
+        return fail(error, "malformed class", line_number);
+      model.set_neighbor_class(static_cast<Asn>(*of),
+                               static_cast<Asn>(*neighbor), *cls);
+    } else if (directive == "filter") {
+      if (fields.size() != 5 && fields.size() != 7)
+        return fail(error, "malformed filter", line_number);
+      auto prefix = nb::Prefix::parse(fields[1]);
+      auto from = parse_router(fields[2]);
+      auto to = parse_router(fields[3]);
+      std::uint32_t deny = 0;
+      if (fields[4] == "all") {
+        deny = ExportFilter::kDenyAll;
+      } else if (auto value = nb::parse_u64(fields[4]); value) {
+        deny = static_cast<std::uint32_t>(*value);
+      } else {
+        return fail(error, "malformed filter threshold", line_number);
+      }
+      RouterId owner = nb::kInvalidRouterId;
+      if (fields.size() == 7) {
+        if (fields[5] != "owner")
+          return fail(error, "malformed filter owner", line_number);
+        auto parsed = parse_router(fields[6]);
+        if (!parsed) return fail(error, "malformed filter owner", line_number);
+        owner = *parsed;
+      }
+      if (!prefix || !from || !to)
+        return fail(error, "malformed filter", line_number);
+      model.set_export_filter(*from, *to, *prefix, deny, owner);
+    } else if (directive == "ranking") {
+      auto prefix =
+          fields.size() == 4 ? nb::Prefix::parse(fields[1]) : std::nullopt;
+      auto router = fields.size() == 4 ? parse_router(fields[2])
+                                       : std::nullopt;
+      auto preferred =
+          fields.size() == 4 ? nb::parse_u64(fields[3]) : std::nullopt;
+      if (!prefix || !router || !preferred)
+        return fail(error, "malformed ranking", line_number);
+      model.set_ranking(*router, *prefix, static_cast<Asn>(*preferred));
+    } else if (directive == "lp-override") {
+      auto prefix =
+          fields.size() == 5 ? nb::Prefix::parse(fields[1]) : std::nullopt;
+      auto router = fields.size() == 5 ? parse_router(fields[2])
+                                       : std::nullopt;
+      auto neighbor =
+          fields.size() == 5 ? nb::parse_u64(fields[3]) : std::nullopt;
+      auto lp = fields.size() == 5 ? nb::parse_u64(fields[4]) : std::nullopt;
+      if (!prefix || !router || !neighbor || !lp)
+        return fail(error, "malformed lp-override", line_number);
+      model.set_lp_override(*router, *prefix, static_cast<Asn>(*neighbor),
+                            static_cast<std::uint32_t>(*lp));
+    } else if (directive == "export-allow") {
+      auto prefix =
+          fields.size() == 4 ? nb::Prefix::parse(fields[1]) : std::nullopt;
+      auto from = fields.size() == 4 ? parse_router(fields[2]) : std::nullopt;
+      auto to = fields.size() == 4 ? parse_router(fields[3]) : std::nullopt;
+      if (!prefix || !from || !to)
+        return fail(error, "malformed export-allow", line_number);
+      model.set_export_allow(*from, *to, *prefix);
+    } else {
+      return fail(error, "unknown directive", line_number);
+    }
+  }
+  if (!saw_header) return fail(error, "empty input", line_number);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Model> read_model(std::istream& in, std::string* error) {
+  Model model;
+  if (!parse_into(in, model, error)) return std::nullopt;
+  return model;
+}
+
+std::optional<Model> model_from_string(const std::string& text,
+                                       std::string* error) {
+  std::istringstream in(text);
+  return read_model(in, error);
+}
+
+}  // namespace topo

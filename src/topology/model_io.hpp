@@ -1,0 +1,37 @@
+// Text serialization of the quasi-router model, in the spirit of a C-BGP
+// configuration script (the paper's models are "a class of topology models
+// that can also be used as input to the C-BGP simulator", Section 4.1).
+//
+// Format (one directive per line, '#' comments):
+//
+//   model v1
+//   router <asn>.<index>
+//   session <asn>.<idx> <asn>.<idx>
+//   igp <receiver> <sender> <cost>
+//   class <asn> <neighbor-asn> customer|peer|provider
+//   filter <prefix> <from> <to> <deny-below-len|all> [owner <router>]
+//   ranking <prefix> <router> <preferred-asn>
+//   lp-override <prefix> <router> <neighbor-asn> <local-pref>
+//   export-allow <prefix> <from> <to>
+//
+// Deterministic output (sorted) so diffs of fitted models are meaningful.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "topology/model.hpp"
+
+namespace topo {
+
+void write_model(std::ostream& out, const Model& model);
+std::string model_to_string(const Model& model);
+
+/// Parses a model written by write_model; nullopt (and *error) on malformed
+/// input.
+std::optional<Model> read_model(std::istream& in, std::string* error = nullptr);
+std::optional<Model> model_from_string(const std::string& text,
+                                       std::string* error = nullptr);
+
+}  // namespace topo

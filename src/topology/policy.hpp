@@ -1,0 +1,92 @@
+// Policy data attached to the quasi-router model.
+//
+// The refinement heuristic (paper Section 4.6) uses exactly two per-prefix
+// mechanisms, both represented here:
+//
+//  * ExportFilter -- set at the ANNOUNCING neighbor's side of a session:
+//    "ensure that routes with shorter AS-paths than the route we are looking
+//    for are not propagated to the current quasi-router".  deny_below_len
+//    compares against the AS-path length as it arrives at the receiver
+//    (announcer's AS already prepended); kDenyAll blocks the prefix entirely.
+//    Every refinement-created filter records the quasi-router whose route
+//    choice it protects (owner_target) so the filter-deletion step can tell
+//    whether removing it would destroy another observed path's setup.
+//
+//  * RankingRule -- per receiving quasi-router: routes announced by the
+//    preferred neighbor AS are imported with MED 0, all others with MED 100,
+//    and MED is always compared across neighbor ASes.  This realizes the
+//    paper's ranking without touching local-pref (which, per Section 4.6 and
+//    [Griffin/Wilfong], risks divergence).
+//
+// LocalPrefOverride exists for the *ground-truth* generator only: it lets a
+// synthetic AS apply "weird" per-prefix policies that the fitted model must
+// reproduce without ever seeing them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netbase/ids.hpp"
+#include "netbase/ip.hpp"
+
+namespace topo {
+
+using nb::Asn;
+using nb::RouterId;
+
+/// Packs a directed router pair into a map key.
+constexpr std::uint64_t session_key(RouterId from, RouterId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+
+/// Packs (router, neighbor-AS) into a map key.
+constexpr std::uint64_t router_asn_key(RouterId router, Asn asn) {
+  return (static_cast<std::uint64_t>(router.value()) << 32) | asn;
+}
+
+struct ExportFilter {
+  static constexpr std::uint32_t kDenyAll = 0xffffffffu;
+
+  /// Deny routes whose arriving AS-path length is strictly below this value
+  /// (0 = no-op filter).
+  std::uint32_t deny_below_len = 0;
+  /// The importing quasi-router whose assigned path this filter protects;
+  /// invalid for filters not created by refinement.
+  RouterId owner_target = nb::kInvalidRouterId;
+
+  bool blocks(std::size_t arriving_len) const {
+    return arriving_len < deny_below_len;
+  }
+};
+
+struct RankingRule {
+  /// Routes announced by this neighbor AS import with MED 0 (others 100).
+  Asn preferred_neighbor = nb::kInvalidAsn;
+};
+
+/// Default MED for imported routes and the preferred-neighbor override.
+constexpr std::uint32_t kDefaultMed = 100;
+constexpr std::uint32_t kPreferredMed = 0;
+
+/// All per-prefix policy state of a model.
+struct PrefixPolicy {
+  /// Export filters keyed by directed session (announcer -> receiver).
+  std::unordered_map<std::uint64_t, ExportFilter> filters;
+  /// Import ranking keyed by receiving router id value.
+  std::unordered_map<std::uint32_t, RankingRule> rankings;
+  /// Ground-truth-only: local-pref override keyed by (router, neighbor AS).
+  std::unordered_map<std::uint64_t, std::uint32_t> lp_overrides;
+  /// Ground-truth-only: sessions allowed to export this prefix even when the
+  /// valley-free relationship rule would forbid it (a deliberate route
+  /// "leak" -- the real-world policy diversity of Section 1/3.3 that breaks
+  /// the customer/peer schema).  Keyed by directed session.
+  std::unordered_set<std::uint64_t> export_allows;
+
+  bool empty() const {
+    return filters.empty() && rankings.empty() && lp_overrides.empty() &&
+           export_allows.empty();
+  }
+};
+
+}  // namespace topo

@@ -1,0 +1,257 @@
+#include "topology/relationships.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace topo {
+namespace {
+
+// Directed "a is customer of b" convenience over the canonical storage.
+struct EdgeKey {
+  Asn a, b;
+};
+
+}  // namespace
+
+Relationship RelationshipMap::flip(Relationship rel) {
+  switch (rel) {
+    case Relationship::kProviderCustomer:
+      return Relationship::kCustomerProvider;
+    case Relationship::kCustomerProvider:
+      return Relationship::kProviderCustomer;
+    default:
+      return rel;
+  }
+}
+
+void RelationshipMap::set(Asn a, Asn b, Relationship rel) {
+  if (a > b) {
+    std::swap(a, b);
+    rel = flip(rel);
+  }
+  edges_[{a, b}] = rel;
+}
+
+Relationship RelationshipMap::get(Asn a, Asn b) const {
+  bool flipped = a > b;
+  if (flipped) std::swap(a, b);
+  auto it = edges_.find({a, b});
+  if (it == edges_.end()) return Relationship::kUnknown;
+  return flipped ? flip(it->second) : it->second;
+}
+
+NeighborClass RelationshipMap::classify_neighbor(Asn a, Asn b) const {
+  switch (get(a, b)) {
+    case Relationship::kProviderCustomer:
+      return NeighborClass::kCustomer;  // a provides for b -> b is customer
+    case Relationship::kCustomerProvider:
+      return NeighborClass::kProvider;
+    case Relationship::kPeerPeer:
+    case Relationship::kSibling:  // treated like peering (paper footnote 2)
+      return NeighborClass::kPeer;
+    case Relationship::kUnknown:
+      return NeighborClass::kUnknown;
+  }
+  return NeighborClass::kUnknown;
+}
+
+RelationshipMap::Counts RelationshipMap::counts(const AsGraph& graph) const {
+  Counts out;
+  for (auto [a, b] : graph.edges()) {
+    switch (get(a, b)) {
+      case Relationship::kProviderCustomer:
+      case Relationship::kCustomerProvider:
+        ++out.customer_provider;
+        break;
+      case Relationship::kPeerPeer:
+        ++out.peer_peer;
+        break;
+      case Relationship::kSibling:
+        ++out.sibling;
+        break;
+      case Relationship::kUnknown:
+        ++out.unknown;
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Forces "a is customer of b" on the map; direction conflicts demote the edge
+// to sibling (both transit for each other); established peerings win.
+// Returns true if the map changed.
+bool force_uphill(RelationshipMap& rels, Asn a, Asn b) {
+  Relationship current = rels.get(a, b);
+  switch (current) {
+    case Relationship::kCustomerProvider:
+    case Relationship::kPeerPeer:
+    case Relationship::kSibling:
+      return false;
+    case Relationship::kProviderCustomer:
+      rels.set(a, b, Relationship::kSibling);
+      return true;
+    case Relationship::kUnknown:
+      rels.set(a, b, Relationship::kCustomerProvider);
+      return true;
+  }
+  return false;
+}
+
+bool force_downhill(RelationshipMap& rels, Asn a, Asn b) {
+  return force_uphill(rels, b, a);
+}
+
+}  // namespace
+
+RelationshipMap infer_relationships(const AsGraph& graph,
+                                    const std::set<Asn>& level1,
+                                    std::span<const AsPath> paths) {
+  RelationshipMap rels;
+  // Step 1: tier-1 interconnections are peerings by declaration.
+  for (Asn a : level1) {
+    for (Asn b : level1) {
+      if (a < b && graph.has_edge(a, b))
+        rels.set(a, b, Relationship::kPeerPeer);
+    }
+  }
+
+  // Step 2: valley-free constraint propagation.  In a path written observer
+  // first, traffic flows observer -> origin, so a valley-free path is a run
+  // of uphill (customer->provider) edges, at most one peer edge, then only
+  // downhill (provider->customer) edges.  A known peer/downhill edge forces
+  // everything to its right downhill; a known uphill edge forces everything
+  // to its left uphill.
+  bool changed = true;
+  for (int round = 0; round < 16 && changed; ++round) {
+    changed = false;
+    for (const AsPath& path : paths) {
+      const auto& hops = path.hops();
+      if (hops.size() < 2 || path.has_loop()) continue;
+      const std::size_t num_edges = hops.size() - 1;
+      std::ptrdiff_t leftmost_nonup = -1;   // first peer-or-downhill edge
+      std::ptrdiff_t leftmost_peer = -1;    // first peer edge
+      std::ptrdiff_t rightmost_up = -1;     // last uphill edge
+      for (std::size_t i = 0; i < num_edges; ++i) {
+        Relationship rel = rels.get(hops[i], hops[i + 1]);
+        bool is_peer = rel == Relationship::kPeerPeer;
+        bool is_down = rel == Relationship::kProviderCustomer;
+        bool is_up = rel == Relationship::kCustomerProvider;
+        if ((is_peer || is_down) && leftmost_nonup < 0)
+          leftmost_nonup = static_cast<std::ptrdiff_t>(i);
+        if (is_peer && leftmost_peer < 0)
+          leftmost_peer = static_cast<std::ptrdiff_t>(i);
+        if (is_up) rightmost_up = static_cast<std::ptrdiff_t>(i);
+      }
+      if (leftmost_nonup >= 0) {
+        for (std::size_t i = static_cast<std::size_t>(leftmost_nonup) + 1;
+             i < num_edges; ++i)
+          changed |= force_downhill(rels, hops[i], hops[i + 1]);
+      }
+      // A peer edge admits no peer/downhill edge before it: everything to
+      // its left climbs.
+      if (leftmost_peer >= 0) {
+        for (std::size_t i = 0; i < static_cast<std::size_t>(leftmost_peer);
+             ++i)
+          changed |= force_uphill(rels, hops[i], hops[i + 1]);
+      }
+      if (rightmost_up >= 0) {
+        for (std::size_t i = 0; i < static_cast<std::size_t>(rightmost_up);
+             ++i)
+          changed |= force_uphill(rels, hops[i], hops[i + 1]);
+      }
+    }
+  }
+
+  // Step 3: Gao-style degree vote for edges that are still unknown, plus a
+  // peering phase: an edge that only ever appears at the top of paths and
+  // whose endpoints have comparable degrees is classified peer-peer.
+  struct Tally {
+    std::uint32_t a_customer = 0;
+    std::uint32_t b_customer = 0;
+    std::uint32_t at_peak = 0;
+    std::uint32_t appearances = 0;
+  };
+  std::map<std::pair<Asn, Asn>, Tally> votes;
+  for (const AsPath& path : paths) {
+    const auto& hops = path.hops();
+    if (hops.size() < 2 || path.has_loop()) continue;
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (graph.degree(hops[i]) > graph.degree(hops[peak])) peak = i;
+    }
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (rels.get(hops[i], hops[i + 1]) != Relationship::kUnknown) continue;
+      Asn a = std::min(hops[i], hops[i + 1]);
+      Asn b = std::max(hops[i], hops[i + 1]);
+      Tally& tally = votes[{a, b}];
+      ++tally.appearances;
+      if (i == peak || i + 1 == peak) ++tally.at_peak;
+      bool uphill = i < peak;  // hops[i] customer of hops[i+1]
+      bool a_first = a == hops[i];
+      bool a_customer = uphill == a_first;
+      if (a_customer) {
+        ++tally.a_customer;
+      } else {
+        ++tally.b_customer;
+      }
+    }
+  }
+  for (auto& [edge, tally] : votes) {
+    if (tally.appearances == 0) continue;
+    const double total = tally.a_customer + tally.b_customer;
+    const double deg_a = static_cast<double>(graph.degree(edge.first));
+    const double deg_b = static_cast<double>(graph.degree(edge.second));
+    const double ratio =
+        deg_b == 0 ? 1e9 : std::max(deg_a, deg_b) / std::max(1.0, std::min(deg_a, deg_b));
+    if (tally.at_peak == tally.appearances && ratio < 2.0) {
+      rels.set(edge.first, edge.second, Relationship::kPeerPeer);
+    } else if (tally.a_customer > 0 && tally.b_customer > 0 &&
+               std::min(tally.a_customer, tally.b_customer) / total >
+                   1.0 / 3.0) {
+      rels.set(edge.first, edge.second, Relationship::kSibling);
+    } else if (tally.a_customer >= tally.b_customer) {
+      rels.set(edge.first, edge.second, Relationship::kCustomerProvider);
+    } else {
+      rels.set(edge.first, edge.second, Relationship::kProviderCustomer);
+    }
+  }
+  return rels;
+}
+
+double valley_free_fraction(const RelationshipMap& rels,
+                            std::span<const AsPath> paths) {
+  if (paths.empty()) return 1.0;
+  std::size_t ok = 0, considered = 0;
+  for (const AsPath& path : paths) {
+    const auto& hops = path.hops();
+    if (hops.size() < 2 || path.has_loop()) continue;
+    ++considered;
+    // Reachable-state set over {UP, DOWN}; unknown/sibling edges wildcard.
+    bool can_up = true, can_down = false;
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      Relationship rel = rels.get(hops[i], hops[i + 1]);
+      bool up_edge = rel == Relationship::kCustomerProvider;
+      bool peer_edge = rel == Relationship::kPeerPeer;
+      bool down_edge = rel == Relationship::kProviderCustomer;
+      bool wildcard =
+          rel == Relationship::kUnknown || rel == Relationship::kSibling;
+      bool next_up = false, next_down = false;
+      if (up_edge || wildcard) next_up = can_up;
+      if (peer_edge || down_edge || wildcard)
+        next_down = can_up || can_down;
+      // After a peer edge only downhill is allowed; peer from DOWN is a
+      // valley, which the state machine already rejects (peer requires UP).
+      if (peer_edge) next_down = can_up;
+      can_up = next_up;
+      can_down = next_down;
+      if (!can_up && !can_down) break;
+    }
+    if (can_up || can_down) ++ok;
+  }
+  if (considered == 0) return 1.0;
+  return static_cast<double>(ok) / static_cast<double>(considered);
+}
+
+}  // namespace topo

@@ -1,0 +1,78 @@
+// Inference of AS business relationships, used ONLY for the Section 3.3
+// baseline ("Customer/Peering Policies" column of Table 2).  The paper's own
+// model is deliberately agnostic to relationships; this module exists so the
+// baseline the paper argues against can be reproduced faithfully.
+//
+// Heuristic (paper Section 3.3): declare all links between level-1 ASes as
+// peering, then iteratively infer customer-provider relationships using the
+// valley-free assumption; remaining edges are voted Gao-style by degree peak.
+// Conflicting directions -> sibling.  Anything untouched stays unknown.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "topology/as_graph.hpp"
+#include "topology/as_path.hpp"
+
+namespace topo {
+
+enum class Relationship : std::uint8_t {
+  kProviderCustomer,  // first AS is the provider of the second
+  kCustomerProvider,  // first AS is the customer of the second
+  kPeerPeer,
+  kSibling,
+  kUnknown,
+};
+
+/// Relationship of `b` from `a`'s point of view.
+enum class NeighborClass : std::uint8_t {
+  kCustomer,  // b is a's customer
+  kPeer,
+  kProvider,  // b is a's provider
+  kUnknown,
+};
+
+class RelationshipMap {
+ public:
+  /// Sets the relationship on edge (a, b); `rel` is interpreted with `a`
+  /// first.  Stored canonically.
+  void set(Asn a, Asn b, Relationship rel);
+
+  /// Relationship with `a` first; kUnknown if the edge was never classified.
+  Relationship get(Asn a, Asn b) const;
+
+  /// How a sees b (siblings are treated as peers, per paper footnote 2).
+  NeighborClass classify_neighbor(Asn a, Asn b) const;
+
+  struct Counts {
+    std::size_t customer_provider = 0;  // directed c-p edges (one per edge)
+    std::size_t peer_peer = 0;
+    std::size_t sibling = 0;
+    std::size_t unknown = 0;
+  };
+  Counts counts(const AsGraph& graph) const;
+
+ private:
+  static Relationship flip(Relationship rel);
+  // Key: (min ASN, max ASN); value oriented with min first.
+  std::map<std::pair<Asn, Asn>, Relationship> edges_;
+};
+
+/// Runs the inference described above.
+///  * level1: the tier-1 clique (its internal edges become peer-peer);
+///  * paths:  observed AS-paths (observer first, origin last).
+RelationshipMap infer_relationships(const AsGraph& graph,
+                                    const std::set<Asn>& level1,
+                                    std::span<const AsPath> paths);
+
+/// Fraction of paths that are valley-free under the given relationship map
+/// (edges of unknown relationship are permissive).  Used as a sanity /
+/// validation statistic, mirroring the paper's verification of its inference.
+double valley_free_fraction(const RelationshipMap& rels,
+                            std::span<const AsPath> paths);
+
+}  // namespace topo

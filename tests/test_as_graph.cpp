@@ -1,0 +1,102 @@
+// Unit tests for the AS-level graph.
+#include <gtest/gtest.h>
+
+#include "topology/as_graph.hpp"
+
+namespace {
+
+using topo::AsGraph;
+using topo::AsPath;
+
+TEST(AsGraphTest, AddEdgeCreatesNodesOnce) {
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // duplicate, reversed
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(AsGraphTest, SelfLoopsIgnored) {
+  AsGraph g;
+  g.add_edge(3, 3);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(AsGraphTest, NeighborsSorted) {
+  AsGraph g;
+  g.add_edge(5, 9);
+  g.add_edge(5, 2);
+  g.add_edge(5, 7);
+  EXPECT_EQ(g.neighbors(5), (std::vector<nb::Asn>{2, 7, 9}));
+  EXPECT_TRUE(g.neighbors(99).empty());
+}
+
+TEST(AsGraphTest, RemoveNodeCleansIncidentEdges) {
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 3);
+  g.remove_node(2);
+  EXPECT_FALSE(g.has_node(2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(AsGraphTest, EdgesSortedCanonical) {
+  AsGraph g;
+  g.add_edge(4, 1);
+  g.add_edge(2, 3);
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<nb::Asn, nb::Asn>{1, 4}));
+  EXPECT_EQ(edges[1], (std::pair<nb::Asn, nb::Asn>{2, 3}));
+}
+
+TEST(AsGraphTest, FromPathsAddsConsecutivePairs) {
+  std::vector<AsPath> paths{{1, 2, 3}, {2, 4}};
+  AsGraph g = AsGraph::from_paths(paths);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(AsGraphTest, FromPathsSkipsLoopedPaths) {
+  std::vector<AsPath> paths{{1, 2, 1}};
+  AsGraph g = AsGraph::from_paths(paths);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(AsGraphTest, FromPathsKeepsSingletonOrigin) {
+  std::vector<AsPath> paths{{7}};
+  AsGraph g = AsGraph::from_paths(paths);
+  EXPECT_TRUE(g.has_node(7));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(AsGraphTest, Components) {
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_node(5);
+  EXPECT_EQ(g.num_components(), 3u);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.num_components(), 2u);
+}
+
+TEST(AsGraphTest, DegreeCounts) {
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(42), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Unit tests for AS-path semantics (observer-first convention).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topology/as_path.hpp"
+
+namespace {
+
+using topo::AsPath;
+using topo::AsPathHash;
+
+TEST(AsPathTest, BasicAccessors) {
+  AsPath p{1, 7, 6};
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.observer(), 1u);
+  EXPECT_EQ(p.origin(), 6u);
+  EXPECT_EQ(p.str(), "1 7 6");
+}
+
+TEST(AsPathTest, PrependAddsAtObserverSide) {
+  AsPath p{7, 6};
+  p.prepend(1);
+  EXPECT_EQ(p, (AsPath{1, 7, 6}));
+}
+
+TEST(AsPathTest, LoopDetection) {
+  EXPECT_FALSE((AsPath{1, 2, 3}).has_loop());
+  EXPECT_TRUE((AsPath{1, 2, 1}).has_loop());
+  EXPECT_TRUE((AsPath{2, 2}).has_loop());
+  EXPECT_FALSE((AsPath{5}).has_loop());
+}
+
+TEST(AsPathTest, Contains) {
+  AsPath p{1, 2, 3};
+  EXPECT_TRUE(p.contains(2));
+  EXPECT_FALSE(p.contains(9));
+}
+
+TEST(AsPathTest, WithoutPrependingCollapsesRuns) {
+  AsPath p{1, 1, 2, 2, 2, 3};
+  EXPECT_EQ(p.without_prepending(), (AsPath{1, 2, 3}));
+  // Non-consecutive repetitions (true loops) stay.
+  AsPath loop{1, 2, 1};
+  EXPECT_EQ(loop.without_prepending(), loop);
+}
+
+TEST(AsPathTest, SuffixFrom) {
+  AsPath p{1, 7, 6, 9};
+  EXPECT_EQ(p.suffix_from(0), p);
+  EXPECT_EQ(p.suffix_from(2), (AsPath{6, 9}));
+  EXPECT_EQ(p.suffix_from(3), (AsPath{9}));
+}
+
+TEST(AsPathTest, MatchesRoutePath) {
+  // Observed suffix "3 7 6" at AS 3 corresponds to a stored route whose
+  // path is [7 6].
+  AsPath suffix{3, 7, 6};
+  std::vector<nb::Asn> route{7, 6};
+  EXPECT_TRUE(suffix.matches_route_path(route));
+  std::vector<nb::Asn> wrong{8, 6};
+  EXPECT_FALSE(suffix.matches_route_path(wrong));
+  std::vector<nb::Asn> shorter{6};
+  EXPECT_FALSE(suffix.matches_route_path(shorter));
+  // An origin-only suffix matches the empty (originated) route path.
+  AsPath origin_only{6};
+  EXPECT_TRUE(origin_only.matches_route_path({}));
+}
+
+TEST(AsPathTest, ParseAcceptsSpacesAndDashes) {
+  EXPECT_EQ(AsPath::parse("1 7 6"), (AsPath{1, 7, 6}));
+  EXPECT_EQ(AsPath::parse("1-7-6"), (AsPath{1, 7, 6}));
+  EXPECT_EQ(AsPath::parse(" 1  7-6 "), (AsPath{1, 7, 6}));
+  EXPECT_FALSE(AsPath::parse("").has_value());
+  EXPECT_FALSE(AsPath::parse("1 x 3").has_value());
+}
+
+TEST(AsPathTest, OrderingIsLexicographic) {
+  EXPECT_LT((AsPath{1, 2}), (AsPath{1, 3}));
+  EXPECT_LT((AsPath{1, 2}), (AsPath{1, 2, 3}));
+}
+
+TEST(AsPathHashTest, EqualPathsHashEqual) {
+  AsPathHash h;
+  EXPECT_EQ(h(AsPath{1, 2, 3}), h(AsPath{1, 2, 3}));
+}
+
+TEST(AsPathHashTest, WorksInUnorderedSet) {
+  std::unordered_set<AsPath, AsPathHash> set;
+  set.insert(AsPath{1, 2});
+  set.insert(AsPath{1, 2});
+  set.insert(AsPath{2, 1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AsPathHashTest, FewCollisionsOnDistinctShortPaths) {
+  AsPathHash h;
+  std::unordered_set<std::size_t> hashes;
+  int total = 0;
+  for (nb::Asn a = 1; a <= 30; ++a) {
+    for (nb::Asn b = 1; b <= 30; ++b) {
+      if (a == b) continue;
+      hashes.insert(h(AsPath{a, b}));
+      ++total;
+    }
+  }
+  // Allow a handful of collisions, not wholesale degeneracy.
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(total * 0.99));
+}
+
+}  // namespace

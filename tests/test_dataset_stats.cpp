@@ -1,0 +1,80 @@
+// Tests for the Section 3 dataset statistics (Fig. 2 / Table 1 quantities).
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.hpp"
+
+namespace {
+
+using data::BgpDataset;
+using topo::AsPath;
+
+BgpDataset handcrafted() {
+  // Origin 9 observed from AS 1 over two different paths (via 5 and via 6),
+  // and from AS 2 over one path.  Origin 8 observed from AS 1 over one path.
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{1, 0}});
+  dataset.points.push_back({nb::RouterId{1, 1}});
+  dataset.points.push_back({nb::RouterId{2, 0}});
+  dataset.records.push_back({0, 9, AsPath{1, 5, 9}});
+  dataset.records.push_back({1, 9, AsPath{1, 6, 9}});
+  dataset.records.push_back({2, 9, AsPath{2, 5, 9}});
+  dataset.records.push_back({0, 8, AsPath{1, 8}});
+  return dataset;
+}
+
+TEST(DiversityTest, PathsPerPairHistogram) {
+  auto stats = data::compute_diversity(handcrafted());
+  // Pairs: (9,1) -> 2 paths; (9,2) -> 1; (8,1) -> 1.
+  EXPECT_EQ(stats.as_pairs, 3u);
+  EXPECT_EQ(stats.paths_per_pair.count_of(1), 2u);
+  EXPECT_EQ(stats.paths_per_pair.count_of(2), 1u);
+  EXPECT_EQ(stats.unique_paths, 4u);
+  EXPECT_EQ(stats.records, 4u);
+}
+
+TEST(DiversityTest, MaxUniqueReceivedSuffixes) {
+  auto stats = data::compute_diversity(handcrafted());
+  // AS 1 receives [5 9], [6 9] (2 unique for origin 9) and [8] (1 for 8):
+  // its max is 2.  AS 2 receives [5 9]: max 1.  AS 5 receives [9]: 1.
+  // AS 6 receives [9]: 1.  Histogram over ASes {1,2,5,6}: {2:1, 1:3}.
+  EXPECT_EQ(stats.max_unique_received.count_of(2), 1u);
+  EXPECT_EQ(stats.max_unique_received.count_of(1), 3u);
+  EXPECT_EQ(stats.max_unique_received.total(), 4u);
+}
+
+TEST(DiversityTest, PrefixesPerPathUsesCounts) {
+  std::map<nb::Asn, std::uint32_t> counts{{9, 10}, {8, 1}};
+  auto stats = data::compute_diversity(handcrafted(), &counts);
+  // Three unique paths to origin 9 each carry 10 prefixes; one path to 8
+  // carries 1.
+  EXPECT_EQ(stats.prefixes_per_path.count_of(10), 3u);
+  EXPECT_EQ(stats.prefixes_per_path.count_of(1), 1u);
+}
+
+TEST(DiversityTest, DefaultsToOnePrefixPerPath) {
+  auto stats = data::compute_diversity(handcrafted());
+  EXPECT_EQ(stats.prefixes_per_path.count_of(1), 4u);
+}
+
+TEST(DiversityTest, EmptyDataset) {
+  BgpDataset dataset;
+  auto stats = data::compute_diversity(dataset);
+  EXPECT_EQ(stats.as_pairs, 0u);
+  EXPECT_EQ(stats.unique_paths, 0u);
+  EXPECT_TRUE(stats.paths_per_pair.empty());
+}
+
+TEST(DiversityTest, MultipleObserversSameAsCollapseIntoOnePair) {
+  // Both points are in AS 1 and report the same path: one pair, one path.
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{1, 0}});
+  dataset.points.push_back({nb::RouterId{1, 1}});
+  dataset.records.push_back({0, 9, AsPath{1, 5, 9}});
+  dataset.records.push_back({1, 9, AsPath{1, 5, 9}});
+  auto stats = data::compute_diversity(dataset);
+  EXPECT_EQ(stats.as_pairs, 1u);
+  EXPECT_EQ(stats.paths_per_pair.count_of(1), 1u);
+  EXPECT_EQ(stats.unique_paths, 1u);
+}
+
+}  // namespace

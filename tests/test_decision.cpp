@@ -1,0 +1,134 @@
+// Unit tests for the BGP decision process and its decisive-step reporting.
+#include <gtest/gtest.h>
+
+#include "bgp/decision.hpp"
+
+namespace {
+
+using bgp::Comparison;
+using bgp::DecisionStep;
+using bgp::Route;
+
+std::vector<std::uint32_t> ids_for(std::initializer_list<std::uint32_t> v) {
+  return std::vector<std::uint32_t>(v);
+}
+
+Route make(std::uint32_t sender, std::vector<nb::Asn> path,
+           std::uint32_t lp = 100, std::uint32_t med = 100,
+           std::uint32_t igp = 0) {
+  Route r;
+  r.sender = sender;
+  r.path = std::move(path);
+  r.local_pref = lp;
+  r.med = med;
+  r.igp_cost = igp;
+  return r;
+}
+
+TEST(DecisionTest, LocalPrefDominates) {
+  auto ids = ids_for({10, 20});
+  Route a = make(0, {1, 2, 3}, 130);
+  Route b = make(1, {9}, 100);
+  Comparison cmp = bgp::compare_routes(a, b, ids);
+  EXPECT_LT(cmp.order, 0);
+  EXPECT_EQ(cmp.step, DecisionStep::kLocalPref);
+}
+
+TEST(DecisionTest, ShorterPathWins) {
+  auto ids = ids_for({10, 20});
+  Route a = make(0, {1, 2});
+  Route b = make(1, {3});
+  Comparison cmp = bgp::compare_routes(a, b, ids);
+  EXPECT_GT(cmp.order, 0);
+  EXPECT_EQ(cmp.step, DecisionStep::kPathLength);
+}
+
+TEST(DecisionTest, MedComparedAcrossNeighbors) {
+  auto ids = ids_for({10, 20});
+  Route a = make(0, {1, 3}, 100, 0);    // preferred neighbor (MED 0)
+  Route b = make(1, {2, 3}, 100, 100);  // different neighbor AS
+  Comparison cmp = bgp::compare_routes(a, b, ids);
+  EXPECT_LT(cmp.order, 0);
+  EXPECT_EQ(cmp.step, DecisionStep::kMed);
+}
+
+TEST(DecisionTest, IgpCostBeforeTieBreak) {
+  auto ids = ids_for({10, 20});
+  Route a = make(0, {1, 3}, 100, 100, 8);
+  Route b = make(1, {2, 3}, 100, 100, 2);
+  Comparison cmp = bgp::compare_routes(a, b, ids);
+  EXPECT_GT(cmp.order, 0);
+  EXPECT_EQ(cmp.step, DecisionStep::kIgpCost);
+}
+
+TEST(DecisionTest, TieBreakLowestRouterId) {
+  auto ids = ids_for({20, 10});
+  Route a = make(0, {1, 3});
+  Route b = make(1, {2, 3});
+  Comparison cmp = bgp::compare_routes(a, b, ids);
+  EXPECT_GT(cmp.order, 0);  // b's sender id (10) < a's (20)
+  EXPECT_EQ(cmp.step, DecisionStep::kTieBreak);
+}
+
+TEST(DecisionTest, IdenticalRoutesEqual) {
+  auto ids = ids_for({10});
+  Route a = make(0, {1, 3});
+  Comparison cmp = bgp::compare_routes(a, a, ids);
+  EXPECT_EQ(cmp.order, 0);
+  EXPECT_EQ(cmp.step, DecisionStep::kEqual);
+}
+
+TEST(DecisionTest, StepOrderingIsStrict) {
+  // local-pref beats a shorter path; path length beats MED; MED beats IGP.
+  auto ids = ids_for({10, 20});
+  Route high_lp_long = make(0, {1, 2, 3, 4}, 200, 100, 100);
+  Route low_lp_short = make(1, {5}, 100, 0, 0);
+  EXPECT_LT(bgp::compare_routes(high_lp_long, low_lp_short, ids).order, 0);
+
+  Route short_bad_med = make(0, {1, 2}, 100, 100);
+  Route long_good_med = make(1, {3, 4, 5}, 100, 0);
+  EXPECT_LT(bgp::compare_routes(short_bad_med, long_good_med, ids).order, 0);
+
+  Route med_bad_igp = make(0, {1, 2}, 100, 0, 100);
+  Route igp_good_med_bad = make(1, {3, 4}, 100, 100, 0);
+  EXPECT_LT(bgp::compare_routes(med_bad_igp, igp_good_med_bad, ids).order, 0);
+}
+
+TEST(DecisionTest, SelectBestEmpty) {
+  auto ids = ids_for({});
+  EXPECT_EQ(bgp::select_best({}, ids), -1);
+}
+
+TEST(DecisionTest, SelectBestPicksOverallWinner) {
+  auto ids = ids_for({30, 20, 10});
+  std::vector<Route> candidates{
+      make(0, {1, 9}),         // len 2
+      make(1, {2, 9}),         // len 2, lower id than 0
+      make(2, {3, 4, 9}),      // len 3
+  };
+  EXPECT_EQ(bgp::select_best(candidates, ids), 1);
+}
+
+TEST(DecisionTest, SelectBestStableForEqualCandidates) {
+  auto ids = ids_for({10, 10});
+  std::vector<Route> candidates{make(0, {1, 9}), make(1, {2, 9})};
+  // Same id value cannot happen through the engine (unique senders), but the
+  // selection must still be deterministic: first wins.
+  candidates[1].sender = 0;
+  EXPECT_EQ(bgp::select_best(candidates, ids), 0);
+}
+
+TEST(DecisionTest, EmptyPathIsShortest) {
+  auto ids = ids_for({10, 20});
+  Route originated = make(0, {});
+  Route learned = make(1, {2});
+  EXPECT_LT(bgp::compare_routes(originated, learned, ids).order, 0);
+}
+
+TEST(DecisionTest, StepNames) {
+  EXPECT_STREQ(bgp::decision_step_name(DecisionStep::kLocalPref), "local-pref");
+  EXPECT_STREQ(bgp::decision_step_name(DecisionStep::kTieBreak),
+               "lowest-router-id");
+}
+
+}  // namespace

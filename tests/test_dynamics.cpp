@@ -1,0 +1,165 @@
+// Tests for session-failure update streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/dynamics.hpp"
+
+namespace {
+
+using data::BgpDataset;
+using data::DynamicsConfig;
+using data::UpdateStream;
+using topo::AsPath;
+
+struct Fixture {
+  data::Internet net;
+  data::GroundTruth gt;
+  BgpDataset base;
+
+  Fixture() {
+    data::InternetConfig config;
+    config.seed = 21;
+    config.num_tier1 = 3;
+    config.num_level2 = 8;
+    config.num_level3 = 14;
+    config.num_stub_multi = 18;
+    config.num_stub_single = 8;
+    net = data::generate_internet(config);
+    gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+    data::ObservationConfig obs;
+    bgp::ThreadPool pool(1);
+    base = data::observe(gt, net, obs, pool);
+  }
+};
+
+TEST(DynamicsTest, EventsProduceUpdates) {
+  Fixture f;
+  DynamicsConfig config;
+  config.num_events = 6;
+  bgp::ThreadPool pool(1);
+  auto stream = data::simulate_session_failures(f.gt, f.base, config, pool);
+  EXPECT_EQ(stream.events.size(), 6u);
+  EXPECT_GT(stream.updates.size(), 0u);
+  EXPECT_GT(stream.announcements(), 0u);
+  // Every update references a valid event and point, and update paths are
+  // loop-free and start at the observation AS.
+  for (const auto& update : stream.updates) {
+    ASSERT_LT(update.event, stream.events.size());
+    ASSERT_LT(update.point, f.base.points.size());
+    if (update.path.has_value()) {
+      EXPECT_FALSE(update.path->has_loop());
+      EXPECT_EQ(update.path->observer(),
+                f.base.points[update.point].router.asn());
+      EXPECT_EQ(update.path->origin(), update.origin);
+    }
+  }
+}
+
+TEST(DynamicsTest, DeterministicInSeed) {
+  Fixture f;
+  DynamicsConfig config;
+  config.num_events = 4;
+  bgp::ThreadPool pool(1);
+  auto a = data::simulate_session_failures(f.gt, f.base, config, pool);
+  auto b = data::simulate_session_failures(f.gt, f.base, config, pool);
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (std::size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates[i].point, b.updates[i].point);
+    EXPECT_EQ(a.updates[i].origin, b.updates[i].origin);
+    EXPECT_EQ(a.updates[i].path, b.updates[i].path);
+  }
+}
+
+TEST(DynamicsTest, GroundTruthModelRestoredAfterSimulation) {
+  Fixture f;
+  const std::size_t sessions_before = f.gt.model.num_sessions();
+  DynamicsConfig config;
+  config.num_events = 5;
+  bgp::ThreadPool pool(1);
+  data::simulate_session_failures(f.gt, f.base, config, pool);
+  EXPECT_EQ(f.gt.model.num_sessions(), sessions_before);
+}
+
+TEST(DynamicsTest, UpdatesAreRealDifferences) {
+  // An update either differs from the base route or is a withdrawal of it.
+  Fixture f;
+  DynamicsConfig config;
+  config.num_events = 4;
+  bgp::ThreadPool pool(1);
+  auto stream = data::simulate_session_failures(f.gt, f.base, config, pool);
+  std::map<std::pair<std::uint32_t, nb::Asn>, AsPath> base_paths;
+  for (const auto& record : f.base.records)
+    base_paths[{record.point, record.origin}] = record.path;
+  for (const auto& update : stream.updates) {
+    auto it = base_paths.find({update.point, update.origin});
+    if (update.path.has_value() && it != base_paths.end()) {
+      EXPECT_NE(*update.path, it->second);
+    }
+  }
+}
+
+TEST(DynamicsTest, MergeAddsOnlyNewPaths) {
+  Fixture f;
+  DynamicsConfig config;
+  config.num_events = 6;
+  bgp::ThreadPool pool(1);
+  auto stream = data::simulate_session_failures(f.gt, f.base, config, pool);
+  BgpDataset merged = stream.merge_into(f.base);
+  EXPECT_GE(merged.records.size(), f.base.records.size());
+  // No duplicates in the merged dataset.
+  std::set<std::tuple<std::uint32_t, nb::Asn, std::vector<nb::Asn>>> seen;
+  for (const auto& record : merged.records) {
+    EXPECT_TRUE(
+        seen.insert({record.point, record.origin, record.path.hops()})
+            .second);
+  }
+}
+
+TEST(DynamicsTest, RoundTripSerialization) {
+  Fixture f;
+  DynamicsConfig config;
+  config.num_events = 3;
+  bgp::ThreadPool pool(1);
+  auto stream = data::simulate_session_failures(f.gt, f.base, config, pool);
+  std::ostringstream out;
+  data::write_updates(out, stream);
+  std::istringstream in(out.str());
+  std::string error;
+  auto parsed = data::read_updates(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->events.size(), stream.events.size());
+  ASSERT_EQ(parsed->updates.size(), stream.updates.size());
+  for (std::size_t i = 0; i < stream.updates.size(); ++i) {
+    EXPECT_EQ(parsed->updates[i].event, stream.updates[i].event);
+    EXPECT_EQ(parsed->updates[i].path, stream.updates[i].path);
+  }
+}
+
+TEST(DynamicsTest, ReaderRejectsMalformed) {
+  std::string error;
+  std::istringstream bad1("event 1 1.0 2.0\n");  // index must start at 0
+  EXPECT_FALSE(data::read_updates(bad1, &error).has_value());
+  std::istringstream bad2("update 0 0 9 9\n");  // references unknown event
+  EXPECT_FALSE(data::read_updates(bad2, &error).has_value());
+  std::istringstream bad3("event 0 1.0 2.0\nupdate 0 0 9 10 8\n");
+  EXPECT_FALSE(data::read_updates(bad3, &error).has_value());  // wrong origin
+}
+
+TEST(DynamicsTest, NoCandidatesYieldsEmptyStream) {
+  // A two-router network has no session whose endpoints both have >= 2
+  // peers.
+  data::GroundTruth gt;
+  nb::RouterId a = gt.model.add_router(1);
+  nb::RouterId b = gt.model.add_router(2);
+  gt.model.add_session(a, b);
+  BgpDataset base;
+  base.points.push_back({a});
+  bgp::ThreadPool pool(1);
+  auto stream =
+      data::simulate_session_failures(gt, base, DynamicsConfig{}, pool);
+  EXPECT_TRUE(stream.events.empty());
+  EXPECT_TRUE(stream.updates.empty());
+}
+
+}  // namespace

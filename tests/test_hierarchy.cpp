@@ -1,0 +1,117 @@
+// Unit tests for hierarchy classification, clique growth and stub handling.
+#include <gtest/gtest.h>
+
+#include "topology/hierarchy.hpp"
+
+namespace {
+
+using topo::AsGraph;
+using topo::AsPath;
+
+AsGraph clique_plus_tail() {
+  // 1-2-3 clique; 4 hangs off 1; 5 hangs off 4.
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(1, 4);
+  g.add_edge(4, 5);
+  return g;
+}
+
+TEST(CliqueTest, GrowsFromSeedsKeepingCompleteness) {
+  AsGraph g = clique_plus_tail();
+  auto level1 = topo::grow_level1_clique(g, std::vector<nb::Asn>{1, 2});
+  EXPECT_EQ(level1, (std::set<nb::Asn>{1, 2, 3}));
+}
+
+TEST(CliqueTest, IgnoresSeedsMissingFromGraph) {
+  AsGraph g = clique_plus_tail();
+  auto level1 = topo::grow_level1_clique(g, std::vector<nb::Asn>{1, 99});
+  EXPECT_TRUE(level1.count(1));
+  EXPECT_FALSE(level1.count(99));
+}
+
+TEST(CliqueTest, PrefersHighDegreeExtension) {
+  // Two candidates could extend {1,2}: AS 3 (degree 3) and AS 4 (degree 2);
+  // both connect to 1 and 2 but not to each other -- only one can join, and
+  // it must be the higher-degree one.
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(1, 4);
+  g.add_edge(2, 4);
+  g.add_edge(3, 9);  // boosts 3's degree
+  auto level1 = topo::grow_level1_clique(g, std::vector<nb::Asn>{1, 2});
+  EXPECT_TRUE(level1.count(3));
+  EXPECT_FALSE(level1.count(4));
+}
+
+TEST(HierarchyTest, ClassifiesLevels) {
+  AsGraph g = clique_plus_tail();
+  auto h = topo::classify_hierarchy(g, {1, 2, 3});
+  EXPECT_EQ(h.level_of(1), topo::Level::kLevel1);
+  EXPECT_EQ(h.level_of(4), topo::Level::kLevel2);
+  EXPECT_EQ(h.level_of(5), topo::Level::kOther);
+  EXPECT_EQ(h.level2, (std::set<nb::Asn>{4}));
+  EXPECT_EQ(h.other, (std::set<nb::Asn>{5}));
+}
+
+TEST(StubTest, TransitDetectionUsesMiddleOfPath) {
+  AsGraph g = clique_plus_tail();
+  std::vector<AsPath> paths{{1, 4, 5}, {2, 1, 4}};
+  auto stubs = topo::analyze_stubs(g, paths);
+  EXPECT_TRUE(stubs.transit.count(4));
+  EXPECT_TRUE(stubs.transit.count(1));
+  EXPECT_FALSE(stubs.transit.count(5));
+  // 5 is a stub with one neighbor -> single-homed.
+  EXPECT_TRUE(stubs.single_homed.count(5));
+  // 2 and 3 are non-transit; 2 has neighbors {1,3} -> multi-homed.
+  EXPECT_TRUE(stubs.multi_homed.count(2));
+}
+
+TEST(StubTest, RemoveSingleHomedTransfersOrigin) {
+  std::vector<AsPath> paths{{1, 4, 5}, {2, 1, 4, 5}};
+  auto reduced = topo::remove_single_homed_stubs(paths, {5});
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced[0], (AsPath{1, 4}));
+  EXPECT_EQ(reduced[1], (AsPath{2, 1, 4}));
+}
+
+TEST(StubTest, RemoveSingleHomedTrimsObserverSide) {
+  // Observation point inside stub 5: its paths transfer to provider 4.
+  std::vector<AsPath> paths{{5, 4, 1}};
+  auto reduced = topo::remove_single_homed_stubs(paths, {5});
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], (AsPath{4, 1}));
+}
+
+TEST(StubTest, RemoveSingleHomedDropsDuplicates) {
+  std::vector<AsPath> paths{{1, 4, 5}, {1, 4}};
+  auto reduced = topo::remove_single_homed_stubs(paths, {5});
+  EXPECT_EQ(reduced.size(), 1u);
+}
+
+TEST(StubTest, PathCollapsingToOriginKept) {
+  std::vector<AsPath> paths{{4, 5}};
+  auto reduced = topo::remove_single_homed_stubs(paths, {5});
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], (AsPath{4}));
+}
+
+TEST(StubTest, LoopedPathsDropped) {
+  std::vector<AsPath> paths{{1, 2, 1, 5}};
+  auto reduced = topo::remove_single_homed_stubs(paths, {});
+  EXPECT_TRUE(reduced.empty());
+}
+
+TEST(StubTest, ChainOfStubsStripped) {
+  // 6 single-homed behind 5, itself single-homed behind 4.
+  std::vector<AsPath> paths{{1, 4, 5, 6}};
+  auto reduced = topo::remove_single_homed_stubs(paths, {5, 6});
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], (AsPath{1, 4}));
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Tests for the synthetic Internet generator and the ground-truth network:
+// structural invariants the rest of the reproduction depends on.
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.hpp"
+#include "data/internet_gen.hpp"
+
+namespace {
+
+using data::GroundTruthConfig;
+using data::Internet;
+using data::InternetConfig;
+
+InternetConfig small_config(std::uint64_t seed = 1) {
+  InternetConfig config;
+  config.seed = seed;
+  config.num_tier1 = 4;
+  config.num_level2 = 10;
+  config.num_level3 = 20;
+  config.num_stub_multi = 30;
+  config.num_stub_single = 15;
+  return config;
+}
+
+TEST(InternetGenTest, PopulationCounts) {
+  Internet net = data::generate_internet(small_config());
+  EXPECT_EQ(net.tier1.size(), 4u);
+  EXPECT_EQ(net.level2.size(), 10u);
+  EXPECT_EQ(net.level3.size(), 20u);
+  EXPECT_EQ(net.stubs_multi.size(), 30u);
+  EXPECT_EQ(net.stubs_single.size(), 15u);
+  EXPECT_EQ(net.graph.num_nodes(), 4u + 10 + 20 + 30 + 15);
+}
+
+TEST(InternetGenTest, Tier1IsClique) {
+  Internet net = data::generate_internet(small_config());
+  for (nb::Asn a : net.tier1)
+    for (nb::Asn b : net.tier1)
+      if (a != b) {
+        EXPECT_TRUE(net.graph.has_edge(a, b));
+        EXPECT_EQ(net.relationships.get(a, b),
+                  topo::Relationship::kPeerPeer);
+      }
+}
+
+TEST(InternetGenTest, GraphIsConnected) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    Internet net = data::generate_internet(small_config(seed));
+    EXPECT_EQ(net.graph.num_components(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(InternetGenTest, EveryNonTier1HasProvider) {
+  Internet net = data::generate_internet(small_config());
+  auto has_provider = [&](nb::Asn asn) {
+    for (nb::Asn peer : net.graph.neighbors(asn)) {
+      if (net.relationships.get(asn, peer) ==
+          topo::Relationship::kCustomerProvider)
+        return true;
+    }
+    return false;
+  };
+  for (nb::Asn asn : net.level2) EXPECT_TRUE(has_provider(asn)) << asn;
+  for (nb::Asn asn : net.level3) EXPECT_TRUE(has_provider(asn)) << asn;
+  for (nb::Asn asn : net.stubs_multi) EXPECT_TRUE(has_provider(asn)) << asn;
+  for (nb::Asn asn : net.stubs_single) EXPECT_TRUE(has_provider(asn)) << asn;
+}
+
+TEST(InternetGenTest, SingleHomedStubsHaveOneNeighbor) {
+  Internet net = data::generate_internet(small_config());
+  for (nb::Asn asn : net.stubs_single)
+    EXPECT_EQ(net.graph.degree(asn), 1u) << asn;
+  for (nb::Asn asn : net.stubs_multi)
+    EXPECT_GE(net.graph.degree(asn), 2u) << asn;
+}
+
+TEST(InternetGenTest, DeterministicInSeed) {
+  Internet a = data::generate_internet(small_config(7));
+  Internet b = data::generate_internet(small_config(7));
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.prefix_counts, b.prefix_counts);
+  Internet c = data::generate_internet(small_config(8));
+  EXPECT_NE(a.graph.edges(), c.graph.edges());
+}
+
+TEST(InternetGenTest, PrefixCountsPositiveAndCapped) {
+  InternetConfig config = small_config();
+  config.prefix_count_cap = 16;
+  Internet net = data::generate_internet(config);
+  bool any_above_one = false;
+  for (auto& [asn, count] : net.prefix_counts) {
+    EXPECT_GE(count, 1u);
+    EXPECT_LE(count, 16u);
+    any_above_one |= count > 1;
+  }
+  EXPECT_TRUE(any_above_one);  // heavy tail produces multi-prefix ASes
+}
+
+TEST(InternetGenTest, ScaledConfigScalesCounts) {
+  InternetConfig config;  // defaults
+  InternetConfig half = config.scaled(0.5);
+  EXPECT_EQ(half.num_level2, config.num_level2 / 2);
+  EXPECT_GE(half.num_tier1, 3u);
+  InternetConfig tiny = config.scaled(0.0001);
+  EXPECT_GE(tiny.num_tier1, 3u);
+  EXPECT_GE(tiny.num_level2, 1u);
+}
+
+TEST(InternetGenTest, IsStubClassifier) {
+  Internet net = data::generate_internet(small_config());
+  EXPECT_TRUE(net.is_stub(net.stubs_multi.front()));
+  EXPECT_TRUE(net.is_stub(net.stubs_single.back()));
+  EXPECT_FALSE(net.is_stub(net.tier1.front()));
+  EXPECT_FALSE(net.is_stub(net.level3.front()));
+}
+
+TEST(GroundTruthTest, EveryAsHasRouters) {
+  Internet net = data::generate_internet(small_config());
+  GroundTruthConfig config;
+  auto gt = data::build_ground_truth(net, config);
+  for (nb::Asn asn : net.graph.nodes()) {
+    EXPECT_GE(gt.model.routers_of(asn).size(), 1u) << asn;
+  }
+  // Stubs stay single-router.
+  for (nb::Asn asn : net.stubs_single)
+    EXPECT_EQ(gt.model.routers_of(asn).size(), 1u);
+}
+
+TEST(GroundTruthTest, EveryAsEdgeHasAtLeastOneSession) {
+  Internet net = data::generate_internet(small_config());
+  auto gt = data::build_ground_truth(net, GroundTruthConfig{});
+  for (auto [a, b] : net.graph.edges()) {
+    bool any = false;
+    for (topo::Model::Dense r : gt.model.routers_of(a)) {
+      for (topo::Model::Dense peer : gt.model.peers(r)) {
+        any |= gt.model.router_id(peer).asn() == b;
+      }
+    }
+    EXPECT_TRUE(any) << a << "-" << b;
+  }
+}
+
+TEST(GroundTruthTest, SomeAsesHaveMultipleRouters) {
+  Internet net = data::generate_internet(small_config());
+  auto gt = data::build_ground_truth(net, GroundTruthConfig{});
+  std::size_t multi = 0;
+  for (auto& [asn, count] : gt.model.router_counts())
+    if (count > 1) ++multi;
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(GroundTruthTest, IgpCostsAssigned) {
+  Internet net = data::generate_internet(small_config());
+  auto gt = data::build_ground_truth(net, GroundTruthConfig{});
+  bool any_nonzero = false;
+  for (topo::Model::Dense r = 0; r < gt.model.num_routers(); ++r)
+    for (topo::Model::Dense peer : gt.model.peers(r))
+      any_nonzero |= gt.model.igp_cost(r, peer) > 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(GroundTruthTest, RelationshipsAdopted) {
+  Internet net = data::generate_internet(small_config());
+  auto gt = data::build_ground_truth(net, GroundTruthConfig{});
+  auto [a, b] = net.graph.edges().front();
+  EXPECT_NE(gt.model.neighbor_class(a, b), topo::NeighborClass::kUnknown);
+}
+
+TEST(GroundTruthTest, WeirdPoliciesOnlyWhenConfigured) {
+  Internet net = data::generate_internet(small_config());
+  GroundTruthConfig none;
+  none.weird_as_fraction = 0;
+  auto gt = data::build_ground_truth(net, none);
+  EXPECT_TRUE(gt.weird_ases.empty());
+  auto stats = gt.model.policy_stats();
+  EXPECT_EQ(stats.lp_overrides, 0u);
+  EXPECT_EQ(stats.filters, 0u);
+
+  GroundTruthConfig all;
+  all.weird_as_fraction = 1.0;
+  auto gt2 = data::build_ground_truth(net, all);
+  EXPECT_FALSE(gt2.weird_ases.empty());
+  auto stats2 = gt2.model.policy_stats();
+  EXPECT_GT(stats2.lp_overrides + stats2.filters, 0u);
+}
+
+TEST(GroundTruthTest, DeterministicInSeed) {
+  Internet net = data::generate_internet(small_config());
+  auto a = data::build_ground_truth(net, GroundTruthConfig{});
+  auto b = data::build_ground_truth(net, GroundTruthConfig{});
+  EXPECT_EQ(a.model.num_routers(), b.model.num_routers());
+  EXPECT_EQ(a.model.num_sessions(), b.model.num_sessions());
+  EXPECT_EQ(a.weird_ases, b.weird_ases);
+}
+
+}  // namespace

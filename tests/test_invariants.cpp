@@ -1,0 +1,99 @@
+// Structural invariants of fitted models, checked across seeds (TEST_P):
+// these are the properties the refinement's convergence argument rests on
+// (see DESIGN.md "Design notes on faithful mechanics").
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace {
+
+using topo::Model;
+
+class FittedModelInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static core::Pipeline fit(std::uint64_t seed) {
+    return core::run_full_pipeline(core::PipelineConfig::with(0.07, seed));
+  }
+};
+
+TEST_P(FittedModelInvariants, SessionsStayPairwiseComplete) {
+  // Duplication copies every session of the source, so any two routers of
+  // neighboring ASes must share a session -- the completeness property the
+  // filter-deletion step relies on ("sessions exist per construction").
+  auto pipeline = fit(GetParam());
+  ASSERT_TRUE(pipeline.refine_result.success);
+  const Model& model = pipeline.model;
+  for (auto [a, b] : pipeline.graph.edges()) {
+    for (Model::Dense ra : model.routers_of(a)) {
+      for (Model::Dense rb : model.routers_of(b)) {
+        EXPECT_TRUE(model.has_session(model.router_id(ra),
+                                      model.router_id(rb)))
+            << model.router_id(ra).str() << " <-> "
+            << model.router_id(rb).str();
+      }
+    }
+  }
+}
+
+TEST_P(FittedModelInvariants, FilterOwnersAreTheImportingRouter) {
+  // Every refinement-created filter protects exactly the quasi-router it is
+  // installed toward (provenance invariant used by filter deletion).
+  auto pipeline = fit(GetParam());
+  const Model& model = pipeline.model;
+  for (auto& [prefix, policy] : model.prefix_policies()) {
+    for (auto& [key, filter] : policy.filters) {
+      if (!filter.owner_target.valid()) continue;  // ground-truth style rule
+      const nb::RouterId to =
+          nb::RouterId::from_value(static_cast<std::uint32_t>(key));
+      EXPECT_EQ(filter.owner_target, to);
+      EXPECT_TRUE(model.has_router(to));
+    }
+  }
+}
+
+TEST_P(FittedModelInvariants, RankingsNameActualNeighborAses) {
+  auto pipeline = fit(GetParam());
+  const Model& model = pipeline.model;
+  for (auto& [prefix, policy] : model.prefix_policies()) {
+    for (auto& [router_value, rule] : policy.rankings) {
+      const nb::RouterId router = nb::RouterId::from_value(router_value);
+      ASSERT_TRUE(model.has_router(router));
+      bool is_neighbor = false;
+      for (Model::Dense peer : model.peers(model.dense(router)))
+        is_neighbor |= model.router_id(peer).asn() == rule.preferred_neighbor;
+      EXPECT_TRUE(is_neighbor)
+          << router.str() << " prefers non-neighbor AS "
+          << rule.preferred_neighbor;
+    }
+  }
+}
+
+TEST_P(FittedModelInvariants, RouterIndicesAreDensePerAs) {
+  auto pipeline = fit(GetParam());
+  const Model& model = pipeline.model;
+  for (nb::Asn asn : model.asns()) {
+    const auto& routers = model.routers_of(asn);
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      EXPECT_EQ(model.router_id(routers[i]),
+                (nb::RouterId{asn, static_cast<std::uint16_t>(i)}));
+    }
+  }
+}
+
+TEST_P(FittedModelInvariants, FittedModelIsAgnostic) {
+  // The paper's model never uses relationship classes, local-pref overrides
+  // or leaks -- only filters and rankings.
+  auto pipeline = fit(GetParam());
+  auto stats = pipeline.model.policy_stats();
+  EXPECT_EQ(stats.lp_overrides, 0u);
+  EXPECT_EQ(stats.export_allows, 0u);
+  for (auto [a, b] : pipeline.graph.edges()) {
+    EXPECT_EQ(pipeline.model.neighbor_class(a, b),
+              topo::NeighborClass::kUnknown);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FittedModelInvariants,
+                         ::testing::Values(31, 32, 33));
+
+}  // namespace

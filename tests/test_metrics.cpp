@@ -1,0 +1,156 @@
+// Tests for the Section 4.2 match metrics, including the Figure 4 toy
+// example semantics (RIB-In match / potential RIB-Out / RIB-Out).
+#include <gtest/gtest.h>
+
+#include "bgp/engine.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using core::MatchKind;
+using core::MatchStats;
+using core::PathMatch;
+using nb::Asn;
+using nb::Prefix;
+using nb::RouterId;
+using topo::AsPath;
+using topo::Model;
+
+// Two equal-length routes into AS 1 (via 2 and via 3); tie-break picks the
+// route via 2 (lower sender id).
+struct TieBreakFixture {
+  Model model;
+  bgp::PrefixSimResult sim;
+  std::vector<std::uint32_t> ids;
+
+  TieBreakFixture() {
+    topo::AsGraph g;
+    g.add_edge(1, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 4);
+    g.add_edge(3, 4);
+    model = Model::one_router_per_as(g);
+    bgp::Engine engine(model);
+    sim = engine.run(Prefix::for_asn(4), 4);
+    ids = bgp::dense_ids(model);
+  }
+};
+
+TEST(MetricsTest, RibOutMatch) {
+  TieBreakFixture f;
+  PathMatch match =
+      core::classify_path(f.model, f.sim, AsPath{1, 2, 4}, f.ids);
+  EXPECT_EQ(match.kind, MatchKind::kRibOut);
+  EXPECT_EQ(f.model.router_id(match.router), (RouterId{1, 0}));
+}
+
+TEST(MetricsTest, PotentialRibOutLostAtTieBreak) {
+  TieBreakFixture f;
+  PathMatch match =
+      core::classify_path(f.model, f.sim, AsPath{1, 3, 4}, f.ids);
+  EXPECT_EQ(match.kind, MatchKind::kPotentialRibOut);
+  EXPECT_EQ(match.lost_at, bgp::DecisionStep::kTieBreak);
+}
+
+TEST(MetricsTest, RibInOnlyLostAtLength) {
+  // Longer observed path that is received but loses on length.
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  g.add_edge(3, 5);
+  g.add_edge(5, 4);
+  Model m = Model::one_router_per_as(g);
+  bgp::Engine engine(m);
+  auto sim = engine.run(Prefix::for_asn(4), 4);
+  auto ids = bgp::dense_ids(m);
+  PathMatch match = core::classify_path(m, sim, AsPath{1, 3, 5, 4}, ids);
+  EXPECT_EQ(match.kind, MatchKind::kRibInOnly);
+  EXPECT_EQ(match.lost_at, bgp::DecisionStep::kPathLength);
+}
+
+TEST(MetricsTest, NotAvailable) {
+  TieBreakFixture f;
+  PathMatch match =
+      core::classify_path(f.model, f.sim, AsPath{1, 3, 2, 4}, f.ids);
+  EXPECT_EQ(match.kind, MatchKind::kNotAvailable);
+}
+
+TEST(MetricsTest, ObservationAtOriginMatches) {
+  TieBreakFixture f;
+  PathMatch match = core::classify_path(f.model, f.sim, AsPath{4}, f.ids);
+  EXPECT_EQ(match.kind, MatchKind::kRibOut);
+}
+
+TEST(MetricsTest, HasRibOutHelper) {
+  TieBreakFixture f;
+  std::vector<Asn> via2{2, 4};
+  std::vector<Asn> via3{3, 4};
+  EXPECT_TRUE(core::has_rib_out(f.model, f.sim, 1, via2));
+  EXPECT_FALSE(core::has_rib_out(f.model, f.sim, 1, via3));
+}
+
+TEST(MetricsTest, MultiRouterAsAnyRouterCounts) {
+  // Duplicate AS 1's router and rank the duplicate toward AS 3: both
+  // observed paths become RIB-Out matches somewhere in the AS.
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 4);
+  g.add_edge(3, 4);
+  Model m = Model::one_router_per_as(g);
+  RouterId dup = m.duplicate_router(RouterId{1, 0});
+  Prefix p = Prefix::for_asn(4);
+  m.set_ranking(dup, p, 3);
+  bgp::Engine engine(m);
+  auto sim = engine.run(p, 4);
+  auto ids = bgp::dense_ids(m);
+  EXPECT_EQ(core::classify_path(m, sim, AsPath{1, 2, 4}, ids).kind,
+            MatchKind::kRibOut);
+  EXPECT_EQ(core::classify_path(m, sim, AsPath{1, 3, 4}, ids).kind,
+            MatchKind::kRibOut);
+}
+
+TEST(MatchStatsTest, AggregationAndRates) {
+  MatchStats stats;
+  PathMatch rib_out{MatchKind::kRibOut, bgp::DecisionStep::kEqual, 0};
+  PathMatch potential{MatchKind::kPotentialRibOut,
+                      bgp::DecisionStep::kTieBreak, 0};
+  PathMatch rib_in{MatchKind::kRibInOnly, bgp::DecisionStep::kPathLength, 0};
+  PathMatch missing{MatchKind::kNotAvailable, bgp::DecisionStep::kEqual,
+                    Model::kNoRouter};
+  stats.add(rib_out);
+  stats.add(rib_out);
+  stats.add(potential);
+  stats.add(rib_in);
+  stats.add(missing);
+  EXPECT_EQ(stats.total, 5u);
+  EXPECT_DOUBLE_EQ(stats.rib_out_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(stats.potential_or_better_rate(), 0.6);
+  EXPECT_DOUBLE_EQ(stats.rib_in_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(stats.not_available_rate(), 0.2);
+  EXPECT_EQ(stats.lost_at[static_cast<std::size_t>(
+                bgp::DecisionStep::kPathLength)],
+            1u);
+}
+
+TEST(MatchStatsTest, PrefixCoverage) {
+  MatchStats stats;
+  stats.add_prefix_coverage(2, 2);   // 100%
+  stats.add_prefix_coverage(9, 10);  // 90%
+  stats.add_prefix_coverage(1, 2);   // 50%
+  stats.add_prefix_coverage(0, 3);   // 0%
+  stats.add_prefix_coverage(0, 0);   // ignored
+  EXPECT_EQ(stats.prefixes, 4u);
+  EXPECT_EQ(stats.prefixes_50, 3u);
+  EXPECT_EQ(stats.prefixes_90, 2u);
+  EXPECT_EQ(stats.prefixes_100, 1u);
+}
+
+TEST(MetricsTest, KindNames) {
+  EXPECT_STREQ(core::match_kind_name(MatchKind::kRibOut), "rib-out");
+  EXPECT_STREQ(core::match_kind_name(MatchKind::kNotAvailable),
+               "not-available");
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Unit tests for the quasi-router model: construction, duplication,
+// sessions, and per-prefix policy bookkeeping.
+#include <gtest/gtest.h>
+
+#include "topology/model.hpp"
+
+namespace {
+
+using nb::Prefix;
+using nb::RouterId;
+using topo::AsGraph;
+using topo::ExportFilter;
+using topo::Model;
+
+TEST(ModelTest, OneRouterPerAs) {
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Model m = Model::one_router_per_as(g);
+  EXPECT_EQ(m.num_routers(), 3u);
+  EXPECT_EQ(m.num_sessions(), 2u);
+  EXPECT_TRUE(m.has_session(RouterId{1, 0}, RouterId{2, 0}));
+  EXPECT_FALSE(m.has_session(RouterId{1, 0}, RouterId{3, 0}));
+  EXPECT_EQ(m.routers_of(1).size(), 1u);
+}
+
+TEST(ModelTest, AddRouterAssignsSequentialIndices) {
+  Model m;
+  EXPECT_EQ(m.add_router(7), (RouterId{7, 0}));
+  EXPECT_EQ(m.add_router(7), (RouterId{7, 1}));
+  EXPECT_EQ(m.add_router(8), (RouterId{8, 0}));
+  EXPECT_EQ(m.num_ases(), 2u);
+}
+
+TEST(ModelTest, SessionsRejectSameAs) {
+  Model m;
+  RouterId a = m.add_router(7);
+  RouterId b = m.add_router(7);
+  EXPECT_THROW(m.add_session(a, b), std::invalid_argument);
+}
+
+TEST(ModelTest, SessionAddRemoveIdempotent) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  m.add_session(a, b);
+  m.add_session(b, a);
+  EXPECT_EQ(m.num_sessions(), 1u);
+  m.remove_session(a, b);
+  EXPECT_EQ(m.num_sessions(), 0u);
+  m.remove_session(a, b);  // no-op
+  EXPECT_EQ(m.num_sessions(), 0u);
+}
+
+TEST(ModelTest, PeersSortedByRouterId) {
+  Model m;
+  RouterId a = m.add_router(5);
+  RouterId x = m.add_router(9);
+  RouterId y = m.add_router(2);
+  m.add_session(a, x);
+  m.add_session(a, y);
+  const auto& peers = m.peers(m.dense(a));
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(m.router_id(peers[0]), y);  // 2.0 < 9.0
+  EXPECT_EQ(m.router_id(peers[1]), x);
+}
+
+TEST(ModelTest, DuplicateCopiesSessionsAndIgp) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  RouterId c = m.add_router(3);
+  m.add_session(a, b);
+  m.add_session(a, c);
+  m.set_igp_cost(a, b, 7);
+  m.set_igp_cost(b, a, 9);
+  RouterId a2 = m.duplicate_router(a);
+  EXPECT_EQ(a2, (RouterId{1, 1}));
+  EXPECT_TRUE(m.has_session(a2, b));
+  EXPECT_TRUE(m.has_session(a2, c));
+  EXPECT_EQ(m.igp_cost(m.dense(a2), m.dense(b)), 7u);
+  EXPECT_EQ(m.igp_cost(m.dense(b), m.dense(a2)), 9u);
+}
+
+TEST(ModelTest, DuplicateCopiesImportFiltersWithNewOwner) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  m.add_session(a, b);
+  Prefix p = Prefix::for_asn(42);
+  m.set_export_filter(b, a, p, 3, a);
+  RouterId a2 = m.duplicate_router(a);
+  const topo::PrefixPolicy* policy = m.find_policy(p);
+  ASSERT_NE(policy, nullptr);
+  const ExportFilter* copied =
+      m.find_export_filter(m.dense(b), m.dense(a2), policy);
+  ASSERT_NE(copied, nullptr);
+  EXPECT_EQ(copied->deny_below_len, 3u);
+  EXPECT_EQ(copied->owner_target, a2);  // re-owned by the duplicate
+  // Original untouched.
+  const ExportFilter* original =
+      m.find_export_filter(m.dense(b), m.dense(a), policy);
+  ASSERT_NE(original, nullptr);
+  EXPECT_EQ(original->owner_target, a);
+}
+
+TEST(ModelTest, DuplicateCopiesExportFiltersAndRanking) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  m.add_session(a, b);
+  Prefix p = Prefix::for_asn(42);
+  m.set_export_filter(a, b, p, ExportFilter::kDenyAll, nb::kInvalidRouterId);
+  m.set_ranking(a, p, 2);
+  RouterId a2 = m.duplicate_router(a);
+  const topo::PrefixPolicy* policy = m.find_policy(p);
+  const ExportFilter* exported =
+      m.find_export_filter(m.dense(a2), m.dense(b), policy);
+  ASSERT_NE(exported, nullptr);
+  EXPECT_EQ(exported->deny_below_len, ExportFilter::kDenyAll);
+  EXPECT_TRUE(policy->rankings.count(a2.value()));
+}
+
+TEST(ModelTest, DuplicateWithoutPolicies) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  m.add_session(a, b);
+  Prefix p = Prefix::for_asn(42);
+  m.set_ranking(a, p, 2);
+  RouterId a2 = m.duplicate_router(a, /*copy_policies=*/false);
+  EXPECT_FALSE(m.find_policy(p)->rankings.count(a2.value()));
+  EXPECT_TRUE(m.has_session(a2, b));
+}
+
+TEST(ModelTest, RelaxExportFilter) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  m.add_session(a, b);
+  Prefix p = Prefix::for_asn(42);
+  m.set_export_filter(a, b, p, 5, b);
+  m.relax_export_filter(a, b, p, 3);  // length-3 routes must now pass
+  const ExportFilter* f =
+      m.find_export_filter(m.dense(a), m.dense(b), m.find_policy(p));
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->deny_below_len, 3u);
+  EXPECT_FALSE(f->blocks(3));
+  EXPECT_TRUE(f->blocks(2));
+  // Relaxing to a value the filter already allows is a no-op.
+  m.relax_export_filter(a, b, p, 4);
+  EXPECT_EQ(m.find_export_filter(m.dense(a), m.dense(b), m.find_policy(p))
+                ->deny_below_len,
+            3u);
+}
+
+TEST(ModelTest, ClearOwnedRulesRemovesOnlyOwned) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  RouterId c = m.add_router(3);
+  m.add_session(a, b);
+  m.add_session(a, c);
+  m.add_session(b, c);
+  Prefix p = Prefix::for_asn(42);
+  m.set_export_filter(b, a, p, 3, a);  // owned by a (import side of a)
+  m.set_export_filter(c, a, p, 3, a);
+  m.set_export_filter(c, b, p, 9, b);  // owned by b
+  m.set_ranking(a, p, 2);
+  m.clear_owned_rules(p, a);
+  const topo::PrefixPolicy* policy = m.find_policy(p);
+  EXPECT_EQ(m.find_export_filter(m.dense(b), m.dense(a), policy), nullptr);
+  EXPECT_EQ(m.find_export_filter(m.dense(c), m.dense(a), policy), nullptr);
+  EXPECT_NE(m.find_export_filter(m.dense(c), m.dense(b), policy), nullptr);
+  EXPECT_FALSE(policy->rankings.count(a.value()));
+}
+
+TEST(ModelTest, FilterBlocksSemantics) {
+  ExportFilter none;
+  EXPECT_FALSE(none.blocks(0));
+  ExportFilter f{3, nb::kInvalidRouterId};
+  EXPECT_TRUE(f.blocks(2));
+  EXPECT_FALSE(f.blocks(3));
+  ExportFilter all{ExportFilter::kDenyAll, nb::kInvalidRouterId};
+  EXPECT_TRUE(all.blocks(1000000));
+}
+
+TEST(ModelTest, PolicyStats) {
+  Model m;
+  RouterId a = m.add_router(1);
+  RouterId b = m.add_router(2);
+  m.add_session(a, b);
+  m.set_export_filter(a, b, Prefix::for_asn(5), 2, b);
+  m.set_ranking(b, Prefix::for_asn(5), 1);
+  m.set_lp_override(a, Prefix::for_asn(6), 2, 150);
+  auto stats = m.policy_stats();
+  EXPECT_EQ(stats.prefixes_with_policy, 2u);
+  EXPECT_EQ(stats.filters, 1u);
+  EXPECT_EQ(stats.rankings, 1u);
+  EXPECT_EQ(stats.lp_overrides, 1u);
+}
+
+TEST(ModelTest, NeighborClassStorage) {
+  Model m;
+  m.add_router(1);
+  m.add_router(2);
+  m.set_neighbor_class(1, 2, topo::NeighborClass::kCustomer);
+  EXPECT_EQ(m.neighbor_class(1, 2), topo::NeighborClass::kCustomer);
+  EXPECT_EQ(m.neighbor_class(2, 1), topo::NeighborClass::kUnknown);
+}
+
+TEST(ModelTest, RouterCounts) {
+  Model m;
+  m.add_router(1);
+  m.add_router(1);
+  m.add_router(2);
+  auto counts = m.router_counts();
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(ModelTest, DenseLookupThrowsOnUnknown) {
+  Model m;
+  EXPECT_THROW(m.dense(RouterId{1, 0}), std::out_of_range);
+}
+
+}  // namespace

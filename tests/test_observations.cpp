@@ -1,0 +1,170 @@
+// Tests for observation-point placement, dataset extraction and splits.
+#include <gtest/gtest.h>
+
+#include "data/observations.hpp"
+
+namespace {
+
+using data::BgpDataset;
+using data::ObservationConfig;
+using data::ObservedRecord;
+using topo::AsPath;
+
+data::Internet small_net() {
+  data::InternetConfig config;
+  config.seed = 11;
+  config.num_tier1 = 3;
+  config.num_level2 = 6;
+  config.num_level3 = 12;
+  config.num_stub_multi = 15;
+  config.num_stub_single = 8;
+  return data::generate_internet(config);
+}
+
+BgpDataset observe_small(const data::Internet& net, const data::GroundTruth& gt) {
+  ObservationConfig config;
+  config.seed = 13;
+  bgp::ThreadPool pool(1);
+  return data::observe(gt, net, config, pool);
+}
+
+TEST(ObserveTest, RecordsExistAndAreWellFormed) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  auto dataset = observe_small(net, gt);
+  ASSERT_FALSE(dataset.points.empty());
+  ASSERT_FALSE(dataset.records.empty());
+  for (const ObservedRecord& record : dataset.records) {
+    ASSERT_LT(record.point, dataset.points.size());
+    // Path runs observer-first, origin-last.
+    EXPECT_EQ(record.path.observer(),
+              dataset.points[record.point].router.asn());
+    EXPECT_EQ(record.path.origin(), record.origin);
+    EXPECT_FALSE(record.path.has_loop());
+  }
+}
+
+TEST(ObserveTest, EveryPointSeesMostPrefixes) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  auto dataset = observe_small(net, gt);
+  std::map<std::uint32_t, std::size_t> per_point;
+  for (const auto& record : dataset.records) ++per_point[record.point];
+  const std::size_t total_ases = net.graph.num_nodes();
+  for (auto& [point, count] : per_point) {
+    // Weird selective-export policies may hide a few prefixes, but
+    // connectivity guarantees broad reachability.
+    EXPECT_GT(count, total_ases * 3 / 4);
+  }
+}
+
+TEST(ObserveTest, MultiFeedAsesOccur) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  ObservationConfig config;
+  config.seed = 13;
+  config.multi_point_prob = 1.0;  // force multi feeds where possible
+  bgp::ThreadPool pool(1);
+  auto dataset = data::observe(gt, net, config, pool);
+  EXPECT_GT(dataset.multi_feed_ases(), 0u);
+}
+
+TEST(ObserveTest, DeterministicInSeed) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  auto a = observe_small(net, gt);
+  auto b = observe_small(net, gt);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    EXPECT_EQ(a.records[i].path, b.records[i].path);
+}
+
+TEST(DatasetTest, PathsByOriginDedupesAndSorts) {
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{1, 0}});
+  dataset.points.push_back({nb::RouterId{2, 0}});
+  dataset.records.push_back({0, 9, AsPath{1, 5, 9}});
+  dataset.records.push_back({1, 9, AsPath{2, 9}});
+  dataset.records.push_back({0, 9, AsPath{1, 5, 9}});  // duplicate
+  auto by_origin = dataset.paths_by_origin();
+  ASSERT_EQ(by_origin.size(), 1u);
+  ASSERT_EQ(by_origin[9].size(), 2u);
+  EXPECT_EQ(by_origin[9][0], (AsPath{2, 9}));  // shorter first
+  EXPECT_EQ(by_origin[9][1], (AsPath{1, 5, 9}));
+}
+
+TEST(DatasetTest, AsPairCount) {
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{1, 0}});
+  dataset.points.push_back({nb::RouterId{1, 1}});
+  dataset.records.push_back({0, 9, AsPath{1, 9}});
+  dataset.records.push_back({1, 9, AsPath{1, 5, 9}});  // same AS pair
+  dataset.records.push_back({0, 8, AsPath{1, 8}});
+  EXPECT_EQ(dataset.as_pair_count(), 2u);
+}
+
+TEST(ReduceStubsTest, TransfersOriginAndDedupes) {
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{1, 0}});
+  dataset.records.push_back({0, 100, AsPath{1, 7, 100}});
+  dataset.records.push_back({0, 7, AsPath{1, 7}});
+  auto reduced = data::reduce_stubs(dataset, {100});
+  ASSERT_EQ(reduced.records.size(), 1u);
+  EXPECT_EQ(reduced.records[0].origin, 7u);
+  EXPECT_EQ(reduced.records[0].path, (AsPath{1, 7}));
+}
+
+TEST(ReduceStubsTest, ObserverStubTrimmed) {
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{100, 0}});
+  dataset.records.push_back({0, 9, AsPath{100, 7, 9}});
+  auto reduced = data::reduce_stubs(dataset, {100});
+  ASSERT_EQ(reduced.records.size(), 1u);
+  EXPECT_EQ(reduced.records[0].path, (AsPath{7, 9}));
+}
+
+TEST(SplitTest, PointsPartitionRecords) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  auto dataset = observe_small(net, gt);
+  data::SplitConfig config;
+  auto split = data::split_by_points(dataset, config);
+  EXPECT_EQ(split.training.records.size() + split.validation.records.size(),
+            dataset.records.size());
+  EXPECT_FALSE(split.training.records.empty());
+  EXPECT_FALSE(split.validation.records.empty());
+  // No observation point appears on both sides.
+  std::set<std::uint32_t> train_points, val_points;
+  for (const auto& r : split.training.records) train_points.insert(r.point);
+  for (const auto& r : split.validation.records) val_points.insert(r.point);
+  for (std::uint32_t p : train_points) EXPECT_FALSE(val_points.count(p));
+}
+
+TEST(SplitTest, OriginsPartitionRecords) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  auto dataset = observe_small(net, gt);
+  auto split = data::split_by_origins(dataset, data::SplitConfig{});
+  EXPECT_EQ(split.training.records.size() + split.validation.records.size(),
+            dataset.records.size());
+  std::set<nb::Asn> train_origins, val_origins;
+  for (const auto& r : split.training.records) train_origins.insert(r.origin);
+  for (const auto& r : split.validation.records) val_origins.insert(r.origin);
+  for (nb::Asn o : train_origins) EXPECT_FALSE(val_origins.count(o));
+  EXPECT_FALSE(train_origins.empty());
+  EXPECT_FALSE(val_origins.empty());
+}
+
+TEST(SplitTest, TrainingFractionRoughlyHonored) {
+  auto net = small_net();
+  auto gt = data::build_ground_truth(net, data::GroundTruthConfig{});
+  auto dataset = observe_small(net, gt);
+  data::SplitConfig config;
+  config.training_fraction = 0.8;
+  auto split = data::split_by_points(dataset, config);
+  double fraction = static_cast<double>(split.training.records.size()) /
+                    static_cast<double>(dataset.records.size());
+  EXPECT_GT(fraction, 0.5);
+}
+
+}  // namespace

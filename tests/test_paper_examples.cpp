@@ -1,0 +1,253 @@
+// The paper's worked examples, encoded as tests:
+//
+//  * Figure 5 -- refining a 5-AS model for two prefixes: a wrong tie-break
+//    fixed by a ranking policy, and route diversity accommodated by a second
+//    quasi-router plus filter;
+//  * Figure 7 -- filter deletion: a filter installed while fixing one path
+//    blocks another observed path and must be relaxed (toward a duplicate);
+//  * Figure 3 -- a multi-homed origin whose two upstreams hand multiple
+//    paths to the core, requiring several quasi-routers to re-propagate.
+#include <gtest/gtest.h>
+
+#include "bgp/engine.hpp"
+#include "core/metrics.hpp"
+#include "core/predict.hpp"
+#include "core/refine.hpp"
+
+namespace {
+
+using core::MatchKind;
+using data::BgpDataset;
+using nb::Asn;
+using nb::Prefix;
+using nb::RouterId;
+using topo::AsPath;
+using topo::Model;
+
+BgpDataset dataset_at(Asn observer, std::vector<AsPath> paths) {
+  BgpDataset dataset;
+  dataset.points.push_back({RouterId{observer, 0}});
+  for (AsPath& path : paths) {
+    dataset.records.push_back({0, path.origin(), path});
+  }
+  return dataset;
+}
+
+core::EvalResult eval(const Model& model, const BgpDataset& dataset) {
+  return core::evaluate_predictions(model, dataset, core::EvalOptions{});
+}
+
+TEST(Figure5Test, RefinementReproducesBothPrefixes) {
+  // Figure 5 topology: AS1 connects to AS2, AS4, AS5; AS2-AS3; AS4-AS3;
+  // AS5-AS4.  Prefix p1 at AS3, p2 at AS4.  Observed at AS1:
+  //   p1: 1-4-3   (initial simulation wrongly picks 1-2-3 via tie-break)
+  //   p2: 1-4 AND 1-5-4  (diversity: needs a second quasi-router)
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 4);
+  g.add_edge(4, 3);
+  g.add_edge(1, 5);
+  g.add_edge(5, 4);
+
+  BgpDataset training = dataset_at(1, {AsPath{1, 4, 3}, AsPath{1, 4},
+                                       AsPath{1, 5, 4}});
+
+  Model model = Model::one_router_per_as(g);
+
+  // Pre-check the initial defect the paper describes: the simulation picks
+  // 1-2-3 for p1 (tie-break, 2.0 < 4.0), so 1-4-3 is only a potential
+  // RIB-Out match.
+  {
+    bgp::Engine engine(model);
+    auto sim = engine.run(Prefix::for_asn(3), 3);
+    auto ids = bgp::dense_ids(model);
+    auto match = core::classify_path(model, sim, AsPath{1, 4, 3}, ids);
+    EXPECT_EQ(match.kind, MatchKind::kPotentialRibOut);
+    EXPECT_EQ(match.lost_at, bgp::DecisionStep::kTieBreak);
+  }
+
+  core::RefineConfig config;
+  auto result = core::refine_model(model, training, config);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.unmatched_paths, 0u);
+
+  // The paper's outcome: AS 1 ends up with two quasi-routers; all other
+  // ASes keep one.
+  EXPECT_EQ(model.routers_of(1).size(), 2u);
+  EXPECT_EQ(model.routers_of(4).size(), 1u);
+
+  auto outcome = eval(model, training);
+  EXPECT_DOUBLE_EQ(outcome.stats.rib_out_rate(), 1.0);
+
+  // And the fixes are per-prefix: p1's policies exist at prefix p1, not p2.
+  const topo::PrefixPolicy* p1 = model.find_policy(Prefix::for_asn(3));
+  ASSERT_NE(p1, nullptr);
+  EXPECT_FALSE(p1->rankings.empty());
+}
+
+TEST(Figure5Test, RankingRealizesPreferAs4) {
+  // After refinement the quasi-router serving p1 at AS 1 must prefer
+  // routes announced by AS 4 (the paper's "policy at the quasi-router in
+  // AS 1 to prefer routes learned from AS 4 for prefix p1").
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 4);
+  g.add_edge(4, 3);
+  Model model = Model::one_router_per_as(g);
+  BgpDataset training = dataset_at(1, {AsPath{1, 4, 3}});
+  auto result = core::refine_model(model, training, core::RefineConfig{});
+  EXPECT_TRUE(result.success);
+  const topo::PrefixPolicy* policy = model.find_policy(Prefix::for_asn(3));
+  ASSERT_NE(policy, nullptr);
+  auto it = policy->rankings.find(RouterId{1, 0}.value());
+  ASSERT_NE(it, policy->rankings.end());
+  EXPECT_EQ(it->second.preferred_neighbor, 4u);
+}
+
+TEST(Figure7Test, FilterDeletionUnblocksObservedPath) {
+  // Fig. 7 situation, constructed directly: an earlier refinement episode
+  // left a filter on the session AS7 -> AS1 (owned by AS1's quasi-router,
+  // protecting its assigned path) that blocks the observed path 1-7-5-9.
+  // The heuristic must detect the RIB-Out match at the announcing neighbor,
+  // relax the filter -- toward a fresh duplicate, because the filter's owner
+  // protects another path -- and converge.
+  topo::AsGraph g;
+  g.add_edge(1, 7);
+  g.add_edge(7, 4);
+  g.add_edge(7, 5);
+  g.add_edge(4, 9);
+  g.add_edge(5, 9);
+
+  Model model = Model::one_router_per_as(g);
+  const Prefix p = Prefix::for_asn(9);
+  // The pre-existing filter: deny routes shorter than length 4 toward AS 1
+  // (blocks every real route to prefix 9, lengths <= 3), owned by 1.0.
+  model.set_export_filter(RouterId{7, 0}, RouterId{1, 0}, p, 4,
+                          RouterId{1, 0});
+
+  BgpDataset training = dataset_at(1, {AsPath{1, 7, 5, 9}});
+  auto result = core::refine_model(model, training, core::RefineConfig{});
+  EXPECT_TRUE(result.success) << result.unmatched_paths << " unmatched";
+  EXPECT_GT(result.filters_relaxed, 0u) << "expected Fig. 7 filter deletion";
+  // The blocked path landed on a duplicate: AS 1 now has two quasi-routers
+  // ("the removal of the filter leads to the creation of a new quasi-router
+  // at AS 1").
+  EXPECT_GE(model.routers_of(1).size(), 2u);
+  auto outcome = eval(model, training);
+  EXPECT_DOUBLE_EQ(outcome.stats.rib_out_rate(), 1.0);
+}
+
+TEST(Figure7Test, UnownedFilterRelaxedInPlace) {
+  // Same situation but the blocking filter has no owner (e.g. hand-written
+  // config): it is relaxed in place, no duplicate needed.
+  topo::AsGraph g;
+  g.add_edge(1, 7);
+  g.add_edge(7, 5);
+  g.add_edge(5, 9);
+  Model model = Model::one_router_per_as(g);
+  const Prefix p = Prefix::for_asn(9);
+  model.set_export_filter(RouterId{7, 0}, RouterId{1, 0}, p,
+                          topo::ExportFilter::kDenyAll, nb::kInvalidRouterId);
+  BgpDataset training = dataset_at(1, {AsPath{1, 7, 5, 9}});
+  auto result = core::refine_model(model, training, core::RefineConfig{});
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.filters_relaxed, 0u);
+  EXPECT_EQ(model.routers_of(1).size(), 1u);
+}
+
+TEST(Figure3Test, MultiHomedOriginDiversityReachesCore) {
+  // Figure 3 flavor: origin AS 24249 is multi-homed to AS 4694 and 4651;
+  // both propagate to a "tier-1" AS 5511 that must carry several distinct
+  // paths onward.  We check that refinement equips the core AS with enough
+  // quasi-routers to re-advertise every observed path.
+  topo::AsGraph g;
+  const Asn origin = 24249, up1 = 4694, up2 = 4651, core1 = 5511,
+            obs = 2914;
+  g.add_edge(origin, up1);
+  g.add_edge(origin, up2);
+  g.add_edge(up1, core1);
+  g.add_edge(up2, core1);
+  g.add_edge(core1, obs);
+
+  BgpDataset training = dataset_at(
+      obs, {AsPath{obs, core1, up1, origin}, AsPath{obs, core1, up2, origin}});
+  Model model = Model::one_router_per_as(g);
+  auto result = core::refine_model(model, training, core::RefineConfig{});
+  EXPECT_TRUE(result.success);
+  // AS 5511 must be modeled by at least two quasi-routers (paper: "it needs
+  // to be modeled by at least two different routers").
+  EXPECT_GE(model.routers_of(core1).size(), 2u);
+  auto outcome = eval(model, training);
+  EXPECT_DOUBLE_EQ(outcome.stats.rib_out_rate(), 1.0);
+}
+
+TEST(Figure6Test, IterationsBoundedByPathLengthMultiple) {
+  // The paper: "Perfect RIB-Out matches are achieved after a total number
+  // of iterations that is a multiple of the maximum AS-path length."
+  // A long chain with a forced non-shortest observed path must converge in
+  // a small multiple of its length.
+  topo::AsGraph g;
+  // Chain 1-2-3-4-5-6 plus shortcut 1-6 making the chain non-shortest.
+  for (Asn a = 1; a < 6; ++a) g.add_edge(a, a + 1);
+  g.add_edge(1, 6);
+  BgpDataset training =
+      dataset_at(1, {AsPath{1, 2, 3, 4, 5, 6}});
+  Model model = Model::one_router_per_as(g);
+  auto result = core::refine_model(model, training, core::RefineConfig{});
+  EXPECT_TRUE(result.success);
+  EXPECT_LE(result.iterations, 3u * 6u);
+}
+
+TEST(AblationTest, NoDuplicationCannotCarryDiversity) {
+  // Without quasi-router duplication, two simultaneous paths at one AS are
+  // impossible -- exactly the single-router limitation of Section 3.3.
+  topo::AsGraph g;
+  g.add_edge(1, 4);
+  g.add_edge(1, 5);
+  g.add_edge(5, 4);
+  BgpDataset training = dataset_at(1, {AsPath{1, 4}, AsPath{1, 5, 4}});
+  Model model = Model::one_router_per_as(g);
+  core::RefineConfig config;
+  config.allow_duplication = false;
+  auto result = core::refine_model(model, training, config);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(model.routers_of(1).size(), 1u);
+  EXPECT_GT(result.unmatched_paths, 0u);
+}
+
+TEST(AblationTest, NoFiltersCannotForceLongerPath) {
+  // Without filters a longer-than-best observed path cannot be selected
+  // (length is evaluated before MED).
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  g.add_edge(3, 5);
+  g.add_edge(5, 4);
+  BgpDataset training = dataset_at(1, {AsPath{1, 3, 5, 4}});
+  Model model = Model::one_router_per_as(g);
+  core::RefineConfig config;
+  config.allow_filters = false;
+  auto result = core::refine_model(model, training, config);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(AblationTest, NoRankingStillFixableByFilters) {
+  // A pure tie-break defect can be fixed by filters alone (blocking the
+  // equal-length competitor), so disabling ranking must not break this case.
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 4);
+  g.add_edge(4, 3);
+  BgpDataset training = dataset_at(1, {AsPath{1, 4, 3}});
+  Model model = Model::one_router_per_as(g);
+  core::RefineConfig config;
+  config.allow_ranking = false;
+  auto result = core::refine_model(model, training, config);
+  EXPECT_TRUE(result.success) << result.unmatched_paths;
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// End-to-end pipeline integration tests at small scale.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::PipelineConfig config = core::PipelineConfig::with(0.1, 3);
+    pipeline_ = new core::Pipeline(core::run_full_pipeline(config));
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static core::Pipeline* pipeline_;
+};
+
+core::Pipeline* PipelineFixture::pipeline_ = nullptr;
+
+TEST_F(PipelineFixture, DataStagesProduceConsistentDataset) {
+  const auto& p = *pipeline_;
+  EXPECT_GT(p.dataset.points.size(), 0u);
+  EXPECT_GT(p.dataset.records.size(), 0u);
+  EXPECT_LE(p.dataset.records.size(), p.raw_dataset.records.size());
+  // Reduced dataset contains no single-homed stub hop.
+  for (const auto& record : p.dataset.records) {
+    for (nb::Asn hop : record.path.hops())
+      EXPECT_FALSE(p.single_homed.count(hop)) << hop;
+  }
+}
+
+TEST_F(PipelineFixture, GraphCoversAllRecordedHops) {
+  const auto& p = *pipeline_;
+  for (const auto& record : p.dataset.records) {
+    const auto& hops = record.path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+      EXPECT_TRUE(p.graph.has_edge(hops[i], hops[i + 1]));
+  }
+}
+
+TEST_F(PipelineFixture, HierarchyFindsAClique) {
+  const auto& p = *pipeline_;
+  EXPECT_GE(p.hierarchy.level1.size(), 3u);
+  for (nb::Asn a : p.hierarchy.level1) {
+    for (nb::Asn b : p.hierarchy.level1) {
+      if (a != b) {
+        EXPECT_TRUE(p.graph.has_edge(a, b));
+      }
+    }
+  }
+}
+
+TEST_F(PipelineFixture, DetectedCliqueMatchesGeneratorTier1) {
+  // The seeded clique growth should rediscover the generator's tier-1 core
+  // (it may legitimately add other fully-meshed ASes).
+  const auto& p = *pipeline_;
+  std::size_t found = 0;
+  for (nb::Asn asn : p.internet.tier1)
+    found += p.hierarchy.level1.count(asn);
+  EXPECT_GE(found, p.internet.tier1.size() - 1);
+}
+
+TEST_F(PipelineFixture, TrainingReachesExactMatch) {
+  const auto& p = *pipeline_;
+  EXPECT_TRUE(p.refine_result.success);
+  EXPECT_DOUBLE_EQ(p.training_eval.stats.rib_out_rate(), 1.0);
+  EXPECT_EQ(p.training_eval.stats.not_available, 0u);
+}
+
+TEST_F(PipelineFixture, ValidationBeatsThePaperHeadline) {
+  // Section 5 headline: >80% of held-out paths match down to the final
+  // tie-break.
+  const auto& p = *pipeline_;
+  EXPECT_GT(p.validation_eval.stats.total, 0u);
+  EXPECT_GT(p.validation_eval.stats.potential_or_better_rate(), 0.8);
+  // And RIB-In (availability) should be near the ceiling.
+  EXPECT_GT(p.validation_eval.stats.rib_in_rate(), 0.85);
+}
+
+TEST_F(PipelineFixture, ModelGrewQuasiRouters) {
+  const auto& p = *pipeline_;
+  EXPECT_GT(p.model.num_routers(), p.graph.num_nodes());
+  std::size_t multi = 0;
+  for (auto& [asn, count] : p.model.router_counts())
+    if (count > 1) ++multi;
+  EXPECT_GT(multi, 0u);
+}
+
+TEST_F(PipelineFixture, ReportsRenderNonEmpty) {
+  const auto& p = *pipeline_;
+  EXPECT_FALSE(core::render_refine_log(p.refine_result).empty());
+  EXPECT_FALSE(
+      core::render_validation("validation", p.validation_eval.stats).empty());
+}
+
+TEST(PipelineDeterminismTest, SameSeedSameResults) {
+  core::PipelineConfig config = core::PipelineConfig::with(0.08, 9);
+  auto a = core::run_full_pipeline(config);
+  auto b = core::run_full_pipeline(config);
+  EXPECT_EQ(a.dataset.records.size(), b.dataset.records.size());
+  EXPECT_EQ(a.model.num_routers(), b.model.num_routers());
+  EXPECT_EQ(a.refine_result.iterations, b.refine_result.iterations);
+  EXPECT_EQ(a.validation_eval.stats.rib_out, b.validation_eval.stats.rib_out);
+  EXPECT_EQ(a.validation_eval.stats.potential_rib_out,
+            b.validation_eval.stats.potential_rib_out);
+}
+
+TEST(PipelineDeterminismTest, DifferentSeedDifferentData) {
+  auto a = core::run_full_pipeline(core::PipelineConfig::with(0.08, 9));
+  auto c = core::run_full_pipeline(core::PipelineConfig::with(0.08, 10));
+  EXPECT_NE(a.dataset.records.size(), c.dataset.records.size());
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Unit tests for relationship storage and the Section 3.3 inference
+// heuristic (tier-1 peering declaration + valley-free constraint
+// propagation + degree vote).
+#include <gtest/gtest.h>
+
+#include "topology/relationships.hpp"
+
+namespace {
+
+using topo::AsGraph;
+using topo::AsPath;
+using topo::NeighborClass;
+using topo::Relationship;
+using topo::RelationshipMap;
+
+TEST(RelationshipMapTest, OrientationIsConsistent) {
+  RelationshipMap rels;
+  rels.set(10, 20, Relationship::kProviderCustomer);  // 10 provides for 20
+  EXPECT_EQ(rels.get(10, 20), Relationship::kProviderCustomer);
+  EXPECT_EQ(rels.get(20, 10), Relationship::kCustomerProvider);
+  rels.set(30, 5, Relationship::kCustomerProvider);  // 30 is customer of 5
+  EXPECT_EQ(rels.get(5, 30), Relationship::kProviderCustomer);
+}
+
+TEST(RelationshipMapTest, UnknownByDefault) {
+  RelationshipMap rels;
+  EXPECT_EQ(rels.get(1, 2), Relationship::kUnknown);
+}
+
+TEST(RelationshipMapTest, NeighborClassification) {
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::kProviderCustomer);
+  rels.set(1, 3, Relationship::kPeerPeer);
+  rels.set(1, 4, Relationship::kSibling);
+  EXPECT_EQ(rels.classify_neighbor(1, 2), NeighborClass::kCustomer);
+  EXPECT_EQ(rels.classify_neighbor(2, 1), NeighborClass::kProvider);
+  EXPECT_EQ(rels.classify_neighbor(1, 3), NeighborClass::kPeer);
+  EXPECT_EQ(rels.classify_neighbor(1, 4), NeighborClass::kPeer);  // footnote 2
+  EXPECT_EQ(rels.classify_neighbor(1, 9), NeighborClass::kUnknown);
+}
+
+TEST(RelationshipMapTest, CountsByGraphEdges) {
+  AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::kProviderCustomer);
+  rels.set(1, 3, Relationship::kPeerPeer);
+  auto counts = rels.counts(g);
+  EXPECT_EQ(counts.customer_provider, 1u);
+  EXPECT_EQ(counts.peer_peer, 1u);
+  EXPECT_EQ(counts.unknown, 1u);
+}
+
+TEST(InferenceTest, Tier1EdgesBecomePeerings) {
+  AsGraph g;
+  g.add_edge(11, 12);
+  g.add_edge(11, 100);
+  std::vector<AsPath> paths{{100, 11, 12}};
+  auto rels = infer_relationships(g, {11, 12}, paths);
+  EXPECT_EQ(rels.get(11, 12), Relationship::kPeerPeer);
+}
+
+TEST(InferenceTest, PeerEdgeForcesDownhillToTheRight) {
+  // Path 100 11 12 200: 11-12 is a tier-1 peering, so 12->200 must be
+  // provider->customer.
+  AsGraph g;
+  g.add_edge(100, 11);
+  g.add_edge(11, 12);
+  g.add_edge(12, 200);
+  std::vector<AsPath> paths{{100, 11, 12, 200}};
+  auto rels = infer_relationships(g, {11, 12}, paths);
+  EXPECT_EQ(rels.get(12, 200), Relationship::kProviderCustomer);
+  // Left of the peering must be uphill: 100 is a customer of 11.
+  EXPECT_EQ(rels.get(100, 11), Relationship::kCustomerProvider);
+}
+
+TEST(InferenceTest, DegreeVoteFallback) {
+  // Star around 50 (high degree): leaves vote 50 as provider.
+  AsGraph g;
+  for (nb::Asn leaf : {1, 2, 3, 4}) g.add_edge(50, leaf);
+  std::vector<AsPath> paths{{1, 50, 2}, {3, 50, 4}};
+  auto rels = infer_relationships(g, {}, paths);
+  EXPECT_EQ(rels.get(1, 50), Relationship::kCustomerProvider);
+  EXPECT_EQ(rels.get(50, 2), Relationship::kProviderCustomer);
+}
+
+TEST(InferenceTest, ConflictingForcesYieldSibling) {
+  // Two paths force the edge 1-2 in both directions via peerings at
+  // opposite ends.
+  AsGraph g;
+  g.add_edge(11, 12);  // tier-1 peering
+  g.add_edge(12, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 11);
+  std::vector<AsPath> paths{
+      {11, 12, 1, 2},  // forces 1->2 downhill (2 customer of 1)
+      {12, 11, 2, 1},  // forces 2->1 downhill (1 customer of 2)
+  };
+  auto rels = infer_relationships(g, {11, 12}, paths);
+  EXPECT_EQ(rels.get(1, 2), Relationship::kSibling);
+}
+
+TEST(ValleyFreeTest, AcceptsAndRejects) {
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::kCustomerProvider);  // 1 customer of 2
+  rels.set(2, 3, Relationship::kPeerPeer);
+  rels.set(3, 4, Relationship::kProviderCustomer);  // 3 provides for 4
+
+  // up, peer, down -- classic valley-free.
+  std::vector<AsPath> good{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(valley_free_fraction(rels, good), 1.0);
+
+  // down then up is a valley: 3->4 is downhill, then 4->3... construct
+  // explicitly: path 2 3 4 then back up requires an uphill edge after a
+  // peer/downhill.
+  RelationshipMap bad;
+  bad.set(1, 2, Relationship::kProviderCustomer);  // downhill 1->2
+  bad.set(2, 3, Relationship::kCustomerProvider);  // uphill 2->3
+  std::vector<AsPath> valley{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(valley_free_fraction(bad, valley), 0.0);
+}
+
+TEST(ValleyFreeTest, TwoPeerEdgesRejected) {
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::kPeerPeer);
+  rels.set(2, 3, Relationship::kPeerPeer);
+  std::vector<AsPath> paths{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(valley_free_fraction(rels, paths), 0.0);
+}
+
+TEST(ValleyFreeTest, UnknownEdgesArePermissive) {
+  RelationshipMap rels;
+  std::vector<AsPath> paths{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(valley_free_fraction(rels, paths), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Tests for the paper-style report rendering.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace {
+
+core::MatchStats sample_stats() {
+  core::MatchStats stats;
+  // 10 paths: 4 RIB-Out, 2 potential (tie-break), 1 length loss, 1 med
+  // loss, 2 unavailable.
+  for (int i = 0; i < 4; ++i)
+    stats.add({core::MatchKind::kRibOut, bgp::DecisionStep::kEqual, 0});
+  for (int i = 0; i < 2; ++i)
+    stats.add({core::MatchKind::kPotentialRibOut,
+               bgp::DecisionStep::kTieBreak, 0});
+  stats.add({core::MatchKind::kRibInOnly, bgp::DecisionStep::kPathLength, 0});
+  stats.add({core::MatchKind::kRibInOnly, bgp::DecisionStep::kMed, 0});
+  for (int i = 0; i < 2; ++i)
+    stats.add({core::MatchKind::kNotAvailable, bgp::DecisionStep::kEqual,
+               topo::Model::kNoRouter});
+  stats.add_prefix_coverage(4, 4);
+  stats.add_prefix_coverage(1, 3);
+  return stats;
+}
+
+TEST(ReportTest, MatchBreakdownPercentages) {
+  std::string text = core::render_match_breakdown("model", sample_stats());
+  EXPECT_NE(text.find("40.0%"), std::string::npos);  // agree
+  EXPECT_NE(text.find("60.0%"), std::string::npos);  // disagree
+  EXPECT_NE(text.find("20.0%"), std::string::npos);  // not available / tie
+  EXPECT_NE(text.find("10.0%"), std::string::npos);  // shorter path
+}
+
+TEST(ReportTest, Table2HasPaperColumns) {
+  std::string text = core::render_table2(sample_stats(), sample_stats());
+  EXPECT_NE(text.find("23.5%"), std::string::npos);
+  EXPECT_NE(text.find("12.5%"), std::string::npos);
+  EXPECT_NE(text.find("Shortest Path"), std::string::npos);
+  EXPECT_NE(text.find("lowest neighbor ID"), std::string::npos);
+}
+
+TEST(ReportTest, ValidationRates) {
+  std::string text = core::render_validation("val", sample_stats());
+  // RIB-Out 40%, down-to-tie-break 60%, RIB-In 80%.
+  EXPECT_NE(text.find("40.0%"), std::string::npos);
+  EXPECT_NE(text.find("60.0%"), std::string::npos);
+  EXPECT_NE(text.find("80.0%"), std::string::npos);
+  // Coverage: 2 prefixes, 1 full (50.0%), >=50%: 1 of... 4/4=100% and 1/3.
+  EXPECT_NE(text.find("prefixes evaluated"), std::string::npos);
+}
+
+TEST(ReportTest, RefineLogRendersRows) {
+  core::RefineResult result;
+  result.success = true;
+  result.iterations = 2;
+  core::RefineIterationLog log;
+  log.iteration = 1;
+  log.paths_total = 10;
+  log.paths_matched = 7;
+  log.routers = 42;
+  result.log.push_back(log);
+  log.iteration = 2;
+  log.paths_matched = 10;
+  result.log.push_back(log);
+  std::string text = core::render_refine_log(result);
+  EXPECT_NE(text.find("converged: yes"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("iterations: 2"), std::string::npos);
+}
+
+TEST(ReportTest, RefineLogReportsFailure) {
+  core::RefineResult result;
+  result.success = false;
+  result.unmatched_paths = 3;
+  std::string text = core::render_refine_log(result);
+  EXPECT_NE(text.find("NO"), std::string::npos);
+  EXPECT_NE(text.find("unmatched paths: 3"), std::string::npos);
+}
+
+TEST(ReportTest, Table1RendersPercentiles) {
+  data::DiversityStats stats;
+  for (std::uint64_t v : {1, 1, 2, 2, 3, 5, 11}) {
+    stats.max_unique_received.add(v);
+  }
+  std::string text = core::render_table1(stats);
+  EXPECT_NE(text.find("Percentile"), std::string::npos);
+  EXPECT_NE(text.find(">10"), std::string::npos);  // paper column
+}
+
+TEST(ReportTest, Table1HandlesEmpty) {
+  data::DiversityStats stats;
+  std::string text = core::render_table1(stats);
+  EXPECT_NE(text.find("-"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Tests for the RIB-dump text format.
+#include <gtest/gtest.h>
+
+#include "data/rib_io.hpp"
+
+namespace {
+
+using data::BgpDataset;
+using topo::AsPath;
+
+BgpDataset sample() {
+  BgpDataset dataset;
+  dataset.points.push_back({nb::RouterId{701, 0}});
+  dataset.points.push_back({nb::RouterId{1239, 2}});
+  dataset.records.push_back({0, 9, AsPath{701, 5, 9}});
+  dataset.records.push_back({1, 9, AsPath{1239, 9}});
+  dataset.records.push_back({1, 7, AsPath{1239, 5, 7}});
+  return dataset;
+}
+
+TEST(RibIoTest, RoundTrip) {
+  BgpDataset original = sample();
+  std::string text = data::dataset_to_string(original);
+  std::string error;
+  auto parsed = data::dataset_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->points.size(), original.points.size());
+  for (std::size_t i = 0; i < original.points.size(); ++i)
+    EXPECT_EQ(parsed->points[i].router, original.points[i].router);
+  ASSERT_EQ(parsed->records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(parsed->records[i].point, original.records[i].point);
+    EXPECT_EQ(parsed->records[i].origin, original.records[i].origin);
+    EXPECT_EQ(parsed->records[i].path, original.records[i].path);
+  }
+}
+
+TEST(RibIoTest, CommentsAndBlanksIgnored) {
+  std::string text =
+      "# heading\n\npoint 0 10.1\n  # indented comment\nroute 0 9 10 9\n";
+  auto parsed = data::dataset_from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->records.size(), 1u);
+}
+
+TEST(RibIoTest, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(data::dataset_from_string("bogus 1 2\n", &error).has_value());
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+}
+
+TEST(RibIoTest, RejectsOutOfOrderPoints) {
+  std::string error;
+  EXPECT_FALSE(
+      data::dataset_from_string("point 1 10.0\n", &error).has_value());
+  EXPECT_NE(error.find("dense"), std::string::npos);
+}
+
+TEST(RibIoTest, RejectsRouteWithUnknownPoint) {
+  std::string error;
+  EXPECT_FALSE(
+      data::dataset_from_string("route 0 9 10 9\n", &error).has_value());
+}
+
+TEST(RibIoTest, RejectsPathNotEndingAtOrigin) {
+  std::string error;
+  std::string text = "point 0 10.0\nroute 0 9 10 8\n";
+  EXPECT_FALSE(data::dataset_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("origin"), std::string::npos);
+}
+
+TEST(RibIoTest, RejectsMalformedRouterId) {
+  std::string error;
+  EXPECT_FALSE(
+      data::dataset_from_string("point 0 banana\n", &error).has_value());
+}
+
+TEST(RibIoTest, ErrorIncludesLineNumber) {
+  std::string error;
+  std::string text = "point 0 10.0\nbroken\n";
+  EXPECT_FALSE(data::dataset_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(RibIoTest, EmptyInputYieldsEmptyDataset) {
+  auto parsed = data::dataset_from_string("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->points.empty());
+  EXPECT_TRUE(parsed->records.empty());
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Thread-pool tests (single- and multi-thread paths).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "bgp/threadpool.hpp"
+
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  bgp::ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, AllIndicesProcessedExactlyOnce) {
+  bgp::ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  bgp::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  bgp::ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<long>(i); });
+  }
+  EXPECT_EQ(sum.load(), 10 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, DefaultSizeAtLeastOne) {
+  bgp::ThreadPool pool;
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for the what-if engine (the paper's motivating application) and the
+// route-selection explanation helper.
+#include <gtest/gtest.h>
+
+#include "bgp/explain.hpp"
+#include "core/pipeline.hpp"
+#include "core/whatif.hpp"
+
+namespace {
+
+using core::WhatIfOptions;
+using core::WhatIfScenario;
+using nb::Asn;
+using nb::Prefix;
+using nb::RouterId;
+using topo::Model;
+
+Model diamond() {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  g.add_edge(3, 4);
+  return Model::one_router_per_as(g);
+}
+
+TEST(WhatIfTest, EmptyScenarioChangesNothing) {
+  Model base = diamond();
+  auto result = core::evaluate_whatif(base, WhatIfScenario{}, {4});
+  EXPECT_EQ(result.pairs_changed, 0u);
+  EXPECT_EQ(result.prefixes_evaluated, 1u);
+  EXPECT_EQ(result.pairs_evaluated, 4u);
+}
+
+TEST(WhatIfTest, DePeeringReroutesTraffic) {
+  Model base = diamond();
+  WhatIfScenario scenario;
+  scenario.remove_as_links.push_back({1, 2});  // kill the preferred side
+  auto result = core::evaluate_whatif(base, scenario, {4});
+  EXPECT_GT(result.pairs_changed, 0u);
+  // AS 1 must switch from 1-2-4 to 1-3-4.
+  bool found = false;
+  for (const auto& change : result.changes) {
+    if (change.observer != 1) continue;
+    found = true;
+    EXPECT_TRUE(change.before.count({1, 2, 4}));
+    EXPECT_TRUE(change.after.count({1, 3, 4}));
+    EXPECT_FALSE(change.lost_reachability());
+  }
+  EXPECT_TRUE(found);
+  // The base model is untouched.
+  EXPECT_TRUE(base.has_session(RouterId{1, 0}, RouterId{2, 0}));
+}
+
+TEST(WhatIfTest, CuttingOnlyLinkLosesReachability) {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  Model base = Model::one_router_per_as(g);
+  WhatIfScenario scenario;
+  scenario.remove_as_links.push_back({2, 4});
+  auto result = core::evaluate_whatif(base, scenario, {4});
+  EXPECT_GE(result.pairs_lost_reachability, 2u);  // both AS 1 and AS 2
+}
+
+TEST(WhatIfTest, AddingPeeringShortensPath) {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  Model base = Model::one_router_per_as(g);
+  WhatIfScenario scenario;
+  scenario.add_as_links.push_back({1, 4});
+  auto result = core::evaluate_whatif(base, scenario, {4});
+  bool found = false;
+  for (const auto& change : result.changes) {
+    if (change.observer != 1) continue;
+    found = true;
+    EXPECT_TRUE(change.after.count({1, 4}));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WhatIfTest, PrefixDenyIsPrefixScoped) {
+  Model base = diamond();
+  WhatIfScenario scenario;
+  scenario.deny_prefix.push_back({2, 1, Prefix::for_asn(4)});
+  auto result = core::evaluate_whatif(base, scenario, {4});
+  EXPECT_GT(result.pairs_changed, 0u);
+  // A different prefix is unaffected.
+  auto other = core::evaluate_whatif(base, scenario, {2});
+  EXPECT_EQ(other.pairs_changed, 0u);
+}
+
+TEST(WhatIfTest, ObserverFilterRestrictsDiff) {
+  Model base = diamond();
+  WhatIfScenario scenario;
+  scenario.remove_as_links.push_back({1, 2});
+  WhatIfOptions options;
+  options.observers = {3};  // AS 3's routing does not change
+  auto result = core::evaluate_whatif(base, scenario, {4}, options);
+  EXPECT_EQ(result.pairs_evaluated, 1u);
+  EXPECT_EQ(result.pairs_changed, 0u);
+}
+
+TEST(WhatIfTest, MaxChangesCapsDetailNotCounts) {
+  Model base = diamond();
+  WhatIfScenario scenario;
+  scenario.remove_as_links.push_back({1, 2});
+  scenario.remove_as_links.push_back({3, 4});
+  WhatIfOptions options;
+  options.max_changes = 1;
+  auto result = core::evaluate_whatif(base, scenario, {4}, options);
+  EXPECT_EQ(result.changes.size(), 1u);
+  EXPECT_GT(result.pairs_changed, 1u);
+}
+
+TEST(WhatIfTest, OnFittedModelDePeeringOnlyAffectsPathsThroughLink) {
+  auto pipeline = core::run_full_pipeline(core::PipelineConfig::with(0.06, 4));
+  ASSERT_TRUE(pipeline.refine_result.success);
+  // Remove one level-2 <-> tier-1 link and check the diff is consistent:
+  // every changed pair's before-set contained a path through the removed
+  // link, or its after-set differs due to rerouting around it.
+  Asn level2 = *pipeline.hierarchy.level2.begin();
+  Asn tier1 = nb::kInvalidAsn;
+  for (Asn neighbor : pipeline.graph.neighbors(level2)) {
+    if (pipeline.hierarchy.level1.count(neighbor)) {
+      tier1 = neighbor;
+      break;
+    }
+  }
+  ASSERT_NE(tier1, nb::kInvalidAsn);
+  WhatIfScenario scenario;
+  scenario.remove_as_links.push_back({level2, tier1});
+  std::vector<Asn> origins = pipeline.model.asns();
+  origins.resize(std::min<std::size_t>(origins.size(), 25));
+  auto result = core::evaluate_whatif(pipeline.model, scenario, origins);
+  for (const auto& change : result.changes) {
+    bool before_used_link = false;
+    for (const auto& path : change.before) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if ((path[i] == level2 && path[i + 1] == tier1) ||
+            (path[i] == tier1 && path[i + 1] == level2))
+          before_used_link = true;
+      }
+    }
+    bool after_differs = change.before != change.after;
+    EXPECT_TRUE(before_used_link || after_differs);
+    // No path through the removed link may survive.
+    for (const auto& path : change.after) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_FALSE((path[i] == level2 && path[i + 1] == tier1) ||
+                     (path[i] == tier1 && path[i + 1] == level2));
+      }
+    }
+  }
+}
+
+TEST(ExplainTest, ReportsBestAndLossSteps) {
+  Model base = diamond();
+  bgp::Engine engine(base);
+  auto sim = engine.run(Prefix::for_asn(4), 4);
+  auto explanation =
+      bgp::explain_selection(base, sim, base.dense(RouterId{1, 0}));
+  ASSERT_EQ(explanation.candidates.size(), 2u);
+  EXPECT_TRUE(explanation.candidates[0].is_best);
+  EXPECT_EQ(explanation.candidates[0].route.path,
+            (std::vector<Asn>{2, 4}));
+  EXPECT_FALSE(explanation.candidates[1].is_best);
+  EXPECT_EQ(explanation.candidates[1].lost_at, bgp::DecisionStep::kTieBreak);
+  std::string text = explanation.str(base);
+  EXPECT_NE(text.find("BEST"), std::string::npos);
+  EXPECT_NE(text.find("lowest-router-id"), std::string::npos);
+}
+
+TEST(ExplainTest, EmptyRibExplained) {
+  Model base = diamond();
+  bgp::Engine engine(base);
+  auto sim = engine.run(Prefix::for_asn(99), 99);
+  auto explanation =
+      bgp::explain_selection(base, sim, base.dense(RouterId{1, 0}));
+  EXPECT_TRUE(explanation.candidates.empty());
+  EXPECT_NE(explanation.str(base).find("no routes"), std::string::npos);
+}
+
+}  // namespace

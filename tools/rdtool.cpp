@@ -1,0 +1,359 @@
+// rdtool -- command-line front end for the route-diversity library.
+//
+// Subcommands (all file formats are the library's text formats, see
+// data/rib_io.hpp and topology/model_io.hpp):
+//
+//   rdtool generate --out feeds.dump [--scale S] [--seed N] [--raw]
+//              [--updates N --updates-out stream.upd]
+//       Generate a synthetic Internet, observe it and write the (stub-
+//       reduced unless --raw) RIB dump; optionally also simulate N
+//       single-session failures and write the update stream.
+//
+//   rdtool info --dataset feeds.dump | --model fitted.model
+//       Summarize a dump or a model.
+//
+//   rdtool refine --dataset feeds.dump --out fitted.model
+//              [--training-fraction F] [--split-seed N] [--all]
+//              [--updates stream.upd]
+//       Split the feeds by observation point, fit the quasi-router model to
+//       the training side (--all: to every record) and write it.
+//
+//   rdtool predict --dataset feeds.dump --model fitted.model
+//              [--training-fraction F] [--split-seed N] [--validation-only]
+//       Evaluate the model's predictions with the Section 4.2 metrics.
+//
+//   rdtool whatif --model fitted.model --remove-link A:B [--prefixes N]
+//       Predict the routing impact of removing an AS link.
+//
+//   rdtool explain --model fitted.model --origin O --as A
+//       Show every quasi-router's decision at AS A for O's prefix.
+//
+//   rdtool selftest [--dir DIR]
+//       End-to-end smoke test over real files (used by ctest).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "bgp/explain.hpp"
+#include "core/pipeline.hpp"
+#include "core/predict.hpp"
+#include "core/report.hpp"
+#include "core/whatif.hpp"
+#include "data/dataset_stats.hpp"
+#include "data/dynamics.hpp"
+#include "data/rib_io.hpp"
+#include "netbase/cli.hpp"
+#include "netbase/strings.hpp"
+#include "topology/model_io.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rdtool <generate|info|refine|predict|whatif|explain|"
+               "selftest> [options]\n"
+               "see the header of tools/rdtool.cpp for details\n");
+  return 2;
+}
+
+std::optional<data::BgpDataset> load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rdtool: cannot open dataset %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  auto dataset = data::read_dataset(in, &error);
+  if (!dataset)
+    std::fprintf(stderr, "rdtool: %s: %s\n", path.c_str(), error.c_str());
+  return dataset;
+}
+
+std::optional<topo::Model> load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rdtool: cannot open model %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  auto model = topo::read_model(in, &error);
+  if (!model)
+    std::fprintf(stderr, "rdtool: %s: %s\n", path.c_str(), error.c_str());
+  return model;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "rdtool: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+int cmd_generate(const nb::Cli& cli) {
+  const std::string out_path = cli.get_string("out", "");
+  if (out_path.empty()) return usage();
+  core::PipelineConfig config = core::PipelineConfig::with(
+      cli.get_double("scale", 0.5), cli.get_u64("seed", 1));
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+  const data::BgpDataset& dataset =
+      cli.get_bool("raw") ? pipeline.raw_dataset : pipeline.dataset;
+  if (!write_file(out_path, data::dataset_to_string(dataset))) return 1;
+  std::printf("wrote %zu records from %zu feeds to %s\n",
+              dataset.records.size(), dataset.points.size(),
+              out_path.c_str());
+
+  if (cli.has("updates-out")) {
+    data::DynamicsConfig dynamics;
+    dynamics.num_events = cli.get_u64("updates", 16);
+    bgp::ThreadPool pool(1);
+    // Diff against the RAW feeds; update paths are reduced on merge.
+    auto stream = data::simulate_session_failures(
+        pipeline.ground_truth, pipeline.raw_dataset, dynamics, pool);
+    std::ostringstream out;
+    data::write_updates(out, stream);
+    const std::string updates_path = cli.get_string("updates-out", "");
+    if (!write_file(updates_path, out.str())) return 1;
+    std::printf("wrote %zu events / %zu updates to %s\n",
+                stream.events.size(), stream.updates.size(),
+                updates_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const nb::Cli& cli) {
+  if (cli.has("dataset")) {
+    auto dataset = load_dataset(cli.get_string("dataset", ""));
+    if (!dataset) return 1;
+    auto stats = data::compute_diversity(*dataset);
+    std::printf("feeds: %zu   observation ASes: %zu (multi-feed %zu)\n",
+                dataset->points.size(), dataset->observation_ases().size(),
+                dataset->multi_feed_ases());
+    std::printf("records: %zu   unique paths: %zu   AS pairs: %zu\n",
+                dataset->records.size(), stats.unique_paths, stats.as_pairs);
+    std::printf("AS pairs with >1 distinct path: %s\n",
+                nb::fmt_percent(stats.paths_per_pair.fraction_at_least(2))
+                    .c_str());
+    return 0;
+  }
+  if (cli.has("model")) {
+    auto model = load_model(cli.get_string("model", ""));
+    if (!model) return 1;
+    auto stats = model->policy_stats();
+    std::size_t multi = 0;
+    for (auto& [asn, count] : model->router_counts())
+      if (count > 1) ++multi;
+    std::printf("ASes: %zu   quasi-routers: %zu (multi-router ASes: %zu)   "
+                "sessions: %zu\n",
+                model->num_ases(), model->num_routers(), multi,
+                model->num_sessions());
+    std::printf("policies: %zu filters, %zu rankings, %zu lp-overrides, "
+                "%zu export-allows over %zu prefixes\n",
+                stats.filters, stats.rankings, stats.lp_overrides,
+                stats.export_allows, stats.prefixes_with_policy);
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_refine(const nb::Cli& cli) {
+  auto dataset = load_dataset(cli.get_string("dataset", ""));
+  const std::string out_path = cli.get_string("out", "");
+  if (!dataset || out_path.empty()) return dataset ? usage() : 1;
+
+  data::BgpDataset training = *dataset;
+  if (!cli.get_bool("all")) {
+    data::SplitConfig split_config;
+    split_config.seed = cli.get_u64("split-seed", 4);
+    split_config.training_fraction =
+        cli.get_double("training-fraction", 2.0 / 3.0);
+    training = data::split_by_points(*dataset, split_config).training;
+  }
+  if (cli.has("updates")) {
+    std::ifstream in(cli.get_string("updates", ""));
+    std::string error;
+    auto stream = data::read_updates(in, &error);
+    if (!stream) {
+      std::fprintf(stderr, "rdtool: updates: %s\n", error.c_str());
+      return 1;
+    }
+    const std::size_t before = training.records.size();
+    training = stream->merge_into(training);
+    std::printf("merged update stream: %zu -> %zu training records\n",
+                before, training.records.size());
+  }
+
+  auto graph = topo::AsGraph::from_paths(dataset->all_paths());
+  topo::Model model = topo::Model::one_router_per_as(graph);
+  core::RefineConfig config;
+  config.verbose = cli.get_bool("verbose");
+  auto result = core::refine_model(model, training, config);
+  std::printf("%s", core::render_refine_log(result).c_str());
+  if (!write_file(out_path, topo::model_to_string(model))) return 1;
+  std::printf("wrote model (%zu quasi-routers) to %s\n",
+              model.num_routers(), out_path.c_str());
+  return result.success ? 0 : 3;
+}
+
+int cmd_predict(const nb::Cli& cli) {
+  auto dataset = load_dataset(cli.get_string("dataset", ""));
+  auto model = load_model(cli.get_string("model", ""));
+  if (!dataset || !model) return 1;
+
+  data::BgpDataset target = *dataset;
+  std::string title = "all records";
+  if (cli.get_bool("validation-only")) {
+    data::SplitConfig split_config;
+    split_config.seed = cli.get_u64("split-seed", 4);
+    split_config.training_fraction =
+        cli.get_double("training-fraction", 2.0 / 3.0);
+    target = data::split_by_points(*dataset, split_config).validation;
+    title = "validation records (held-out feeds)";
+  }
+  core::EvalOptions options;
+  auto eval = core::evaluate_predictions(*model, target, options);
+  std::printf("%s", core::render_validation(title, eval.stats).c_str());
+  return 0;
+}
+
+std::optional<std::pair<nb::Asn, nb::Asn>> parse_link(std::string_view text) {
+  auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  auto a = nb::parse_u64(text.substr(0, colon));
+  auto b = nb::parse_u64(text.substr(colon + 1));
+  if (!a || !b) return std::nullopt;
+  return std::make_pair(static_cast<nb::Asn>(*a), static_cast<nb::Asn>(*b));
+}
+
+int cmd_whatif(const nb::Cli& cli) {
+  auto model = load_model(cli.get_string("model", ""));
+  if (!model) return 1;
+  auto link = parse_link(cli.get_string("remove-link", ""));
+  if (!link) {
+    std::fprintf(stderr, "rdtool: --remove-link A:B required\n");
+    return usage();
+  }
+  core::WhatIfScenario scenario;
+  scenario.remove_as_links.push_back(*link);
+  std::vector<nb::Asn> origins = model->asns();
+  const std::size_t limit = cli.get_u64("prefixes", 50);
+  if (origins.size() > limit) origins.resize(limit);
+  auto result = core::evaluate_whatif(*model, scenario, origins);
+  std::printf("prefixes evaluated: %zu   (prefix, AS) pairs: %zu\n",
+              result.prefixes_evaluated, result.pairs_evaluated);
+  std::printf("changed: %zu   lost reachability: %zu   gained: %zu\n",
+              result.pairs_changed, result.pairs_lost_reachability,
+              result.pairs_gained_reachability);
+  std::size_t shown = 0;
+  for (const auto& change : result.changes) {
+    if (++shown > cli.get_u64("show", 10)) break;
+    std::printf("AS %u, prefix of AS %u:\n", change.observer, change.origin);
+    for (const auto& path : change.before) {
+      std::string text;
+      for (nb::Asn hop : path) text += std::to_string(hop) + " ";
+      std::printf("  before: %s\n", text.c_str());
+    }
+    for (const auto& path : change.after) {
+      std::string text;
+      for (nb::Asn hop : path) text += std::to_string(hop) + " ";
+      std::printf("  after:  %s\n", text.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_explain(const nb::Cli& cli) {
+  auto model = load_model(cli.get_string("model", ""));
+  if (!model) return 1;
+  const auto origin = static_cast<nb::Asn>(cli.get_u64("origin", 0));
+  const auto observer = static_cast<nb::Asn>(cli.get_u64("as", 0));
+  if (!model->has_as(origin) || !model->has_as(observer)) {
+    std::fprintf(stderr, "rdtool: --origin and --as must name ASes in the "
+                         "model\n");
+    return 1;
+  }
+  bgp::Engine engine(*model);
+  auto sim = engine.run(nb::Prefix::for_asn(origin), origin);
+  for (topo::Model::Dense r : model->routers_of(observer))
+    std::printf("%s", bgp::explain_selection(*model, sim, r).str(*model).c_str());
+  return 0;
+}
+
+int cmd_selftest(const nb::Cli& cli) {
+  const std::string dir = cli.get_string("dir", "/tmp");
+  const std::string dump = dir + "/rdtool_selftest.dump";
+  const std::string model_path = dir + "/rdtool_selftest.model";
+
+  // generate
+  {
+    const char* argv[] = {"rdtool", "--out",   dump.c_str(), "--scale",
+                          "0.12",   "--seed",  "5"};
+    nb::Cli sub(7, const_cast<char**>(argv));
+    if (cmd_generate(sub) != 0) return 1;
+  }
+  // refine
+  {
+    const char* argv[] = {"rdtool", "--dataset", dump.c_str(), "--out",
+                          model_path.c_str()};
+    nb::Cli sub(5, const_cast<char**>(argv));
+    if (cmd_refine(sub) != 0) return 1;
+  }
+  // predict on held-out feeds
+  {
+    const char* argv[] = {"rdtool", "--dataset", dump.c_str(), "--model",
+                          model_path.c_str(), "--validation-only"};
+    nb::Cli sub(6, const_cast<char**>(argv));
+    if (cmd_predict(sub) != 0) return 1;
+  }
+  // info on both artifacts
+  {
+    const char* argv[] = {"rdtool", "--dataset", dump.c_str()};
+    nb::Cli sub(3, const_cast<char**>(argv));
+    if (cmd_info(sub) != 0) return 1;
+  }
+  {
+    const char* argv[] = {"rdtool", "--model", model_path.c_str()};
+    nb::Cli sub(3, const_cast<char**>(argv));
+    if (cmd_info(sub) != 0) return 1;
+  }
+  // what-if on the fitted model: remove the first link we can find.
+  {
+    auto model = load_model(model_path);
+    if (!model) return 1;
+    nb::Asn a = nb::kInvalidAsn, b = nb::kInvalidAsn;
+    for (topo::Model::Dense r = 0; r < model->num_routers() && a == nb::kInvalidAsn; ++r) {
+      if (!model->peers(r).empty()) {
+        a = model->router_id(r).asn();
+        b = model->router_id(model->peers(r).front()).asn();
+      }
+    }
+    std::string link = std::to_string(a) + ":" + std::to_string(b);
+    const char* argv[] = {"rdtool", "--model", model_path.c_str(),
+                          "--remove-link", link.c_str(), "--prefixes", "10"};
+    nb::Cli sub(7, const_cast<char**>(argv));
+    if (cmd_whatif(sub) != 0) return 1;
+  }
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  nb::Cli cli(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(cli);
+  if (command == "info") return cmd_info(cli);
+  if (command == "refine") return cmd_refine(cli);
+  if (command == "predict") return cmd_predict(cli);
+  if (command == "whatif") return cmd_whatif(cli);
+  if (command == "explain") return cmd_explain(cli);
+  if (command == "selftest") return cmd_selftest(cli);
+  return usage();
+}
