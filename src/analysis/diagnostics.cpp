@@ -1,0 +1,51 @@
+#include "analysis/diagnostics.hpp"
+
+namespace analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool has_errors(const Diagnostics& diagnostics) {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kError) return true;
+  return false;
+}
+
+std::size_t count(const Diagnostics& diagnostics, Severity severity) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+bool contains_code(const Diagnostics& diagnostics, std::string_view code) {
+  for (const Diagnostic& d : diagnostics)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string render_diagnostics(const Diagnostics& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += severity_name(d.severity);
+    out += ' ';
+    out += d.code;
+    out += ": ";
+    if (!d.location.empty()) {
+      out += d.location;
+      out += ": ";
+    }
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace analysis

@@ -1,0 +1,108 @@
+// Structured findings emitted by the static-analysis layer (the model
+// linter in validate_model and the engine post-state checker in
+// check_convergence).  Checks report diagnostics instead of asserting so
+// that callers -- tests, the refinement hooks, `rdtool lint` -- decide
+// whether a finding is fatal.
+//
+// Diagnostic codes are stable identifiers (grep for the code to find the
+// emitting check).  Numbering groups:
+//   M1xx  model structure (sessions, router indexing, relationship table)
+//   P2xx  per-prefix policy tables (filters, rankings, overrides, leaks)
+//   F3xx  fitted-model invariants (opt-in; refinement-specific closure)
+//   C4xx  engine post-state / convergence fixed point
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace analysis {
+
+enum class Severity : std::uint8_t {
+  kWarning,  // suspicious but cannot corrupt predictions by itself
+  kError,    // violates an invariant the engine or refinement relies on
+};
+
+const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;      // stable identifier, e.g. "M102-session-intra-as"
+  std::string location;  // model/result coordinates, e.g. "session 12.0->47.1"
+  std::string message;   // human explanation of the violated invariant
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+bool has_errors(const Diagnostics& diagnostics);
+std::size_t count(const Diagnostics& diagnostics, Severity severity);
+/// True if any diagnostic carries `code`.
+bool contains_code(const Diagnostics& diagnostics, std::string_view code);
+
+/// One line per diagnostic: "error M102-session-intra-as: <location>: <msg>".
+std::string render_diagnostics(const Diagnostics& diagnostics);
+
+// ---- stable code registry ---------------------------------------------------
+
+namespace codes {
+
+// Model structure.
+inline constexpr const char* kSessionPeerDead = "M100-session-peer-dead";
+inline constexpr const char* kSessionAsymmetric = "M101-session-asymmetric";
+inline constexpr const char* kSessionIntraAs = "M102-session-intra-as";
+inline constexpr const char* kSessionCountMismatch =
+    "M103-session-count-mismatch";
+inline constexpr const char* kRouterIndexBroken = "M104-router-index-broken";
+inline constexpr const char* kPeerOrderBroken = "M105-peer-order-broken";
+inline constexpr const char* kRelationshipAsymmetric =
+    "M110-relationship-asymmetric";
+inline constexpr const char* kRelationshipDangling =
+    "M111-relationship-dangling";
+
+// Per-prefix policies.
+inline constexpr const char* kFilterDanglingSession =
+    "P200-filter-dangling-session";
+inline constexpr const char* kFilterOwnerMismatch =
+    "P201-filter-owner-mismatch";
+inline constexpr const char* kFilterNoop = "P202-filter-noop";
+inline constexpr const char* kIgpCostDanglingSession =
+    "P203-igp-cost-dangling-session";
+inline constexpr const char* kRankingOrphanRouter =
+    "P210-ranking-orphan-router";
+inline constexpr const char* kRankingNonNeighbor =
+    "P211-ranking-non-neighbor";
+inline constexpr const char* kDefaultRankingOrphan =
+    "P212-default-ranking-orphan";
+inline constexpr const char* kLpOverrideOrphan = "P220-lp-override-orphan";
+inline constexpr const char* kExportAllowDangling =
+    "P230-export-allow-dangling";
+inline constexpr const char* kPolicyEmpty = "P240-policy-empty";
+
+// Fitted-model invariants (ValidateOptions opt-ins).
+inline constexpr const char* kSessionsNotPairwiseComplete =
+    "F300-sessions-not-pairwise-complete";
+inline constexpr const char* kNeighborSetDivergence =
+    "F301-neighbor-set-divergence";
+inline constexpr const char* kModelNotAgnostic = "F302-model-not-agnostic";
+
+// Engine post-state.
+inline constexpr const char* kSimStale = "C400-sim-stale";
+inline constexpr const char* kSimNotConverged = "C401-sim-not-converged";
+inline constexpr const char* kBestIndexInvalid = "C402-best-index-invalid";
+inline constexpr const char* kBestNotWinning = "C403-best-not-winning";
+inline constexpr const char* kAsLoop = "C404-as-loop";
+inline constexpr const char* kRibInDuplicateSender =
+    "C405-rib-in-duplicate-sender";
+inline constexpr const char* kRibInUnknownSender =
+    "C406-rib-in-unknown-sender";
+inline constexpr const char* kOriginNotOriginating =
+    "C407-origin-not-originating";
+inline constexpr const char* kRibInStale = "C408-rib-in-stale";
+inline constexpr const char* kBestExternalInvalid =
+    "C409-best-external-invalid";
+
+}  // namespace codes
+
+}  // namespace analysis

@@ -1,0 +1,81 @@
+#include "analysis/fixtures.hpp"
+
+#include "analysis/diagnostics.hpp"
+#include "topology/as_graph.hpp"
+
+namespace analysis {
+namespace {
+
+using nb::Prefix;
+using nb::RouterId;
+using topo::Model;
+
+/// The shared healthy starting point: a square with one diagonal, one
+/// quasi-router per AS (lints clean).
+Model base_model() {
+  topo::AsGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 4);
+  graph.add_edge(4, 1);
+  graph.add_edge(1, 3);
+  return Model::one_router_per_as(graph);
+}
+
+}  // namespace
+
+std::vector<std::string_view> fixture_names() {
+  return {"dangling-session", "intra-as-session", "orphan-ranking",
+          "orphan-filter", "asymmetric-relationship"};
+}
+
+const char* fixture_expected_code(std::string_view name) {
+  if (name == "dangling-session") return codes::kSessionPeerDead;
+  if (name == "intra-as-session") return codes::kSessionIntraAs;
+  if (name == "orphan-ranking") return codes::kRankingOrphanRouter;
+  if (name == "orphan-filter") return codes::kFilterDanglingSession;
+  if (name == "asymmetric-relationship")
+    return codes::kRelationshipAsymmetric;
+  return nullptr;
+}
+
+std::optional<topo::Model> corrupted_fixture(std::string_view name) {
+  Model model = base_model();
+  if (name == "dangling-session") {
+    // AS 1's router claims a session with a router index that does not
+    // exist (as if its peer had been deleted without cleanup).
+    topo::ModelMutator::force_peer_entry(
+        model, model.dense(RouterId{1, 0}),
+        static_cast<Model::Dense>(model.num_routers() + 7));
+    return model;
+  }
+  if (name == "intra-as-session") {
+    // Two quasi-routers of AS 2 connected to each other: the iBGP link the
+    // model definition forbids (quasi-routers select independently).
+    model.add_router(2);
+    topo::ModelMutator::force_session(model, RouterId{2, 0}, RouterId{2, 1});
+    return model;
+  }
+  if (name == "orphan-ranking") {
+    // A MED ranking keyed to a router of an AS the model has never seen.
+    model.set_ranking(RouterId{99, 0}, Prefix::for_asn(4), 1);
+    return model;
+  }
+  if (name == "orphan-filter") {
+    // A filter installed on a live session that is subsequently removed:
+    // the policy key now dangles.
+    model.set_export_filter(RouterId{1, 0}, RouterId{3, 0},
+                            Prefix::for_asn(4), 2, RouterId{3, 0});
+    model.remove_session(RouterId{1, 0}, RouterId{3, 0});
+    return model;
+  }
+  if (name == "asymmetric-relationship") {
+    // AS 1 calls AS 2 a customer, but AS 2 never calls AS 1 a provider:
+    // valley-free export would apply on one side only.
+    model.set_neighbor_class(1, 2, topo::NeighborClass::kCustomer);
+    return model;
+  }
+  return std::nullopt;
+}
+
+}  // namespace analysis

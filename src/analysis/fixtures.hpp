@@ -1,0 +1,60 @@
+// Deliberately corrupted models, one per linter failure mode.  Used by
+// tests/test_validate.cpp and by `rdtool lint --fixture NAME` (wired into
+// ctest as expected-to-fail lint runs), so every diagnostic the linter can
+// emit is proven reachable end to end.
+//
+// Most corruptions are reachable through the public Model API (it validates
+// sessions but deliberately not policy keys -- the refinement hot path must
+// not pay for lookups it just did).  The two session-level corruptions are
+// not constructible publicly; ModelMutator is the declared-friend backdoor
+// that plants them.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "topology/model.hpp"
+
+namespace topo {
+
+/// Test-only friend of Model (see the friend declaration in model.hpp).
+class ModelMutator {
+ public:
+  /// Appends a peer entry to `at`'s list without reciprocity, AS checks or
+  /// session accounting -- the "dangling session" corruption.
+  static void force_peer_entry(Model& model, Model::Dense at,
+                               Model::Dense peer) {
+    model.routers_[at].peers.push_back(peer);
+  }
+
+  /// Establishes a session bypassing the different-AS check -- the
+  /// "intra-AS session" (iBGP link) corruption.  Counts are kept
+  /// consistent so only the intra-AS diagnostic fires.
+  static void force_session(Model& model, nb::RouterId a, nb::RouterId b) {
+    const Model::Dense da = model.dense(a), db = model.dense(b);
+    model.insert_peer(da, db);
+    model.insert_peer(db, da);
+    ++model.num_sessions_;
+  }
+};
+
+}  // namespace topo
+
+namespace analysis {
+
+/// Names accepted by corrupted_fixture, mirroring the linter test matrix:
+/// dangling-session, intra-as-session, orphan-ranking, orphan-filter,
+/// asymmetric-relationship.
+std::vector<std::string_view> fixture_names();
+
+/// Builds the named corrupted model (nullopt for unknown names).  Every
+/// fixture starts from the same small valid topology and plants exactly one
+/// class of corruption; expected_code names the diagnostic it must trip.
+std::optional<topo::Model> corrupted_fixture(std::string_view name);
+
+/// The diagnostic code the named fixture is built to trigger (nullptr for
+/// unknown names).
+const char* fixture_expected_code(std::string_view name);
+
+}  // namespace analysis

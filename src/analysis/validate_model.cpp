@@ -1,0 +1,370 @@
+#include "analysis/validate_model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace analysis {
+namespace {
+
+using nb::Asn;
+using nb::RouterId;
+using topo::Model;
+using topo::NeighborClass;
+
+std::string router_str(const Model& model, Model::Dense r) {
+  return model.router_id(r).str();
+}
+
+std::string session_str(RouterId from, RouterId to) {
+  return "session " + from.str() + "->" + to.str();
+}
+
+const char* class_name(NeighborClass cls) {
+  switch (cls) {
+    case NeighborClass::kCustomer:
+      return "customer";
+    case NeighborClass::kPeer:
+      return "peer";
+    case NeighborClass::kProvider:
+      return "provider";
+    case NeighborClass::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+class Linter {
+ public:
+  Linter(const Model& model, const ValidateOptions& options)
+      : model_(model), options_(options) {}
+
+  Diagnostics run() {
+    check_router_indexing();
+    check_sessions();
+    check_relationships();
+    check_policies();
+    check_igp_costs();
+    if (options_.pairwise_sessions) check_pairwise_closure();
+    if (options_.agnostic) check_agnostic();
+    return std::move(out_);
+  }
+
+ private:
+  void emit(Severity severity, const char* code, std::string location,
+            std::string message) {
+    out_.push_back(Diagnostic{severity, code, std::move(location),
+                              std::move(message)});
+  }
+  void error(const char* code, std::string location, std::string message) {
+    emit(Severity::kError, code, std::move(location), std::move(message));
+  }
+  void warn(const char* code, std::string location, std::string message) {
+    emit(Severity::kWarning, code, std::move(location), std::move(message));
+  }
+
+  bool live(Model::Dense r) const { return r < model_.num_routers(); }
+
+  /// True when (from, to) names a live, symmetric session; used to vet
+  /// policy keys without tripping over a corrupted peer list.
+  bool session_exists(RouterId from, RouterId to) const {
+    return model_.has_router(from) && model_.has_router(to) &&
+           model_.has_session(from, to);
+  }
+
+  void check_router_indexing() {
+    for (Asn asn : model_.asns()) {
+      const auto& routers = model_.routers_of(asn);
+      for (std::size_t i = 0; i < routers.size(); ++i) {
+        const Model::Dense r = routers[i];
+        if (!live(r)) {
+          error(codes::kRouterIndexBroken, "AS " + std::to_string(asn),
+                "router list entry " + std::to_string(i) +
+                    " references dead dense index " + std::to_string(r));
+          continue;
+        }
+        const RouterId expect{asn, static_cast<std::uint16_t>(i)};
+        if (model_.router_id(r) != expect) {
+          error(codes::kRouterIndexBroken, "AS " + std::to_string(asn),
+                "router at position " + std::to_string(i) + " has id " +
+                    model_.router_id(r).str() + ", expected " + expect.str());
+        } else if (!model_.has_router(expect) ||
+                   model_.dense(expect) != r) {
+          error(codes::kRouterIndexBroken, "router " + expect.str(),
+                "dense-index lookup does not round-trip");
+        }
+      }
+    }
+  }
+
+  void check_sessions() {
+    std::size_t peer_entries = 0;
+    for (Model::Dense r = 0; r < model_.num_routers(); ++r) {
+      const RouterId r_id = model_.router_id(r);
+      RouterId previous;  // invalid sentinel
+      bool order_ok = true;
+      for (Model::Dense p : model_.peers(r)) {
+        if (!live(p)) {
+          error(codes::kSessionPeerDead, "router " + r_id.str(),
+                "peer entry references dead dense index " +
+                    std::to_string(p));
+          continue;
+        }
+        ++peer_entries;
+        const RouterId p_id = model_.router_id(p);
+        if (order_ok && previous.valid() && !(previous < p_id)) {
+          error(codes::kPeerOrderBroken, "router " + r_id.str(),
+                "peer list not strictly ascending at " + p_id.str());
+          order_ok = false;  // one report per router is enough
+        }
+        previous = p_id;
+        if (p_id.asn() == r_id.asn() && r <= p) {
+          error(codes::kSessionIntraAs, session_str(r_id, p_id),
+                "iBGP link between quasi-routers of AS " +
+                    std::to_string(r_id.asn()) +
+                    " (quasi-routers must select independently)");
+        }
+        const auto& back = model_.peers(p);
+        if (std::find(back.begin(), back.end(), r) == back.end()) {
+          error(codes::kSessionAsymmetric, session_str(r_id, p_id),
+                p_id.str() + " does not list " + r_id.str() + " back");
+        }
+      }
+    }
+    if (peer_entries != 2 * model_.num_sessions()) {
+      error(codes::kSessionCountMismatch, "model",
+            "session counter says " + std::to_string(model_.num_sessions()) +
+                " but peer lists hold " + std::to_string(peer_entries) +
+                " directed entries");
+    }
+  }
+
+  void check_relationships() {
+    const auto& classes = model_.neighbor_classes();
+    for (const auto& [pair, cls] : classes) {
+      const auto [a, b] = pair;
+      if (!model_.has_as(a) || !model_.has_as(b)) {
+        warn(codes::kRelationshipDangling,
+             "classes (" + std::to_string(a) + ", " + std::to_string(b) + ")",
+             "relationship entry names an AS absent from the model");
+      }
+      if (a > b) continue;  // judge each unordered pair once
+      const NeighborClass mirror = model_.neighbor_class(b, a);
+      const bool consistent =
+          (cls == NeighborClass::kCustomer &&
+           mirror == NeighborClass::kProvider) ||
+          (cls == NeighborClass::kProvider &&
+           mirror == NeighborClass::kCustomer) ||
+          (cls == NeighborClass::kPeer && mirror == NeighborClass::kPeer) ||
+          (cls == NeighborClass::kUnknown &&
+           mirror == NeighborClass::kUnknown);
+      if (!consistent) {
+        error(codes::kRelationshipAsymmetric,
+              "classes (" + std::to_string(a) + ", " + std::to_string(b) + ")",
+              std::string("AS ") + std::to_string(a) + " sees " +
+                  class_name(cls) + " but AS " + std::to_string(b) +
+                  " sees " + class_name(mirror) +
+                  "; valley-free export needs complementary classes");
+      }
+    }
+  }
+
+  void check_policies() {
+    for (const auto& [prefix, policy] : model_.prefix_policies()) {
+      const std::string where = "prefix " + prefix.str();
+      if (policy.empty()) {
+        warn(codes::kPolicyEmpty, where,
+             "empty policy overlay left behind (should have been erased)");
+        continue;
+      }
+      for (const auto& [key, filter] : policy.filters) {
+        const RouterId from =
+            RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+        const RouterId to =
+            RouterId::from_value(static_cast<std::uint32_t>(key));
+        const std::string loc = where + " filter " + from.str() + "->" +
+                                to.str();
+        if (!session_exists(from, to)) {
+          error(codes::kFilterDanglingSession, loc,
+                "export filter keyed to a session that does not exist");
+          continue;
+        }
+        if (filter.owner_target.valid() && filter.owner_target != to) {
+          error(codes::kFilterOwnerMismatch, loc,
+                "owner " + filter.owner_target.str() +
+                    " is not the importing router (provenance invariant "
+                    "used by filter deletion)");
+        }
+        if (filter.deny_below_len == 0) {
+          warn(codes::kFilterNoop, loc,
+               "no-op filter with deny_below_len 0 (should have been "
+               "erased)");
+        }
+      }
+      for (const auto& [router_value, rule] : policy.rankings) {
+        const RouterId router = RouterId::from_value(router_value);
+        const std::string loc = where + " ranking at " + router.str();
+        if (!model_.has_router(router)) {
+          error(codes::kRankingOrphanRouter, loc,
+                "MED ranking keyed to a router absent from the model");
+          continue;
+        }
+        if (!has_neighbor_as(router, rule.preferred_neighbor)) {
+          error(codes::kRankingNonNeighbor, loc,
+                "preferred neighbor AS " +
+                    std::to_string(rule.preferred_neighbor) +
+                    " is not adjacent; the MED partition cannot take "
+                    "effect");
+        }
+      }
+      for (const auto& [key, lp] : policy.lp_overrides) {
+        const RouterId router =
+            RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+        const Asn neighbor = static_cast<Asn>(key & 0xffffffffu);
+        const std::string loc = where + " lp-override at " + router.str() +
+                                " toward AS " + std::to_string(neighbor);
+        if (!model_.has_router(router) ||
+            !has_neighbor_as(router, neighbor)) {
+          error(codes::kLpOverrideOrphan, loc,
+                "local-pref override keyed to a missing router or "
+                "non-adjacent neighbor AS");
+        }
+      }
+      for (const std::uint64_t key : policy.export_allows) {
+        const RouterId from =
+            RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+        const RouterId to =
+            RouterId::from_value(static_cast<std::uint32_t>(key));
+        if (!session_exists(from, to)) {
+          error(codes::kExportAllowDangling,
+                where + " export-allow " + from.str() + "->" + to.str(),
+                "export-allow keyed to a session that does not exist");
+        }
+      }
+    }
+    check_default_rankings();
+  }
+
+  void check_default_rankings() {
+    std::size_t reachable = 0;
+    for (Model::Dense r = 0; r < model_.num_routers(); ++r) {
+      const Asn preferred = model_.default_ranking(r);
+      if (preferred == nb::kInvalidAsn) continue;
+      ++reachable;
+      if (!has_neighbor_as(model_.router_id(r), preferred)) {
+        error(codes::kDefaultRankingOrphan,
+              "default ranking at " + router_str(model_, r),
+              "preferred neighbor AS " + std::to_string(preferred) +
+                  " is not adjacent");
+      }
+    }
+    if (reachable != model_.num_default_rankings()) {
+      error(codes::kDefaultRankingOrphan, "model",
+            std::to_string(model_.num_default_rankings() - reachable) +
+                " default ranking(s) keyed to routers absent from the "
+                "model");
+    }
+  }
+
+  void check_igp_costs() {
+    for (const auto& [receiver, sender, cost] : model_.igp_costs()) {
+      if (!session_exists(receiver, sender)) {
+        error(codes::kIgpCostDanglingSession,
+              "igp cost " + receiver.str() + "<-" + sender.str(),
+              "IGP cost keyed to a session that does not exist");
+      }
+    }
+  }
+
+  bool has_neighbor_as(RouterId router, Asn asn) const {
+    if (!model_.has_router(router)) return false;
+    for (Model::Dense p : model_.peers(model_.dense(router))) {
+      if (live(p) && model_.router_id(p).asn() == asn) return true;
+    }
+    return false;
+  }
+
+  void check_pairwise_closure() {
+    // Derive the AS adjacency from the sessions, then require duplication
+    // closure: every router pair across an adjacent AS pair shares a
+    // session, and routers of one AS see the same neighbor-AS set.
+    std::set<std::pair<Asn, Asn>> as_edges;
+    std::map<Model::Dense, std::set<Asn>> neighbor_sets;
+    for (Model::Dense r = 0; r < model_.num_routers(); ++r) {
+      const Asn a = model_.router_id(r).asn();
+      for (Model::Dense p : model_.peers(r)) {
+        if (!live(p)) continue;  // reported by check_sessions already
+        const Asn b = model_.router_id(p).asn();
+        as_edges.insert({std::min(a, b), std::max(a, b)});
+        neighbor_sets[r].insert(b);
+      }
+    }
+    for (const auto& [a, b] : as_edges) {
+      if (a == b) continue;  // intra-AS reported by check_sessions
+      for (Model::Dense ra : model_.routers_of(a)) {
+        for (Model::Dense rb : model_.routers_of(b)) {
+          if (!model_.has_session(model_.router_id(ra),
+                                  model_.router_id(rb))) {
+            error(codes::kSessionsNotPairwiseComplete,
+                  session_str(model_.router_id(ra), model_.router_id(rb)),
+                  "routers of neighboring ASes " + std::to_string(a) +
+                      " and " + std::to_string(b) +
+                      " lack a session (duplication copies every "
+                      "session)");
+          }
+        }
+      }
+    }
+    for (Asn asn : model_.asns()) {
+      const auto& routers = model_.routers_of(asn);
+      if (routers.size() < 2) continue;
+      const auto& reference = neighbor_sets[routers.front()];
+      for (std::size_t i = 1; i < routers.size(); ++i) {
+        if (neighbor_sets[routers[i]] != reference) {
+          error(codes::kNeighborSetDivergence,
+                "AS " + std::to_string(asn),
+                "quasi-router " + router_str(model_, routers[i]) +
+                    " reaches a different neighbor-AS set than " +
+                    router_str(model_, routers.front()));
+        }
+      }
+    }
+  }
+
+  void check_agnostic() {
+    for (const auto& [pair, cls] : model_.neighbor_classes()) {
+      if (cls != NeighborClass::kUnknown) {
+        error(codes::kModelNotAgnostic,
+              "classes (" + std::to_string(pair.first) + ", " +
+                  std::to_string(pair.second) + ")",
+              "fitted models are relationship-agnostic (filters and "
+              "rankings only)");
+      }
+    }
+    const auto stats = model_.policy_stats();
+    if (stats.lp_overrides != 0) {
+      error(codes::kModelNotAgnostic, "model",
+            std::to_string(stats.lp_overrides) +
+                " local-pref override(s) present in a fitted model");
+    }
+    if (stats.export_allows != 0) {
+      error(codes::kModelNotAgnostic, "model",
+            std::to_string(stats.export_allows) +
+                " export-allow leak(s) present in a fitted model");
+    }
+  }
+
+  const Model& model_;
+  const ValidateOptions& options_;
+  Diagnostics out_;
+};
+
+}  // namespace
+
+Diagnostics validate_model(const topo::Model& model,
+                           const ValidateOptions& options) {
+  return Linter(model, options).run();
+}
+
+}  // namespace analysis

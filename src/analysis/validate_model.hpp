@@ -1,0 +1,48 @@
+// The model linter: static structural checks over a topo::Model, emitting
+// structured diagnostics (see diagnostics.hpp for the code registry).
+//
+// The refinement heuristic mutates the model thousands of times per fit --
+// per-prefix filters, MED rankings, duplicated quasi-routers -- and a single
+// dangling session, mis-keyed filter or inconsistent ranking silently
+// corrupts every downstream prediction metric.  validate_model proves after
+// any mutation sequence that:
+//
+//   * every session connects two live quasi-routers of *different* ASes and
+//     is recorded symmetrically (no iBGP links, no dangling peers, peer
+//     lists sorted, session count consistent);
+//   * quasi-router indices are dense per AS (RouterId{asn, i} is the i-th);
+//   * export filters, MED rankings, local-pref overrides, export-allows and
+//     IGP costs are keyed only to existing sessions / routers / neighbor
+//     ASes (a ranking whose preferred AS is not adjacent can never produce
+//     the MED partition the paper's route selection relies on);
+//   * the relationship table is symmetric and valley-free-consistent:
+//     class(a,b) == customer  <=>  class(b,a) == provider, peers mirror;
+//   * (opt-in) fitted-model closure: duplication copies every session, so
+//     all routers of neighboring ASes stay pairwise connected and routers of
+//     one AS see identical neighbor-AS sets; the fitted model stays
+//     relationship-agnostic (filters + rankings only).
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "topology/model.hpp"
+
+namespace analysis {
+
+struct ValidateOptions {
+  /// Check the duplication-closure invariants of refinement-fitted models:
+  /// routers of neighboring ASes are pairwise connected and routers of one
+  /// AS have identical neighbor-AS sets.  Off by default because hand-built
+  /// models (ground truth, tests) need not satisfy them.
+  bool pairwise_sessions = false;
+  /// Check the paper-model purity: no relationship classes, local-pref
+  /// overrides or export-allow leaks (the fitted model uses only filters
+  /// and rankings).  Off by default; ground-truth models legitimately use
+  /// all three.
+  bool agnostic = false;
+};
+
+/// Runs every check; returns all findings (empty == clean).
+Diagnostics validate_model(const topo::Model& model,
+                           const ValidateOptions& options = {});
+
+}  // namespace analysis

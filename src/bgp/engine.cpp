@@ -63,8 +63,7 @@ std::optional<Route> Engine::export_route(const PrefixPolicy* policy,
   return exported;
 }
 
-std::optional<Route> Engine::import_route(const PrefixSimResult&,
-                                          const PrefixPolicy* policy,
+std::optional<Route> Engine::import_route(const PrefixPolicy* policy,
                                           Model::Dense receiver,
                                           Model::Dense sender,
                                           const Route& exported) const {
@@ -117,6 +116,14 @@ std::optional<Route> Engine::import_route(const PrefixSimResult&,
   return imported;
 }
 
+std::optional<Route> Engine::propagate(const PrefixPolicy* policy,
+                                       Model::Dense from, Model::Dense to,
+                                       const Route& best) const {
+  std::optional<Route> exported = export_route(policy, from, to, best);
+  if (!exported.has_value()) return std::nullopt;
+  return import_route(policy, to, from, *exported);
+}
+
 PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
   PrefixSimResult res;
   res.prefix = prefix;
@@ -154,16 +161,32 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
     enqueue(r);
   }
 
-  // Recomputes a router's best (and external best); returns true if either
-  // selection changed in a way that requires re-advertising.
-  auto reselect = [&](RouterState& state) {
-    const Route old_best =
-        state.best_route() != nullptr ? *state.best_route() : Route{};
-    const bool had_best = state.best_route() != nullptr;
-    const Route old_external =
-        state.external_route() != nullptr ? *state.external_route() : Route{};
-    const bool had_external = state.external_route() != nullptr;
+  // Pre-mutation snapshot of a router's selections.  Must be taken BEFORE
+  // touching rib_in: erasing an entry leaves state.best/best_external
+  // pointing at shifted (or destroyed) elements, so reading them afterwards
+  // is a use-after-free.
+  struct Selection {
+    bool had_best = false;
+    Route old_best;
+    bool had_external = false;
+    Route old_external;
+  };
+  auto snapshot = [](const RouterState& state) {
+    Selection s;
+    if (const Route* b = state.best_route()) {
+      s.had_best = true;
+      s.old_best = *b;
+    }
+    if (const Route* e = state.external_route()) {
+      s.had_external = true;
+      s.old_external = *e;
+    }
+    return s;
+  };
 
+  // Recomputes a router's best (and external best); returns true if either
+  // selection changed from `old` in a way that requires re-advertising.
+  auto reselect = [&](RouterState& state, const Selection& old) {
     state.best = select_best(state.rib_in, ids);
     state.best_external = -1;
     if (options_.use_ibgp_mesh) {
@@ -187,8 +210,9 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
       return now != nullptr && (now->sender != old_route.sender ||
                                 now->path != old_route.path);
     };
-    return differs(had_best, old_best, state.best_route()) ||
-           differs(had_external, old_external, state.external_route());
+    return differs(old.had_best, old.old_best, state.best_route()) ||
+           differs(old.had_external, old.old_external,
+                   state.external_route());
   };
 
   while (!queue.empty()) {
@@ -221,6 +245,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
         auto existing = std::find_if(
             state.rib_in.begin(), state.rib_in.end(),
             [&](const Route& route) { return route.sender == r; });
+        const Selection old = snapshot(state);
         if (!incoming.has_value()) {
           if (existing == state.rib_in.end()) continue;
           state.rib_in.erase(existing);
@@ -236,7 +261,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
         } else {
           state.rib_in.push_back(std::move(*incoming));
         }
-        if (reselect(state)) enqueue(mate);
+        if (reselect(state, old)) enqueue(mate);
       }
     }
 
@@ -247,7 +272,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
         if (std::optional<Route> exported =
                 export_route(policy, r, peer, *best);
             exported.has_value()) {
-          incoming = import_route(res, policy, peer, r, *exported);
+          incoming = import_route(policy, peer, r, *exported);
         }
       }
 
@@ -256,6 +281,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
           std::find_if(state.rib_in.begin(), state.rib_in.end(),
                        [&](const Route& route) { return route.sender == r; });
 
+      const Selection old = snapshot(state);
       if (!incoming.has_value()) {
         if (existing == state.rib_in.end()) continue;  // nothing to withdraw
         state.rib_in.erase(existing);
@@ -272,7 +298,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
       }
 
       // Re-run the decision process; propagate only if a selection changed.
-      if (reselect(state)) enqueue(peer);
+      if (reselect(state, old)) enqueue(peer);
     }
   }
   return res;

@@ -102,12 +102,20 @@ class Engine {
   /// calls (refinement) are picked up.
   PrefixSimResult run(const Prefix& prefix, nb::Asn origin) const;
 
+  /// One hop of propagation in isolation: the route `to` would install if
+  /// `from` advertised `best` over their session right now, or nullopt when
+  /// export rules, filters or loop detection drop it.  This is exactly the
+  /// export+import path `run` uses; analysis::check_convergence replays it
+  /// per session to prove a simulation result is a fixed point.
+  std::optional<Route> propagate(const topo::PrefixPolicy* policy,
+                                 Model::Dense from, Model::Dense to,
+                                 const Route& best) const;
+
   const Model& model() const { return *model_; }
   const EngineOptions& options() const { return options_; }
 
  private:
-  std::optional<Route> import_route(const PrefixSimResult& res,
-                                    const topo::PrefixPolicy* policy,
+  std::optional<Route> import_route(const topo::PrefixPolicy* policy,
                                     Model::Dense receiver, Model::Dense sender,
                                     const Route& exported) const;
   /// Whether `best` at router `from` may be exported toward `to`; if so the

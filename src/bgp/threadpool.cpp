@@ -1,8 +1,15 @@
 #include "bgp/threadpool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace bgp {
+
+namespace {
+// The pool whose batch the current thread is executing, if any; used to
+// detect nested parallel_for calls that would deadlock.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0)
@@ -26,51 +33,80 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  if (tls_running_pool == this) {
+    throw std::logic_error(
+        "nested ThreadPool::parallel_for on the same pool");
+  }
+  const ThreadPool* previous = tls_running_pool;
+  tls_running_pool = this;
+  struct Restore {
+    const ThreadPool* previous;
+    ~Restore() { tls_running_pool = previous; }
+  } restore{previous};
+
   if (workers_.empty()) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  std::lock_guard submit(submit_mutex_);
   {
     std::lock_guard lock(mutex_);
-    batch_ = Batch{count, 0, 0, &body};
+    batch_ = Batch{count, 0, 0, &body, nullptr};
     has_batch_ = true;
   }
   work_cv_.notify_all();
   // The calling thread participates too.
-  for (;;) {
-    std::size_t index;
-    {
-      std::lock_guard lock(mutex_);
-      if (!has_batch_ || batch_.next >= batch_.count) break;
-      index = batch_.next++;
-    }
-    body(index);
-    std::lock_guard lock(mutex_);
-    ++batch_.done;
-    if (batch_.done == batch_.count) done_cv_.notify_all();
-  }
+  work_through_batch();
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return batch_.done == batch_.count; });
+  done_cv_.wait(lock, [this] {
+    return batch_.next >= batch_.count && batch_.in_flight == 0;
+  });
   has_batch_ = false;
+  std::exception_ptr error = std::move(batch_.error);
+  batch_ = Batch{};
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::work_through_batch() {
   for (;;) {
     std::size_t index;
     const std::function<void(std::size_t)>* body;
+    {
+      std::lock_guard lock(mutex_);
+      if (!has_batch_ || batch_.next >= batch_.count) return;
+      index = batch_.next++;
+      ++batch_.in_flight;
+      body = batch_.body;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard lock(mutex_);
+    --batch_.in_flight;
+    if (error) {
+      if (!batch_.error) batch_.error = std::move(error);
+      batch_.next = batch_.count;  // abandon unclaimed indices
+    }
+    if (batch_.next >= batch_.count && batch_.in_flight == 0)
+      done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tls_running_pool = this;
+  for (;;) {
     {
       std::unique_lock lock(mutex_);
       work_cv_.wait(lock, [this] {
         return stop_ || (has_batch_ && batch_.next < batch_.count);
       });
       if (stop_) return;
-      index = batch_.next++;
-      body = batch_.body;
     }
-    (*body)(index);
-    std::lock_guard lock(mutex_);
-    ++batch_.done;
-    if (batch_.done == batch_.count) done_cv_.notify_all();
+    work_through_batch();
   }
 }
 

@@ -1,10 +1,21 @@
 // Minimal fixed-size thread pool for fanning independent per-prefix
 // simulations across cores.  Tasks are indexed; `parallel_for` blocks until
 // every index has been processed.
+//
+// Error handling: if a body throws, the first exception is captured, no
+// further indices are handed out (already-claimed indices finish), and the
+// exception is rethrown on the calling thread once the batch has drained.
+// The pool stays usable for subsequent batches.
+//
+// Misuse handling: calling parallel_for from inside a body running on the
+// same pool throws std::logic_error (it would deadlock the multi-threaded
+// pool); concurrent parallel_for calls from distinct external threads are
+// serialized.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -25,20 +36,26 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, count), distributing dynamically.
   /// body must be thread-safe.  Runs inline when the pool has one thread.
+  /// Rethrows the first exception a body threw, after draining the batch.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
  private:
   struct Batch {
     std::size_t count = 0;
-    std::size_t next = 0;
-    std::size_t done = 0;
+    std::size_t next = 0;       // first unclaimed index
+    std::size_t in_flight = 0;  // claimed but not yet finished
     const std::function<void(std::size_t)>* body = nullptr;
+    std::exception_ptr error;   // first exception thrown by a body
   };
 
   void worker_loop();
+  /// Claims and runs batch indices until none remain (all claimed, or the
+  /// batch was poisoned by an exception).
+  void work_through_batch();
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // serializes external parallel_for callers
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

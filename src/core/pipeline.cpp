@@ -67,6 +67,16 @@ void run_model_stages(Pipeline& pipeline) {
                                         pipeline.split.training,
                                         pipeline.config.refine);
 
+  if (pipeline.config.refine.validate) {
+    analysis::ValidateOptions lint;
+    lint.pairwise_sessions = true;
+    // The fitted model is relationship-agnostic unless refinement ran in
+    // the Section 3.3 baseline mode.
+    lint.agnostic =
+        !pipeline.config.refine.engine.use_relationship_policies;
+    pipeline.lint = analysis::validate_model(pipeline.model, lint);
+  }
+
   EvalOptions eval;
   eval.threads = pipeline.config.threads;
   pipeline.training_eval =

@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "analysis/validate_model.hpp"
 #include "core/predict.hpp"
 #include "core/refine.hpp"
 #include "data/dataset_stats.hpp"
@@ -50,6 +51,9 @@ struct Pipeline {
   RefineResult refine_result;
   EvalResult training_eval;
   EvalResult validation_eval;
+  /// Final lint of the fitted model (filled when config.refine.validate is
+  /// on): structural soundness plus the fitted-model closure invariants.
+  analysis::Diagnostics lint;
 };
 
 /// Stages. Each returns the pipeline for chaining; call in order.

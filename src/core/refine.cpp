@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/check_convergence.hpp"
+#include "analysis/validate_model.hpp"
 #include "bgp/driver.hpp"
 
 namespace core {
@@ -301,11 +303,27 @@ RefineResult refine_model(topo::Model& model,
       if (w.done) continue;
       ++active;
       PrefixSimResult sim = engine.run(w.prefix, w.origin);
+      if (config.validate) {
+        // The simulation must be a fixed point of the model as it stands
+        // BEFORE the heuristic consumes it; check here, mutate after.
+        analysis::Diagnostics found = analysis::check_convergence(engine, sim);
+        std::move(found.begin(), found.end(),
+                  std::back_inserter(result.diagnostics));
+      }
       const bool changed = refiner.process(w, sim);
       any_changed |= changed;
       if (!changed && w.matched == w.paths.size()) w.done = true;
     }
     if (active == 0) break;
+    if (config.validate) {
+      // Every mutation of this iteration (policy adjustments, duplications,
+      // filter relaxations) must leave the model structurally sound.
+      analysis::ValidateOptions lint;
+      lint.pairwise_sessions = true;  // duplication closure (Section 4.6)
+      analysis::Diagnostics found = analysis::validate_model(model, lint);
+      std::move(found.begin(), found.end(),
+                std::back_inserter(result.diagnostics));
+    }
 
     RefineIterationLog log;
     log.iteration = iteration;

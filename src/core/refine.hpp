@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "bgp/engine.hpp"
 #include "data/observations.hpp"
 #include "topology/model.hpp"
@@ -62,6 +63,13 @@ struct RefineConfig {
   /// When set, every heuristic action for this origin's prefix is logged to
   /// stderr (developer aid).
   nb::Asn debug_origin = nb::kInvalidAsn;
+
+  /// Debug hook (on in tests, opt-in elsewhere): run the analysis layer
+  /// inside the loop -- analysis::check_convergence on every simulation
+  /// before the heuristic consumes it, and analysis::validate_model on the
+  /// mutated model after every iteration.  Findings land in
+  /// RefineResult::diagnostics; a clean fit reports none.
+  bool validate = false;
 };
 
 struct RefineIterationLog {
@@ -85,6 +93,9 @@ struct RefineResult {
   std::size_t policies_changed = 0;
   std::size_t filters_relaxed = 0;  // Fig. 7 filter deletions
   std::vector<RefineIterationLog> log;
+  /// Findings from the RefineConfig::validate hooks (empty when validation
+  /// is off or the fit never corrupted the model / engine state).
+  analysis::Diagnostics diagnostics;
 };
 
 /// Refines `model` in place against the training dataset.

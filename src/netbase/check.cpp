@@ -1,0 +1,17 @@
+#include "netbase/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nb {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const char* message) {
+  std::fprintf(stderr, "%s:%d: RD_CHECK failed: %s%s%s\n", file, line, expr,
+               message != nullptr ? " -- " : "",
+               message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nb

@@ -1,0 +1,40 @@
+// Project-wide runtime checks, replacing bare <cassert> asserts.
+//
+// RD_CHECK(cond)   -- always compiled in, every build type.  For cheap
+//                     preconditions on hot paths (a single predictable
+//                     branch): RelWithDebInfo defines NDEBUG, which silently
+//                     drops assert(), so cheap checks must not go through it.
+// RD_DCHECK(cond)  -- compiled in when NDEBUG is unset OR the build defines
+//                     RD_ENABLE_DCHECKS (the sanitizer presets do).  For
+//                     checks too expensive for release hot paths (O(n)
+//                     scans, re-validation of container invariants).
+//
+// Both abort with file:line and the failed expression; the optional second
+// argument adds context:  RD_CHECK(bound > 0, "Rng::below bound");
+// The analysis linter (src/analysis) reports the same classes of violation
+// as structured diagnostics instead of aborting; these macros are the last
+// line of defense where returning a diagnostic is not possible.
+#pragma once
+
+namespace nb {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* message);
+
+}  // namespace nb
+
+#define RD_CHECK_1(cond) \
+  ((cond) ? static_cast<void>(0) \
+          : ::nb::check_failed(#cond, __FILE__, __LINE__, nullptr))
+#define RD_CHECK_2(cond, msg) \
+  ((cond) ? static_cast<void>(0) \
+          : ::nb::check_failed(#cond, __FILE__, __LINE__, (msg)))
+#define RD_CHECK_SELECT(a, b, macro, ...) macro
+#define RD_CHECK(...) \
+  RD_CHECK_SELECT(__VA_ARGS__, RD_CHECK_2, RD_CHECK_1)(__VA_ARGS__)
+
+#if !defined(NDEBUG) || defined(RD_ENABLE_DCHECKS)
+#define RD_DCHECK(...) RD_CHECK(__VA_ARGS__)
+#else
+#define RD_DCHECK(...) static_cast<void>(0)
+#endif

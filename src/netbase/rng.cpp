@@ -1,12 +1,13 @@
 #include "netbase/rng.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "netbase/check.hpp"
 
 namespace nb {
 
 std::uint64_t Rng::below(std::uint64_t bound) {
-  assert(bound > 0);
+  RD_CHECK(bound > 0, "Rng::below bound must be positive");
   // Lemire-style rejection-free-enough approach: rejection sampling on the
   // top bits keeps the distribution exactly uniform.
   const std::uint64_t threshold = -bound % bound;
@@ -17,7 +18,7 @@ std::uint64_t Rng::below(std::uint64_t bound) {
 }
 
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  RD_CHECK(lo <= hi, "Rng::range requires lo <= hi");
   return lo + static_cast<std::int64_t>(
                   below(static_cast<std::uint64_t>(hi - lo) + 1));
 }
@@ -29,7 +30,10 @@ double Rng::uniform() {
 
 std::size_t Rng::weighted(const std::vector<double>& weights) {
   double total = 0;
-  for (double w : weights) total += w;
+  for (double w : weights) {
+    RD_DCHECK(w >= 0, "Rng::weighted weights must be non-negative");
+    total += w;
+  }
   if (total <= 0) return 0;
   double target = uniform() * total;
   double acc = 0;

@@ -1,9 +1,9 @@
 #include "netbase/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "netbase/check.hpp"
 #include "netbase/strings.hpp"
 
 namespace nb {
@@ -32,12 +32,12 @@ double Histogram::fraction_at_least(std::uint64_t threshold) const {
 }
 
 std::uint64_t Histogram::min() const {
-  assert(!buckets_.empty());
+  RD_CHECK(!buckets_.empty(), "Histogram::min on empty histogram");
   return buckets_.begin()->first;
 }
 
 std::uint64_t Histogram::max() const {
-  assert(!buckets_.empty());
+  RD_CHECK(!buckets_.empty(), "Histogram::max on empty histogram");
   return buckets_.rbegin()->first;
 }
 
@@ -50,7 +50,8 @@ double Histogram::mean() const {
 }
 
 std::uint64_t Histogram::percentile(double p) const {
-  assert(total_ > 0);
+  RD_CHECK(total_ > 0, "Histogram::percentile on empty histogram");
+  RD_DCHECK(p >= 0 && p <= 100, "percentile p outside [0, 100]");
   const double target = p / 100.0 * static_cast<double>(total_);
   std::uint64_t seen = 0;
   for (auto& [value, count] : buckets_) {
@@ -101,7 +102,8 @@ std::string Histogram::render(std::uint64_t fold_above) const {
 }
 
 double percentile(std::vector<double> samples, double p) {
-  assert(!samples.empty());
+  RD_CHECK(!samples.empty(), "percentile of empty sample vector");
+  RD_DCHECK(p >= 0 && p <= 100, "percentile p outside [0, 100]");
   std::sort(samples.begin(), samples.end());
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -157,6 +157,12 @@ class Model {
   std::vector<std::tuple<RouterId, RouterId, std::uint32_t>> igp_costs() const;
 
  private:
+  // Test-only backdoor (defined in analysis/fixtures.hpp): builds the
+  // invalid states the public API rejects -- dangling peers, intra-AS
+  // sessions -- so the analysis linter and its tests can prove they are
+  // detected.  Not part of the public surface.
+  friend class ModelMutator;
+
   struct RouterRec {
     RouterId id;
     std::vector<Dense> peers;  // ascending by RouterId

@@ -10,6 +10,7 @@ class PipelineFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     core::PipelineConfig config = core::PipelineConfig::with(0.1, 3);
+    config.refine.validate = true;  // analysis hooks always on in tests
     pipeline_ = new core::Pipeline(core::run_full_pipeline(config));
   }
   static void TearDownTestSuite() {
@@ -88,6 +89,15 @@ TEST_F(PipelineFixture, ModelGrewQuasiRouters) {
   for (auto& [asn, count] : p.model.router_counts())
     if (count > 1) ++multi;
   EXPECT_GT(multi, 0u);
+}
+
+TEST_F(PipelineFixture, ValidationHooksStayQuiet) {
+  // Every per-prefix simulation during refinement passed the convergence
+  // checker and the fitted model passed the full lint, closure included.
+  const auto& p = *pipeline_;
+  EXPECT_TRUE(p.refine_result.diagnostics.empty())
+      << analysis::render_diagnostics(p.refine_result.diagnostics);
+  EXPECT_TRUE(p.lint.empty()) << analysis::render_diagnostics(p.lint);
 }
 
 TEST_F(PipelineFixture, ReportsRenderNonEmpty) {

@@ -30,13 +30,22 @@ BgpDataset dataset_of(std::vector<std::pair<Asn, AsPath>> records) {
   return dataset;
 }
 
+// Refinement in tests always runs with the analysis hooks on: every
+// simulated fixed point is checked and the mutated model re-linted.
+core::RefineConfig validated_config() {
+  core::RefineConfig config;
+  config.validate = true;
+  return config;
+}
+
 TEST(RefineTest, AlreadyConsistentModelUnchanged) {
   topo::AsGraph g;
   g.add_edge(1, 2);
   g.add_edge(2, 3);
   Model model = Model::one_router_per_as(g);
   BgpDataset training = dataset_of({{1, AsPath{1, 2, 3}}, {2, AsPath{2, 3}}});
-  auto result = core::refine_model(model, training, core::RefineConfig{});
+  auto result = core::refine_model(model, training, validated_config());
+  EXPECT_TRUE(result.diagnostics.empty());
   EXPECT_TRUE(result.success);
   EXPECT_EQ(result.routers_added, 0u);
   EXPECT_EQ(result.policies_changed, 0u);
@@ -52,12 +61,14 @@ TEST(RefineTest, RefinementIsIdempotent) {
   g.add_edge(4, 3);
   Model model = Model::one_router_per_as(g);
   BgpDataset training = dataset_of({{1, AsPath{1, 4, 3}}});
-  auto first = core::refine_model(model, training, core::RefineConfig{});
+  auto first = core::refine_model(model, training, validated_config());
   EXPECT_TRUE(first.success);
+  EXPECT_TRUE(first.diagnostics.empty());
   const std::size_t routers = model.num_routers();
   auto stats = model.policy_stats();
-  auto second = core::refine_model(model, training, core::RefineConfig{});
+  auto second = core::refine_model(model, training, validated_config());
   EXPECT_TRUE(second.success);
+  EXPECT_TRUE(second.diagnostics.empty());
   EXPECT_EQ(second.policies_changed, 0u);
   EXPECT_EQ(model.num_routers(), routers);
   auto stats2 = model.policy_stats();
@@ -117,8 +128,9 @@ TEST(RefineTest, DiversityAtIntermediateAsNeedsTwoRouters) {
   Model model = Model::one_router_per_as(g);
   BgpDataset training = dataset_of(
       {{1, AsPath{1, 2, 3, 9}}, {6, AsPath{6, 2, 4, 9}}});
-  auto result = core::refine_model(model, training, core::RefineConfig{});
+  auto result = core::refine_model(model, training, validated_config());
   EXPECT_TRUE(result.success) << result.unmatched_paths;
+  EXPECT_TRUE(result.diagnostics.empty());
   EXPECT_EQ(model.routers_of(2).size(), 2u);
 }
 
@@ -166,11 +178,16 @@ TEST(RefineTest, ConvergesOnGeneratedInternet) {
   // End-to-end convergence on a small generated dataset (the quickstart
   // pipeline at reduced scale), asserting the paper's training fixpoint.
   core::PipelineConfig config = core::PipelineConfig::with(0.08, 5);
+  config.refine.validate = true;
   core::Pipeline pipeline = core::make_pipeline(config);
   core::run_data_stages(pipeline);
   core::run_model_stages(pipeline);
   EXPECT_TRUE(pipeline.refine_result.success)
       << pipeline.refine_result.unmatched_paths << " unmatched";
+  EXPECT_TRUE(pipeline.refine_result.diagnostics.empty())
+      << analysis::render_diagnostics(pipeline.refine_result.diagnostics);
+  EXPECT_TRUE(pipeline.lint.empty())
+      << analysis::render_diagnostics(pipeline.lint);
   EXPECT_DOUBLE_EQ(pipeline.training_eval.stats.rib_out_rate(), 1.0);
 }
 

@@ -1,8 +1,10 @@
-// Thread-pool tests (single- and multi-thread paths).
+// Thread-pool tests (single- and multi-thread paths), including exception
+// propagation and misuse detection.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "bgp/threadpool.hpp"
 
@@ -44,6 +46,106 @@ TEST(ThreadPoolTest, DefaultSizeAtLeastOne) {
   std::atomic<int> count{0};
   pool.parallel_for(8, [&](std::size_t) { count++; });
   EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesToCaller) {
+  bgp::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageIsPreserved) {
+  bgp::ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("index 3 failed");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3 failed");
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadExceptionPropagates) {
+  // The inline (no workers) path must behave the same as the pooled one.
+  bgp::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   5, [&](std::size_t i) {
+                     if (i == 2) throw std::runtime_error("inline boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolReusableAfterException) {
+  bgp::ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(50,
+                          [&](std::size_t i) {
+                            if (i % 7 == 3) throw std::runtime_error("again");
+                          }),
+        std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPoolTest, AllBodiesThrowingYieldsOneException) {
+  bgp::ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  int caught = 0;
+  try {
+    pool.parallel_for(64, [&](std::size_t) {
+      thrown++;
+      throw std::runtime_error("every index throws");
+    });
+  } catch (const std::runtime_error&) {
+    caught++;
+  }
+  EXPECT_EQ(caught, 1);
+  // The failing batch is abandoned after the first error, so not every
+  // index need run -- but at least one did.
+  EXPECT_GE(thrown.load(), 1);
+  EXPECT_LE(thrown.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSamePoolIsRejected) {
+  bgp::ThreadPool pool(2);
+  std::atomic<int> misuse{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    try {
+      pool.parallel_for(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      misuse++;
+    }
+  });
+  EXPECT_EQ(misuse.load(), 4);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnOtherPoolIsAllowed) {
+  bgp::ThreadPool outer(2);
+  bgp::ThreadPool inner(1);  // inline execution, safe to call from workers
+  std::atomic<int> count{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for(8, [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, ContentionStress) {
+  // Many small batches back to back; primarily a TSan target for the
+  // batch-handoff and completion-signalling paths.
+  bgp::ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(16, [&](std::size_t i) { sum += static_cast<long>(i); });
+  }
+  EXPECT_EQ(sum.load(), 200L * (15 * 16 / 2));
 }
 
 }  // namespace

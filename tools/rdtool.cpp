@@ -28,6 +28,16 @@
 //   rdtool explain --model fitted.model --origin O --as A
 //       Show every quasi-router's decision at AS A for O's prefix.
 //
+//   rdtool lint --model fitted.model [--fitted]
+//          | --generated [--scale S] [--seed N]
+//          | --fixture NAME | --list-fixtures
+//       Run the model linter (analysis::validate_model) and print structured
+//       diagnostics.  --fitted adds the refinement-closure and agnosticism
+//       checks.  --generated lints the one-quasi-router-per-AS model of a
+//       freshly generated topology.  --fixture lints a deliberately
+//       corrupted in-process model (ctest asserts these fail).  Exit 0 when
+//       clean (warnings allowed), 4 when any error-severity finding exists.
+//
 //   rdtool selftest [--dir DIR]
 //       End-to-end smoke test over real files (used by ctest).
 #include <cstdio>
@@ -36,6 +46,8 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/fixtures.hpp"
+#include "analysis/validate_model.hpp"
 #include "bgp/explain.hpp"
 #include "core/pipeline.hpp"
 #include "core/predict.hpp"
@@ -53,7 +65,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-               "selftest> [options]\n"
+               "lint|selftest> [options]\n"
                "see the header of tools/rdtool.cpp for details\n");
   return 2;
 }
@@ -284,6 +296,57 @@ int cmd_explain(const nb::Cli& cli) {
   return 0;
 }
 
+int cmd_lint(const nb::Cli& cli) {
+  if (cli.get_bool("list-fixtures")) {
+    for (std::string_view name : analysis::fixture_names())
+      std::printf("%.*s -> %s\n", static_cast<int>(name.size()), name.data(),
+                  analysis::fixture_expected_code(name));
+    return 0;
+  }
+
+  std::optional<topo::Model> model;
+  std::string what;
+  analysis::ValidateOptions options;
+  if (cli.has("fixture")) {
+    const std::string name = cli.get_string("fixture", "");
+    model = analysis::corrupted_fixture(name);
+    if (!model) {
+      std::fprintf(stderr, "rdtool: unknown fixture %s (see --list-fixtures)\n",
+                   name.c_str());
+      return 2;
+    }
+    what = "fixture " + name;
+  } else if (cli.has("model")) {
+    const std::string path = cli.get_string("model", "");
+    model = load_model(path);
+    if (!model) return 1;
+    options.pairwise_sessions = cli.get_bool("fitted");
+    options.agnostic = cli.get_bool("fitted");
+    what = path;
+  } else if (cli.get_bool("generated")) {
+    core::PipelineConfig config = core::PipelineConfig::with(
+        cli.get_double("scale", 0.2), cli.get_u64("seed", 1));
+    core::Pipeline pipeline = core::make_pipeline(config);
+    core::run_data_stages(pipeline);
+    model = topo::Model::one_router_per_as(pipeline.graph);
+    options.pairwise_sessions = true;  // trivially one router per AS
+    options.agnostic = true;
+    what = "one-router-per-AS model of generated topology (" +
+           std::to_string(pipeline.graph.num_nodes()) + " ASes)";
+  } else {
+    return usage();
+  }
+
+  const analysis::Diagnostics diagnostics =
+      analysis::validate_model(*model, options);
+  std::printf("%s", analysis::render_diagnostics(diagnostics).c_str());
+  std::printf("lint: %zu error(s), %zu warning(s) in %s\n",
+              analysis::count(diagnostics, analysis::Severity::kError),
+              analysis::count(diagnostics, analysis::Severity::kWarning),
+              what.c_str());
+  return analysis::has_errors(diagnostics) ? 4 : 0;
+}
+
 int cmd_selftest(const nb::Cli& cli) {
   const std::string dir = cli.get_string("dir", "/tmp");
   const std::string dump = dir + "/rdtool_selftest.dump";
@@ -321,6 +384,13 @@ int cmd_selftest(const nb::Cli& cli) {
     nb::Cli sub(3, const_cast<char**>(argv));
     if (cmd_info(sub) != 0) return 1;
   }
+  // lint the fitted model, including the refinement-closure checks.
+  {
+    const char* argv[] = {"rdtool", "--model", model_path.c_str(),
+                          "--fitted"};
+    nb::Cli sub(4, const_cast<char**>(argv));
+    if (cmd_lint(sub) != 0) return 1;
+  }
   // what-if on the fitted model: remove the first link we can find.
   {
     auto model = load_model(model_path);
@@ -354,6 +424,7 @@ int main(int argc, char** argv) {
   if (command == "predict") return cmd_predict(cli);
   if (command == "whatif") return cmd_whatif(cli);
   if (command == "explain") return cmd_explain(cli);
+  if (command == "lint") return cmd_lint(cli);
   if (command == "selftest") return cmd_selftest(cli);
   return usage();
 }
