@@ -1,5 +1,7 @@
 #include "analysis/diagnostics.hpp"
 
+#include <cstdio>
+
 namespace analysis {
 
 const char* severity_name(Severity severity) {
@@ -29,6 +31,63 @@ bool contains_code(const Diagnostics& diagnostics, std::string_view code) {
   for (const Diagnostic& d : diagnostics)
     if (d.code == code) return true;
   return false;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string diagnostics_to_json(std::string_view tool, std::string_view subject,
+                                const Diagnostics& diagnostics) {
+  std::string out = "{\"tool\": \"" + json_escape(tool) + "\", \"subject\": \"" +
+                    json_escape(subject) + "\", \"errors\": " +
+                    std::to_string(count(diagnostics, Severity::kError)) +
+                    ", \"warnings\": " +
+                    std::to_string(count(diagnostics, Severity::kWarning)) +
+                    ", \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"severity\": \"";
+    out += severity_name(d.severity);
+    out += "\", \"code\": \"" + json_escape(d.code) + "\", \"location\": \"" +
+           json_escape(d.location) + "\", \"message\": \"" +
+           json_escape(d.message) + "\"}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 std::string render_diagnostics(const Diagnostics& diagnostics) {

@@ -10,6 +10,8 @@
 //   P2xx  per-prefix policy tables (filters, rankings, overrides, leaks)
 //   F3xx  fitted-model invariants (opt-in; refinement-specific closure)
 //   C4xx  engine post-state / convergence fixed point
+//   S5xx  static safety (policy_audit: dispute-wheel detection)
+//   D6xx  dead policies (policy_audit: rules that can never take effect)
 #pragma once
 
 #include <cstddef>
@@ -43,6 +45,13 @@ bool contains_code(const Diagnostics& diagnostics, std::string_view code);
 
 /// One line per diagnostic: "error M102-session-intra-as: <location>: <msg>".
 std::string render_diagnostics(const Diagnostics& diagnostics);
+
+/// Machine-readable rendering shared by `rdtool lint --json` and
+/// `rdtool audit --json`:
+///   {"tool": <tool>, "subject": <subject>, "errors": N, "warnings": N,
+///    "diagnostics": [{"severity","code","location","message"}, ...]}
+std::string diagnostics_to_json(std::string_view tool, std::string_view subject,
+                                const Diagnostics& diagnostics);
 
 // ---- stable code registry ---------------------------------------------------
 
@@ -102,6 +111,16 @@ inline constexpr const char* kOriginNotOriginating =
 inline constexpr const char* kRibInStale = "C408-rib-in-stale";
 inline constexpr const char* kBestExternalInvalid =
     "C409-best-external-invalid";
+
+// Static safety (policy_audit / dispute_graph).
+inline constexpr const char* kDisputeWheel = "S500-dispute-wheel";
+inline constexpr const char* kAuditTruncated = "S501-audit-truncated";
+inline constexpr const char* kAuditSkippedPrefix = "S502-audit-skipped-prefix";
+
+// Dead policies (policy_audit).
+inline constexpr const char* kFilterNeverBlocks = "D600-filter-never-blocks";
+inline constexpr const char* kFilterShadowed = "D601-filter-shadowed";
+inline constexpr const char* kRankingDead = "D610-ranking-dead";
 
 }  // namespace codes
 

@@ -1,0 +1,177 @@
+#include "analysis/dispute_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace analysis {
+
+using bgp::Route;
+using topo::Model;
+
+DisputeGraph build_dispute_graph(const bgp::Engine& engine,
+                                 const nb::Prefix& prefix, nb::Asn origin,
+                                 const DisputeGraphOptions& options) {
+  DisputeGraph graph;
+  const Model& model = engine.model();
+  const topo::PrefixPolicy* policy = model.find_policy(prefix);
+  const std::vector<std::uint32_t> ids = bgp::dense_ids(model);
+  graph.by_router.resize(model.num_routers());
+
+  // (router, path) -> node id.  std::map keeps rediscovery deterministic.
+  std::map<std::pair<Model::Dense, std::vector<nb::Asn>>, std::size_t> index;
+  std::deque<std::size_t> queue;
+
+  auto add_node = [&](Model::Dense router, Route route) {
+    const std::size_t id = graph.nodes.size();
+    index.emplace(std::make_pair(router, route.path), id);
+    graph.by_router[router].push_back(id);
+    graph.nodes.push_back({router, std::move(route)});
+    graph.arcs.emplace_back();
+    queue.push_back(id);
+    return id;
+  };
+
+  // Origination, exactly as Engine::run seeds it (empty path, MED 0).
+  for (const Model::Dense r : model.routers_of(origin)) {
+    Route self;
+    self.sender = r;
+    self.med = 0;
+    add_node(r, std::move(self));
+  }
+
+  while (!queue.empty()) {
+    const std::size_t parent = queue.front();
+    queue.pop_front();
+    const Model::Dense v = graph.nodes[parent].router;
+    if (graph.nodes[parent].route.path.size() + 1 > options.max_path_length) {
+      graph.truncated = true;
+      continue;
+    }
+    for (const Model::Dense u : model.peers(v)) {
+      // The propagated route depends only on the parent's PATH (export and
+      // import both recompute attributes), so the representative choice
+      // below never requires re-propagation.
+      std::optional<Route> imported =
+          engine.propagate(policy, v, u, graph.nodes[parent].route);
+      if (!imported.has_value()) continue;
+      auto it = index.find(std::make_pair(u, imported->path));
+      std::size_t child;
+      if (it != index.end()) {
+        child = it->second;
+        // Keep the best-ranked sender as the representative for preference
+        // comparisons (the engine would install exactly one of these).
+        if (bgp::compare_routes(*imported, graph.nodes[child].route, ids)
+                .order < 0) {
+          graph.nodes[child].route = std::move(*imported);
+        }
+      } else {
+        if (graph.by_router[u].size() >= options.max_paths_per_router ||
+            graph.nodes.size() >= options.max_nodes) {
+          graph.truncated = true;
+          continue;
+        }
+        child = add_node(u, std::move(*imported));
+      }
+      auto& arcs = graph.arcs[child];
+      if (std::none_of(arcs.begin(), arcs.end(), [&](const DisputeGraph::Arc& a) {
+            return a.to == parent &&
+                   a.kind == DisputeGraph::ArcKind::kDependence;
+          })) {
+        arcs.push_back({parent, DisputeGraph::ArcKind::kDependence});
+      }
+    }
+  }
+
+  // Dispute arcs: for every dependence (u, vQ) -> (v, Q), v abandoning Q for
+  // a strictly preferred Q' destabilizes u's path.
+  for (std::size_t j = 0; j < graph.nodes.size(); ++j) {
+    const std::vector<DisputeGraph::Arc> dependence = graph.arcs[j];
+    for (const DisputeGraph::Arc& dep : dependence) {
+      const std::size_t i = dep.to;
+      const Model::Dense v = graph.nodes[i].router;
+      for (const std::size_t k : graph.by_router[v]) {
+        if (k == i) continue;
+        if (bgp::compare_routes(graph.nodes[k].route, graph.nodes[i].route,
+                                ids)
+                .order >= 0) {
+          continue;
+        }
+        auto& arcs = graph.arcs[j];
+        if (std::none_of(arcs.begin(), arcs.end(),
+                         [&](const DisputeGraph::Arc& a) {
+                           return a.to == k &&
+                                  a.kind == DisputeGraph::ArcKind::kDispute;
+                         })) {
+          arcs.push_back({k, DisputeGraph::ArcKind::kDispute});
+          ++graph.dispute_arcs;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<std::size_t> find_dispute_cycle(const DisputeGraph& graph) {
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(graph.nodes.size(), kWhite);
+  std::vector<std::size_t> stack;  // routers on the current DFS path
+  struct Frame {
+    std::size_t node;
+    std::size_t next_arc;
+  };
+  for (std::size_t root = 0; root < graph.nodes.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> frames{{root, 0}};
+    color[root] = kGray;
+    stack.clear();
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_arc < graph.arcs[frame.node].size()) {
+        const std::size_t to = graph.arcs[frame.node][frame.next_arc++].to;
+        if (color[to] == kGray) {
+          const auto at = std::find(stack.begin(), stack.end(), to);
+          return {at, stack.end()};
+        }
+        if (color[to] == kWhite) {
+          color[to] = kGray;
+          stack.push_back(to);
+          frames.push_back({to, 0});
+        }
+      } else {
+        color[frame.node] = kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string render_cycle(const topo::Model& model, const DisputeGraph& graph,
+                         const std::vector<std::size_t>& cycle) {
+  std::string out;
+  auto render_node = [&](std::size_t id) {
+    const DisputeGraph::Node& node = graph.nodes[id];
+    out += model.router_id(node.router).str();
+    out += '[';
+    bool first = true;
+    for (const nb::Asn hop : node.route.path) {
+      if (!first) out += ' ';
+      first = false;
+      out += std::to_string(hop);
+    }
+    out += ']';
+  };
+  for (const std::size_t id : cycle) {
+    render_node(id);
+    out += " -> ";
+  }
+  if (!cycle.empty()) render_node(cycle.front());
+  return out;
+}
+
+}  // namespace analysis

@@ -1,0 +1,93 @@
+// The dispute digraph of Griffin/Shepherd/Wilfong ("An Analysis of BGP
+// Convergence Properties", SIGCOMM'99), built statically from a model's
+// per-prefix policies -- no simulation involved.
+//
+// Nodes are (quasi-router, permitted path) pairs: a path is *permitted* at a
+// router when every hop of it survives the model's export rules (valley-free
+// classes where enabled, per-prefix deny-below-length filters) and import
+// rules (AS-loop rejection).  Permitted paths are enumerated breadth-first
+// from the origin through the exact export+import code path of the engine
+// (Engine::propagate), so the universe here is by construction the superset
+// of every route any simulation of this prefix can ever install.
+//
+// Arcs encode how one router's choice can destabilize another's:
+//
+//   * dependence arc (u, vQ) -> (v, Q): u can only hold path vQ while v
+//     selects Q (BGP re-advertises best routes only);
+//   * dispute arc (u, vQ) -> (v, Q'): v strictly prefers Q' over Q under its
+//     import policies (local-pref overrides / relationship classes, path
+//     length, MED ranking, router-id tie-break) -- if v gets its way, u
+//     loses vQ.
+//
+// A cycle therefore witnesses a dispute wheel: a ring of routers each of
+// whose preferred path requires a neighbor to give up *its* preferred path.
+// Models free of such cycles are provably safe (GSW theorem 2); models with
+// one can diverge under some message orderings (the BAD GADGET).  The
+// fitted models of the paper are safe by construction -- uniform local-pref
+// makes every arc strictly decrease path length -- which this analyzer
+// proves instead of assumes; ground-truth "weird" local-pref overrides can
+// genuinely create wheels, which is exactly what Section 4.6 avoids MED for.
+//
+// Detection is conservative in both directions of cost: enumeration is
+// capped (truncated graphs prove nothing about the paths beyond the cap,
+// reported via DisputeGraph::truncated), and a reported cycle is a
+// *potential* divergence, not a reproduced one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "topology/model.hpp"
+
+namespace analysis {
+
+struct DisputeGraphOptions {
+  /// Enumeration caps; exceeding any sets DisputeGraph::truncated.
+  std::size_t max_paths_per_router = 32;
+  std::size_t max_path_length = 16;
+  std::size_t max_nodes = 65536;
+};
+
+struct DisputeGraph {
+  enum class ArcKind : std::uint8_t { kDependence, kDispute };
+
+  struct Arc {
+    std::size_t to = 0;
+    ArcKind kind = ArcKind::kDependence;
+  };
+
+  /// One permitted (router, path) pair.  `route` carries the path in RIB-In
+  /// form ([announcing AS ... origin], router's own AS excluded) plus the
+  /// import attributes of the best-ranked sender producing it -- the
+  /// representative used for preference comparisons.
+  struct Node {
+    topo::Model::Dense router = 0;
+    bgp::Route route;
+  };
+
+  std::vector<Node> nodes;
+  std::vector<std::vector<Arc>> arcs;          // indexed like nodes
+  std::vector<std::vector<std::size_t>> by_router;  // dense -> node indices
+  std::size_t dispute_arcs = 0;
+  bool truncated = false;
+};
+
+/// Enumerates the permitted-path universe of (prefix, origin) and builds the
+/// dispute digraph over it.  Deterministic: routers and paths are visited in
+/// model order.
+DisputeGraph build_dispute_graph(const bgp::Engine& engine,
+                                 const nb::Prefix& prefix, nb::Asn origin,
+                                 const DisputeGraphOptions& options = {});
+
+/// A cycle as node indices (first == last omitted); empty when acyclic.
+/// Any cycle necessarily crosses a dispute arc: dependence arcs strictly
+/// shorten the path, so they cannot close a loop on their own.
+std::vector<std::size_t> find_dispute_cycle(const DisputeGraph& graph);
+
+/// "1.0[2 4] -> 2.1[3 4] -> ..." rendering of a cycle for diagnostics.
+std::string render_cycle(const topo::Model& model, const DisputeGraph& graph,
+                         const std::vector<std::size_t>& cycle);
+
+}  // namespace analysis

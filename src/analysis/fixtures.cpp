@@ -78,4 +78,53 @@ std::optional<topo::Model> corrupted_fixture(std::string_view name) {
   return std::nullopt;
 }
 
+std::vector<std::string_view> audit_fixture_names() {
+  return {"bad-gadget", "shadowed-filter"};
+}
+
+const char* audit_fixture_expected_code(std::string_view name) {
+  if (name == "bad-gadget") return codes::kDisputeWheel;
+  if (name == "shadowed-filter") return codes::kFilterShadowed;
+  return nullptr;
+}
+
+std::optional<topo::Model> audit_fixture(std::string_view name) {
+  if (name == "bad-gadget") {
+    // BAD GADGET (Griffin/Shepherd/Wilfong): origin AS 4 in the middle of a
+    // triangle 1-2-3; each triangle AS local-prefs the route through its
+    // clockwise neighbor above its own direct route, so every stable choice
+    // of one AS destroys the preferred path of the previous one.
+    topo::AsGraph graph;
+    graph.add_edge(1, 2);
+    graph.add_edge(2, 3);
+    graph.add_edge(3, 1);
+    graph.add_edge(4, 1);
+    graph.add_edge(4, 2);
+    graph.add_edge(4, 3);
+    Model model = Model::one_router_per_as(graph);
+    const Prefix prefix = Prefix::for_asn(4);
+    model.set_lp_override(RouterId{1, 0}, prefix, 2, 200);
+    model.set_lp_override(RouterId{2, 0}, prefix, 3, 200);
+    model.set_lp_override(RouterId{3, 0}, prefix, 1, 200);
+    return model;
+  }
+  if (name == "shadowed-filter") {
+    // Chain 1-2-3-4 announcing AS 1's prefix.  The kDenyAll on 2->3 starves
+    // everything downstream, so the deny-below filter on 3->4 can never see
+    // a route: dead by shadowing.
+    topo::AsGraph graph;
+    graph.add_edge(1, 2);
+    graph.add_edge(2, 3);
+    graph.add_edge(3, 4);
+    Model model = Model::one_router_per_as(graph);
+    const Prefix prefix = Prefix::for_asn(1);
+    model.set_export_filter(RouterId{2, 0}, RouterId{3, 0}, prefix,
+                            topo::ExportFilter::kDenyAll, RouterId{3, 0});
+    model.set_export_filter(RouterId{3, 0}, RouterId{4, 0}, prefix, 2,
+                            RouterId{4, 0});
+    return model;
+  }
+  return std::nullopt;
+}
+
 }  // namespace analysis

@@ -57,4 +57,19 @@ std::optional<topo::Model> corrupted_fixture(std::string_view name);
 /// unknown names).
 const char* fixture_expected_code(std::string_view name);
 
+/// Names accepted by audit_fixture, mirroring the policy-audit test matrix:
+/// bad-gadget, shadowed-filter.  These models lint clean -- their defects are
+/// behavioral (divergence risk, dead rules), visible only to `rdtool audit`.
+std::vector<std::string_view> audit_fixture_names();
+
+/// Builds the named unsafe/wasteful model (nullopt for unknown names).
+/// bad-gadget: the classic three-AS local-pref dispute wheel of
+/// Griffin/Wilfong around an origin AS (S500).  shadowed-filter: a chain
+/// where a kDenyAll filter upstream starves a later deny-below filter (D601).
+std::optional<topo::Model> audit_fixture(std::string_view name);
+
+/// The diagnostic code the named audit fixture must trigger (nullptr for
+/// unknown names).
+const char* audit_fixture_expected_code(std::string_view name);
+
 }  // namespace analysis

@@ -1,0 +1,263 @@
+#include "analysis/policy_audit.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <utility>
+
+namespace analysis {
+
+using topo::ExportFilter;
+using topo::Model;
+
+namespace {
+
+constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+
+/// Recovers the origin AS from the Prefix::for_asn convention
+/// (10.<asn_hi>.<asn_lo>.0/24); kInvalidAsn when the prefix does not follow
+/// it or the AS is not in the model.
+nb::Asn origin_of(const Model& model, const nb::Prefix& prefix) {
+  const nb::Asn asn = (prefix.network().value() >> 8) & 0xffffu;
+  if (nb::Prefix::for_asn(asn) != prefix || !model.has_as(asn)) {
+    return nb::kInvalidAsn;
+  }
+  return asn;
+}
+
+/// BFS from the origin's routers over sessions, skipping edges whose export
+/// filter is kDenyAll for this prefix.  dist[r] is a LOWER bound on the
+/// AS-hop count of any route r can announce (loop and valley-free
+/// constraints, ignored here, only lengthen real paths), and kUnreached
+/// routers provably never hold a route for the prefix.
+std::vector<std::size_t> relaxed_distances(const Model& model,
+                                           const topo::PrefixPolicy& policy,
+                                           nb::Asn origin) {
+  std::vector<std::size_t> dist(model.num_routers(), kUnreached);
+  std::deque<Model::Dense> queue;
+  for (const Model::Dense r : model.routers_of(origin)) {
+    dist[r] = 0;
+    queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    const Model::Dense v = queue.front();
+    queue.pop_front();
+    for (const Model::Dense u : model.peers(v)) {
+      if (dist[u] != kUnreached) continue;
+      const auto it = policy.filters.find(
+          topo::session_key(model.router_id(v), model.router_id(u)));
+      if (it != policy.filters.end() &&
+          it->second.deny_below_len == ExportFilter::kDenyAll) {
+        continue;
+      }
+      dist[u] = dist[v] + 1;
+      queue.push_back(u);
+    }
+  }
+  return dist;
+}
+
+/// D6xx-dead rules of one prefix overlay, as policy-map keys.
+struct DeadRules {
+  std::vector<std::uint64_t> filters_never_block;  // D600 session keys
+  std::vector<std::uint64_t> filters_shadowed;     // D601 session keys
+  std::vector<std::uint32_t> rankings;             // D610 router id values
+};
+
+DeadRules find_dead_rules(const Model& model, const topo::PrefixPolicy& policy,
+                          nb::Asn origin) {
+  DeadRules dead;
+  const std::vector<std::size_t> dist =
+      relaxed_distances(model, policy, origin);
+
+  for (const auto& [key, filter] : policy.filters) {
+    const nb::RouterId from =
+        nb::RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+    if (!model.has_router(from)) continue;  // linter territory (P200)
+    const std::size_t from_dist = dist[model.dense(from)];
+    if (from_dist == kUnreached) {
+      dead.filters_shadowed.push_back(key);
+    } else if (filter.deny_below_len != ExportFilter::kDenyAll &&
+               from_dist + 1 >= filter.deny_below_len) {
+      // Every arriving path carries >= dist(announcer)+1 AS hops.
+      dead.filters_never_block.push_back(key);
+    }
+  }
+
+  for (const auto& [router_value, rule] : policy.rankings) {
+    const nb::RouterId router = nb::RouterId::from_value(router_value);
+    if (!model.has_router(router)) continue;  // linter territory (P210)
+    const Model::Dense r = model.dense(router);
+    // A per-prefix ranking masks the default one (the engine consults the
+    // default only when no per-prefix rule exists), so removing a dead rule
+    // here would un-mask it and change behavior.
+    if (model.default_ranking(r) != nb::kInvalidAsn) continue;
+    bool preferred_can_announce = false;
+    for (const Model::Dense p : model.peers(r)) {
+      if (model.router_id(p).asn() == rule.preferred_neighbor &&
+          dist[p] != kUnreached) {
+        preferred_can_announce = true;
+        break;
+      }
+    }
+    if (!preferred_can_announce) dead.rankings.push_back(router_value);
+  }
+
+  std::sort(dead.filters_never_block.begin(), dead.filters_never_block.end());
+  std::sort(dead.filters_shadowed.begin(), dead.filters_shadowed.end());
+  std::sort(dead.rankings.begin(), dead.rankings.end());
+  return dead;
+}
+
+std::string session_str(std::uint64_t key) {
+  return nb::RouterId::from_value(static_cast<std::uint32_t>(key >> 32)).str() +
+         "->" + nb::RouterId::from_value(static_cast<std::uint32_t>(key)).str();
+}
+
+/// The (prefix, origin) pairs to audit, with S502 for underivable overlays.
+std::vector<std::pair<nb::Prefix, nb::Asn>> audit_targets(
+    const Model& model, const AuditOptions& options, Diagnostics* out) {
+  std::vector<std::pair<nb::Prefix, nb::Asn>> targets;
+  if (!options.origins.empty()) {
+    for (const nb::Asn origin : options.origins) {
+      targets.emplace_back(nb::Prefix::for_asn(origin), origin);
+    }
+    return targets;
+  }
+  for (const auto& [prefix, policy] : model.prefix_policies()) {
+    if (policy.empty()) continue;
+    const nb::Asn origin = origin_of(model, prefix);
+    if (origin == nb::kInvalidAsn) {
+      if (out != nullptr) {
+        out->push_back({Severity::kWarning, codes::kAuditSkippedPrefix,
+                        "prefix " + prefix.str(),
+                        "cannot derive an origin AS for this policy overlay; "
+                        "prefix not audited"});
+      }
+      continue;
+    }
+    targets.emplace_back(prefix, origin);
+  }
+  return targets;
+}
+
+}  // namespace
+
+AuditResult audit_model(const topo::Model& model, const AuditOptions& options) {
+  AuditResult result;
+  const bgp::Engine engine(model, options.engine);
+  const std::vector<std::pair<nb::Prefix, nb::Asn>> targets =
+      audit_targets(model, options, &result.diagnostics);
+
+  for (const auto& [prefix, origin] : targets) {
+    PrefixAuditStats stats;
+    stats.prefix = prefix;
+    stats.origin = origin;
+    const std::string where = "prefix " + prefix.str();
+
+    if (options.check_dead) {
+      if (const topo::PrefixPolicy* policy = model.find_policy(prefix)) {
+        const DeadRules dead = find_dead_rules(model, *policy, origin);
+        for (const std::uint64_t key : dead.filters_never_block) {
+          result.diagnostics.push_back(
+              {Severity::kWarning, codes::kFilterNeverBlocks,
+               where + " filter " + session_str(key),
+               "deny_below_len " +
+                   std::to_string(policy->filters.at(key).deny_below_len) +
+                   " can never match: every permitted arriving path is at "
+                   "least that long"});
+        }
+        for (const std::uint64_t key : dead.filters_shadowed) {
+          result.diagnostics.push_back(
+              {Severity::kWarning, codes::kFilterShadowed,
+               where + " filter " + session_str(key),
+               "announcer is cut off from the origin by kDenyAll filters; "
+               "this filter can never see a route"});
+        }
+        for (const std::uint32_t router_value : dead.rankings) {
+          const nb::RouterId router = nb::RouterId::from_value(router_value);
+          result.diagnostics.push_back(
+              {Severity::kWarning, codes::kRankingDead,
+               where + " ranking at " + router.str(),
+               "preferred neighbor AS " +
+                   std::to_string(
+                       policy->rankings.at(router_value).preferred_neighbor) +
+                   " can never announce this prefix to the router"});
+        }
+        result.dead_filters +=
+            dead.filters_never_block.size() + dead.filters_shadowed.size();
+        result.dead_rankings += dead.rankings.size();
+      }
+    }
+
+    if (options.check_safety || options.compute_diversity) {
+      const DisputeGraph graph =
+          build_dispute_graph(engine, prefix, origin, options.graph);
+      stats.permitted_paths = graph.nodes.size();
+      stats.dispute_arcs = graph.dispute_arcs;
+      stats.truncated = graph.truncated;
+      if (graph.truncated) {
+        result.truncated = true;
+        result.diagnostics.push_back(
+            {Severity::kWarning, codes::kAuditTruncated, where,
+             "permitted-path enumeration hit a cap (" +
+                 std::to_string(graph.nodes.size()) +
+                 " nodes kept); safety and diversity results are partial"});
+      }
+      if (options.check_safety) {
+        const std::vector<std::size_t> cycle = find_dispute_cycle(graph);
+        if (!cycle.empty()) {
+          stats.wheel = true;
+          ++result.wheels;
+          result.diagnostics.push_back(
+              {Severity::kError, codes::kDisputeWheel, where,
+               "potential dispute wheel (BAD GADGET): " +
+                   render_cycle(model, graph, cycle)});
+        }
+      }
+      if (options.compute_diversity) {
+        std::map<nb::Asn, std::set<std::vector<nb::Asn>>> paths_by_as;
+        for (const DisputeGraph::Node& node : graph.nodes) {
+          paths_by_as[model.router_id(node.router).asn()].insert(
+              node.route.path);
+        }
+        for (const auto& [asn, paths] : paths_by_as) {
+          stats.diversity_bound[asn] = paths.size();
+        }
+      }
+    }
+
+    result.prefixes.push_back(std::move(stats));
+  }
+  return result;
+}
+
+PruneResult prune_dead_policies(topo::Model& model,
+                                const AuditOptions& options) {
+  PruneResult result;
+  const std::vector<std::pair<nb::Prefix, nb::Asn>> targets =
+      audit_targets(model, options, nullptr);
+
+  for (const auto& [prefix, origin] : targets) {
+    topo::PrefixPolicy* policy = nullptr;
+    // audit_targets only returns prefixes that already carry an overlay, so
+    // Model::policy never creates one here.
+    if (model.find_policy(prefix) == nullptr) continue;
+    policy = &model.policy(prefix);
+    const DeadRules dead = find_dead_rules(model, *policy, origin);
+    for (const std::uint64_t key : dead.filters_never_block) {
+      result.filters_removed += policy->filters.erase(key);
+    }
+    for (const std::uint64_t key : dead.filters_shadowed) {
+      result.filters_removed += policy->filters.erase(key);
+    }
+    for (const std::uint32_t router_value : dead.rankings) {
+      result.rankings_removed += policy->rankings.erase(router_value);
+    }
+  }
+  result.policies_dropped = model.drop_empty_policies();
+  return result;
+}
+
+}  // namespace analysis

@@ -1,0 +1,108 @@
+// Static per-prefix policy auditor (no simulation): proves safety via the
+// dispute digraph, finds dead policies, and bounds route diversity.
+//
+// Three passes over Model + PrefixPolicy, all purely static:
+//
+//  1. SAFETY (S5xx).  Builds the dispute digraph (see dispute_graph.hpp) per
+//     audited prefix and reports a cycle -- a potential dispute wheel -- as
+//     S500 with the offending router/path ring in the message.  Acyclic
+//     digraphs prove the prefix converges under every message ordering;
+//     cycles are conservative (the GSW theorem is one-directional), which is
+//     the right polarity for a gate that runs before expensive simulation.
+//
+//  2. DEAD POLICIES (D6xx).  Rules that provably never take effect:
+//       D600  a deny-below-length filter no permitted arriving path can
+//             match (the announcer's static shortest distance to the origin
+//             already meets the threshold);
+//       D601  a filter on a session whose announcer can never hold a route
+//             for the prefix (every inbound avenue crossed a kDenyAll);
+//       D610  a ranking whose preferred neighbor AS can never announce to
+//             the router (no session to that AS, or the AS itself is cut off
+//             from the origin) -- only reported when the router has no
+//             default ranking, because a per-prefix ranking MASKS the
+//             default one even when its preferred AS is dead.
+//     Distance/reachability arguments use BFS lower bounds that ignore
+//     AS-loop and valley-free constraints, so every report is sound (the
+//     real permitted universe is a subset of the relaxed one); shadowing by
+//     deny-below filters is deliberately not credited, keeping D600/D601
+//     independent of filter evaluation order.  prune_dead_policies removes
+//     exactly the reported rules -- behavior-preserving by the same
+//     arguments -- so fitted models ship minimal.
+//
+//  3. DIVERSITY BOUNDS.  The dispute-graph node universe doubles as a static
+//     ceiling on route diversity: the number of distinct permitted AS-paths
+//     across an AS's quasi-routers bounds what any simulation -- and hence
+//     any refinement -- can make that AS observe.  Reported per prefix so
+//     validation numbers can be read against the achievable maximum.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/dispute_graph.hpp"
+#include "bgp/engine.hpp"
+#include "topology/model.hpp"
+
+namespace analysis {
+
+struct AuditOptions {
+  /// How to interpret the model (relationship policies, IGP costs) -- pass
+  /// GroundTruth::engine_options() for ground-truth models, defaults for
+  /// fitted ones.
+  bgp::EngineOptions engine;
+  DisputeGraphOptions graph;
+
+  bool check_safety = true;
+  bool check_dead = true;
+  bool compute_diversity = true;
+
+  /// Origin ASes to audit (prefix = Prefix::for_asn).  Empty: derive one
+  /// origin per per-prefix policy overlay from the for_asn convention;
+  /// overlays whose prefix does not match any AS are skipped with S502.
+  std::vector<nb::Asn> origins;
+};
+
+/// Per-prefix audit outcome (diagnostics aside).
+struct PrefixAuditStats {
+  nb::Prefix prefix;
+  nb::Asn origin = nb::kInvalidAsn;
+  std::size_t permitted_paths = 0;  // dispute-graph nodes
+  std::size_t dispute_arcs = 0;
+  bool truncated = false;
+  bool wheel = false;
+  /// Static diversity ceiling: AS -> distinct permitted AS-paths across its
+  /// quasi-routers.  Empty unless compute_diversity.
+  std::map<nb::Asn, std::size_t> diversity_bound;
+};
+
+struct AuditResult {
+  Diagnostics diagnostics;
+  std::vector<PrefixAuditStats> prefixes;
+  std::size_t wheels = 0;         // S500 count
+  std::size_t dead_filters = 0;   // D600 + D601
+  std::size_t dead_rankings = 0;  // D610
+  bool truncated = false;         // any prefix hit an enumeration cap
+};
+
+AuditResult audit_model(const topo::Model& model,
+                        const AuditOptions& options = {});
+
+struct PruneResult {
+  std::size_t filters_removed = 0;
+  std::size_t rankings_removed = 0;
+  std::size_t policies_dropped = 0;  // overlays left empty by the pruning
+
+  std::size_t rules_removed() const {
+    return filters_removed + rankings_removed;
+  }
+};
+
+/// Removes every D6xx-dead rule the audit reports (and then empty policy
+/// overlays).  Safe by construction: only rules proven unable to fire are
+/// touched, so simulation results -- and hence path reproducibility -- are
+/// unchanged.  Overlays whose prefix has no derivable origin are left alone.
+PruneResult prune_dead_policies(topo::Model& model,
+                                const AuditOptions& options = {});
+
+}  // namespace analysis

@@ -75,6 +75,10 @@ void run_model_stages(Pipeline& pipeline) {
     lint.agnostic =
         !pipeline.config.refine.engine.use_relationship_policies;
     pipeline.lint = analysis::validate_model(pipeline.model, lint);
+
+    analysis::AuditOptions audit;
+    audit.engine = pipeline.config.refine.engine;
+    pipeline.audit = analysis::audit_model(pipeline.model, audit);
   }
 
   EvalOptions eval;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "core/predict.hpp"
 #include "core/refine.hpp"
@@ -54,6 +55,11 @@ struct Pipeline {
   /// Final lint of the fitted model (filled when config.refine.validate is
   /// on): structural soundness plus the fitted-model closure invariants.
   analysis::Diagnostics lint;
+  /// Full static audit of the fitted model (filled when
+  /// config.refine.validate is on): safety, dead policies and per-prefix
+  /// diversity bounds.  Kept separate from `lint` because dead-policy
+  /// findings are advisory, not fit defects.
+  analysis::AuditResult audit;
 };
 
 /// Stages. Each returns the pipeline for chaining; call in order.

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "analysis/check_convergence.hpp"
+#include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/driver.hpp"
 
@@ -373,6 +374,32 @@ RefineResult refine_model(topo::Model& model,
   result.routers_added = refiner.routers_added;
   result.policies_changed = refiner.policies_changed;
   result.filters_relaxed = refiner.filters_relaxed;
+
+  if (config.prune_dead) {
+    analysis::AuditOptions prune;
+    prune.engine = config.engine;
+    const analysis::PruneResult pruned =
+        analysis::prune_dead_policies(model, prune);
+    result.dead_rules_pruned = pruned.rules_removed();
+    result.empty_policies_dropped = pruned.policies_dropped;
+  }
+  if (config.validate) {
+    // Static safety gate on the final model: the MED-only policy language
+    // must never have produced a dispute wheel (see dispute_graph.hpp).
+    // Only error-severity findings (S500) propagate; enumeration-cap
+    // warnings are expected at real scales and stay advisory (visible via
+    // Pipeline::audit or `rdtool audit`), keeping "a clean fit reports no
+    // diagnostics" intact.
+    analysis::AuditOptions audit;
+    audit.engine = config.engine;
+    audit.check_dead = false;
+    audit.compute_diversity = false;
+    analysis::AuditResult audited = analysis::audit_model(model, audit);
+    for (analysis::Diagnostic& d : audited.diagnostics) {
+      if (d.severity == analysis::Severity::kError)
+        result.diagnostics.push_back(std::move(d));
+    }
+  }
   return result;
 }
 

@@ -66,10 +66,18 @@ struct RefineConfig {
 
   /// Debug hook (on in tests, opt-in elsewhere): run the analysis layer
   /// inside the loop -- analysis::check_convergence on every simulation
-  /// before the heuristic consumes it, and analysis::validate_model on the
-  /// mutated model after every iteration.  Findings land in
-  /// RefineResult::diagnostics; a clean fit reports none.
+  /// before the heuristic consumes it, analysis::validate_model on the
+  /// mutated model after every iteration, and the analysis::audit_model
+  /// safety pass (dispute-wheel detection, S5xx) on the final model.
+  /// Findings land in RefineResult::diagnostics; a clean fit reports none
+  /// (our MED-only policies are provably safe; see dispute_graph.hpp).
   bool validate = false;
+
+  /// After the loop, strip rules the static audit proves dead (D6xx) via
+  /// analysis::prune_dead_policies.  Behavior-preserving by construction --
+  /// every matched training path stays reproducible -- so fitted models
+  /// ship minimal.
+  bool prune_dead = false;
 };
 
 struct RefineIterationLog {
@@ -92,6 +100,9 @@ struct RefineResult {
   std::size_t routers_added = 0;
   std::size_t policies_changed = 0;
   std::size_t filters_relaxed = 0;  // Fig. 7 filter deletions
+  /// Rules removed by the RefineConfig::prune_dead pass (0 when off).
+  std::size_t dead_rules_pruned = 0;
+  std::size_t empty_policies_dropped = 0;
   std::vector<RefineIterationLog> log;
   /// Findings from the RefineConfig::validate hooks (empty when validation
   /// is off or the fit never corrupted the model / engine state).

@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+
 #include "netbase/strings.hpp"
 #include "netbase/table.hpp"
 
@@ -127,6 +129,32 @@ std::string render_refine_log(const RefineResult& result) {
   out += result.success ? "yes (all training paths RIB-Out matched)" : "NO";
   out += ", iterations: " + std::to_string(result.iterations);
   out += ", unmatched paths: " + std::to_string(result.unmatched_paths) + "\n";
+  return out;
+}
+
+std::string render_audit(const analysis::AuditResult& result) {
+  nb::TextTable table({"prefix", "origin", "permitted-paths", "dispute-arcs",
+                       "safe", "max-diversity"});
+  for (const analysis::PrefixAuditStats& stats : result.prefixes) {
+    std::size_t max_diversity = 0;
+    for (const auto& [asn, bound] : stats.diversity_bound) {
+      max_diversity = std::max(max_diversity, bound);
+    }
+    std::string verdict = stats.wheel ? "NO (wheel)" : "yes";
+    if (stats.truncated) verdict += " (partial)";
+    table.add_row({stats.prefix.str(), std::to_string(stats.origin),
+                   fmt_count(stats.permitted_paths),
+                   fmt_count(stats.dispute_arcs), verdict,
+                   stats.diversity_bound.empty() ? "-"
+                                                 : fmt_count(max_diversity)});
+  }
+  std::string out = table.render();
+  out += "prefixes audited: " + std::to_string(result.prefixes.size());
+  out += ", dispute wheels: " + std::to_string(result.wheels);
+  out += ", dead filters: " + std::to_string(result.dead_filters);
+  out += ", dead rankings: " + std::to_string(result.dead_rankings);
+  if (result.truncated) out += " (enumeration truncated)";
+  out += "\n";
   return out;
 }
 

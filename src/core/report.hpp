@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "analysis/policy_audit.hpp"
 #include "core/metrics.hpp"
 #include "core/refine.hpp"
 #include "data/dataset_stats.hpp"
@@ -28,5 +29,11 @@ std::string render_refine_log(const RefineResult& result);
 
 /// Table 1: percentiles of the max number of unique AS-paths received.
 std::string render_table1(const data::DiversityStats& stats);
+
+/// Static-audit summary: per-prefix permitted-path universe, dispute arcs,
+/// safety verdict and the diversity ceiling (max distinct permitted AS-paths
+/// any AS could observe), followed by aggregate counts.  Diagnostics are NOT
+/// included; render them via analysis::render_diagnostics.
+std::string render_audit(const analysis::AuditResult& result);
 
 }  // namespace core

@@ -273,6 +273,11 @@ const PrefixPolicy* Model::find_policy(const Prefix& prefix) const {
   return it == prefix_policies_.end() ? nullptr : &it->second;
 }
 
+std::size_t Model::drop_empty_policies() {
+  return std::erase_if(prefix_policies_,
+                       [](const auto& entry) { return entry.second.empty(); });
+}
+
 Model::PolicyStats Model::policy_stats() const {
   PolicyStats stats;
   for (auto& [prefix, policy] : prefix_policies_) {

@@ -131,6 +131,10 @@ class Model {
   const PrefixPolicy* find_policy(const Prefix& prefix) const;
   PrefixPolicy& policy(const Prefix& prefix) { return prefix_policies_[prefix]; }
 
+  /// Drops policy overlays that have become empty (e.g. after
+  /// analysis::prune_dead_policies); returns the number removed.
+  std::size_t drop_empty_policies();
+
   /// Totals across prefixes, for model-size reporting.
   struct PolicyStats {
     std::size_t prefixes_with_policy = 0;

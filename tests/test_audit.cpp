@@ -1,0 +1,294 @@
+// Static policy auditor (analysis/policy_audit + analysis/dispute_graph):
+// safety verdicts, dead-policy detection, diversity bounds, and the
+// behavior-preservation guarantee of prune_dead_policies.
+#include "analysis/policy_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/check_convergence.hpp"
+#include "analysis/fixtures.hpp"
+#include "core/pipeline.hpp"
+#include "topology/as_graph.hpp"
+
+namespace {
+
+using analysis::AuditOptions;
+using analysis::AuditResult;
+using nb::Prefix;
+using nb::RouterId;
+using topo::Model;
+
+/// Origin AS 9 reachable from AS 5 via two branches: 9 - 1 - 5, 9 - 2 - 5.
+Model diamond() {
+  topo::AsGraph graph;
+  graph.add_edge(9, 1);
+  graph.add_edge(9, 2);
+  graph.add_edge(1, 5);
+  graph.add_edge(2, 5);
+  return Model::one_router_per_as(graph);
+}
+
+TEST(DisputeGraphTest, PolicyFreeDiamondIsSafe) {
+  const Model model = diamond();
+  const bgp::Engine engine(model);
+  const analysis::DisputeGraph graph =
+      analysis::build_dispute_graph(engine, Prefix::for_asn(9), 9);
+  EXPECT_FALSE(graph.truncated);
+  EXPECT_GT(graph.nodes.size(), 0u);
+  // Tie-break preferences create dispute arcs, but never a cycle: without
+  // local-pref games every arc chain strictly shortens the path.
+  EXPECT_TRUE(analysis::find_dispute_cycle(graph).empty());
+}
+
+TEST(DisputeGraphTest, EnumerationCapsSetTruncated) {
+  const Model model = diamond();
+  const bgp::Engine engine(model);
+  analysis::DisputeGraphOptions options;
+  options.max_nodes = 2;
+  const analysis::DisputeGraph graph =
+      analysis::build_dispute_graph(engine, Prefix::for_asn(9), 9, options);
+  EXPECT_TRUE(graph.truncated);
+  EXPECT_LE(graph.nodes.size(), 2u);
+}
+
+TEST(AuditTest, BadGadgetFixtureTripsDisputeWheel) {
+  const auto model = analysis::audit_fixture("bad-gadget");
+  ASSERT_TRUE(model.has_value());
+  const AuditResult result = analysis::audit_model(*model);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kDisputeWheel));
+  EXPECT_TRUE(analysis::has_errors(result.diagnostics));
+  EXPECT_EQ(result.wheels, 1u);
+  ASSERT_EQ(result.prefixes.size(), 1u);
+  EXPECT_TRUE(result.prefixes.front().wheel);
+}
+
+TEST(AuditTest, ShadowedFilterFixtureTripsD601) {
+  const auto model = analysis::audit_fixture("shadowed-filter");
+  ASSERT_TRUE(model.has_value());
+  const AuditResult result = analysis::audit_model(*model);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kFilterShadowed));
+  EXPECT_FALSE(analysis::has_errors(result.diagnostics));  // advisory
+  EXPECT_EQ(result.dead_filters, 1u);
+  EXPECT_EQ(result.wheels, 0u);
+}
+
+TEST(AuditTest, EveryAuditFixtureTripsItsExpectedCode) {
+  for (const std::string_view name : analysis::audit_fixture_names()) {
+    const auto model = analysis::audit_fixture(name);
+    ASSERT_TRUE(model.has_value()) << name;
+    const AuditResult result = analysis::audit_model(*model);
+    EXPECT_TRUE(analysis::contains_code(
+        result.diagnostics, analysis::audit_fixture_expected_code(name)))
+        << name;
+  }
+}
+
+TEST(AuditTest, CleanModelAuditsClean) {
+  Model model = diamond();
+  // A live ranking: AS 2 has a session to 5.0 and can announce the prefix.
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 2);
+  const AuditResult result = analysis::audit_model(model);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << analysis::render_diagnostics(result.diagnostics);
+  EXPECT_EQ(result.wheels, 0u);
+  EXPECT_EQ(result.dead_filters, 0u);
+  EXPECT_EQ(result.dead_rankings, 0u);
+}
+
+TEST(AuditTest, DiversityBoundCountsDistinctPermittedPaths) {
+  Model model = diamond();
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 2);  // keep overlay
+  const AuditResult result = analysis::audit_model(model);
+  ASSERT_EQ(result.prefixes.size(), 1u);
+  const auto& bounds = result.prefixes.front().diversity_bound;
+  // AS 5 can receive [1 9] and [2 9]; no policy removes either.
+  ASSERT_TRUE(bounds.count(5));
+  EXPECT_EQ(bounds.at(5), 2u);
+}
+
+TEST(AuditTest, NeverMatchingFilterTripsD600) {
+  // Chain 9 - 1 - 5: the shortest arriving path at 5.0 already has length
+  // 2, so deny_below_len=2 can never block anything.
+  topo::AsGraph graph;
+  graph.add_edge(9, 1);
+  graph.add_edge(1, 5);
+  Model model = Model::one_router_per_as(graph);
+  model.set_export_filter(RouterId{1, 0}, RouterId{5, 0}, Prefix::for_asn(9),
+                          2, RouterId{5, 0});
+  const AuditResult result = analysis::audit_model(model);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kFilterNeverBlocks));
+
+  // Raising the threshold to 3 blocks the length-2 path: no longer dead.
+  model.set_export_filter(RouterId{1, 0}, RouterId{5, 0}, Prefix::for_asn(9),
+                          3, RouterId{5, 0});
+  const AuditResult live = analysis::audit_model(model);
+  EXPECT_FALSE(analysis::contains_code(live.diagnostics,
+                                       analysis::codes::kFilterNeverBlocks));
+}
+
+TEST(AuditTest, UnreachablePreferredNeighborTripsD610) {
+  Model model = diamond();
+  // AS 9 is the origin itself; AS 1 is fine -- but AS 3 has no session to
+  // 5.0, so preferring it can never matter.
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 3);
+  const AuditResult result = analysis::audit_model(model);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kRankingDead));
+  EXPECT_EQ(result.dead_rankings, 1u);
+}
+
+TEST(AuditTest, DeadRankingMaskingADefaultIsKept) {
+  // The engine consults the default ranking only when no per-prefix rule
+  // exists, so a dead per-prefix rule still changes behavior by masking:
+  // it must be neither reported nor pruned.
+  Model model = diamond();
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 3);  // dead on its own
+  model.set_default_ranking(RouterId{5, 0}, 2);
+  const AuditResult result = analysis::audit_model(model);
+  EXPECT_FALSE(analysis::contains_code(result.diagnostics,
+                                       analysis::codes::kRankingDead));
+
+  const analysis::PruneResult pruned = analysis::prune_dead_policies(model);
+  EXPECT_EQ(pruned.rules_removed(), 0u);
+  EXPECT_EQ(model.policy_stats().rankings, 1u);
+}
+
+TEST(AuditTest, UnderivablePrefixIsSkippedWithS502) {
+  Model model = diamond();
+  const Prefix alien = *Prefix::parse("192.168.7.0/24");
+  model.set_ranking(RouterId{5, 0}, alien, 2);
+  const AuditResult result = analysis::audit_model(model);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kAuditSkippedPrefix));
+  EXPECT_TRUE(result.prefixes.empty());
+
+  // prune must leave the unanalyzable overlay untouched.
+  const analysis::PruneResult pruned = analysis::prune_dead_policies(model);
+  EXPECT_EQ(pruned.rules_removed(), 0u);
+  EXPECT_EQ(model.policy_stats().rankings, 1u);
+}
+
+TEST(AuditTest, TruncationSurfacesAsS501) {
+  Model model = diamond();
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 2);
+  AuditOptions options;
+  options.graph.max_nodes = 2;
+  const AuditResult result = analysis::audit_model(model, options);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kAuditTruncated));
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(PruneTest, RemovesDeadRulesAndDropsEmptyOverlays) {
+  topo::AsGraph graph;
+  graph.add_edge(9, 1);
+  graph.add_edge(1, 5);
+  graph.add_edge(5, 6);
+  Model model = Model::one_router_per_as(graph);
+  const Prefix prefix = Prefix::for_asn(9);
+  // Dead: can never block (shortest arriving length at 5.0 is 2 already).
+  model.set_export_filter(RouterId{1, 0}, RouterId{5, 0}, prefix, 2,
+                          RouterId{5, 0});
+  // Live: blocks the length-3 path into 6.0.  Keeps the overlay non-empty.
+  model.set_export_filter(RouterId{5, 0}, RouterId{6, 0}, prefix,
+                          topo::ExportFilter::kDenyAll, RouterId{6, 0});
+  // Dead: preferred AS 2 has no session to 5.0.
+  model.set_ranking(RouterId{5, 0}, prefix, 2);
+
+  const analysis::PruneResult pruned = analysis::prune_dead_policies(model);
+  EXPECT_EQ(pruned.filters_removed, 1u);
+  EXPECT_EQ(pruned.rankings_removed, 1u);
+  EXPECT_EQ(pruned.policies_dropped, 0u);
+  const auto stats = model.policy_stats();
+  EXPECT_EQ(stats.filters, 1u);
+  EXPECT_EQ(stats.rankings, 0u);
+
+  // Second overlay made entirely of one dead rule: pruned AND dropped.
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(6), 2);
+  const analysis::PruneResult second = analysis::prune_dead_policies(model);
+  EXPECT_EQ(second.rankings_removed, 1u);
+  EXPECT_EQ(second.policies_dropped, 1u);
+  EXPECT_EQ(model.policy_stats().prefixes_with_policy, 1u);
+}
+
+TEST(PruneTest, FittedModelStaysReproducibleAfterPruning) {
+  // The acceptance-criterion test: fit a model end to end, prune, and prove
+  // behavior preservation -- every training path stays reproducible (same
+  // evaluation counts) and each re-run simulation is still a fixed point
+  // (check_convergence finds nothing).
+  core::PipelineConfig config = core::PipelineConfig::with(0.08, 11);
+  config.refine.validate = true;
+  core::Pipeline pipeline = core::run_full_pipeline(config);
+  ASSERT_TRUE(pipeline.refine_result.success);
+
+  core::EvalOptions eval;
+  const core::EvalResult before =
+      core::evaluate_predictions(pipeline.model, pipeline.split.training, eval);
+
+  const analysis::PruneResult pruned =
+      analysis::prune_dead_policies(pipeline.model);
+
+  const core::EvalResult after =
+      core::evaluate_predictions(pipeline.model, pipeline.split.training, eval);
+  EXPECT_EQ(before.stats.total, after.stats.total);
+  EXPECT_EQ(before.stats.rib_out, after.stats.rib_out);
+  EXPECT_EQ(before.stats.potential_rib_out, after.stats.potential_rib_out);
+  EXPECT_EQ(before.stats.rib_in_only, after.stats.rib_in_only);
+  EXPECT_EQ(before.stats.not_available, after.stats.not_available);
+
+  // Every pruned prefix still simulates to a fixed point of the pruned model.
+  const bgp::Engine engine(pipeline.model);
+  for (const auto& [prefix, policy] : pipeline.model.prefix_policies()) {
+    const nb::Asn origin = (prefix.network().value() >> 8) & 0xffffu;
+    ASSERT_EQ(Prefix::for_asn(origin), prefix);
+    const bgp::PrefixSimResult sim = engine.run(prefix, origin);
+    const analysis::Diagnostics convergence =
+        analysis::check_convergence(engine, sim);
+    EXPECT_TRUE(convergence.empty())
+        << prefix.str() << ": "
+        << analysis::render_diagnostics(convergence);
+  }
+  // Informational: report how much the pass actually trimmed.
+  SUCCEED() << "pruned " << pruned.rules_removed() << " rules, dropped "
+            << pruned.policies_dropped << " overlays";
+}
+
+TEST(AuditJsonTest, SerializerEscapesAndCounts) {
+  analysis::Diagnostics diagnostics;
+  diagnostics.push_back({analysis::Severity::kError, "S500-dispute-wheel",
+                         "prefix \"x\"", "line1\nline2\ttab"});
+  diagnostics.push_back({analysis::Severity::kWarning, "D600-filter-never-blocks",
+                         "", "plain"});
+  const std::string json =
+      analysis::diagnostics_to_json("audit", "unit \\ test", diagnostics);
+  EXPECT_NE(json.find("\"tool\": \"audit\""), std::string::npos);
+  EXPECT_NE(json.find("\"subject\": \"unit \\\\ test\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("prefix \\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), json.size() - 1);  // single trailing newline
+}
+
+TEST(RefineIntegrationTest, PruneDeadConfigPreservesConvergence) {
+  core::PipelineConfig config = core::PipelineConfig::with(0.08, 7);
+  config.refine.validate = true;
+  config.refine.prune_dead = true;
+  core::Pipeline pipeline = core::run_full_pipeline(config);
+  ASSERT_TRUE(pipeline.refine_result.success);
+  // The refine-time prune must not cost a single training match: success
+  // implies every training path is still a RIB-Out match after pruning,
+  // because evaluation runs on the pruned model.
+  EXPECT_EQ(pipeline.training_eval.stats.rib_out,
+            pipeline.training_eval.stats.total);
+  EXPECT_TRUE(pipeline.refine_result.diagnostics.empty())
+      << analysis::render_diagnostics(pipeline.refine_result.diagnostics);
+  // The pipeline-level audit ran and covered every policy-bearing prefix.
+  EXPECT_EQ(pipeline.audit.wheels, 0u);
+  EXPECT_GT(pipeline.audit.prefixes.size(), 0u);
+}
+
+}  // namespace

@@ -28,18 +28,33 @@
 //   rdtool explain --model fitted.model --origin O --as A
 //       Show every quasi-router's decision at AS A for O's prefix.
 //
-//   rdtool lint --model fitted.model [--fitted]
+//   rdtool lint --model fitted.model [--fitted] [--json]
 //          | --generated [--scale S] [--seed N]
 //          | --fixture NAME | --list-fixtures
 //       Run the model linter (analysis::validate_model) and print structured
 //       diagnostics.  --fitted adds the refinement-closure and agnosticism
 //       checks.  --generated lints the one-quasi-router-per-AS model of a
 //       freshly generated topology.  --fixture lints a deliberately
-//       corrupted in-process model (ctest asserts these fail).  Exit 0 when
-//       clean (warnings allowed), 4 when any error-severity finding exists.
+//       corrupted in-process model (ctest asserts these fail).
+//
+//   rdtool audit --model fitted.model [--origin N] [--json]
+//          | --generated [--scale S] [--seed N]
+//          | --fixture NAME | --list-fixtures
+//       Run the static policy auditor (analysis::audit_model): dispute-wheel
+//       safety (S5xx), dead policies (D6xx) and per-prefix route-diversity
+//       bounds, all without simulation.  --generated audits the ground-truth
+//       model of a freshly generated topology under its relationship
+//       policies.  --fixture audits a deliberately unsafe/wasteful in-process
+//       model (ctest asserts these fail).
 //
 //   rdtool selftest [--dir DIR]
 //       End-to-end smoke test over real files (used by ctest).
+//
+// Exit codes for lint and audit, uniform (also shown by `rdtool help`):
+//   0  clean (no diagnostics at all)
+//   1  diagnostics found (any severity)
+//   2  usage or I/O error
+// Other subcommands exit 0 on success and non-zero on failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +62,7 @@
 #include <sstream>
 
 #include "analysis/fixtures.hpp"
+#include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/explain.hpp"
 #include "core/pipeline.hpp"
@@ -62,11 +78,35 @@
 
 namespace {
 
+void print_help(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: rdtool <generate|info|refine|predict|whatif|explain|"
+      "lint|audit|selftest|help> [options]\n"
+      "\n"
+      "  generate  write a synthetic RIB dump (--out F [--scale S --seed N])\n"
+      "  info      summarize --dataset F or --model F\n"
+      "  refine    fit a quasi-router model (--dataset F --out F)\n"
+      "  predict   evaluate a model (--dataset F --model F)\n"
+      "  whatif    impact of removing a link (--model F --remove-link A:B)\n"
+      "  explain   per-router decisions (--model F --origin O --as A)\n"
+      "  lint      structural model linter (--model F [--fitted] | "
+      "--generated | --fixture NAME | --list-fixtures) [--json]\n"
+      "  audit     static policy auditor: dispute-wheel safety, dead\n"
+      "            policies, diversity bounds (--model F [--origin N] | "
+      "--generated | --fixture NAME | --list-fixtures) [--json]\n"
+      "  selftest  end-to-end smoke test over real files (--dir D)\n"
+      "\n"
+      "exit codes (lint, audit):\n"
+      "  0  clean: no diagnostics at all\n"
+      "  1  diagnostics found (any severity)\n"
+      "  2  usage or I/O error\n"
+      "other subcommands exit 0 on success, non-zero on failure;\n"
+      "see the header of tools/rdtool.cpp for details\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-               "lint|selftest> [options]\n"
-               "see the header of tools/rdtool.cpp for details\n");
+  print_help(stderr);
   return 2;
 }
 
@@ -319,7 +359,7 @@ int cmd_lint(const nb::Cli& cli) {
   } else if (cli.has("model")) {
     const std::string path = cli.get_string("model", "");
     model = load_model(path);
-    if (!model) return 1;
+    if (!model) return 2;
     options.pairwise_sessions = cli.get_bool("fitted");
     options.agnostic = cli.get_bool("fitted");
     what = path;
@@ -339,12 +379,74 @@ int cmd_lint(const nb::Cli& cli) {
 
   const analysis::Diagnostics diagnostics =
       analysis::validate_model(*model, options);
-  std::printf("%s", analysis::render_diagnostics(diagnostics).c_str());
-  std::printf("lint: %zu error(s), %zu warning(s) in %s\n",
-              analysis::count(diagnostics, analysis::Severity::kError),
-              analysis::count(diagnostics, analysis::Severity::kWarning),
-              what.c_str());
-  return analysis::has_errors(diagnostics) ? 4 : 0;
+  if (cli.get_bool("json")) {
+    std::printf("%s",
+                analysis::diagnostics_to_json("lint", what, diagnostics).c_str());
+  } else {
+    std::printf("%s", analysis::render_diagnostics(diagnostics).c_str());
+    std::printf("lint: %zu error(s), %zu warning(s) in %s\n",
+                analysis::count(diagnostics, analysis::Severity::kError),
+                analysis::count(diagnostics, analysis::Severity::kWarning),
+                what.c_str());
+  }
+  return diagnostics.empty() ? 0 : 1;
+}
+
+int cmd_audit(const nb::Cli& cli) {
+  if (cli.get_bool("list-fixtures")) {
+    for (std::string_view name : analysis::audit_fixture_names())
+      std::printf("%.*s -> %s\n", static_cast<int>(name.size()), name.data(),
+                  analysis::audit_fixture_expected_code(name));
+    return 0;
+  }
+
+  std::optional<topo::Model> model;
+  analysis::AuditOptions options;
+  std::string what;
+  if (cli.has("fixture")) {
+    const std::string name = cli.get_string("fixture", "");
+    model = analysis::audit_fixture(name);
+    if (!model) {
+      std::fprintf(stderr, "rdtool: unknown fixture %s (see --list-fixtures)\n",
+                   name.c_str());
+      return 2;
+    }
+    what = "fixture " + name;
+  } else if (cli.has("model")) {
+    const std::string path = cli.get_string("model", "");
+    model = load_model(path);
+    if (!model) return 2;
+    what = path;
+  } else if (cli.get_bool("generated")) {
+    core::PipelineConfig config = core::PipelineConfig::with(
+        cli.get_double("scale", 0.2), cli.get_u64("seed", 1));
+    core::Pipeline pipeline = core::make_pipeline(config);
+    core::run_data_stages(pipeline);
+    model = std::move(pipeline.ground_truth.model);
+    options.engine = pipeline.ground_truth.config.engine_options();
+    what = "ground-truth model of generated topology (" +
+           std::to_string(model->num_ases()) + " ASes)";
+  } else {
+    return usage();
+  }
+  if (cli.has("origin"))
+    options.origins.push_back(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+
+  const analysis::AuditResult result = analysis::audit_model(*model, options);
+  if (cli.get_bool("json")) {
+    std::printf(
+        "%s",
+        analysis::diagnostics_to_json("audit", what, result.diagnostics).c_str());
+  } else {
+    std::printf("%s", core::render_audit(result).c_str());
+    std::printf("%s", analysis::render_diagnostics(result.diagnostics).c_str());
+    std::printf("audit: %zu error(s), %zu warning(s) in %s\n",
+                analysis::count(result.diagnostics, analysis::Severity::kError),
+                analysis::count(result.diagnostics,
+                                analysis::Severity::kWarning),
+                what.c_str());
+  }
+  return result.diagnostics.empty() ? 0 : 1;
 }
 
 int cmd_selftest(const nb::Cli& cli) {
@@ -384,12 +486,28 @@ int cmd_selftest(const nb::Cli& cli) {
     nb::Cli sub(3, const_cast<char**>(argv));
     if (cmd_info(sub) != 0) return 1;
   }
-  // lint the fitted model, including the refinement-closure checks.
+  // lint the fitted model, including the refinement-closure checks; once
+  // more in JSON to keep the machine-readable path exercised.
   {
     const char* argv[] = {"rdtool", "--model", model_path.c_str(),
                           "--fitted"};
     nb::Cli sub(4, const_cast<char**>(argv));
     if (cmd_lint(sub) != 0) return 1;
+  }
+  {
+    const char* argv[] = {"rdtool", "--model", model_path.c_str(),
+                          "--fitted", "--json"};
+    nb::Cli sub(5, const_cast<char**>(argv));
+    if (cmd_lint(sub) != 0) return 1;
+  }
+  // static audit of the fitted model.  Advisory findings (dead policies,
+  // truncation) exit 1 and are fine here; only usage/IO failures (exit >= 2)
+  // fail the selftest.  test_audit separately asserts fitted models carry no
+  // S500 dispute wheel.
+  {
+    const char* argv[] = {"rdtool", "--model", model_path.c_str()};
+    nb::Cli sub(3, const_cast<char**>(argv));
+    if (cmd_audit(sub) >= 2) return 1;
   }
   // what-if on the fitted model: remove the first link we can find.
   {
@@ -425,6 +543,11 @@ int main(int argc, char** argv) {
   if (command == "whatif") return cmd_whatif(cli);
   if (command == "explain") return cmd_explain(cli);
   if (command == "lint") return cmd_lint(cli);
+  if (command == "audit") return cmd_audit(cli);
   if (command == "selftest") return cmd_selftest(cli);
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_help(stdout);
+    return 0;
+  }
   return usage();
 }
