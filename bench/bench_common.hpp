@@ -26,6 +26,9 @@ inline BenchSetup setup_from_cli(int argc, char** argv,
   setup.seed = cli.get_u64("seed", 1);
   setup.config = core::PipelineConfig::with(setup.scale, setup.seed);
   setup.config.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
+  // One threads= knob drives every parallel stage, including the refinement
+  // simulation sweep (which is thread-count invariant; see refine.hpp).
+  setup.config.refine.threads = setup.config.threads;
   return setup;
 }
 

@@ -1,0 +1,205 @@
+// PERF -- refinement fit benchmark (the perf counterpart of bench_scale).
+//
+// Times core::refine_model end to end at several topology scales, for one
+// thread and for the hardware thread count, reporting wall-clock, the
+// simulate/heuristic/validate phase split and engine message throughput.
+// Also asserts the parallel sweep's core guarantee: the fitted model is
+// byte-identical for every thread count (exit 1 if not).
+//
+// Output: a human-readable table on stdout plus a JSON report (default
+// BENCH_refine.json) for CI artifacts.  With baseline=FILE the 1-thread
+// total at each scale is gated against the recorded baseline:
+// exit 1 if current > max-regress x baseline (CI perf smoke).
+//
+//   bench_refine [--scales=0.05,0.1,0.2] [--seed=1] [--threads=0]
+//                [--out=BENCH_refine.json] [--baseline=FILE]
+//                [--max-regress=2.0] [--write-baseline=FILE]
+//
+// The baseline file is plain text, one `scale <seconds>` pair per line,
+// written by --write-baseline on a reference machine and parsed here
+// without any JSON dependency.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/threadpool.hpp"
+#include "core/pipeline.hpp"
+#include "netbase/cli.hpp"
+#include "topology/model_io.hpp"
+
+namespace {
+
+struct RunResult {
+  double scale = 0;
+  unsigned threads = 0;       // requested (resolved, see threads_used)
+  unsigned threads_used = 0;
+  core::RefineResult refine;
+  std::size_t routers = 0;
+  std::string model_text;     // serialized fit, for cross-thread identity
+};
+
+std::vector<double> parse_scales(const std::string& text) {
+  std::vector<double> scales;
+  std::stringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) scales.push_back(std::stod(item));
+  }
+  return scales;
+}
+
+RunResult run_once(double scale, std::uint64_t seed, unsigned threads) {
+  core::PipelineConfig config = core::PipelineConfig::with(scale, seed);
+  config.threads = threads;
+  config.refine.threads = threads;
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+
+  topo::Model model = topo::Model::one_router_per_as(pipeline.graph);
+  RunResult run;
+  run.scale = scale;
+  run.threads = threads;
+  run.refine =
+      core::refine_model(model, pipeline.split.training, config.refine);
+  run.threads_used = run.refine.threads_used;
+  run.routers = model.num_routers();
+  run.model_text = topo::model_to_string(model);
+  return run;
+}
+
+double messages_per_second(const RunResult& run) {
+  const double sim = run.refine.phase_seconds.simulate;
+  if (sim <= 0) return 0;
+  return static_cast<double>(run.refine.messages_simulated) / sim;
+}
+
+void append_json(std::string& out, const RunResult& run) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "    {\"scale\": %.3f, \"threads\": %u, \"threads_used\": %u, "
+      "\"success\": %s, \"iterations\": %zu, \"routers\": %zu, "
+      "\"messages\": %llu, \"messages_per_second\": %.0f, "
+      "\"phase_seconds\": {\"simulate\": %.6f, \"heuristic\": %.6f, "
+      "\"validate\": %.6f, \"total\": %.6f}}",
+      run.scale, run.threads, run.threads_used,
+      run.refine.success ? "true" : "false", run.refine.iterations,
+      run.routers,
+      static_cast<unsigned long long>(run.refine.messages_simulated),
+      messages_per_second(run), run.refine.phase_seconds.simulate,
+      run.refine.phase_seconds.heuristic, run.refine.phase_seconds.validate,
+      run.refine.phase_seconds.total);
+  out += buf;
+}
+
+std::map<double, double> read_baseline(const std::string& path) {
+  std::map<double, double> baseline;
+  std::ifstream in(path);
+  double scale = 0, seconds = 0;
+  while (in >> scale >> seconds) baseline[scale] = seconds;
+  return baseline;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nb::Cli cli(argc, argv);
+  const std::vector<double> scales =
+      parse_scales(cli.get_string("scales", "0.05,0.1,0.2"));
+  const std::uint64_t seed = cli.get_u64("seed", 1);
+  const unsigned multi = bgp::ThreadPool::resolve(
+      static_cast<unsigned>(cli.get_u64("threads", 0)));
+  const std::string out_path = cli.get_string("out", "BENCH_refine.json");
+
+  std::printf("bench_refine: refinement fit wall-clock and throughput\n");
+  std::printf("hardware threads: %u, multi-thread runs use %u\n\n",
+              bgp::ThreadPool::resolve(0), multi);
+  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s\n", "scale",
+              "threads", "iters", "routers", "simulate", "heuristic", "total",
+              "msgs/sec");
+
+  bool ok = true;
+  bool identical = true;
+  std::vector<RunResult> runs;
+  for (const double scale : scales) {
+    const std::string* one_thread_model = nullptr;
+    std::vector<unsigned> thread_counts{1};
+    if (multi != 1) thread_counts.push_back(multi);
+    for (const unsigned threads : thread_counts) {
+      RunResult run = run_once(scale, seed, threads);
+      ok &= run.refine.success;
+      std::printf("%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f\n",
+                  scale, run.threads_used, run.refine.iterations, run.routers,
+                  run.refine.phase_seconds.simulate,
+                  run.refine.phase_seconds.heuristic,
+                  run.refine.phase_seconds.total, messages_per_second(run));
+      runs.push_back(std::move(run));
+      if (one_thread_model == nullptr) {
+        one_thread_model = &runs.back().model_text;
+      } else if (*one_thread_model != runs.back().model_text) {
+        identical = false;
+        std::fprintf(stderr,
+                     "bench_refine: FITTED MODEL DIFFERS between 1 and %u "
+                     "threads at scale %.3f\n",
+                     threads, scale);
+      }
+    }
+  }
+  if (identical)
+    std::printf("\nfitted models byte-identical across thread counts\n");
+
+  // Perf gate against a recorded 1-thread baseline (CI smoke).
+  bool baseline_checked = false;
+  bool baseline_pass = true;
+  if (cli.has("baseline")) {
+    const double max_regress = cli.get_double("max-regress", 2.0);
+    const std::map<double, double> baseline =
+        read_baseline(cli.get_string("baseline", ""));
+    for (const RunResult& run : runs) {
+      if (run.threads != 1) continue;
+      const auto it = baseline.find(run.scale);
+      if (it == baseline.end()) continue;
+      baseline_checked = true;
+      const double total = run.refine.phase_seconds.total;
+      const bool pass = total <= it->second * max_regress;
+      baseline_pass &= pass;
+      std::printf("baseline scale %.3f: %.3fs vs %.3fs recorded (%.2fx, "
+                  "limit %.2fx) %s\n",
+                  run.scale, total, it->second, total / it->second,
+                  max_regress, pass ? "ok" : "REGRESSION");
+    }
+  }
+  if (cli.has("write-baseline")) {
+    std::ofstream out(cli.get_string("write-baseline", ""));
+    for (const RunResult& run : runs) {
+      if (run.threads == 1)
+        out << run.scale << ' ' << run.refine.phase_seconds.total << '\n';
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"refine\",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(bgp::ThreadPool::resolve(0)) + ",\n";
+  json += "  \"identical_across_threads\": ";
+  json += identical ? "true" : "false";
+  json += ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    append_json(json, runs[i]);
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ok) std::fprintf(stderr, "bench_refine: a fit failed to converge\n");
+  if (!baseline_pass)
+    std::fprintf(stderr, "bench_refine: 1-thread wall-clock regression\n");
+  if (baseline_checked && baseline_pass)
+    std::printf("baseline check passed\n");
+  return (ok && identical && baseline_pass) ? 0 : 1;
+}

@@ -48,7 +48,8 @@ class Checker {
                 " messages; RIB state is mid-flight");
       return std::move(out_);
     }
-    ids_ = bgp::dense_ids(model_);
+    ctx_ = engine_.context();  // shared per-epoch ids, no per-check rebuild
+    ids_ = ctx_->ids;
     for (Model::Dense r = 0; r < result_.routers.size(); ++r)
       check_router(r);
     if (options_.check_fixed_point) check_fixed_point();
@@ -223,7 +224,8 @@ class Checker {
   const Model& model_;
   const PrefixSimResult& result_;
   const ConvergenceOptions& options_;
-  std::vector<std::uint32_t> ids_;
+  std::shared_ptr<const bgp::SimContext> ctx_;
+  std::span<const std::uint32_t> ids_;
   Diagnostics out_;
 };
 

@@ -69,7 +69,8 @@ std::string json_escape(std::string_view text) {
 }  // namespace
 
 std::string diagnostics_to_json(std::string_view tool, std::string_view subject,
-                                const Diagnostics& diagnostics) {
+                                const Diagnostics& diagnostics,
+                                std::string_view extra_json) {
   std::string out = "{\"tool\": \"" + json_escape(tool) + "\", \"subject\": \"" +
                     json_escape(subject) + "\", \"errors\": " +
                     std::to_string(count(diagnostics, Severity::kError)) +
@@ -86,7 +87,12 @@ std::string diagnostics_to_json(std::string_view tool, std::string_view subject,
            json_escape(d.location) + "\", \"message\": \"" +
            json_escape(d.message) + "\"}";
   }
-  out += "]}\n";
+  out += ']';
+  if (!extra_json.empty()) {
+    out += ", ";
+    out += extra_json;
+  }
+  out += "}\n";
   return out;
 }
 

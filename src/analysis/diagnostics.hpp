@@ -50,8 +50,12 @@ std::string render_diagnostics(const Diagnostics& diagnostics);
 /// `rdtool audit --json`:
 ///   {"tool": <tool>, "subject": <subject>, "errors": N, "warnings": N,
 ///    "diagnostics": [{"severity","code","location","message"}, ...]}
+/// `extra_json`, when non-empty, is spliced verbatim as additional top-level
+/// fields (callers pass pre-rendered `"key": value, ...` pairs, e.g.
+/// timings), keeping the base schema stable for existing consumers.
 std::string diagnostics_to_json(std::string_view tool, std::string_view subject,
-                                const Diagnostics& diagnostics);
+                                const Diagnostics& diagnostics,
+                                std::string_view extra_json = {});
 
 // ---- stable code registry ---------------------------------------------------
 

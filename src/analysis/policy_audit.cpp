@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "bgp/threadpool.hpp"
+
 namespace analysis {
 
 using topo::ExportFilter;
@@ -142,6 +144,96 @@ std::vector<std::pair<nb::Prefix, nb::Asn>> audit_targets(
   return targets;
 }
 
+/// Everything one target's audit produces; built independently per prefix so
+/// the targets can fan across threads, merged serially in target order.
+struct TargetOutcome {
+  Diagnostics diags;
+  PrefixAuditStats stats;
+  std::size_t dead_filters = 0;
+  std::size_t dead_rankings = 0;
+};
+
+TargetOutcome audit_one(const Model& model, const bgp::Engine& engine,
+                        const AuditOptions& options, const nb::Prefix& prefix,
+                        nb::Asn origin) {
+  TargetOutcome out;
+  PrefixAuditStats& stats = out.stats;
+  stats.prefix = prefix;
+  stats.origin = origin;
+  const std::string where = "prefix " + prefix.str();
+
+  if (options.check_dead) {
+    if (const topo::PrefixPolicy* policy = model.find_policy(prefix)) {
+      const DeadRules dead = find_dead_rules(model, *policy, origin);
+      for (const std::uint64_t key : dead.filters_never_block) {
+        out.diags.push_back(
+            {Severity::kWarning, codes::kFilterNeverBlocks,
+             where + " filter " + session_str(key),
+             "deny_below_len " +
+                 std::to_string(policy->filters.at(key).deny_below_len) +
+                 " can never match: every permitted arriving path is at "
+                 "least that long"});
+      }
+      for (const std::uint64_t key : dead.filters_shadowed) {
+        out.diags.push_back(
+            {Severity::kWarning, codes::kFilterShadowed,
+             where + " filter " + session_str(key),
+             "announcer is cut off from the origin by kDenyAll filters; "
+             "this filter can never see a route"});
+      }
+      for (const std::uint32_t router_value : dead.rankings) {
+        const nb::RouterId router = nb::RouterId::from_value(router_value);
+        out.diags.push_back(
+            {Severity::kWarning, codes::kRankingDead,
+             where + " ranking at " + router.str(),
+             "preferred neighbor AS " +
+                 std::to_string(
+                     policy->rankings.at(router_value).preferred_neighbor) +
+                 " can never announce this prefix to the router"});
+      }
+      out.dead_filters +=
+          dead.filters_never_block.size() + dead.filters_shadowed.size();
+      out.dead_rankings += dead.rankings.size();
+    }
+  }
+
+  if (options.check_safety || options.compute_diversity) {
+    const DisputeGraph graph =
+        build_dispute_graph(engine, prefix, origin, options.graph);
+    stats.permitted_paths = graph.nodes.size();
+    stats.dispute_arcs = graph.dispute_arcs;
+    stats.truncated = graph.truncated;
+    if (graph.truncated) {
+      out.diags.push_back(
+          {Severity::kWarning, codes::kAuditTruncated, where,
+           "permitted-path enumeration hit a cap (" +
+               std::to_string(graph.nodes.size()) +
+               " nodes kept); safety and diversity results are partial"});
+    }
+    if (options.check_safety) {
+      const std::vector<std::size_t> cycle = find_dispute_cycle(graph);
+      if (!cycle.empty()) {
+        stats.wheel = true;
+        out.diags.push_back(
+            {Severity::kError, codes::kDisputeWheel, where,
+             "potential dispute wheel (BAD GADGET): " +
+                 render_cycle(model, graph, cycle)});
+      }
+    }
+    if (options.compute_diversity) {
+      std::map<nb::Asn, std::set<std::vector<nb::Asn>>> paths_by_as;
+      for (const DisputeGraph::Node& node : graph.nodes) {
+        paths_by_as[model.router_id(node.router).asn()].insert(
+            node.route.path);
+      }
+      for (const auto& [asn, paths] : paths_by_as) {
+        stats.diversity_bound[asn] = paths.size();
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 AuditResult audit_model(const topo::Model& model, const AuditOptions& options) {
@@ -150,85 +242,25 @@ AuditResult audit_model(const topo::Model& model, const AuditOptions& options) {
   const std::vector<std::pair<nb::Prefix, nb::Asn>> targets =
       audit_targets(model, options, &result.diagnostics);
 
-  for (const auto& [prefix, origin] : targets) {
-    PrefixAuditStats stats;
-    stats.prefix = prefix;
-    stats.origin = origin;
-    const std::string where = "prefix " + prefix.str();
+  // The per-target passes are read-only over the model and independent of
+  // each other, so they fan across the pool; outcomes land in slots and
+  // merge below in target order, keeping the result thread-count invariant.
+  std::vector<TargetOutcome> outcomes(targets.size());
+  engine.context();  // build the shared epoch snapshot once, not per worker
+  bgp::ThreadPool pool(options.threads);
+  pool.parallel_for(targets.size(), [&](std::size_t i) {
+    outcomes[i] = audit_one(model, engine, options, targets[i].first,
+                            targets[i].second);
+  });
 
-    if (options.check_dead) {
-      if (const topo::PrefixPolicy* policy = model.find_policy(prefix)) {
-        const DeadRules dead = find_dead_rules(model, *policy, origin);
-        for (const std::uint64_t key : dead.filters_never_block) {
-          result.diagnostics.push_back(
-              {Severity::kWarning, codes::kFilterNeverBlocks,
-               where + " filter " + session_str(key),
-               "deny_below_len " +
-                   std::to_string(policy->filters.at(key).deny_below_len) +
-                   " can never match: every permitted arriving path is at "
-                   "least that long"});
-        }
-        for (const std::uint64_t key : dead.filters_shadowed) {
-          result.diagnostics.push_back(
-              {Severity::kWarning, codes::kFilterShadowed,
-               where + " filter " + session_str(key),
-               "announcer is cut off from the origin by kDenyAll filters; "
-               "this filter can never see a route"});
-        }
-        for (const std::uint32_t router_value : dead.rankings) {
-          const nb::RouterId router = nb::RouterId::from_value(router_value);
-          result.diagnostics.push_back(
-              {Severity::kWarning, codes::kRankingDead,
-               where + " ranking at " + router.str(),
-               "preferred neighbor AS " +
-                   std::to_string(
-                       policy->rankings.at(router_value).preferred_neighbor) +
-                   " can never announce this prefix to the router"});
-        }
-        result.dead_filters +=
-            dead.filters_never_block.size() + dead.filters_shadowed.size();
-        result.dead_rankings += dead.rankings.size();
-      }
-    }
-
-    if (options.check_safety || options.compute_diversity) {
-      const DisputeGraph graph =
-          build_dispute_graph(engine, prefix, origin, options.graph);
-      stats.permitted_paths = graph.nodes.size();
-      stats.dispute_arcs = graph.dispute_arcs;
-      stats.truncated = graph.truncated;
-      if (graph.truncated) {
-        result.truncated = true;
-        result.diagnostics.push_back(
-            {Severity::kWarning, codes::kAuditTruncated, where,
-             "permitted-path enumeration hit a cap (" +
-                 std::to_string(graph.nodes.size()) +
-                 " nodes kept); safety and diversity results are partial"});
-      }
-      if (options.check_safety) {
-        const std::vector<std::size_t> cycle = find_dispute_cycle(graph);
-        if (!cycle.empty()) {
-          stats.wheel = true;
-          ++result.wheels;
-          result.diagnostics.push_back(
-              {Severity::kError, codes::kDisputeWheel, where,
-               "potential dispute wheel (BAD GADGET): " +
-                   render_cycle(model, graph, cycle)});
-        }
-      }
-      if (options.compute_diversity) {
-        std::map<nb::Asn, std::set<std::vector<nb::Asn>>> paths_by_as;
-        for (const DisputeGraph::Node& node : graph.nodes) {
-          paths_by_as[model.router_id(node.router).asn()].insert(
-              node.route.path);
-        }
-        for (const auto& [asn, paths] : paths_by_as) {
-          stats.diversity_bound[asn] = paths.size();
-        }
-      }
-    }
-
-    result.prefixes.push_back(std::move(stats));
+  for (TargetOutcome& out : outcomes) {
+    std::move(out.diags.begin(), out.diags.end(),
+              std::back_inserter(result.diagnostics));
+    result.dead_filters += out.dead_filters;
+    result.dead_rankings += out.dead_rankings;
+    result.truncated |= out.stats.truncated;
+    if (out.stats.wheel) ++result.wheels;
+    result.prefixes.push_back(std::move(out.stats));
   }
   return result;
 }

@@ -57,6 +57,11 @@ struct AuditOptions {
   bool check_dead = true;
   bool compute_diversity = true;
 
+  /// Worker threads for the per-prefix audit passes (0 = hardware
+  /// concurrency).  Prefixes are audited independently and findings merge in
+  /// target order, so the result is identical for every thread count.
+  unsigned threads = 1;
+
   /// Origin ASes to audit (prefix = Prefix::for_asn).  Empty: derive one
   /// origin per per-prefix policy overlay from the for_asn convention;
   /// overlays whose prefix does not match any AS are skipped with S502.

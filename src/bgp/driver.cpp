@@ -14,6 +14,10 @@ std::vector<SimJob> jobs_for_all_ases(const Model& model) {
 void run_jobs(
     const Engine& engine, const std::vector<SimJob>& jobs, ThreadPool& pool,
     const std::function<void(std::size_t, PrefixSimResult&&)>& consume) {
+  // Build the per-epoch simulation context once on the calling thread so
+  // the workers start from a shared immutable snapshot instead of racing to
+  // construct it behind the engine's context lock.
+  engine.context();
   std::mutex consume_mutex;
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     PrefixSimResult result = engine.run(jobs[i].prefix, jobs[i].origin);

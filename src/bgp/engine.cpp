@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 
 namespace bgp {
 
@@ -18,33 +19,66 @@ std::vector<std::uint32_t> dense_ids(const Model& model) {
 Engine::Engine(const Model& model, EngineOptions options)
     : model_(&model), options_(options) {}
 
-std::optional<Route> Engine::export_route(const PrefixPolicy* policy,
-                                          Model::Dense from, Model::Dense to,
-                                          const Route& best) const {
-  const nb::RouterId from_id = model_->router_id(from);
-  const nb::RouterId to_id = model_->router_id(to);
+std::shared_ptr<const SimContext> Engine::context() const {
+  std::lock_guard lock(context_mutex_);
+  if (context_ == nullptr || context_->epoch != model_->generation()) {
+    auto ctx = std::make_shared<SimContext>();
+    ctx->epoch = model_->generation();
+    const std::size_t n = model_->num_routers();
+    ctx->ids.resize(n);
+    ctx->asn_of.resize(n);
+    ctx->peer_offset.resize(n + 1, 0);
+    std::size_t total = 0;
+    for (Model::Dense r = 0; r < n; ++r) {
+      const nb::RouterId id = model_->router_id(r);
+      ctx->ids[r] = id.value();
+      ctx->asn_of[r] = id.asn();
+      ctx->peer_offset[r] = static_cast<std::uint32_t>(total);
+      total += model_->peers(r).size();
+    }
+    ctx->peer_offset[n] = static_cast<std::uint32_t>(total);
+    ctx->peer_flat.reserve(total);
+    for (Model::Dense r = 0; r < n; ++r) {
+      const auto& peers = model_->peers(r);
+      ctx->peer_flat.insert(ctx->peer_flat.end(), peers.begin(), peers.end());
+    }
+    context_ = std::move(ctx);
+  }
+  return context_;
+}
+
+bool Engine::propagate_into(const PrefixPolicy* policy, Model::Dense from,
+                            Model::Dense to, const Route& best,
+                            const SimContext& ctx, Route& out) const {
+  const nb::Asn from_as = ctx.asn_of[from];
+  const nb::Asn to_as = ctx.asn_of[to];
+  // Receiver-side AS-loop detection on the route as it would arrive
+  // ([from_as, best.path...]); checked before building the path.
+  if (to_as == from_as || path_contains(best.path, to_as)) return false;
+
   if (options_.use_relationship_policies) {
     // Valley-free export: routes learned from a peer or provider are only
     // exported to customers.  Unknown classes are permissive on both sides
     // (the paper's agnostic stance: absent information must not disconnect).
-    const NeighborClass to_class =
-        model_->neighbor_class(from_id.asn(), to_id.asn());
+    const NeighborClass to_class = model_->neighbor_class(from_as, to_as);
     if (to_class == NeighborClass::kPeer ||
         to_class == NeighborClass::kProvider) {
       bool from_customer_or_self = best.originated();
       if (!from_customer_or_self) {
         const Asn learned_from = best.path.front();
         const NeighborClass learned_class =
-            model_->neighbor_class(from_id.asn(), learned_from);
+            model_->neighbor_class(from_as, learned_from);
         from_customer_or_self = learned_class == NeighborClass::kCustomer ||
                                 learned_class == NeighborClass::kUnknown;
       }
       // Per-prefix leak: an export-allow exempts this session.
       if (!from_customer_or_self &&
           !(policy != nullptr &&
-            policy->export_allows.count(topo::session_key(from_id, to_id)) >
+            policy->export_allows.count(
+                topo::session_key(nb::RouterId::from_value(ctx.ids[from]),
+                                  nb::RouterId::from_value(ctx.ids[to]))) >
                 0)) {
-        return std::nullopt;
+        return false;
       }
     }
   }
@@ -52,76 +86,64 @@ std::optional<Route> Engine::export_route(const PrefixPolicy* policy,
   if (const topo::ExportFilter* filter =
           model_->find_export_filter(from, to, policy);
       filter != nullptr && filter->blocks(arriving_len)) {
-    return std::nullopt;
+    return false;
   }
-  Route exported;
-  exported.sender = from;
-  exported.path.reserve(arriving_len);
-  exported.path.push_back(from_id.asn());
-  exported.path.insert(exported.path.end(), best.path.begin(),
-                       best.path.end());
-  return exported;
-}
 
-std::optional<Route> Engine::import_route(const PrefixPolicy* policy,
-                                          Model::Dense receiver,
-                                          Model::Dense sender,
-                                          const Route& exported) const {
-  const nb::RouterId receiver_id = model_->router_id(receiver);
-  const nb::RouterId sender_id = model_->router_id(sender);
-  if (path_contains(exported.path, receiver_id.asn())) return std::nullopt;
-
-  Route imported = exported;
-  imported.sender = sender;
-  imported.local_pref = kDefaultLocalPref;
+  out.sender = from;
+  out.ibgp = false;
+  out.local_pref = kDefaultLocalPref;
   if (options_.use_relationship_policies) {
-    switch (model_->neighbor_class(receiver_id.asn(), sender_id.asn())) {
+    switch (model_->neighbor_class(to_as, from_as)) {
       case NeighborClass::kCustomer:
-        imported.local_pref = options_.lp_customer;
+        out.local_pref = options_.lp_customer;
         break;
       case NeighborClass::kPeer:
-        imported.local_pref = options_.lp_peer;
+        out.local_pref = options_.lp_peer;
         break;
       case NeighborClass::kProvider:
-        imported.local_pref = options_.lp_provider;
+        out.local_pref = options_.lp_provider;
         break;
       case NeighborClass::kUnknown:
-        imported.local_pref = options_.lp_unknown;
+        out.local_pref = options_.lp_unknown;
         break;
     }
   }
-  imported.med = topo::kDefaultMed;
+  out.med = topo::kDefaultMed;
   bool has_prefix_ranking = false;
   if (policy != nullptr) {
-    if (auto it = policy->lp_overrides.find(
-            topo::router_asn_key(receiver_id, sender_id.asn()));
+    const nb::RouterId to_id = nb::RouterId::from_value(ctx.ids[to]);
+    if (auto it = policy->lp_overrides.find(topo::router_asn_key(to_id, from_as));
         it != policy->lp_overrides.end()) {
-      imported.local_pref = it->second;
+      out.local_pref = it->second;
     }
-    if (auto it = policy->rankings.find(receiver_id.value());
+    if (auto it = policy->rankings.find(to_id.value());
         it != policy->rankings.end()) {
       has_prefix_ranking = true;
-      if (it->second.preferred_neighbor == sender_id.asn())
-        imported.med = topo::kPreferredMed;
+      if (it->second.preferred_neighbor == from_as)
+        out.med = topo::kPreferredMed;
     }
   }
   // Prefix-independent ranking applies only when no per-prefix rule exists
   // for this router (generalized models; see core/generalize).
-  if (!has_prefix_ranking &&
-      model_->default_ranking(receiver) == sender_id.asn()) {
-    imported.med = topo::kPreferredMed;
+  if (!has_prefix_ranking && model_->default_ranking(to) == from_as) {
+    out.med = topo::kPreferredMed;
   }
-  imported.igp_cost =
-      options_.use_igp_cost ? model_->igp_cost(receiver, sender) : 0;
-  return imported;
+  out.igp_cost = options_.use_igp_cost ? model_->igp_cost(to, from) : 0;
+
+  out.path.clear();
+  out.path.reserve(arriving_len);
+  out.path.push_back(from_as);
+  out.path.insert(out.path.end(), best.path.begin(), best.path.end());
+  return true;
 }
 
 std::optional<Route> Engine::propagate(const PrefixPolicy* policy,
                                        Model::Dense from, Model::Dense to,
                                        const Route& best) const {
-  std::optional<Route> exported = export_route(policy, from, to, best);
-  if (!exported.has_value()) return std::nullopt;
-  return import_route(policy, to, from, *exported);
+  const std::shared_ptr<const SimContext> ctx = context();
+  Route out;
+  if (!propagate_into(policy, from, to, best, *ctx, out)) return std::nullopt;
+  return out;
 }
 
 PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
@@ -132,7 +154,9 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
   res.routers.resize(n);
 
   const PrefixPolicy* policy = model_->find_policy(prefix);
-  const std::vector<std::uint32_t> ids = dense_ids(*model_);
+  const std::shared_ptr<const SimContext> ctx_ptr = context();
+  const SimContext& ctx = *ctx_ptr;
+  const std::span<const std::uint32_t> ids(ctx.ids);
 
   const std::uint64_t message_cap =
       options_.message_cap_factor *
@@ -147,6 +171,59 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
     }
   };
 
+  // Adj-RIB-In holds at most one entry per announcing router, so a sender ->
+  // slot hash replaces the linear scan at routers whose inbound fan-in is
+  // large (tier-1-like degrees); low-degree routers keep the scan, which is
+  // faster than hashing there.  Slots shift on erase, so the index is
+  // repaired then (erases are rare next to lookups).
+  constexpr std::size_t kIndexedFanIn = 32;
+  std::vector<char> indexed(n, 0);
+  bool any_indexed = false;
+  for (Model::Dense r = 0; r < n; ++r) {
+    std::size_t fan_in = ctx.peers(r).size();
+    if (options_.use_ibgp_mesh)
+      fan_in += model_->routers_of(ctx.asn_of[r]).size() - 1;
+    if (fan_in >= kIndexedFanIn) {
+      indexed[r] = 1;
+      any_indexed = true;
+    }
+  }
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> slots(
+      any_indexed ? n : 0);
+
+  // -1 when `sender` has no entry in `state`'s RIB-In.
+  auto find_slot = [&](Model::Dense router, const RouterState& state,
+                       Model::Dense sender) -> int {
+    if (indexed[router]) {
+      const auto& map = slots[router];
+      auto it = map.find(sender);
+      return it == map.end() ? -1 : static_cast<int>(it->second);
+    }
+    for (std::size_t i = 0; i < state.rib_in.size(); ++i) {
+      if (state.rib_in[i].sender == sender) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto push_entry = [&](Model::Dense router, RouterState& state,
+                        const Route& route) {
+    if (indexed[router]) {
+      slots[router][route.sender] =
+          static_cast<std::uint32_t>(state.rib_in.size());
+    }
+    state.rib_in.push_back(route);
+  };
+  auto erase_entry = [&](Model::Dense router, RouterState& state, int slot) {
+    const Model::Dense sender = state.rib_in[static_cast<std::size_t>(slot)].sender;
+    state.rib_in.erase(state.rib_in.begin() + slot);
+    if (indexed[router]) {
+      auto& map = slots[router];
+      map.erase(sender);
+      for (auto& [key, value] : map) {
+        if (value > static_cast<std::uint32_t>(slot)) --value;
+      }
+    }
+  };
+
   // Origination: each quasi-router of the origin AS injects a route with an
   // empty path (sender = self, MED 0 so an origin router never prefers a
   // learned alternative -- vacuous anyway since the empty path wins on
@@ -155,38 +232,36 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
     Route self;
     self.sender = r;
     self.med = 0;
-    res.routers[r].rib_in.push_back(std::move(self));
+    push_entry(r, res.routers[r], self);
     res.routers[r].best = 0;
     res.routers[r].best_external = 0;
     enqueue(r);
   }
 
-  // Pre-mutation snapshot of a router's selections.  Must be taken BEFORE
-  // touching rib_in: erasing an entry leaves state.best/best_external
-  // pointing at shifted (or destroyed) elements, so reading them afterwards
-  // is a use-after-free.
+  // Pre-mutation snapshot of a router's selections: only the announcing
+  // router of each selection.  A message touches exactly one RIB-In entry
+  // (its sender's), so "did the selection change in a way that requires
+  // re-advertising" reduces to comparing selected senders, plus one flag for
+  // the touched entry's path -- no Route (and no AS-path vector) is copied.
   struct Selection {
-    bool had_best = false;
-    Route old_best;
-    bool had_external = false;
-    Route old_external;
+    std::int64_t best_sender = -1;      // -1: nothing selected
+    std::int64_t external_sender = -1;
   };
   auto snapshot = [](const RouterState& state) {
     Selection s;
-    if (const Route* b = state.best_route()) {
-      s.had_best = true;
-      s.old_best = *b;
-    }
-    if (const Route* e = state.external_route()) {
-      s.had_external = true;
-      s.old_external = *e;
-    }
+    if (const Route* b = state.best_route()) s.best_sender = b->sender;
+    if (const Route* e = state.external_route()) s.external_sender = e->sender;
     return s;
   };
 
   // Recomputes a router's best (and external best); returns true if either
   // selection changed from `old` in a way that requires re-advertising.
-  auto reselect = [&](RouterState& state, const Selection& old) {
+  // `touched` is the sender whose entry this message modified and
+  // `touched_path_changed` whether that entry's AS-path changed: a selection
+  // that stays on an untouched sender is unchanged by construction (one
+  // entry per sender, and only the touched one was written).
+  auto reselect = [&](RouterState& state, const Selection& old,
+                      Model::Dense touched, bool touched_path_changed) {
     state.best = select_best(state.rib_in, ids);
     state.best_external = -1;
     if (options_.use_ibgp_mesh) {
@@ -205,15 +280,20 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
       state.best_external = state.best;
     }
 
-    auto differs = [](bool had, const Route& old_route, const Route* now) {
-      if (had != (now != nullptr)) return true;
-      return now != nullptr && (now->sender != old_route.sender ||
-                                now->path != old_route.path);
+    auto differs = [&](std::int64_t old_sender, const Route* now) {
+      const std::int64_t now_sender =
+          now == nullptr ? -1 : static_cast<std::int64_t>(now->sender);
+      if (now_sender != old_sender) return true;
+      return now_sender == static_cast<std::int64_t>(touched) &&
+             touched_path_changed;
     };
-    return differs(old.had_best, old.old_best, state.best_route()) ||
-           differs(old.had_external, old.old_external,
-                   state.external_route());
+    return differs(old.best_sender, state.best_route()) ||
+           differs(old.external_sender, state.external_route());
   };
+
+  // Reused across every message; its path buffer's capacity persists, so
+  // steady-state propagation allocates only when a RIB-In entry is created.
+  Route scratch;
 
   while (!queue.empty()) {
     if (res.messages > message_cap) {
@@ -228,77 +308,90 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
     // iBGP mesh: push this router's best external route to its AS-mates.
     if (options_.use_ibgp_mesh) {
       const Route* external = res.routers[r].external_route();
-      const nb::RouterId r_id = model_->router_id(r);
-      for (Model::Dense mate : model_->routers_of(r_id.asn())) {
+      for (Model::Dense mate : model_->routers_of(ctx.asn_of[r])) {
         if (mate == r) continue;
         ++res.messages;
-        std::optional<Route> incoming;
-        if (external != nullptr) {
-          Route shared = *external;
-          shared.sender = r;
-          shared.ibgp = true;
-          shared.igp_cost =
-              options_.use_igp_cost ? model_->igp_cost(mate, r) : 0;
-          incoming = std::move(shared);
-        }
         RouterState& state = res.routers[mate];
-        auto existing = std::find_if(
-            state.rib_in.begin(), state.rib_in.end(),
-            [&](const Route& route) { return route.sender == r; });
-        const Selection old = snapshot(state);
-        if (!incoming.has_value()) {
-          if (existing == state.rib_in.end()) continue;
-          state.rib_in.erase(existing);
-        } else if (existing != state.rib_in.end()) {
-          if (existing->path == incoming->path &&
-              existing->local_pref == incoming->local_pref &&
-              existing->med == incoming->med &&
-              existing->igp_cost == incoming->igp_cost &&
-              existing->ibgp == incoming->ibgp) {
+        const int slot = find_slot(mate, state, r);
+        if (external == nullptr) {
+          if (slot < 0) continue;
+          const Selection old = snapshot(state);
+          erase_entry(mate, state, slot);
+          if (reselect(state, old, r, false)) enqueue(mate);
+          continue;
+        }
+        const std::uint32_t igp =
+            options_.use_igp_cost ? model_->igp_cost(mate, r) : 0;
+        if (slot >= 0) {
+          Route& existing = state.rib_in[static_cast<std::size_t>(slot)];
+          if (existing.path == external->path &&
+              existing.local_pref == external->local_pref &&
+              existing.med == external->med && existing.igp_cost == igp &&
+              existing.ibgp) {
             continue;
           }
-          *existing = std::move(*incoming);
+          const Selection old = snapshot(state);
+          const bool path_changed = existing.path != external->path;
+          existing.sender = r;
+          existing.local_pref = external->local_pref;
+          existing.med = external->med;
+          existing.igp_cost = igp;
+          existing.ibgp = true;
+          if (path_changed) existing.path = external->path;
+          if (reselect(state, old, r, path_changed)) enqueue(mate);
         } else {
-          state.rib_in.push_back(std::move(*incoming));
+          const Selection old = snapshot(state);
+          Route shared;
+          shared.sender = r;
+          shared.local_pref = external->local_pref;
+          shared.med = external->med;
+          shared.igp_cost = igp;
+          shared.ibgp = true;
+          shared.path = external->path;
+          push_entry(mate, state, shared);
+          if (reselect(state, old, r, false)) enqueue(mate);
         }
-        if (reselect(state, old)) enqueue(mate);
       }
     }
 
-    for (const Model::Dense peer : model_->peers(r)) {
+    for (const Model::Dense peer : ctx.peers(r)) {
       ++res.messages;
-      std::optional<Route> incoming;
-      if (best != nullptr) {
-        if (std::optional<Route> exported =
-                export_route(policy, r, peer, *best);
-            exported.has_value()) {
-          incoming = import_route(policy, peer, r, *exported);
-        }
-      }
+      const bool has_incoming =
+          best != nullptr && propagate_into(policy, r, peer, *best, ctx, scratch);
 
       RouterState& state = res.routers[peer];
-      auto existing =
-          std::find_if(state.rib_in.begin(), state.rib_in.end(),
-                       [&](const Route& route) { return route.sender == r; });
+      const int slot = find_slot(peer, state, r);
 
-      const Selection old = snapshot(state);
-      if (!incoming.has_value()) {
-        if (existing == state.rib_in.end()) continue;  // nothing to withdraw
-        state.rib_in.erase(existing);
-      } else if (existing != state.rib_in.end()) {
-        if (existing->path == incoming->path &&
-            existing->local_pref == incoming->local_pref &&
-            existing->med == incoming->med &&
-            existing->igp_cost == incoming->igp_cost) {
+      if (!has_incoming) {
+        if (slot < 0) continue;  // nothing to withdraw
+        const Selection old = snapshot(state);
+        erase_entry(peer, state, slot);
+        if (reselect(state, old, r, false)) enqueue(peer);
+        continue;
+      }
+      if (slot >= 0) {
+        Route& existing = state.rib_in[static_cast<std::size_t>(slot)];
+        if (existing.path == scratch.path &&
+            existing.local_pref == scratch.local_pref &&
+            existing.med == scratch.med &&
+            existing.igp_cost == scratch.igp_cost) {
           continue;  // unchanged advertisement
         }
-        *existing = std::move(*incoming);
+        const Selection old = snapshot(state);
+        const bool path_changed = existing.path != scratch.path;
+        existing.sender = scratch.sender;
+        existing.local_pref = scratch.local_pref;
+        existing.med = scratch.med;
+        existing.igp_cost = scratch.igp_cost;
+        existing.ibgp = false;
+        // Swap instead of assign: both buffers stay allocated and are reused.
+        if (path_changed) existing.path.swap(scratch.path);
+        if (reselect(state, old, r, path_changed)) enqueue(peer);
       } else {
-        state.rib_in.push_back(std::move(*incoming));
+        const Selection old = snapshot(state);
+        push_entry(peer, state, scratch);
+        if (reselect(state, old, r, false)) enqueue(peer);
       }
-
-      // Re-run the decision process; propagate only if a selection changed.
-      if (reselect(state, old)) enqueue(peer);
     }
   }
   return res;

@@ -19,7 +19,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bgp/decision.hpp"
@@ -93,6 +96,26 @@ struct PrefixSimResult {
 /// Maps dense index -> router-id value for tie-breaking and reporting.
 std::vector<std::uint32_t> dense_ids(const Model& model);
 
+/// Model-derived state every run() against the same model version shares:
+/// dense router ids, per-router AS numbers and the per-router peer lists
+/// flattened into one contiguous span array.  Built once per model epoch
+/// (Model::generation()) instead of per run() call, and immutable once
+/// published, so concurrent simulations can share a single instance.
+struct SimContext {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> ids;  // dense index -> router-id value
+  std::vector<nb::Asn> asn_of;     // dense index -> owning AS
+  /// peer_offset[r] .. peer_offset[r+1] delimit r's peers in peer_flat,
+  /// ascending by RouterId (same order as Model::peers).
+  std::vector<std::uint32_t> peer_offset;
+  std::vector<Model::Dense> peer_flat;
+
+  std::span<const Model::Dense> peers(Model::Dense r) const {
+    return {peer_flat.data() + peer_offset[r],
+            peer_offset[r + 1] - peer_offset[r]};
+  }
+};
+
 class Engine {
  public:
   explicit Engine(const Model& model, EngineOptions options = {});
@@ -101,6 +124,13 @@ class Engine {
   /// `origin`.  Re-reads the model on every call, so model mutations between
   /// calls (refinement) are picked up.
   PrefixSimResult run(const Prefix& prefix, nb::Asn origin) const;
+
+  /// The simulation context for the model's CURRENT generation, (re)building
+  /// it if the model mutated since the last call.  Thread-safe: concurrent
+  /// run() calls against an unmutated model share one immutable context.
+  /// (Mutating the model while a simulation is in flight was never legal;
+  /// the epoch cache does not change that contract.)
+  std::shared_ptr<const SimContext> context() const;
 
   /// One hop of propagation in isolation: the route `to` would install if
   /// `from` advertised `best` over their session right now, or nullopt when
@@ -115,17 +145,20 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
  private:
-  std::optional<Route> import_route(const topo::PrefixPolicy* policy,
-                                    Model::Dense receiver, Model::Dense sender,
-                                    const Route& exported) const;
-  /// Whether `best` at router `from` may be exported toward `to`; if so the
-  /// exported route (path prepended with from's AS) is returned.
-  std::optional<Route> export_route(const topo::PrefixPolicy* policy,
-                                    Model::Dense from, Model::Dense to,
-                                    const Route& best) const;
+  /// The single implementation behind propagate() and the run() hot loop:
+  /// export gating (valley-free rule, filters), receiver-side loop
+  /// detection, and import attribute rewrite, writing the resulting route
+  /// into `out` (whose path buffer is REUSED across calls -- no per-message
+  /// allocation once its capacity has grown).  Returns false when the route
+  /// would be dropped, leaving `out` unspecified.
+  bool propagate_into(const topo::PrefixPolicy* policy, Model::Dense from,
+                      Model::Dense to, const Route& best,
+                      const SimContext& ctx, Route& out) const;
 
   const Model* model_;
   EngineOptions options_;
+  mutable std::mutex context_mutex_;
+  mutable std::shared_ptr<const SimContext> context_;
 };
 
 }  // namespace bgp

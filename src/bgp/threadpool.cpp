@@ -11,9 +11,13 @@ namespace {
 thread_local const ThreadPool* tls_running_pool = nullptr;
 }  // namespace
 
+unsigned ThreadPool::resolve(unsigned threads) {
+  return threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                      : threads;
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0)
-    threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = resolve(threads);
   // With one thread we run inline; no workers needed.
   if (threads == 1) return;
   workers_.reserve(threads);

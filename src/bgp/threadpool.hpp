@@ -34,6 +34,11 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// The worker count `threads` resolves to: 0 -> hardware_concurrency
+  /// (min 1), anything else unchanged.  Exposed so callers (CLI --threads,
+  /// benchmarks) can report the effective count without constructing a pool.
+  static unsigned resolve(unsigned threads);
+
   /// Runs body(i) for every i in [0, count), distributing dynamically.
   /// body must be thread-safe.  Runs inline when the pool has one thread.
   /// Rethrows the first exception a body threw, after draining the batch.

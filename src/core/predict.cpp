@@ -9,7 +9,6 @@ EvalResult evaluate_predictions(
         inspect) {
   EvalResult result;
   const auto by_origin = dataset.paths_by_origin();
-  const std::vector<std::uint32_t> ids = bgp::dense_ids(model);
 
   std::vector<bgp::SimJob> jobs;
   std::vector<const std::vector<topo::AsPath>*> job_paths;
@@ -32,6 +31,10 @@ EvalResult evaluate_predictions(
   }
 
   bgp::Engine engine(model, options.engine);
+  // Tie-break ids come from the engine's per-epoch context instead of a
+  // bespoke dense_ids pass; the shared_ptr keeps them alive past run_jobs.
+  const std::shared_ptr<const bgp::SimContext> ctx = engine.context();
+  const std::span<const std::uint32_t> ids = ctx->ids;
   bgp::ThreadPool pool(options.threads);
   bgp::run_jobs(engine, jobs, pool,
                 [&](std::size_t j, bgp::PrefixSimResult&& sim) {

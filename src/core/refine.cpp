@@ -1,12 +1,13 @@
 #include "core/refine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/check_convergence.hpp"
 #include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
-#include "bgp/driver.hpp"
+#include "bgp/threadpool.hpp"
 
 namespace core {
 namespace {
@@ -41,13 +42,21 @@ class Refiner {
   std::size_t policies_changed = 0;
   std::size_t filters_relaxed = 0;
 
+  /// Resets the per-iteration duplicate alias map; call once per iteration
+  /// before the serial apply pass.
+  void begin_iteration() {
+    alias_.clear();
+    pending_.clear();
+  }
+
   /// Runs one heuristic pass for one prefix on top of its simulation.
   /// Returns true if the model was changed.
   bool process(PrefixWork& work, const PrefixSimResult& sim);
 
  private:
   // Candidate scan at AS `a` for the route path `route_path` (not including
-  // `a`).  Routers created after the simulation snapshot are skipped.
+  // `a`).  Routers created during this iteration's apply pass are read
+  // through their snapshot ancestor's simulated RIB (see snapshot_proxy).
   struct Candidates {
     Model::Dense rib_out_unreserved = Model::kNoRouter;
     Model::Dense rib_in_unreserved = Model::kNoRouter;
@@ -55,8 +64,10 @@ class Refiner {
   };
   // A quasi-router is reserved for a route path (suffix), not for a whole
   // observed path: two observed paths sharing a suffix at an AS share the
-  // quasi-router serving it.
-  using Reservations = std::unordered_map<Model::Dense, std::vector<Asn>>;
+  // quasi-router serving it.  The suffix is stored as a span into the
+  // PrefixWork's own path storage (stable for the whole process() call), so
+  // reserving never copies hop vectors.
+  using Reservations = std::unordered_map<Model::Dense, std::span<const Asn>>;
 
   Candidates scan(const PrefixSimResult& sim, Asn a,
                   std::span<const Asn> route_path,
@@ -83,8 +94,43 @@ class Refiner {
   bool try_filter_deletion(const PrefixWork& work, const PrefixSimResult& sim,
                            std::span<const Asn> hops, std::size_t k);
 
+  /// The snapshot router whose simulated RIB stands in for `r`: identity
+  /// for routers the simulation covered, the recorded ancestor for
+  /// duplicates created earlier in this iteration's apply pass, kNoRouter
+  /// otherwise.  A duplicate inherits its source's sessions and per-prefix
+  /// policies, so for every prefix that has not customized it the duplicate
+  /// would simulate to exactly its source's RIB -- the same inheritance
+  /// argument the duplication step itself rests on.  Without this proxy,
+  /// every prefix needing an extra quasi-router at a shared AS would mint
+  /// its own duplicate in the same iteration instead of reserving one a
+  /// prefix before it just created (the old interleaved loop shared them
+  /// through re-simulation).
+  Model::Dense snapshot_proxy(const PrefixSimResult& sim,
+                              Model::Dense r) const {
+    if (r < sim.routers.size()) return r;
+    const auto it = alias_.find(r);
+    return it == alias_.end() ? Model::kNoRouter : it->second;
+  }
+
+  /// Records a freshly minted duplicate so later PREFIXES of this iteration
+  /// can scan it.  Publication is deferred to the end of process(): the old
+  /// interleaved loop simulated before each prefix, so a prefix saw the
+  /// duplicates of the prefixes before it but never its own same-iteration
+  /// ones -- deferring reproduces that visibility exactly.  The stored
+  /// ancestor is always a snapshot router (chains collapse through the
+  /// already-published aliases).
+  void record_duplicate(const PrefixSimResult& sim, Model::Dense source,
+                        RouterId dup) {
+    pending_.emplace_back(model_.dense(dup), snapshot_proxy(sim, source));
+  }
+
   Model& model_;
   const RefineConfig& config_;
+  /// This-iteration duplicate -> snapshot ancestor (kNoRouter when none).
+  std::unordered_map<Model::Dense, Model::Dense> alias_;
+  /// Duplicates minted by the prefix currently in process(), published to
+  /// alias_ when it finishes.
+  std::vector<std::pair<Model::Dense, Model::Dense>> pending_;
 };
 
 Refiner::Candidates Refiner::scan(
@@ -92,8 +138,9 @@ Refiner::Candidates Refiner::scan(
     const Reservations& reserved) const {
   Candidates out;
   for (Model::Dense r : model_.routers_of(a)) {
-    if (r >= sim.routers.size()) continue;  // created after the snapshot
-    const bgp::RouterState& state = sim.routers[r];
+    const Model::Dense proxy = snapshot_proxy(sim, r);
+    if (proxy == Model::kNoRouter) continue;  // no simulated stand-in
+    const bgp::RouterState& state = sim.routers[proxy];
     const auto reservation = reserved.find(r);
     // Reserved for the same suffix == available for this suffix.
     const bool is_reserved =
@@ -170,8 +217,9 @@ bool Refiner::try_filter_deletion(const PrefixWork& work,
   if (policy == nullptr) return false;  // nothing can be blocking
 
   for (Model::Dense q : model_.routers_of(announcing)) {
-    if (q >= sim.routers.size()) continue;
-    const bgp::Route* best = sim.routers[q].best_route();
+    const Model::Dense proxy = snapshot_proxy(sim, q);
+    if (proxy == Model::kNoRouter) continue;
+    const bgp::Route* best = sim.routers[proxy].best_route();
     if (best == nullptr || !route_path_equals(best->path, neighbor_route))
       continue;
     const RouterId q_id = model_.router_id(q);
@@ -186,6 +234,7 @@ bool Refiner::try_filter_deletion(const PrefixWork& work,
         // path a fresh landing spot instead of destroying r's setup.
         const RouterId dup = model_.duplicate_router(r_id);
         ++routers_added;
+        record_duplicate(sim, r, dup);
         model_.relax_export_filter(q_id, dup, work.prefix, arriving_len);
       } else {
         model_.relax_export_filter(q_id, r_id, work.prefix, arriving_len);
@@ -220,9 +269,8 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
                                             hops.size() - k - 1);
       Candidates c = scan(sim, a, route_path, reserved);
 
-      const std::vector<Asn> route_key(route_path.begin(), route_path.end());
       if (c.rib_out_unreserved != Model::kNoRouter) {
-        reserved.emplace(c.rib_out_unreserved, route_key);
+        reserved.emplace(c.rib_out_unreserved, route_path);
         announcer = c.rib_out_unreserved;
         continue;  // matched here; walk on toward the observation point
       }
@@ -230,7 +278,7 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
       full_match = false;
       const bool debug = work.origin == config_.debug_origin;
       if (c.rib_in_unreserved != Model::kNoRouter) {
-        reserved.emplace(c.rib_in_unreserved, route_key);
+        reserved.emplace(c.rib_in_unreserved, route_path);
         if (debug)
           std::fprintf(stderr, "[refine %u] adjust %s for suffix-at %u len %zu\n",
                        work.origin,
@@ -244,7 +292,8 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
           const RouterId dup =
               model_.duplicate_router(model_.router_id(c.rib_in_any));
           ++routers_added;
-          reserved.emplace(model_.dense(dup), route_key);
+          record_duplicate(sim, c.rib_in_any, dup);
+          reserved.emplace(model_.dense(dup), route_path);
           if (debug)
             std::fprintf(stderr, "[refine %u] duplicate %s -> %s at %u\n",
                          work.origin,
@@ -266,6 +315,8 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
     }
     if (full_match) ++work.matched;
   }
+  for (const auto& [dup, ancestor] : pending_) alias_.emplace(dup, ancestor);
+  pending_.clear();
   return changed;
 }
 
@@ -274,6 +325,12 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
 RefineResult refine_model(topo::Model& model,
                           const data::BgpDataset& training,
                           const RefineConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  const Clock::time_point t_total = Clock::now();
+
   RefineResult result;
   std::vector<PrefixWork> work;
   std::size_t total_paths = 0;
@@ -293,37 +350,81 @@ RefineResult refine_model(topo::Model& model,
 
   bgp::Engine engine(model, config.engine);  // default: policy-agnostic
   Refiner refiner(model, config);
+  bgp::ThreadPool pool(config.threads);
+  result.threads_used = pool.size() == 0 ? 1 : pool.size();
 
   std::size_t routers_added_prev = 0;
   std::size_t policies_changed_prev = 0;
+  // Reused across iterations so sims keep their RouterState capacity.
+  std::vector<std::size_t> active_index;
+  std::vector<PrefixSimResult> sims;
+  std::vector<analysis::Diagnostics> sim_diags;
   for (std::size_t iteration = 1; iteration <= config.max_iterations;
        ++iteration) {
-    std::size_t active = 0;
-    bool any_changed = false;
-    for (PrefixWork& w : work) {
-      if (w.done) continue;
-      ++active;
-      PrefixSimResult sim = engine.run(w.prefix, w.origin);
-      if (config.validate) {
-        // The simulation must be a fixed point of the model as it stands
-        // BEFORE the heuristic consumes it; check here, mutate after.
-        analysis::Diagnostics found = analysis::check_convergence(engine, sim);
+    active_index.clear();
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (!work[i].done) active_index.push_back(i);
+    }
+    const std::size_t active = active_index.size();
+    if (active == 0) break;
+
+    // Simulation sweep: every active prefix against the immutable
+    // iteration-start model.  The engine's epoch context is built once up
+    // front; worker order does not matter because results land in slots.
+    const Clock::time_point t_sim = Clock::now();
+    sims.resize(active);
+    engine.context();
+    pool.parallel_for(active, [&](std::size_t i) {
+      const PrefixWork& w = work[active_index[i]];
+      sims[i] = engine.run(w.prefix, w.origin);
+    });
+    result.phase_seconds.simulate += seconds_since(t_sim);
+    for (const PrefixSimResult& sim : sims)
+      result.messages_simulated += sim.messages;
+
+    if (config.validate) {
+      // Every simulation must be a fixed point of the model as it stands
+      // BEFORE the heuristic consumes it; the replay is independent per
+      // prefix, so it fans out too.  Findings merge in prefix order.
+      const Clock::time_point t_val = Clock::now();
+      sim_diags.assign(active, {});
+      pool.parallel_for(active, [&](std::size_t i) {
+        sim_diags[i] = analysis::check_convergence(engine, sims[i]);
+      });
+      for (analysis::Diagnostics& found : sim_diags) {
         std::move(found.begin(), found.end(),
                   std::back_inserter(result.diagnostics));
       }
-      const bool changed = refiner.process(w, sim);
+      result.phase_seconds.validate += seconds_since(t_val);
+    }
+
+    // Apply phase: strictly serial, in ascending-origin order (work is built
+    // from the ordered paths_by_origin map), so mutations -- and hence the
+    // fitted model -- are identical for every thread count.  Duplicates a
+    // prefix mints here are visible to the prefixes after it through the
+    // refiner's alias map (see snapshot_proxy), preserving the sharing the
+    // old interleaved loop got from re-simulating mid-iteration.
+    const Clock::time_point t_heur = Clock::now();
+    refiner.begin_iteration();
+    bool any_changed = false;
+    for (std::size_t i = 0; i < active; ++i) {
+      PrefixWork& w = work[active_index[i]];
+      const bool changed = refiner.process(w, sims[i]);
       any_changed |= changed;
       if (!changed && w.matched == w.paths.size()) w.done = true;
     }
-    if (active == 0) break;
+    result.phase_seconds.heuristic += seconds_since(t_heur);
+
     if (config.validate) {
       // Every mutation of this iteration (policy adjustments, duplications,
       // filter relaxations) must leave the model structurally sound.
+      const Clock::time_point t_lint = Clock::now();
       analysis::ValidateOptions lint;
       lint.pairwise_sessions = true;  // duplication closure (Section 4.6)
       analysis::Diagnostics found = analysis::validate_model(model, lint);
       std::move(found.begin(), found.end(),
                 std::back_inserter(result.diagnostics));
+      result.phase_seconds.validate += seconds_since(t_lint);
     }
 
     RefineIterationLog log;
@@ -351,18 +452,13 @@ RefineResult refine_model(topo::Model& model,
                    log.routers, log.filters, log.rankings);
     }
     if (!any_changed) {
-      // Fixpoint: either everything matched or the remaining paths cannot be
-      // accommodated under the current config (ablations).
-      bool all_done = true;
+      // Fixpoint: no mutation happened, so re-simulating yields the same
+      // RIBs and a further iteration cannot help -- exit whether or not
+      // every path matched (unmatched remainders occur under ablations).
+      // Fully matched prefixes are still marked done for the accounting.
       for (PrefixWork& w : work) {
-        if (w.matched == w.paths.size()) {
-          w.done = true;
-        } else {
-          all_done = false;
-        }
+        if (w.matched == w.paths.size()) w.done = true;
       }
-      if (all_done) break;
-      // No change and not all matched: a further iteration cannot help.
       break;
     }
   }
@@ -390,6 +486,7 @@ RefineResult refine_model(topo::Model& model,
     // warnings are expected at real scales and stay advisory (visible via
     // Pipeline::audit or `rdtool audit`), keeping "a clean fit reports no
     // diagnostics" intact.
+    const Clock::time_point t_audit = Clock::now();
     analysis::AuditOptions audit;
     audit.engine = config.engine;
     audit.check_dead = false;
@@ -399,7 +496,9 @@ RefineResult refine_model(topo::Model& model,
       if (d.severity == analysis::Severity::kError)
         result.diagnostics.push_back(std::move(d));
     }
+    result.phase_seconds.validate += seconds_since(t_audit);
   }
+  result.phase_seconds.total = seconds_since(t_total);
   return result;
 }
 

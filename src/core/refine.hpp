@@ -30,6 +30,20 @@
 // quasi-routers never change another prefix's best routes (a duplicate
 // re-advertises an already-advertised path with a higher router id, which
 // loses every tie-break), so frozen prefixes stay matched.
+//
+// Execution model (DESIGN.md section 8): each iteration is a simulate-in-
+// parallel / mutate-serially round.  All active prefixes are simulated
+// against the immutable iteration-start model (embarrassingly parallel,
+// fanned across RefineConfig::threads), then the heuristic consumes the
+// results serially in deterministic prefix order.  The same independence
+// argument as freezing applies within a round: policies are per-prefix, and
+// a duplicate another prefix's apply step adds never changes this prefix's
+// simulated routes.  Duplicates minted earlier in the same apply pass ARE
+// offered to later prefixes -- the candidate scan reads them through their
+// source's simulated RIB (sound by the same session/policy inheritance the
+// duplication step relies on), so prefixes share duplicates exactly as they
+// did when the loop re-simulated after every mutation.  The fitted model is
+// byte-identical for every thread count, including 1.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +60,11 @@ struct RefineConfig {
   /// Hard cap; the paper observes convergence within a small multiple of the
   /// maximum AS-path length.
   std::size_t max_iterations = 96;
+  /// Worker threads for the per-iteration simulation sweep (0 = hardware
+  /// concurrency).  Per-prefix simulations are independent and run against
+  /// the immutable iteration-start model; the heuristic then mutates
+  /// serially in deterministic prefix order, so the fitted model is
+  /// byte-identical for every thread count.
   unsigned threads = 1;
 
   /// How the model is interpreted during fitting.  The default (agnostic,
@@ -92,10 +111,27 @@ struct RefineIterationLog {
   std::size_t policies_changed = 0; // this iteration
 };
 
+/// Wall-clock breakdown of one refine_model call, in seconds.  The simulate
+/// phase is the parallel sweep (engine runs), validate covers the optional
+/// analysis hooks (convergence replay, lint, final audit), heuristic is the
+/// serial mutation pass.  total >= the sum (it includes bookkeeping).
+struct RefinePhaseSeconds {
+  double simulate = 0;
+  double heuristic = 0;
+  double validate = 0;
+  double total = 0;
+};
+
 struct RefineResult {
   bool success = false;  // every training path is a RIB-Out match
   std::size_t iterations = 0;
   std::size_t unmatched_paths = 0;
+  /// BGP messages processed across every simulation of the fit (the
+  /// engine-throughput denominator for benchmarks).
+  std::uint64_t messages_simulated = 0;
+  RefinePhaseSeconds phase_seconds;
+  /// Effective worker count of the simulation sweep.
+  unsigned threads_used = 1;
   /// Total model edits across all iterations.
   std::size_t routers_added = 0;
   std::size_t policies_changed = 0;

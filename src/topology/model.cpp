@@ -18,6 +18,7 @@ Model Model::one_router_per_as(const AsGraph& graph) {
 }
 
 RouterId Model::add_router(Asn asn) {
+  ++generation_;
   auto& list = as_routers_[asn];
   if (list.size() >= 0xffff)
     throw std::length_error("too many quasi-routers in AS");
@@ -30,6 +31,7 @@ RouterId Model::add_router(Asn asn) {
 }
 
 RouterId Model::duplicate_router(RouterId src, bool copy_policies) {
+  ++generation_;  // mutates policy maps directly, beyond add_router/add_session
   Dense src_dense = dense(src);
   RouterId copy = add_router(src.asn());
   // Copy sessions (and per-session IGP costs, both directions).
@@ -91,6 +93,7 @@ RouterId Model::duplicate_router(RouterId src, bool copy_policies) {
 }
 
 void Model::add_session(RouterId a, RouterId b) {
+  ++generation_;
   if (a.asn() == b.asn())
     throw std::invalid_argument("sessions must connect different ASes");
   Dense da = dense(a), db = dense(b);
@@ -106,6 +109,7 @@ void Model::add_session(RouterId a, RouterId b) {
 }
 
 void Model::remove_session(RouterId a, RouterId b) {
+  ++generation_;
   if (!has_router(a) || !has_router(b)) return;
   Dense da = dense(a), db = dense(b);
   const auto& peers = routers_[da].peers;
@@ -150,6 +154,7 @@ std::vector<Asn> Model::asns() const {
 }
 
 void Model::set_neighbor_class(Asn of, Asn neighbor, NeighborClass cls) {
+  ++generation_;
   neighbor_class_[{of, neighbor}] = cls;
 }
 
@@ -168,6 +173,7 @@ void Model::adopt_relationships(const AsGraph& graph,
 
 void Model::set_igp_cost(RouterId receiver, RouterId sender,
                          std::uint32_t cost) {
+  ++generation_;
   if (cost == 0) {
     igp_cost_.erase(session_key(receiver, sender));
   } else {
@@ -185,6 +191,7 @@ std::uint32_t Model::igp_cost(Dense receiver, Dense sender) const {
 void Model::set_export_filter(RouterId from, RouterId to, const Prefix& prefix,
                               std::uint32_t deny_below_len,
                               RouterId owner_target) {
+  ++generation_;
   auto& policy = prefix_policies_[prefix];
   if (deny_below_len == 0) {
     policy.filters.erase(session_key(from, to));
@@ -197,6 +204,7 @@ void Model::set_export_filter(RouterId from, RouterId to, const Prefix& prefix,
 void Model::relax_export_filter(RouterId from, RouterId to,
                                 const Prefix& prefix,
                                 std::size_t arriving_len) {
+  ++generation_;
   auto policy_it = prefix_policies_.find(prefix);
   if (policy_it == prefix_policies_.end()) return;
   auto it = policy_it->second.filters.find(session_key(from, to));
@@ -218,21 +226,25 @@ const ExportFilter* Model::find_export_filter(Dense from, Dense to,
 }
 
 void Model::set_ranking(RouterId router, const Prefix& prefix, Asn preferred) {
+  ++generation_;
   prefix_policies_[prefix].rankings[router.value()] =
       RankingRule{preferred};
 }
 
 void Model::clear_ranking(RouterId router, const Prefix& prefix) {
+  ++generation_;
   auto it = prefix_policies_.find(prefix);
   if (it == prefix_policies_.end()) return;
   it->second.rankings.erase(router.value());
 }
 
 void Model::set_default_ranking(RouterId router, Asn preferred) {
+  ++generation_;
   default_rankings_[router.value()] = preferred;
 }
 
 void Model::clear_default_ranking(RouterId router) {
+  ++generation_;
   default_rankings_.erase(router.value());
 }
 
@@ -244,16 +256,19 @@ Asn Model::default_ranking(Dense router) const {
 
 void Model::set_lp_override(RouterId router, const Prefix& prefix,
                             Asn neighbor, std::uint32_t local_pref) {
+  ++generation_;
   prefix_policies_[prefix].lp_overrides[router_asn_key(router, neighbor)] =
       local_pref;
 }
 
 void Model::set_export_allow(RouterId from, RouterId to,
                              const Prefix& prefix) {
+  ++generation_;
   prefix_policies_[prefix].export_allows.insert(session_key(from, to));
 }
 
 void Model::clear_owned_rules(const Prefix& prefix, RouterId target) {
+  ++generation_;
   auto policy_it = prefix_policies_.find(prefix);
   if (policy_it == prefix_policies_.end()) return;
   auto& policy = policy_it->second;
@@ -274,6 +289,7 @@ const PrefixPolicy* Model::find_policy(const Prefix& prefix) const {
 }
 
 std::size_t Model::drop_empty_policies() {
+  ++generation_;
   return std::erase_if(prefix_policies_,
                        [](const auto& entry) { return entry.second.empty(); });
 }

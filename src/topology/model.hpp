@@ -64,6 +64,15 @@ class Model {
   bool has_as(Asn asn) const { return as_routers_.count(asn) > 0; }
   bool has_router(RouterId id) const { return dense_.count(id.value()) > 0; }
 
+  /// Model epoch: incremented by every mutating member (including no-op
+  /// mutations -- the counter is conservative).  Consumers that cache
+  /// model-derived state (bgp::Engine::SimContext) compare epochs instead of
+  /// re-deriving per use; a stale epoch is the ONLY invalidation signal, so
+  /// every path that can change routers, sessions, costs or policies must
+  /// bump it (the non-const `policy()` accessor bumps pre-emptively because
+  /// it hands out a mutable reference).
+  std::uint64_t generation() const { return generation_; }
+
   /// Quasi-routers of an AS, ascending by index (empty if unknown AS).
   const std::vector<Dense>& routers_of(Asn asn) const;
 
@@ -129,7 +138,10 @@ class Model {
 
   /// Policy overlay for a prefix (nullptr if none).
   const PrefixPolicy* find_policy(const Prefix& prefix) const;
-  PrefixPolicy& policy(const Prefix& prefix) { return prefix_policies_[prefix]; }
+  PrefixPolicy& policy(const Prefix& prefix) {
+    ++generation_;  // caller receives a mutable reference
+    return prefix_policies_[prefix];
+  }
 
   /// Drops policy overlays that have become empty (e.g. after
   /// analysis::prune_dead_policies); returns the number removed.
@@ -183,6 +195,7 @@ class Model {
   std::map<Prefix, PrefixPolicy> prefix_policies_;
   std::unordered_map<std::uint32_t, Asn> default_rankings_;  // router id value
   std::size_t num_sessions_ = 0;
+  std::uint64_t generation_ = 0;
   static const std::vector<Dense> kEmptyDense;
 };
 

@@ -1,0 +1,146 @@
+// Determinism and caching tests for the parallel refinement sweep: the
+// fitted model must be byte-identical for every worker count, the pooled
+// per-prefix simulations must equal their serial counterparts, and the
+// engine's epoch context must track model mutations.  Also runs under the
+// tsan preset, which exercises the simulate-in-parallel phase for races.
+#include <gtest/gtest.h>
+
+#include "bgp/driver.hpp"
+#include "bgp/engine.hpp"
+#include "core/pipeline.hpp"
+#include "core/refine.hpp"
+#include "topology/model_io.hpp"
+
+namespace {
+
+using nb::Asn;
+using nb::Prefix;
+using topo::Model;
+
+struct Fit {
+  std::string model_text;
+  core::RefineResult result;
+};
+
+Fit fit_at(double scale, std::uint64_t seed, unsigned threads) {
+  core::PipelineConfig config = core::PipelineConfig::with(scale, seed);
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+
+  Model model = Model::one_router_per_as(pipeline.graph);
+  core::RefineConfig refine;
+  refine.threads = threads;
+  Fit fit;
+  fit.result = core::refine_model(model, pipeline.split.training, refine);
+  fit.model_text = topo::model_to_string(model);
+  return fit;
+}
+
+class ParallelFit : public ::testing::TestWithParam<std::pair<double,
+                                                             std::uint64_t>> {
+};
+
+TEST_P(ParallelFit, ModelIsByteIdenticalAcrossThreadCounts) {
+  const auto [scale, seed] = GetParam();
+  const Fit serial = fit_at(scale, seed, 1);
+  ASSERT_TRUE(serial.result.success);
+  for (const unsigned threads : {2u, 4u}) {
+    const Fit parallel = fit_at(scale, seed, threads);
+    EXPECT_TRUE(parallel.result.success);
+    EXPECT_EQ(serial.model_text, parallel.model_text)
+        << "fitted model differs between 1 and " << threads << " threads";
+    // The iteration log -- every per-iteration counter -- must match too.
+    ASSERT_EQ(serial.result.log.size(), parallel.result.log.size());
+    for (std::size_t i = 0; i < serial.result.log.size(); ++i) {
+      const auto& a = serial.result.log[i];
+      const auto& b = parallel.result.log[i];
+      EXPECT_EQ(a.paths_matched, b.paths_matched) << "iteration " << i;
+      EXPECT_EQ(a.active_prefixes, b.active_prefixes) << "iteration " << i;
+      EXPECT_EQ(a.routers, b.routers) << "iteration " << i;
+      EXPECT_EQ(a.filters, b.filters) << "iteration " << i;
+      EXPECT_EQ(a.rankings, b.rankings) << "iteration " << i;
+      EXPECT_EQ(a.routers_added, b.routers_added) << "iteration " << i;
+      EXPECT_EQ(a.policies_changed, b.policies_changed) << "iteration " << i;
+    }
+    EXPECT_EQ(serial.result.messages_simulated,
+              parallel.result.messages_simulated);
+    EXPECT_EQ(serial.result.iterations, parallel.result.iterations);
+    EXPECT_EQ(serial.result.routers_added, parallel.result.routers_added);
+    EXPECT_EQ(serial.result.policies_changed,
+              parallel.result.policies_changed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ParallelFit,
+    ::testing::Values(std::pair<double, std::uint64_t>{0.05, 1},
+                      std::pair<double, std::uint64_t>{0.08, 6},
+                      std::pair<double, std::uint64_t>{0.1, 3}));
+
+TEST(ParallelEngine, PooledRunsEqualSerialRuns) {
+  core::PipelineConfig config = core::PipelineConfig::with(0.1, 2);
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+  const Model model = Model::one_router_per_as(pipeline.graph);
+  const bgp::Engine engine(model);
+
+  const std::vector<bgp::SimJob> jobs = bgp::jobs_for_all_ases(model);
+  std::vector<bgp::PrefixSimResult> pooled(jobs.size());
+  bgp::ThreadPool pool(4);
+  bgp::run_jobs(engine, jobs, pool, [&](std::size_t i,
+                                        bgp::PrefixSimResult&& result) {
+    pooled[i] = std::move(result);
+  });
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const bgp::PrefixSimResult serial =
+        engine.run(jobs[i].prefix, jobs[i].origin);
+    ASSERT_EQ(serial.routers.size(), pooled[i].routers.size());
+    EXPECT_EQ(serial.messages, pooled[i].messages) << "origin " << serial.origin;
+    EXPECT_EQ(serial.converged, pooled[i].converged);
+    for (std::size_t r = 0; r < serial.routers.size(); ++r) {
+      const bgp::RouterState& a = serial.routers[r];
+      const bgp::RouterState& b = pooled[i].routers[r];
+      ASSERT_EQ(a.rib_in.size(), b.rib_in.size());
+      EXPECT_EQ(a.best, b.best);
+      EXPECT_EQ(a.best_external, b.best_external);
+      for (std::size_t e = 0; e < a.rib_in.size(); ++e) {
+        EXPECT_EQ(a.rib_in[e].sender, b.rib_in[e].sender);
+        EXPECT_EQ(a.rib_in[e].path, b.rib_in[e].path);
+        EXPECT_EQ(a.rib_in[e].med, b.rib_in[e].med);
+        EXPECT_EQ(a.rib_in[e].local_pref, b.rib_in[e].local_pref);
+      }
+    }
+  }
+}
+
+TEST(EpochContext, CachedUntilTheModelMutates) {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Model model = Model::one_router_per_as(g);
+  bgp::Engine engine(model);
+
+  const auto first = engine.context();
+  EXPECT_EQ(first.get(), engine.context().get())
+      << "context rebuilt although the model did not change";
+  EXPECT_EQ(first->epoch, model.generation());
+
+  // Any mutation bumps the generation and invalidates the cache.
+  model.set_ranking(nb::RouterId{1, 0}, Prefix::for_asn(3), 2);
+  const auto second = engine.context();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(second->epoch, model.generation());
+  EXPECT_GT(second->epoch, first->epoch);
+
+  // The snapshot itself reflects the model: duplicate a router, re-snapshot.
+  const std::size_t before = second->ids.size();
+  model.duplicate_router(nb::RouterId{2, 0});
+  const auto third = engine.context();
+  EXPECT_EQ(third->ids.size(), before + 1);
+
+  // Old snapshots stay alive and unchanged for in-flight readers.
+  EXPECT_EQ(second->ids.size(), before);
+}
+
+}  // namespace

@@ -57,11 +57,13 @@
 // Other subcommands exit 0 on success and non-zero on failure.
 #include <cstdio>
 #include <cstring>
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <sstream>
 
 #include "analysis/fixtures.hpp"
+#include "bgp/threadpool.hpp"
 #include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/explain.hpp"
@@ -86,7 +88,9 @@ void print_help(std::FILE* out) {
       "\n"
       "  generate  write a synthetic RIB dump (--out F [--scale S --seed N])\n"
       "  info      summarize --dataset F or --model F\n"
-      "  refine    fit a quasi-router model (--dataset F --out F)\n"
+      "  refine    fit a quasi-router model (--dataset F --out F\n"
+      "            [--threads N] [--json]); the parallel sweep yields the\n"
+      "            same model for every thread count\n"
       "  predict   evaluate a model (--dataset F --model F)\n"
       "  whatif    impact of removing a link (--model F --remove-link A:B)\n"
       "  explain   per-router decisions (--model F --origin O --as A)\n"
@@ -94,8 +98,12 @@ void print_help(std::FILE* out) {
       "--generated | --fixture NAME | --list-fixtures) [--json]\n"
       "  audit     static policy auditor: dispute-wheel safety, dead\n"
       "            policies, diversity bounds (--model F [--origin N] | "
-      "--generated | --fixture NAME | --list-fixtures) [--json]\n"
+      "--generated | --fixture NAME | --list-fixtures)\n"
+      "            [--threads N] [--json]\n"
       "  selftest  end-to-end smoke test over real files (--dir D)\n"
+      "\n"
+      "--threads 0 selects the hardware thread count; refine/audit --json\n"
+      "reports include wall-clock phase timings\n"
       "\n"
       "exit codes (lint, audit):\n"
       "  0  clean: no diagnostics at all\n"
@@ -244,11 +252,35 @@ int cmd_refine(const nb::Cli& cli) {
   topo::Model model = topo::Model::one_router_per_as(graph);
   core::RefineConfig config;
   config.verbose = cli.get_bool("verbose");
+  // 0 = hardware concurrency; the fitted model is identical for every
+  // thread count (see refine.hpp), so this is purely a speed knob.
+  config.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
   auto result = core::refine_model(model, training, config);
-  std::printf("%s", core::render_refine_log(result).c_str());
   if (!write_file(out_path, topo::model_to_string(model))) return 1;
-  std::printf("wrote model (%zu quasi-routers) to %s\n",
-              model.num_routers(), out_path.c_str());
+  if (cli.get_bool("json")) {
+    // Single JSON object on stdout; the model still lands in --out.
+    std::printf(
+        "{\"tool\": \"refine\", \"success\": %s, \"iterations\": %zu, "
+        "\"unmatched_paths\": %zu, \"routers\": %zu, "
+        "\"messages_simulated\": %llu, \"threads\": %u, "
+        "\"phase_seconds\": {\"simulate\": %.6f, \"heuristic\": %.6f, "
+        "\"validate\": %.6f, \"total\": %.6f}}\n",
+        result.success ? "true" : "false", result.iterations,
+        result.unmatched_paths, model.num_routers(),
+        static_cast<unsigned long long>(result.messages_simulated),
+        result.threads_used, result.phase_seconds.simulate,
+        result.phase_seconds.heuristic, result.phase_seconds.validate,
+        result.phase_seconds.total);
+  } else {
+    std::printf("%s", core::render_refine_log(result).c_str());
+    std::printf("fit took %.3fs (simulate %.3fs, heuristic %.3fs) on %u "
+                "thread(s), %llu messages\n",
+                result.phase_seconds.total, result.phase_seconds.simulate,
+                result.phase_seconds.heuristic, result.threads_used,
+                static_cast<unsigned long long>(result.messages_simulated));
+    std::printf("wrote model (%zu quasi-routers) to %s\n",
+                model.num_routers(), out_path.c_str());
+  }
   return result.success ? 0 : 3;
 }
 
@@ -431,12 +463,25 @@ int cmd_audit(const nb::Cli& cli) {
   }
   if (cli.has("origin"))
     options.origins.push_back(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+  // 0 = hardware concurrency; per-prefix passes fan out, results are
+  // thread-count invariant (see policy_audit.hpp).
+  options.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
 
+  const auto t_start = std::chrono::steady_clock::now();
   const analysis::AuditResult result = analysis::audit_model(*model, options);
+  const double audit_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
   if (cli.get_bool("json")) {
-    std::printf(
-        "%s",
-        analysis::diagnostics_to_json("audit", what, result.diagnostics).c_str());
+    char extra[128];
+    std::snprintf(extra, sizeof extra,
+                  "\"seconds\": %.6f, \"threads\": %u, \"prefixes\": %zu",
+                  audit_seconds, bgp::ThreadPool::resolve(options.threads),
+                  result.prefixes.size());
+    std::printf("%s",
+                analysis::diagnostics_to_json("audit", what,
+                                              result.diagnostics, extra)
+                    .c_str());
   } else {
     std::printf("%s", core::render_audit(result).c_str());
     std::printf("%s", analysis::render_diagnostics(result.diagnostics).c_str());
