@@ -18,6 +18,7 @@
 // The baseline file is plain text, one `scale <seconds>` pair per line,
 // written by --write-baseline on a reference machine and parsed here
 // without any JSON dependency.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -28,6 +29,8 @@
 #include "bgp/threadpool.hpp"
 #include "core/pipeline.hpp"
 #include "netbase/cli.hpp"
+#include "netbase/json.hpp"
+#include "obs/observer.hpp"
 #include "topology/model_io.hpp"
 
 namespace {
@@ -39,6 +42,15 @@ struct RunResult {
   core::RefineResult refine;
   std::size_t routers = 0;
   std::string model_text;     // serialized fit, for cross-thread identity
+  /// Phase timings as recorded by the obs registry (refine.phase.*_ns):
+  /// every run attaches a metric registry -- never a trace sink, so the
+  /// timed sweep stays on the cheap counters-only path -- and the JSON
+  /// report carries both the wall-clock and the registry view.
+  std::uint64_t simulate_ns = 0;
+  std::uint64_t heuristic_ns = 0;
+  std::uint64_t validate_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t engine_messages = 0;
 };
 
 std::vector<double> parse_scales(const std::string& text) {
@@ -62,8 +74,17 @@ RunResult run_once(double scale, std::uint64_t seed, unsigned threads) {
   RunResult run;
   run.scale = scale;
   run.threads = threads;
+  obs::Registry registry;
+  obs::Observer observer;
+  observer.registry = &registry;
+  config.refine.observer = &observer;
   run.refine =
       core::refine_model(model, pipeline.split.training, config.refine);
+  run.simulate_ns = registry.counter_value("refine.phase.simulate_ns");
+  run.heuristic_ns = registry.counter_value("refine.phase.heuristic_ns");
+  run.validate_ns = registry.counter_value("refine.phase.validate_ns");
+  run.total_ns = registry.counter_value("refine.phase.total_ns");
+  run.engine_messages = registry.counter_value("engine.messages");
   run.threads_used = run.refine.threads_used;
   run.routers = model.num_routers();
   run.model_text = topo::model_to_string(model);
@@ -76,23 +97,32 @@ double messages_per_second(const RunResult& run) {
   return static_cast<double>(run.refine.messages_simulated) / sim;
 }
 
-void append_json(std::string& out, const RunResult& run) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "    {\"scale\": %.3f, \"threads\": %u, \"threads_used\": %u, "
-      "\"success\": %s, \"iterations\": %zu, \"routers\": %zu, "
-      "\"messages\": %llu, \"messages_per_second\": %.0f, "
-      "\"phase_seconds\": {\"simulate\": %.6f, \"heuristic\": %.6f, "
-      "\"validate\": %.6f, \"total\": %.6f}}",
-      run.scale, run.threads, run.threads_used,
-      run.refine.success ? "true" : "false", run.refine.iterations,
-      run.routers,
-      static_cast<unsigned long long>(run.refine.messages_simulated),
-      messages_per_second(run), run.refine.phase_seconds.simulate,
-      run.refine.phase_seconds.heuristic, run.refine.phase_seconds.validate,
-      run.refine.phase_seconds.total);
-  out += buf;
+void append_json(nb::JsonWriter& w, const RunResult& run) {
+  w.begin_object();
+  w.key("scale").value_fixed(run.scale, 3);
+  w.key("threads").value(run.threads);
+  w.key("threads_used").value(run.threads_used);
+  w.key("success").value(run.refine.success);
+  w.key("iterations").value(static_cast<std::uint64_t>(run.refine.iterations));
+  w.key("routers").value(static_cast<std::uint64_t>(run.routers));
+  w.key("messages").value(run.refine.messages_simulated);
+  w.key("messages_per_second").value_fixed(messages_per_second(run), 0);
+  w.key("phase_seconds").begin_object();
+  w.key("simulate").value_fixed(run.refine.phase_seconds.simulate, 6);
+  w.key("heuristic").value_fixed(run.refine.phase_seconds.heuristic, 6);
+  w.key("validate").value_fixed(run.refine.phase_seconds.validate, 6);
+  w.key("total").value_fixed(run.refine.phase_seconds.total, 6);
+  w.end_object();
+  // The same phases as recorded by the metric registry the run attaches
+  // (see bench/README.md for the full schema).
+  w.key("registry").begin_object();
+  w.key("simulate_ns").value(run.simulate_ns);
+  w.key("heuristic_ns").value(run.heuristic_ns);
+  w.key("validate_ns").value(run.validate_ns);
+  w.key("total_ns").value(run.total_ns);
+  w.key("engine_messages").value(run.engine_messages);
+  w.end_object();
+  w.end_object();
 }
 
 std::map<double, double> read_baseline(const std::string& path) {
@@ -180,20 +210,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string json = "{\n  \"bench\": \"refine\",\n";
-  json += "  \"seed\": " + std::to_string(seed) + ",\n";
-  json += "  \"hardware_threads\": " +
-          std::to_string(bgp::ThreadPool::resolve(0)) + ",\n";
-  json += "  \"identical_across_threads\": ";
-  json += identical ? "true" : "false";
-  json += ",\n  \"runs\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    append_json(json, runs[i]);
-    json += i + 1 < runs.size() ? ",\n" : "\n";
-  }
-  json += "  ]\n}\n";
+  nb::JsonWriter json(2);
+  json.begin_object();
+  json.key("bench").value("refine");
+  json.key("seed").value(seed);
+  json.key("hardware_threads").value(bgp::ThreadPool::resolve(0));
+  json.key("identical_across_threads").value(identical);
+  json.key("runs").begin_array();
+  for (const RunResult& run : runs) append_json(json, run);
+  json.end_array();
+  json.end_object();
   std::ofstream out(out_path);
-  out << json;
+  out << json.str() << '\n';
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!ok) std::fprintf(stderr, "bench_refine: a fit failed to converge\n");

@@ -1,6 +1,8 @@
 #include "analysis/diagnostics.hpp"
 
-#include <cstdio>
+#include <cstdint>
+
+#include "netbase/json.hpp"
 
 namespace analysis {
 
@@ -33,67 +35,32 @@ bool contains_code(const Diagnostics& diagnostics, std::string_view code) {
   return false;
 }
 
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string diagnostics_to_json(std::string_view tool, std::string_view subject,
                                 const Diagnostics& diagnostics,
                                 std::string_view extra_json) {
-  std::string out = "{\"tool\": \"" + json_escape(tool) + "\", \"subject\": \"" +
-                    json_escape(subject) + "\", \"errors\": " +
-                    std::to_string(count(diagnostics, Severity::kError)) +
-                    ", \"warnings\": " +
-                    std::to_string(count(diagnostics, Severity::kWarning)) +
-                    ", \"diagnostics\": [";
-  bool first = true;
+  nb::JsonWriter w;
+  w.begin_object();
+  w.key("tool").value(tool);
+  w.key("subject").value(subject);
+  w.key("errors").value(
+      static_cast<std::uint64_t>(count(diagnostics, Severity::kError)));
+  w.key("warnings").value(
+      static_cast<std::uint64_t>(count(diagnostics, Severity::kWarning)));
+  w.key("diagnostics").begin_array();
   for (const Diagnostic& d : diagnostics) {
-    if (!first) out += ", ";
-    first = false;
-    out += "{\"severity\": \"";
-    out += severity_name(d.severity);
-    out += "\", \"code\": \"" + json_escape(d.code) + "\", \"location\": \"" +
-           json_escape(d.location) + "\", \"message\": \"" +
-           json_escape(d.message) + "\"}";
+    w.begin_object();
+    w.key("severity").value(severity_name(d.severity));
+    w.key("code").value(d.code);
+    w.key("location").value(d.location);
+    w.key("message").value(d.message);
+    w.end_object();
   }
-  out += ']';
-  if (!extra_json.empty()) {
-    out += ", ";
-    out += extra_json;
-  }
-  out += "}\n";
-  return out;
+  w.end_array();
+  // Caller-rendered members spliced verbatim after the array, preserving
+  // the historical `..., "extra": ...}` layout.
+  if (!extra_json.empty()) w.raw(extra_json);
+  w.end_object();
+  return w.str() + "\n";
 }
 
 std::string render_diagnostics(const Diagnostics& diagnostics) {

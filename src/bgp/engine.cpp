@@ -146,7 +146,13 @@ std::optional<Route> Engine::propagate(const PrefixPolicy* policy,
   return out;
 }
 
-PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
+PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
+                            SimCounters* counters) const {
+  // Instrumentation accumulates in locals unconditionally (register
+  // increments, negligible next to message processing) and is stored
+  // through `counters` only at the end, keeping the uninstrumented path
+  // byte- and perf-identical.
+  SimCounters tally;
   PrefixSimResult res;
   res.prefix = prefix;
   res.origin = origin;
@@ -206,6 +212,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
   };
   auto push_entry = [&](Model::Dense router, RouterState& state,
                         const Route& route) {
+    ++tally.rib_inserts;
     if (indexed[router]) {
       slots[router][route.sender] =
           static_cast<std::uint32_t>(state.rib_in.size());
@@ -213,6 +220,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
     state.rib_in.push_back(route);
   };
   auto erase_entry = [&](Model::Dense router, RouterState& state, int slot) {
+    ++tally.withdrawals;
     const Model::Dense sender = state.rib_in[static_cast<std::size_t>(slot)].sender;
     state.rib_in.erase(state.rib_in.begin() + slot);
     if (indexed[router]) {
@@ -287,8 +295,10 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
       return now_sender == static_cast<std::int64_t>(touched) &&
              touched_path_changed;
     };
-    return differs(old.best_sender, state.best_route()) ||
-           differs(old.external_sender, state.external_route());
+    const bool changed = differs(old.best_sender, state.best_route()) ||
+                         differs(old.external_sender, state.external_route());
+    tally.selection_changes += changed ? 1 : 0;
+    return changed;
   };
 
   // Reused across every message; its path buffer's capacity persists, so
@@ -303,6 +313,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
     const Model::Dense r = queue.front();
     queue.pop_front();
     queued[r] = 0;
+    ++tally.activations;
     const Route* best = res.routers[r].best_route();
 
     // iBGP mesh: push this router's best external route to its AS-mates.
@@ -332,6 +343,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
           }
           const Selection old = snapshot(state);
           const bool path_changed = existing.path != external->path;
+          ++tally.rib_replacements;
           existing.sender = r;
           existing.local_pref = external->local_pref;
           existing.med = external->med;
@@ -379,6 +391,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
         }
         const Selection old = snapshot(state);
         const bool path_changed = existing.path != scratch.path;
+        ++tally.rib_replacements;
         existing.sender = scratch.sender;
         existing.local_pref = scratch.local_pref;
         existing.med = scratch.med;
@@ -393,6 +406,10 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin) const {
         if (reselect(state, old, r, false)) enqueue(peer);
       }
     }
+  }
+  if (counters != nullptr) {
+    tally.messages = res.messages;
+    *counters = tally;
   }
   return res;
 }

@@ -93,6 +93,28 @@ struct PrefixSimResult {
   const RouterState& state(Model::Dense r) const { return routers[r]; }
 };
 
+/// Optional hot-loop instrumentation for the obs layer, filled by run()
+/// when a non-null pointer is passed.  Pure observation: the counts are
+/// accumulated in locals either way (a handful of register increments per
+/// message) and only stored through the pointer at the end, so passing or
+/// omitting the struct never changes routing decisions, message order or
+/// the resulting RIBs.
+struct SimCounters {
+  std::uint64_t messages = 0;     // == PrefixSimResult::messages
+  /// Queue pops, i.e. router wake-ups; activations / routers reached is
+  /// the mean number of convergence rounds a router needed.
+  std::uint64_t activations = 0;
+  std::uint64_t rib_inserts = 0;       // Adj-RIB-In entries created
+  std::uint64_t rib_replacements = 0;  // entries updated in place
+  std::uint64_t withdrawals = 0;       // entries erased
+  /// Reselections that changed the (external) best and forced
+  /// re-advertisement -- the engine's churn measure.
+  std::uint64_t selection_changes = 0;
+
+  /// Adj-RIB-In entries alive at convergence (inserts minus withdrawals).
+  std::uint64_t rib_entries() const { return rib_inserts - withdrawals; }
+};
+
 /// Maps dense index -> router-id value for tie-breaking and reporting.
 std::vector<std::uint32_t> dense_ids(const Model& model);
 
@@ -122,8 +144,11 @@ class Engine {
 
   /// Simulates propagation of `prefix` originated by all routers of
   /// `origin`.  Re-reads the model on every call, so model mutations between
-  /// calls (refinement) are picked up.
-  PrefixSimResult run(const Prefix& prefix, nb::Asn origin) const;
+  /// calls (refinement) are picked up.  `counters`, when non-null, receives
+  /// hot-loop instrumentation (see SimCounters); the result is bit-for-bit
+  /// the same with or without it.
+  PrefixSimResult run(const Prefix& prefix, nb::Asn origin,
+                      SimCounters* counters = nullptr) const;
 
   /// The simulation context for the model's CURRENT generation, (re)building
   /// it if the model mutated since the last call.  Thread-safe: concurrent

@@ -9,6 +9,10 @@ namespace {
 // The pool whose batch the current thread is executing, if any; used to
 // detect nested parallel_for calls that would deadlock.
 thread_local const ThreadPool* tls_running_pool = nullptr;
+// The executing thread's slot for parallel_for_worker: workers are
+// 0..size()-1 (set once at thread start), the calling thread size()
+// (set per batch in parallel_for, restored after for nested pools).
+thread_local unsigned tls_worker_slot = 0;
 }  // namespace
 
 unsigned ThreadPool::resolve(unsigned threads) {
@@ -22,7 +26,10 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 1) return;
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tls_worker_slot = i;
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -42,11 +49,17 @@ void ThreadPool::parallel_for(std::size_t count,
         "nested ThreadPool::parallel_for on the same pool");
   }
   const ThreadPool* previous = tls_running_pool;
+  const unsigned previous_slot = tls_worker_slot;
   tls_running_pool = this;
+  tls_worker_slot = static_cast<unsigned>(workers_.size());
   struct Restore {
     const ThreadPool* previous;
-    ~Restore() { tls_running_pool = previous; }
-  } restore{previous};
+    unsigned previous_slot;
+    ~Restore() {
+      tls_running_pool = previous;
+      tls_worker_slot = previous_slot;
+    }
+  } restore{previous, previous_slot};
 
   if (workers_.empty()) {
     for (std::size_t i = 0; i < count; ++i) body(i);
@@ -70,6 +83,13 @@ void ThreadPool::parallel_for(std::size_t count,
   batch_ = Batch{};
   lock.unlock();
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for_worker(
+    std::size_t count,
+    const std::function<void(unsigned worker, std::size_t i)>& body) {
+  parallel_for(count,
+               [&body](std::size_t i) { body(tls_worker_slot, i); });
 }
 
 void ThreadPool::work_through_batch() {

@@ -45,6 +45,24 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
+  /// Number of distinct threads parallel_for can run bodies on: the workers
+  /// plus the calling thread (1 for the inline single-thread pool).  Sizes
+  /// per-worker state such as obs::ShardGroup.
+  unsigned shard_count() const {
+    return workers_.empty() ? 1 : static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// parallel_for that also hands the body the stable slot index of the
+  /// executing thread (always < shard_count(); workers are 0..size()-1, the
+  /// calling thread is size()).  A slot is owned by exactly one thread for
+  /// the whole batch, so bodies may write slot-indexed state -- e.g. an
+  /// obs::Shard -- without synchronization; the batch barrier orders those
+  /// writes before anything the caller does after parallel_for_worker
+  /// returns.
+  void parallel_for_worker(
+      std::size_t count,
+      const std::function<void(unsigned worker, std::size_t i)>& body);
+
  private:
   struct Batch {
     std::size_t count = 0;

@@ -1,13 +1,19 @@
 #include "core/refine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "analysis/check_convergence.hpp"
 #include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/threadpool.hpp"
+#include "netbase/json.hpp"
+#include "obs/observer.hpp"
 
 namespace core {
 namespace {
@@ -325,11 +331,30 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
 RefineResult refine_model(topo::Model& model,
                           const data::BgpDataset& training,
                           const RefineConfig& config) {
-  using Clock = std::chrono::steady_clock;
-  const auto seconds_since = [](Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
+  // Observability (RefineConfig::observer): both sinks optional and
+  // one-directional -- nothing read back from them feeds the heuristic, so
+  // the fitted model is byte-identical with and without them.
+  obs::Registry* reg =
+      config.observer != nullptr ? config.observer->registry : nullptr;
+  obs::TraceSink* trace =
+      config.observer != nullptr ? config.observer->trace : nullptr;
+  if (trace != nullptr && trace->level() == obs::TraceLevel::kOff)
+    trace = nullptr;
+  obs::RefineMetricSet metrics;
+  if (reg != nullptr) metrics = obs::RefineMetricSet::define(*reg);
+  // Phase-span args ({"iteration": N}); empty (unallocated) unless the
+  // trace actually records phases.
+  const auto iter_args = [&](std::size_t iteration) -> std::string {
+    if (trace == nullptr || !trace->enabled(obs::TraceLevel::kPhase))
+      return {};
+    nb::JsonWriter w;
+    w.begin_object()
+        .key("iteration")
+        .value(static_cast<std::uint64_t>(iteration))
+        .end_object();
+    return w.str();
   };
-  const Clock::time_point t_total = Clock::now();
+  obs::PhaseTimer total_timer(reg, metrics.total_ns, trace, "refine");
 
   RefineResult result;
   std::vector<PrefixWork> work;
@@ -353,12 +378,35 @@ RefineResult refine_model(topo::Model& model,
   bgp::ThreadPool pool(config.threads);
   result.threads_used = pool.size() == 0 ? 1 : pool.size();
 
+  // Per-prefix sim spans land on synthetic tids 1000 + worker so Perfetto
+  // shows one track per sweep worker (tid 0 is the serial refine track).
+  const bool prefix_trace =
+      trace != nullptr && trace->enabled(obs::TraceLevel::kPrefix);
+  // SimCounters are collected whenever anything consumes them: registry
+  // shards, the per-iteration rib_entries series, or per-prefix spans.
+  const bool counting =
+      reg != nullptr ||
+      (trace != nullptr && trace->enabled(obs::TraceLevel::kIteration));
+  if (prefix_trace) {
+    trace->name_thread(0, "refine");
+    for (unsigned worker = 0; worker < pool.shard_count(); ++worker)
+      trace->name_thread(1000 + worker,
+                         "sim-worker-" + std::to_string(worker));
+  }
+  struct PrefixSpan {
+    std::uint64_t start_us = 0;
+    std::uint64_t dur_us = 0;
+    unsigned worker = 0;
+  };
+
   std::size_t routers_added_prev = 0;
   std::size_t policies_changed_prev = 0;
   // Reused across iterations so sims keep their RouterState capacity.
   std::vector<std::size_t> active_index;
   std::vector<PrefixSimResult> sims;
   std::vector<analysis::Diagnostics> sim_diags;
+  std::vector<bgp::SimCounters> sim_counters;
+  std::vector<PrefixSpan> spans;
   for (std::size_t iteration = 1; iteration <= config.max_iterations;
        ++iteration) {
     active_index.clear();
@@ -367,26 +415,103 @@ RefineResult refine_model(topo::Model& model,
     }
     const std::size_t active = active_index.size();
     if (active == 0) break;
+    const std::uint64_t iter_ts =
+        trace != nullptr && trace->enabled(obs::TraceLevel::kIteration)
+            ? trace->now_us()
+            : 0;
 
     // Simulation sweep: every active prefix against the immutable
     // iteration-start model.  The engine's epoch context is built once up
     // front; worker order does not matter because results land in slots.
-    const Clock::time_point t_sim = Clock::now();
     sims.resize(active);
     engine.context();
-    pool.parallel_for(active, [&](std::size_t i) {
-      const PrefixWork& w = work[active_index[i]];
-      sims[i] = engine.run(w.prefix, w.origin);
-    });
-    result.phase_seconds.simulate += seconds_since(t_sim);
+    obs::PhaseTimer sim_timer(reg, metrics.simulate_ns, trace, "simulate",
+                              iter_args(iteration));
+    if (counting) {
+      // Instrumented sweep: identical engine runs, plus per-prefix
+      // SimCounters and per-worker metric shards.  The shards merge into
+      // the registry in ascending worker order when the group leaves
+      // scope (after the pool barrier), so totals are deterministic for
+      // every thread count.
+      sim_counters.assign(active, {});
+      if (prefix_trace) spans.assign(active, {});
+      std::optional<obs::ShardGroup> shards;
+      if (reg != nullptr) shards.emplace(*reg, pool.shard_count());
+      pool.parallel_for_worker(active, [&](unsigned worker, std::size_t i) {
+        const PrefixWork& w = work[active_index[i]];
+        const std::uint64_t t0 = prefix_trace ? trace->now_us() : 0;
+        sims[i] = engine.run(w.prefix, w.origin, &sim_counters[i]);
+        if (prefix_trace)
+          spans[i] = {t0, trace->now_us() - t0, worker};
+        if (shards.has_value()) {
+          obs::Shard& shard = shards->shard(worker);
+          const bgp::SimCounters& c = sim_counters[i];
+          shard.add(metrics.engine_messages, c.messages);
+          shard.add(metrics.engine_activations, c.activations);
+          shard.add(metrics.engine_rib_inserts, c.rib_inserts);
+          shard.add(metrics.engine_rib_replacements, c.rib_replacements);
+          shard.add(metrics.engine_withdrawals, c.withdrawals);
+          shard.add(metrics.engine_selection_changes, c.selection_changes);
+          shard.observe(metrics.messages_per_prefix,
+                        static_cast<double>(c.messages));
+        }
+      });
+    } else {
+      // Zero-observer sweep: exactly the pre-observability code path.
+      pool.parallel_for(active, [&](std::size_t i) {
+        const PrefixWork& w = work[active_index[i]];
+        sims[i] = engine.run(w.prefix, w.origin);
+      });
+    }
+    sim_timer.stop();
+    result.phase_seconds.simulate += sim_timer.seconds();
+    std::uint64_t iteration_messages = 0;
     for (const PrefixSimResult& sim : sims)
-      result.messages_simulated += sim.messages;
+      iteration_messages += sim.messages;
+    result.messages_simulated += iteration_messages;
+
+    if (prefix_trace) {
+      // Serial post-sweep emission: one span per simulation on its
+      // worker's track, annotated with the decision-step elimination
+      // histogram (the aggregate twin of bgp::explain_selection; costs
+      // one compare_routes per Adj-RIB-In entry, which is why it is
+      // gated on the most verbose trace level).
+      const std::shared_ptr<const bgp::SimContext> ctx = engine.context();
+      for (std::size_t i = 0; i < active; ++i) {
+        const PrefixWork& w = work[active_index[i]];
+        const std::array<std::uint64_t, bgp::kNumDecisionSteps> eliminated =
+            obs::elimination_histogram(ctx->ids, sims[i]);
+        if (reg != nullptr) {
+          for (std::size_t step = 0; step < bgp::kNumDecisionSteps; ++step)
+            reg->add(metrics.eliminated[step], eliminated[step]);
+        }
+        const bgp::SimCounters& c = sim_counters[i];
+        nb::JsonWriter args;
+        args.begin_object();
+        args.key("origin").value(static_cast<std::uint64_t>(w.origin));
+        args.key("iteration").value(static_cast<std::uint64_t>(iteration));
+        args.key("messages").value(c.messages);
+        args.key("activations").value(c.activations);
+        args.key("rib_entries").value(c.rib_entries());
+        for (std::size_t step = 0; step < bgp::kNumDecisionSteps; ++step) {
+          if (eliminated[step] == 0) continue;
+          args.key(std::string("eliminated.") +
+                   bgp::decision_step_name(
+                       static_cast<bgp::DecisionStep>(step)))
+              .value(eliminated[step]);
+        }
+        args.end_object();
+        trace->complete("prefix", "sim", spans[i].start_us, spans[i].dur_us,
+                        1000 + spans[i].worker, args.str());
+      }
+    }
 
     if (config.validate) {
       // Every simulation must be a fixed point of the model as it stands
       // BEFORE the heuristic consumes it; the replay is independent per
       // prefix, so it fans out too.  Findings merge in prefix order.
-      const Clock::time_point t_val = Clock::now();
+      obs::PhaseTimer val_timer(reg, metrics.validate_ns, trace, "validate",
+                                iter_args(iteration));
       sim_diags.assign(active, {});
       pool.parallel_for(active, [&](std::size_t i) {
         sim_diags[i] = analysis::check_convergence(engine, sims[i]);
@@ -395,7 +520,8 @@ RefineResult refine_model(topo::Model& model,
         std::move(found.begin(), found.end(),
                   std::back_inserter(result.diagnostics));
       }
-      result.phase_seconds.validate += seconds_since(t_val);
+      val_timer.stop();
+      result.phase_seconds.validate += val_timer.seconds();
     }
 
     // Apply phase: strictly serial, in ascending-origin order (work is built
@@ -404,7 +530,8 @@ RefineResult refine_model(topo::Model& model,
     // prefix mints here are visible to the prefixes after it through the
     // refiner's alias map (see snapshot_proxy), preserving the sharing the
     // old interleaved loop got from re-simulating mid-iteration.
-    const Clock::time_point t_heur = Clock::now();
+    obs::PhaseTimer heur_timer(reg, metrics.heuristic_ns, trace, "heuristic",
+                               iter_args(iteration));
     refiner.begin_iteration();
     bool any_changed = false;
     for (std::size_t i = 0; i < active; ++i) {
@@ -413,18 +540,21 @@ RefineResult refine_model(topo::Model& model,
       any_changed |= changed;
       if (!changed && w.matched == w.paths.size()) w.done = true;
     }
-    result.phase_seconds.heuristic += seconds_since(t_heur);
+    heur_timer.stop();
+    result.phase_seconds.heuristic += heur_timer.seconds();
 
     if (config.validate) {
       // Every mutation of this iteration (policy adjustments, duplications,
       // filter relaxations) must leave the model structurally sound.
-      const Clock::time_point t_lint = Clock::now();
+      obs::PhaseTimer lint_timer(reg, metrics.validate_ns, trace, "lint",
+                                 iter_args(iteration));
       analysis::ValidateOptions lint;
       lint.pairwise_sessions = true;  // duplication closure (Section 4.6)
       analysis::Diagnostics found = analysis::validate_model(model, lint);
       std::move(found.begin(), found.end(),
                 std::back_inserter(result.diagnostics));
-      result.phase_seconds.validate += seconds_since(t_lint);
+      lint_timer.stop();
+      result.phase_seconds.validate += lint_timer.seconds();
     }
 
     RefineIterationLog log;
@@ -444,6 +574,53 @@ RefineResult refine_model(topo::Model& model,
     policies_changed_prev = refiner.policies_changed;
     result.log.push_back(log);
     result.iterations = iteration;
+    if (trace != nullptr && trace->enabled(obs::TraceLevel::kIteration)) {
+      // One span per refinement iteration.  The arg names are the stable
+      // schema `rdtool stats` reads back into its convergence table
+      // (DESIGN.md section 9) -- rename only with a migration there.
+      std::uint64_t rib_entries = 0;
+      for (const bgp::SimCounters& c : sim_counters)
+        rib_entries += c.rib_entries();
+      nb::JsonWriter args;
+      args.begin_object();
+      args.key("iteration").value(static_cast<std::uint64_t>(log.iteration));
+      args.key("active_prefixes")
+          .value(static_cast<std::uint64_t>(log.active_prefixes));
+      args.key("matched").value(static_cast<std::uint64_t>(log.paths_matched));
+      args.key("paths_total")
+          .value(static_cast<std::uint64_t>(log.paths_total));
+      args.key("routers").value(static_cast<std::uint64_t>(log.routers));
+      args.key("filters").value(static_cast<std::uint64_t>(log.filters));
+      args.key("rankings").value(static_cast<std::uint64_t>(log.rankings));
+      args.key("routers_added")
+          .value(static_cast<std::uint64_t>(log.routers_added));
+      args.key("policies_changed")
+          .value(static_cast<std::uint64_t>(log.policies_changed));
+      args.key("messages").value(iteration_messages);
+      args.key("rib_entries").value(rib_entries);
+      args.end_object();
+      const std::uint64_t now = trace->now_us();
+      trace->complete("refine", "iteration", iter_ts, now - iter_ts, 0,
+                      args.str());
+      nb::JsonWriter model_series;
+      model_series.begin_object();
+      model_series.key("routers")
+          .value(static_cast<std::uint64_t>(log.routers));
+      model_series.key("filters")
+          .value(static_cast<std::uint64_t>(log.filters));
+      model_series.key("rankings")
+          .value(static_cast<std::uint64_t>(log.rankings));
+      model_series.end_object();
+      trace->counter("refine", "model", now, model_series.str());
+      nb::JsonWriter progress_series;
+      progress_series.begin_object();
+      progress_series.key("matched")
+          .value(static_cast<std::uint64_t>(log.paths_matched));
+      progress_series.key("active_prefixes")
+          .value(static_cast<std::uint64_t>(log.active_prefixes));
+      progress_series.end_object();
+      trace->counter("refine", "progress", now, progress_series.str());
+    }
     if (config.verbose) {
       std::fprintf(stderr,
                    "[refine] iter=%zu matched=%zu/%zu active=%zu routers=%zu "
@@ -472,6 +649,7 @@ RefineResult refine_model(topo::Model& model,
   result.filters_relaxed = refiner.filters_relaxed;
 
   if (config.prune_dead) {
+    obs::PhaseTimer prune_timer(nullptr, obs::CounterId{}, trace, "prune");
     analysis::AuditOptions prune;
     prune.engine = config.engine;
     const analysis::PruneResult pruned =
@@ -486,7 +664,7 @@ RefineResult refine_model(topo::Model& model,
     // warnings are expected at real scales and stay advisory (visible via
     // Pipeline::audit or `rdtool audit`), keeping "a clean fit reports no
     // diagnostics" intact.
-    const Clock::time_point t_audit = Clock::now();
+    obs::PhaseTimer audit_timer(reg, metrics.validate_ns, trace, "audit");
     analysis::AuditOptions audit;
     audit.engine = config.engine;
     audit.check_dead = false;
@@ -496,9 +674,18 @@ RefineResult refine_model(topo::Model& model,
       if (d.severity == analysis::Severity::kError)
         result.diagnostics.push_back(std::move(d));
     }
-    result.phase_seconds.validate += seconds_since(t_audit);
+    audit_timer.stop();
+    result.phase_seconds.validate += audit_timer.seconds();
   }
-  result.phase_seconds.total = seconds_since(t_total);
+  if (reg != nullptr) {
+    reg->add(metrics.iterations, result.iterations);
+    reg->add(metrics.messages, result.messages_simulated);
+    reg->add(metrics.routers_added, result.routers_added);
+    reg->add(metrics.policies_changed, result.policies_changed);
+    reg->add(metrics.filters_relaxed, result.filters_relaxed);
+  }
+  total_timer.stop();
+  result.phase_seconds.total = total_timer.seconds();
   return result;
 }
 

@@ -54,6 +54,10 @@
 #include "data/observations.hpp"
 #include "topology/model.hpp"
 
+namespace obs {
+struct Observer;
+}  // namespace obs
+
 namespace core {
 
 struct RefineConfig {
@@ -97,6 +101,17 @@ struct RefineConfig {
   /// every matched training path stays reproducible -- so fitted models
   /// ship minimal.
   bool prune_dead = false;
+
+  /// Observability hook (DESIGN.md section 9): when non-null, the fit
+  /// records metrics into observer->registry (per-worker shards inside the
+  /// simulation sweep, merged deterministically at sweep exit) and emits
+  /// structured trace events to observer->trace at its configured level
+  /// (phase spans, per-iteration convergence counters, per-prefix
+  /// simulation spans with the decision-step elimination histogram).
+  /// Observation never feeds back: the fitted model is byte-identical with
+  /// and without an observer, at every thread count, and the null-observer
+  /// path does no observability work at all.
+  const obs::Observer* observer = nullptr;
 };
 
 struct RefineIterationLog {

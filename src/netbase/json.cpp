@@ -1,0 +1,403 @@
+#include "netbase/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "netbase/check.hpp"
+
+namespace nb {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_and_newline() {
+  RD_CHECK(!has_member_.empty(), "JsonWriter: unbalanced container stack");
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already wrote its separator
+  }
+  if (has_member_.back()) out_ += ',';
+  if (indent_ > 0 && depth_ > 0) {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ * depth_), ' ');
+  } else if (has_member_.back()) {
+    out_ += ' ';
+  }
+  has_member_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_newline();
+  out_ += '{';
+  ++depth_;
+  has_member_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RD_CHECK(depth_ > 0, "JsonWriter: end_object at depth 0");
+  const bool had_members = has_member_.back();
+  has_member_.pop_back();
+  --depth_;
+  if (indent_ > 0 && had_members) {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ * depth_), ' ');
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_and_newline();
+  out_ += '[';
+  ++depth_;
+  has_member_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RD_CHECK(depth_ > 0, "JsonWriter: end_array at depth 0");
+  const bool had_members = has_member_.back();
+  has_member_.pop_back();
+  --depth_;
+  if (indent_ > 0 && had_members) {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ * depth_), ' ');
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_and_newline();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma_and_newline();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_and_newline();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma_and_newline();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma_and_newline();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma_and_newline();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fixed(double number, int decimals) {
+  comma_and_newline();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  comma_and_newline();
+  out_ += fragment;
+  return *this;
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, member] : object) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_number() ? member->number : fallback;
+}
+
+std::string_view JsonValue::string_or(std::string_view key,
+                                      std::string_view fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_string() ? member->string : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value)) {
+      fill_error(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters after document";
+      fill_error(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fill_error(std::string* error) const {
+    if (error != nullptr)
+      *error = error_ + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  bool consume(char expected, const char* message) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) return fail(message);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+      case 'f':
+        return parse_literal(out);
+      case 'n':
+        return parse_literal(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':' after object key")) return false;
+      JsonValue member;
+      if (!parse_value(member)) return false;
+      if (out.find(key) == nullptr)
+        out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "expected string")) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // Our own writer only emits \u00XX control escapes; encode the
+          // general case as UTF-8 anyway (surrogate pairs unsupported).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_literal(JsonValue& out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (rest.substr(0, 4) == "true") {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (rest.substr(0, 5) == "false") {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (rest.substr(0, 4) == "null") {
+      out.type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    out.type = JsonValue::Type::kNumber;
+    const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, out.number);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace nb

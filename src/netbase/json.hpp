@@ -1,0 +1,114 @@
+// Minimal JSON emission and parsing shared by every machine-readable
+// output in the repo (diagnostics, bench reports, the obs metric/trace
+// export) and by `rdtool stats`, which reads traces back.
+//
+// JsonWriter replaces the hand-rolled string concatenation that used to
+// live in diagnostics.cpp, bench_refine.cpp and rdtool's --json blocks:
+// it handles comma placement and escaping via a small nesting stack, so
+// emitters only state structure.  Output style is stable: `": "` after
+// keys and `", "` between siblings (the historical diagnostics format);
+// an optional indent width switches to pretty-printed multi-line output
+// for reports meant to be read in a pager.
+//
+// json_parse is the reading counterpart -- a strict recursive-descent
+// parser for the documents this repo itself writes (objects, arrays,
+// strings with the escapes JsonWriter emits, numbers, booleans, null).
+// It exists so tools can consume their own artifacts (e.g. `rdtool
+// stats` over a Chrome trace) without an external dependency; it is not
+// a general-purpose validator, but it accepts all valid JSON and
+// rejects malformed input with a position-carrying error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nb {
+
+/// Escapes quotes, backslashes and control characters for embedding in a
+/// JSON string literal (no surrounding quotes).
+std::string json_escape(std::string_view text);
+
+class JsonWriter {
+ public:
+  /// indent == 0 emits one line; indent > 0 pretty-prints with that many
+  /// spaces per nesting level.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(unsigned number) { return value(static_cast<std::uint64_t>(number)); }
+  /// Fixed-decimal double (timings): `decimals` digits after the point.
+  JsonWriter& value_fixed(double number, int decimals);
+  /// Splices a pre-rendered JSON fragment as one value.  Escape hatch for
+  /// callers composing from already-serialized pieces (e.g. the
+  /// diagnostics_to_json extra fields); the fragment must itself be valid.
+  JsonWriter& raw(std::string_view fragment);
+
+  /// The document so far.  Call after closing every container.
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma_and_newline();
+
+  std::string out_;
+  int indent_ = 0;
+  int depth_ = 0;
+  // Per-depth: does the current container already hold a member?
+  std::vector<bool> has_member_{false};
+  bool after_key_ = false;
+};
+
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved (duplicate keys keep the first).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Convenience: member's number (0 when absent / not a number).
+  double number_or(std::string_view key, double fallback = 0) const;
+  /// Convenience: member's string ("" when absent / not a string).
+  std::string_view string_or(std::string_view key,
+                             std::string_view fallback = {}) const;
+};
+
+/// Parses a complete JSON document (surrounding whitespace allowed).
+/// Returns nullopt and fills `error` (if non-null) on malformed input.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace nb

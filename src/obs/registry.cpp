@@ -1,0 +1,150 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "netbase/check.hpp"
+#include "netbase/json.hpp"
+
+namespace obs {
+
+namespace {
+
+/// First bucket whose upper bound admits `value`; bounds.size() == overflow.
+std::size_t bucket_of(const std::vector<double>& bounds, double value) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+}  // namespace
+
+void Shard::observe(HistogramId id, double value) {
+  HistogramData& data = histograms_[id.slot];
+  ++data.buckets[bucket_of(*bounds_[id.slot], value)];
+  ++data.count;
+  data.sum += value;
+}
+
+CounterId Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  for (std::uint32_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name == name) return CounterId{i};
+  }
+  counters_.push_back(CounterDef{std::string(name), 0});
+  return CounterId{static_cast<std::uint32_t>(counters_.size() - 1)};
+}
+
+HistogramId Registry::histogram(std::string_view name,
+                                std::vector<double> bounds) {
+  RD_CHECK(std::is_sorted(bounds.begin(), bounds.end()),
+           "Registry::histogram bounds must ascend");
+  std::lock_guard lock(mutex_);
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return HistogramId{i};
+  }
+  HistogramDef def;
+  def.name = std::string(name);
+  def.data.buckets.assign(bounds.size() + 1, 0);
+  def.bounds = std::move(bounds);
+  histograms_.push_back(std::move(def));
+  return HistogramId{static_cast<std::uint32_t>(histograms_.size() - 1)};
+}
+
+void Registry::add(CounterId id, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  counters_[id.slot].value += delta;
+}
+
+void Registry::observe(HistogramId id, double value) {
+  std::lock_guard lock(mutex_);
+  HistogramData& data = histograms_[id.slot].data;
+  ++data.buckets[bucket_of(histograms_[id.slot].bounds, value)];
+  ++data.count;
+  data.sum += value;
+}
+
+Shard Registry::make_shard() const {
+  std::lock_guard lock(mutex_);
+  Shard shard;
+  shard.counters_.assign(counters_.size(), 0);
+  shard.histograms_.resize(histograms_.size());
+  shard.bounds_.resize(histograms_.size());
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    shard.histograms_[i].buckets.assign(histograms_[i].bounds.size() + 1, 0);
+    shard.bounds_[i] = &histograms_[i].bounds;
+  }
+  return shard;
+}
+
+void Registry::merge(const Shard& shard) {
+  std::lock_guard lock(mutex_);
+  RD_CHECK(shard.counters_.size() == counters_.size() &&
+               shard.histograms_.size() == histograms_.size(),
+           "Registry::merge: shard from a different definition set");
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    counters_[i].value += shard.counters_[i];
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    HistogramData& into = histograms_[i].data;
+    const HistogramData& from = shard.histograms_[i];
+    for (std::size_t b = 0; b < into.buckets.size(); ++b)
+      into.buckets[b] += from.buckets[b];
+    into.count += from.count;
+    into.sum += from.sum;
+  }
+}
+
+std::uint64_t Registry::value(CounterId id) const {
+  std::lock_guard lock(mutex_);
+  return counters_[id.slot].value;
+}
+
+HistogramData Registry::data(HistogramId id) const {
+  std::lock_guard lock(mutex_);
+  return histograms_[id.slot].data;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  for (const CounterDef& def : counters_) {
+    if (def.name == name) return def.value;
+  }
+  return 0;
+}
+
+std::string Registry::to_json(int indent) const {
+  std::lock_guard lock(mutex_);
+  nb::JsonWriter json(indent);
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const CounterDef& def : counters_) json.key(def.name).value(def.value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const HistogramDef& def : histograms_) {
+    json.key(def.name).begin_object();
+    json.key("bounds").begin_array();
+    for (const double bound : def.bounds) json.value(bound);
+    json.end_array();
+    json.key("buckets").begin_array();
+    for (const std::uint64_t bucket : def.data.buckets) json.value(bucket);
+    json.end_array();
+    json.key("count").value(def.data.count);
+    json.key("sum").value(def.data.sum);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+ShardGroup::ShardGroup(Registry& registry, unsigned workers)
+    : registry_(registry) {
+  RD_CHECK(workers > 0, "ShardGroup needs at least one worker");
+  shards_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    shards_.push_back(registry.make_shard());
+}
+
+ShardGroup::~ShardGroup() {
+  for (const Shard& shard : shards_) registry_.merge(shard);
+}
+
+}  // namespace obs

@@ -1,0 +1,140 @@
+// Runtime metric registry (DESIGN.md section 9): named counters and
+// histograms with a hot path that is lock-free by construction.
+//
+// Model: metrics are *defined* once on a Registry (cheap, mutex-guarded,
+// returns a dense handle) and *updated* either directly on the registry
+// (serial phases) or through per-worker Shards inside a parallel region.
+// A Shard is a plain slice of every defined metric -- uint64 adds and
+// bucket bumps with no atomics and no locks -- that exactly one worker
+// writes.  A ShardGroup hands `ThreadPool::parallel_for_worker` bodies
+// their worker's shard and merges all shards back into the registry in
+// ascending worker order when it leaves scope.  Metric totals are
+// therefore deterministic for every thread count and every dynamic work
+// distribution: counters and bucket counts are sums of uint64s
+// (associative and commutative), and histogram sums stay exact as long
+// as observed values are integers small enough for double (every
+// histogram in this repo observes counts).
+//
+// The merge is synchronized by the ThreadPool's own batch barrier:
+// parallel_for_worker does not return until every body finished, so by
+// the time ~ShardGroup reads the shards no worker is writing them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// Dense handles into a Registry.  Distinct types so a histogram cannot be
+/// bumped as a counter; values are indices assigned in definition order.
+struct CounterId {
+  std::uint32_t slot = 0;
+};
+struct HistogramId {
+  std::uint32_t slot = 0;
+};
+
+/// Merged histogram state: `buckets[i]` counts observations <= bounds[i],
+/// with one implicit overflow bucket at the end (buckets.size() ==
+/// bounds.size() + 1).
+struct HistogramData {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+class Registry;
+
+/// One worker's private slice of every metric defined at creation time.
+/// Not thread-safe by design: exactly one thread writes a shard.
+class Shard {
+ public:
+  void add(CounterId id, std::uint64_t delta = 1) {
+    counters_[id.slot] += delta;
+  }
+  void observe(HistogramId id, double value);
+
+ private:
+  friend class Registry;
+  Shard() = default;
+
+  std::vector<std::uint64_t> counters_;
+  std::vector<HistogramData> histograms_;
+  /// Borrowed per-histogram bucket bounds (owned by the Registry, whose
+  /// definitions are append-only and must outlive the shard).
+  std::vector<const std::vector<double>*> bounds_;
+};
+
+class Registry {
+ public:
+  /// Defines (or looks up, by name) a monotonically increasing counter.
+  CounterId counter(std::string_view name);
+  /// Defines (or looks up) a histogram with the given ascending upper
+  /// bucket bounds; an overflow bucket is implicit.  Redefining with
+  /// different bounds keeps the first definition.
+  HistogramId histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Direct updates, for serial code.  Thread-safe (mutex); use Shards on
+  /// hot parallel paths.
+  void add(CounterId id, std::uint64_t delta = 1);
+  void observe(HistogramId id, double value);
+
+  /// Snapshot of a shard sized to the *current* definitions.  Defining
+  /// further metrics while shards are outstanding is not supported.
+  Shard make_shard() const;
+  /// Accumulates a shard's slice into the registry.  Thread-safe, but the
+  /// deterministic pattern is ShardGroup's in-order merge after the pool
+  /// barrier.
+  void merge(const Shard& shard);
+
+  std::uint64_t value(CounterId id) const;
+  HistogramData data(HistogramId id) const;
+  /// Lookup by name for reports/tests; 0 / empty when never defined.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// Sorted-by-definition-order JSON export:
+  ///   {"counters": {name: value, ...},
+  ///    "histograms": {name: {"bounds": [...], "buckets": [...],
+  ///                          "count": N, "sum": S}, ...}}
+  std::string to_json(int indent = 0) const;
+
+ private:
+  struct CounterDef {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramDef {
+    std::string name;
+    std::vector<double> bounds;
+    HistogramData data;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<CounterDef> counters_;
+  std::vector<HistogramDef> histograms_;
+};
+
+/// RAII bundle of one shard per pool worker; hand `shard(worker)` out to
+/// `parallel_for_worker` bodies.  Destruction merges every shard into the
+/// registry in ascending worker order ("merged deterministically at scope
+/// exit").  Must not outlive the registry.
+class ShardGroup {
+ public:
+  ShardGroup(Registry& registry, unsigned workers);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  Shard& shard(unsigned worker) { return shards_[worker]; }
+  unsigned size() const { return static_cast<unsigned>(shards_.size()); }
+
+ private:
+  Registry& registry_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace obs

@@ -1,0 +1,153 @@
+#include "obs/trace.hpp"
+
+#include "netbase/json.hpp"
+
+namespace obs {
+
+bool parse_trace_level(std::string_view text, TraceLevel* out) {
+  if (text == "off") *out = TraceLevel::kOff;
+  else if (text == "phase") *out = TraceLevel::kPhase;
+  else if (text == "iteration") *out = TraceLevel::kIteration;
+  else if (text == "prefix") *out = TraceLevel::kPrefix;
+  else return false;
+  return true;
+}
+
+const char* trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kPhase: return "phase";
+    case TraceLevel::kIteration: return "iteration";
+    case TraceLevel::kPrefix: return "prefix";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(TraceLevel level)
+    : level_(level), origin_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceSink::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void TraceSink::append(Event event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::complete(std::string_view category, std::string_view name,
+                         std::uint64_t ts_us, std::uint64_t dur_us,
+                         std::uint32_t tid, std::string args_json) {
+  append(Event{'X', tid, ts_us, dur_us, std::string(category),
+               std::string(name), std::move(args_json)});
+}
+
+void TraceSink::counter(std::string_view category, std::string_view name,
+                        std::uint64_t ts_us, std::string args_json) {
+  append(Event{'C', 0, ts_us, 0, std::string(category), std::string(name),
+               std::move(args_json)});
+}
+
+void TraceSink::instant(std::string_view category, std::string_view name,
+                        std::uint64_t ts_us, std::uint32_t tid,
+                        std::string args_json) {
+  append(Event{'i', tid, ts_us, 0, std::string(category), std::string(name),
+               std::move(args_json)});
+}
+
+void TraceSink::name_process(std::string_view name) {
+  nb::JsonWriter args;
+  args.begin_object().key("name").value(name).end_object();
+  append(Event{'M', 0, 0, 0, "__metadata", "process_name", args.str()});
+}
+
+void TraceSink::name_thread(std::uint32_t tid, std::string_view name) {
+  nb::JsonWriter args;
+  args.begin_object().key("name").value(name).end_object();
+  append(Event{'M', tid, 0, 0, "__metadata", "thread_name", args.str()});
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void TraceSink::write_event(std::ostream& out, const Event& event) {
+  nb::JsonWriter json;
+  json.begin_object();
+  json.key("name").value(event.name);
+  json.key("cat").value(event.category);
+  const char ph[2] = {event.ph, '\0'};
+  json.key("ph").value(ph);
+  json.key("ts").value(event.ts_us);
+  if (event.ph == 'X') json.key("dur").value(event.dur_us);
+  if (event.ph == 'i') json.key("s").value("t");
+  json.key("pid").value(std::uint64_t{1});
+  json.key("tid").value(std::uint64_t{event.tid});
+  if (!event.args_json.empty()) json.key("args").raw(event.args_json);
+  json.end_object();
+  out << json.str();
+}
+
+void TraceSink::write_chrome(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    write_event(out, events_[i]);
+    if (i + 1 < events_.size()) out << ',';
+    out << '\n';
+  }
+  out << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  for (const Event& event : events_) {
+    write_event(out, event);
+    out << '\n';
+  }
+}
+
+PhaseTimer::PhaseTimer(Registry* registry, CounterId nanos, TraceSink* trace,
+                       std::string_view name, std::string args_json)
+    : registry_(registry),
+      nanos_(nanos),
+      trace_(trace != nullptr && trace->enabled(TraceLevel::kPhase) ? trace
+                                                                    : nullptr),
+      name_(name),
+      args_json_(std::move(args_json)),
+      start_(std::chrono::steady_clock::now()) {
+  if (trace_ != nullptr) start_us_ = trace_->now_us();
+}
+
+void PhaseTimer::stop() {
+  if (stopped_seconds_ >= 0) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  stopped_seconds_ = std::chrono::duration<double>(elapsed).count();
+  if (registry_ != nullptr) {
+    registry_->add(nanos_,
+                   static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           elapsed)
+                           .count()));
+  }
+  if (trace_ != nullptr) {
+    const std::uint64_t dur_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+    trace_->complete("phase", name_, start_us_, dur_us, 0,
+                     std::move(args_json_));
+  }
+}
+
+double PhaseTimer::seconds() const {
+  if (stopped_seconds_ >= 0) return stopped_seconds_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace obs

@@ -1,0 +1,129 @@
+// Structured trace events for the refinement loop and the tools, exported
+// as Chrome trace_event JSON (load in Perfetto / chrome://tracing) or as
+// JSONL (one event object per line, for ad-hoc grep/jq pipelines).
+//
+// Levels nest: kPhase emits only the coarse phase spans (simulate /
+// heuristic / validate / audit), kIteration adds one span + counter track
+// per refinement iteration (filters, rankings, duplicates, active
+// prefixes, messages, rib entries), kPrefix adds one span per per-prefix
+// simulation (messages, activations, decision-step elimination histogram)
+// on a per-worker track.  `rdtool stats` reads the iteration spans back
+// into a convergence table, so their arg names are a stable schema
+// (documented in DESIGN.md section 9).
+//
+// Appending events takes a mutex -- the emitters run at iteration/phase
+// granularity or serially after a parallel sweep, never per message, so
+// the sink is deliberately simple rather than sharded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace obs {
+
+enum class TraceLevel : std::uint8_t {
+  kOff = 0,
+  kPhase = 1,
+  kIteration = 2,
+  kPrefix = 3,
+};
+
+/// Parses "off" / "phase" / "iteration" / "prefix" (CLI flag values);
+/// returns false on anything else.
+bool parse_trace_level(std::string_view text, TraceLevel* out);
+const char* trace_level_name(TraceLevel level);
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceLevel level = TraceLevel::kIteration);
+
+  TraceLevel level() const { return level_; }
+  bool enabled(TraceLevel at) const {
+    return at != TraceLevel::kOff && level_ >= at;
+  }
+
+  /// Microseconds since sink construction (the trace's time origin).
+  std::uint64_t now_us() const;
+
+  /// Chrome "X" complete event spanning [ts_us, ts_us + dur_us].
+  /// `args_json` is a pre-rendered JSON object ("{...}") or empty.
+  void complete(std::string_view category, std::string_view name,
+                std::uint64_t ts_us, std::uint64_t dur_us, std::uint32_t tid,
+                std::string args_json = {});
+  /// Chrome "C" counter event: every numeric arg becomes a series in one
+  /// Perfetto counter track named `name`.
+  void counter(std::string_view category, std::string_view name,
+               std::uint64_t ts_us, std::string args_json);
+  /// Chrome "i" instant event (scope "t": thread).
+  void instant(std::string_view category, std::string_view name,
+               std::uint64_t ts_us, std::uint32_t tid,
+               std::string args_json = {});
+  /// Chrome "M" metadata: names the process/threads in the Perfetto UI.
+  void name_process(std::string_view name);
+  void name_thread(std::uint32_t tid, std::string_view name);
+
+  std::size_t size() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} -- the format Perfetto
+  /// and chrome://tracing load directly.
+  void write_chrome(std::ostream& out) const;
+  /// One event object per line, same fields as the Chrome form.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct Event {
+    char ph = 'i';
+    std::uint32_t tid = 0;
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;  // 'X' only
+    std::string category;
+    std::string name;
+    std::string args_json;  // pre-rendered object or empty
+  };
+
+  void append(Event event);
+  static void write_event(std::ostream& out, const Event& event);
+
+  TraceLevel level_;
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// RAII phase span: measures a scope, adds its duration in nanoseconds to
+/// `nanos` on `registry` (when non-null) and emits a complete event on
+/// `trace` (when non-null and enabled at kPhase).  Both sinks optional, so
+/// call sites read the same whether observability is attached or not.
+class PhaseTimer {
+ public:
+  PhaseTimer(Registry* registry, CounterId nanos, TraceSink* trace,
+             std::string_view name, std::string args_json = {});
+  ~PhaseTimer() { stop(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Ends the span early (idempotent).
+  void stop();
+  /// Elapsed (or final, after stop()) wall-clock seconds.
+  double seconds() const;
+
+ private:
+  Registry* registry_;
+  CounterId nanos_;
+  TraceSink* trace_;
+  std::string name_;
+  std::string args_json_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_us_ = 0;
+  double stopped_seconds_ = -1;
+};
+
+}  // namespace obs

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/decision.hpp"
 #include "topology/as_graph.hpp"
 
 namespace {
@@ -122,6 +127,67 @@ TEST(ExplainTest, NoRoutesRendersPlaceholder) {
   const auto explanation = explain_at(model, 5, 9);
   EXPECT_TRUE(explanation.candidates.empty());
   EXPECT_NE(explanation.str(model).find("(no routes)"), std::string::npos);
+}
+
+TEST(ExplainTest, StrRendersOneLinePerCandidate) {
+  // The rendering contract: a "router X:" header, then exactly one line
+  // per candidate -- "BEST" for the winner, "lost(<step>)" for each loser
+  // -- each naming the announcing router after "via".
+  const Model model = diamond();
+  const auto explanation = explain_at(model, 5, 9);
+  ASSERT_EQ(explanation.candidates.size(), 2u);
+  const std::string text = explanation.str(model);
+
+  std::vector<std::string> lines;
+  std::stringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), explanation.candidates.size() + 1);
+  EXPECT_EQ(lines[0], "router " + explanation.router.str() + ":");
+  std::size_t best_lines = 0;
+  for (std::size_t i = 0; i < explanation.candidates.size(); ++i) {
+    const auto& candidate = explanation.candidates[i];
+    const std::string& rendered = lines[i + 1];
+    if (candidate.is_best) {
+      ++best_lines;
+      EXPECT_NE(rendered.find("BEST"), std::string::npos) << rendered;
+      EXPECT_EQ(rendered.find("lost("), std::string::npos) << rendered;
+    } else {
+      const std::string marker =
+          std::string("lost(") + bgp::decision_step_name(candidate.lost_at) +
+          ")";
+      EXPECT_NE(rendered.find(marker), std::string::npos) << rendered;
+    }
+    EXPECT_NE(rendered.find(" via " +
+                            model.router_id(candidate.route.sender).str()),
+              std::string::npos)
+        << rendered;
+  }
+  EXPECT_EQ(best_lines, 1u);
+}
+
+TEST(ExplainTest, CandidatesCoverEntireRibIn) {
+  // Every Adj-RIB-In entry of the observed router must appear exactly once
+  // in the explanation, with exactly one marked best -- the property the
+  // obs elimination histogram's totals rely on.
+  topo::AsGraph graph;
+  graph.add_edge(9, 1);
+  graph.add_edge(9, 2);
+  graph.add_edge(9, 3);
+  graph.add_edge(1, 5);
+  graph.add_edge(2, 5);
+  graph.add_edge(3, 5);
+  const Model model = Model::one_router_per_as(graph);
+  const bgp::Engine engine(model);
+  const bgp::PrefixSimResult sim = engine.run(Prefix::for_asn(9), 9);
+  const Model::Dense observer = model.routers_of(5).front();
+  const auto explanation = bgp::explain_selection(model, sim, observer);
+  EXPECT_EQ(explanation.candidates.size(),
+            sim.state(observer).rib_in.size());
+  std::size_t best = 0;
+  for (const auto& candidate : explanation.candidates)
+    if (candidate.is_best) ++best;
+  EXPECT_EQ(best, 1u);
 }
 
 TEST(ExplainTest, BestRouteSortsFirstAmongMany) {

@@ -47,17 +47,28 @@
 //       policies.  --fixture audits a deliberately unsafe/wasteful in-process
 //       model (ctest asserts these fail).
 //
+//   rdtool stats TRACE [--json]
+//       Summarize a refinement trace (written by refine --trace) into a
+//       Table-3-style per-iteration convergence table plus a phase-time
+//       breakdown.  Accepts both the Chrome trace_event and the JSONL form.
+//
 //   rdtool selftest [--dir DIR]
 //       End-to-end smoke test over real files (used by ctest).
 //
-// Exit codes for lint and audit, uniform (also shown by `rdtool help`):
-//   0  clean (no diagnostics at all)
-//   1  diagnostics found (any severity)
-//   2  usage or I/O error
-// Other subcommands exit 0 on success and non-zero on failure.
+// refine, predict and audit additionally take the observability flags
+//   --trace FILE [--trace-level off|phase|iteration|prefix] --metrics FILE
+// (DESIGN.md section 9): --trace writes Chrome trace_event JSON -- load it
+// in Perfetto / chrome://tracing, or summarize with `rdtool stats` -- or
+// JSONL when FILE ends in .jsonl; --metrics writes the metric registry as
+// JSON.  Observation never changes results: fitted models are byte-
+// identical with and without these flags.
+//
+// Exit codes for lint and audit are uniform; the single source of truth is
+// kExitCodeTable below (printed by `rdtool help`).  Other subcommands exit
+// 0 on success and non-zero on failure.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <chrono>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -75,16 +86,29 @@
 #include "data/dynamics.hpp"
 #include "data/rib_io.hpp"
 #include "netbase/cli.hpp"
+#include "netbase/json.hpp"
 #include "netbase/strings.hpp"
+#include "netbase/table.hpp"
+#include "obs/observer.hpp"
 #include "topology/model_io.hpp"
 
 namespace {
+
+/// The lint/audit exit-code contract, in one place (header comment and
+/// print_help both defer here).
+constexpr char kExitCodeTable[] =
+    "exit codes (lint, audit):\n"
+    "  0  clean: no diagnostics at all\n"
+    "  1  diagnostics found (any severity)\n"
+    "  2  usage or I/O error\n"
+    "other subcommands exit 0 on success, non-zero on failure;\n"
+    "see the header of tools/rdtool.cpp for details\n";
 
 void print_help(std::FILE* out) {
   std::fprintf(
       out,
       "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-      "lint|audit|selftest|help> [options]\n"
+      "lint|audit|stats|selftest|help> [options]\n"
       "\n"
       "  generate  write a synthetic RIB dump (--out F [--scale S --seed N])\n"
       "  info      summarize --dataset F or --model F\n"
@@ -100,17 +124,21 @@ void print_help(std::FILE* out) {
       "            policies, diversity bounds (--model F [--origin N] | "
       "--generated | --fixture NAME | --list-fixtures)\n"
       "            [--threads N] [--json]\n"
+      "  stats     summarize a refinement trace (rdtool stats TRACE):\n"
+      "            per-iteration convergence table + phase timings\n"
       "  selftest  end-to-end smoke test over real files (--dir D)\n"
+      "\n"
+      "refine/predict/audit observability: --trace FILE writes Chrome\n"
+      "trace_event JSON (Perfetto-loadable; JSONL when FILE ends in .jsonl)\n"
+      "at --trace-level off|phase|iteration|prefix (default iteration);\n"
+      "--metrics FILE writes the metric registry as JSON.  Results are\n"
+      "byte-identical with and without observability attached.\n"
       "\n"
       "--threads 0 selects the hardware thread count; refine/audit --json\n"
       "reports include wall-clock phase timings\n"
       "\n"
-      "exit codes (lint, audit):\n"
-      "  0  clean: no diagnostics at all\n"
-      "  1  diagnostics found (any severity)\n"
-      "  2  usage or I/O error\n"
-      "other subcommands exit 0 on success, non-zero on failure;\n"
-      "see the header of tools/rdtool.cpp for details\n");
+      "%s",
+      kExitCodeTable);
 }
 
 int usage() {
@@ -153,6 +181,70 @@ bool write_file(const std::string& path, const std::string& contents) {
   out << contents;
   return true;
 }
+
+/// Shared --trace / --metrics / --trace-level plumbing for refine, predict
+/// and audit.  Owns the optional sinks and writes the artifacts at the end
+/// of the command; when neither flag is given nothing is constructed and
+/// the commands run the zero-observer paths.
+struct ObsSession {
+  std::string trace_path;
+  std::string metrics_path;
+  std::optional<obs::Registry> registry;
+  std::optional<obs::TraceSink> trace;
+  obs::Observer observer;
+
+  bool attached() const { return registry.has_value() || trace.has_value(); }
+  obs::Registry* reg() { return registry.has_value() ? &*registry : nullptr; }
+  obs::TraceSink* sink() { return trace.has_value() ? &*trace : nullptr; }
+
+  /// False on a malformed --trace-level (usage error).
+  bool init(const nb::Cli& cli, std::string_view process_name) {
+    trace_path = cli.get_string("trace", "");
+    metrics_path = cli.get_string("metrics", "");
+    obs::TraceLevel level = obs::TraceLevel::kIteration;
+    const std::string level_text = cli.get_string("trace-level", "");
+    if (!level_text.empty() && !obs::parse_trace_level(level_text, &level)) {
+      std::fprintf(stderr,
+                   "rdtool: bad --trace-level %s "
+                   "(off|phase|iteration|prefix)\n",
+                   level_text.c_str());
+      return false;
+    }
+    if (!metrics_path.empty()) {
+      registry.emplace();
+      observer.registry = &*registry;
+    }
+    if (!trace_path.empty()) {
+      trace.emplace(level);
+      trace->name_process(process_name);
+      observer.trace = &*trace;
+    }
+    return true;
+  }
+
+  /// Writes whichever artifacts were requested; false on I/O error.
+  bool flush() {
+    if (trace.has_value()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "rdtool: cannot write %s\n", trace_path.c_str());
+        return false;
+      }
+      if (trace_path.ends_with(".jsonl"))
+        trace->write_jsonl(out);
+      else
+        trace->write_chrome(out);
+      std::fprintf(stderr, "rdtool: wrote %zu trace events to %s\n",
+                   trace->size(), trace_path.c_str());
+    }
+    if (registry.has_value()) {
+      if (!write_file(metrics_path, registry->to_json(2) + "\n")) return false;
+      std::fprintf(stderr, "rdtool: wrote metrics to %s\n",
+                   metrics_path.c_str());
+    }
+    return true;
+  }
+};
 
 int cmd_generate(const nb::Cli& cli) {
   const std::string out_path = cli.get_string("out", "");
@@ -255,22 +347,32 @@ int cmd_refine(const nb::Cli& cli) {
   // 0 = hardware concurrency; the fitted model is identical for every
   // thread count (see refine.hpp), so this is purely a speed knob.
   config.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
+  ObsSession obs_session;
+  if (!obs_session.init(cli, "rdtool refine")) return 2;
+  if (obs_session.attached()) config.observer = &obs_session.observer;
   auto result = core::refine_model(model, training, config);
   if (!write_file(out_path, topo::model_to_string(model))) return 1;
+  if (!obs_session.flush()) return 1;
   if (cli.get_bool("json")) {
     // Single JSON object on stdout; the model still lands in --out.
-    std::printf(
-        "{\"tool\": \"refine\", \"success\": %s, \"iterations\": %zu, "
-        "\"unmatched_paths\": %zu, \"routers\": %zu, "
-        "\"messages_simulated\": %llu, \"threads\": %u, "
-        "\"phase_seconds\": {\"simulate\": %.6f, \"heuristic\": %.6f, "
-        "\"validate\": %.6f, \"total\": %.6f}}\n",
-        result.success ? "true" : "false", result.iterations,
-        result.unmatched_paths, model.num_routers(),
-        static_cast<unsigned long long>(result.messages_simulated),
-        result.threads_used, result.phase_seconds.simulate,
-        result.phase_seconds.heuristic, result.phase_seconds.validate,
-        result.phase_seconds.total);
+    nb::JsonWriter w;
+    w.begin_object();
+    w.key("tool").value("refine");
+    w.key("success").value(result.success);
+    w.key("iterations").value(static_cast<std::uint64_t>(result.iterations));
+    w.key("unmatched_paths")
+        .value(static_cast<std::uint64_t>(result.unmatched_paths));
+    w.key("routers").value(static_cast<std::uint64_t>(model.num_routers()));
+    w.key("messages_simulated").value(result.messages_simulated);
+    w.key("threads").value(result.threads_used);
+    w.key("phase_seconds").begin_object();
+    w.key("simulate").value_fixed(result.phase_seconds.simulate, 6);
+    w.key("heuristic").value_fixed(result.phase_seconds.heuristic, 6);
+    w.key("validate").value_fixed(result.phase_seconds.validate, 6);
+    w.key("total").value_fixed(result.phase_seconds.total, 6);
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
   } else {
     std::printf("%s", core::render_refine_log(result).c_str());
     std::printf("fit took %.3fs (simulate %.3fs, heuristic %.3fs) on %u "
@@ -299,8 +401,48 @@ int cmd_predict(const nb::Cli& cli) {
     target = data::split_by_points(*dataset, split_config).validation;
     title = "validation records (held-out feeds)";
   }
+  ObsSession obs_session;
+  if (!obs_session.init(cli, "rdtool predict")) return 2;
+  obs::Registry* reg = obs_session.reg();
+  obs::TraceSink* sink = obs_session.sink();
+
   core::EvalOptions options;
-  auto eval = core::evaluate_predictions(*model, target, options);
+  core::EvalResult eval;
+  {
+    obs::CounterId total_ns;
+    if (reg != nullptr) total_ns = reg->counter("predict.phase.total_ns");
+    obs::PhaseTimer timer(reg, total_ns, sink, "predict");
+    eval = core::evaluate_predictions(*model, target, options);
+  }
+  if (reg != nullptr) {
+    const core::MatchStats& s = eval.stats;
+    reg->add(reg->counter("predict.paths_total"), s.total);
+    reg->add(reg->counter("predict.rib_out"), s.rib_out);
+    reg->add(reg->counter("predict.potential_rib_out"), s.potential_rib_out);
+    reg->add(reg->counter("predict.rib_in_only"), s.rib_in_only);
+    reg->add(reg->counter("predict.not_available"), s.not_available);
+    reg->add(reg->counter("predict.prefixes"), s.prefixes);
+    // Same decision-step axis as refine's engine.eliminated.<step>.
+    for (std::size_t step = 0; step < bgp::kNumDecisionSteps; ++step) {
+      reg->add(reg->counter(
+                   std::string("predict.lost_at.") +
+                   bgp::decision_step_name(static_cast<bgp::DecisionStep>(
+                       step))),
+               s.lost_at[step]);
+    }
+  }
+  if (sink != nullptr && sink->enabled(obs::TraceLevel::kIteration)) {
+    nb::JsonWriter args;
+    args.begin_object();
+    args.key("paths_total").value(static_cast<std::uint64_t>(eval.stats.total));
+    args.key("rib_out").value(static_cast<std::uint64_t>(eval.stats.rib_out));
+    args.key("potential_rib_out")
+        .value(static_cast<std::uint64_t>(eval.stats.potential_rib_out));
+    args.key("prefixes").value(static_cast<std::uint64_t>(eval.stats.prefixes));
+    args.end_object();
+    sink->instant("predict", "match_stats", sink->now_us(), 0, args.str());
+  }
+  if (!obs_session.flush()) return 1;
   std::printf("%s", core::render_validation(title, eval.stats).c_str());
   return 0;
 }
@@ -467,20 +609,40 @@ int cmd_audit(const nb::Cli& cli) {
   // thread-count invariant (see policy_audit.hpp).
   options.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
 
-  const auto t_start = std::chrono::steady_clock::now();
+  ObsSession obs_session;
+  if (!obs_session.init(cli, "rdtool audit")) return 2;
+  obs::Registry* reg = obs_session.reg();
+
+  obs::CounterId total_ns;
+  if (reg != nullptr) total_ns = reg->counter("audit.phase.total_ns");
+  obs::PhaseTimer timer(reg, total_ns, obs_session.sink(), "audit");
   const analysis::AuditResult result = analysis::audit_model(*model, options);
-  const double audit_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
+  timer.stop();
+  const double audit_seconds = timer.seconds();
+  if (reg != nullptr) {
+    reg->add(reg->counter("audit.prefixes"), result.prefixes.size());
+    reg->add(reg->counter("audit.errors"),
+             analysis::count(result.diagnostics, analysis::Severity::kError));
+    reg->add(reg->counter("audit.warnings"),
+             analysis::count(result.diagnostics,
+                             analysis::Severity::kWarning));
+  }
+  if (!obs_session.flush()) return 2;
   if (cli.get_bool("json")) {
-    char extra[128];
-    std::snprintf(extra, sizeof extra,
-                  "\"seconds\": %.6f, \"threads\": %u, \"prefixes\": %zu",
-                  audit_seconds, bgp::ThreadPool::resolve(options.threads),
-                  result.prefixes.size());
+    // Render the extra members as an object, then splice them (braces
+    // stripped) after the diagnostics array.
+    nb::JsonWriter extra;
+    extra.begin_object();
+    extra.key("seconds").value_fixed(audit_seconds, 6);
+    extra.key("threads").value(bgp::ThreadPool::resolve(options.threads));
+    extra.key("prefixes")
+        .value(static_cast<std::uint64_t>(result.prefixes.size()));
+    extra.end_object();
+    const std::string& rendered = extra.str();
     std::printf("%s",
-                analysis::diagnostics_to_json("audit", what,
-                                              result.diagnostics, extra)
+                analysis::diagnostics_to_json(
+                    "audit", what, result.diagnostics,
+                    std::string_view(rendered).substr(1, rendered.size() - 2))
                     .c_str());
   } else {
     std::printf("%s", core::render_audit(result).c_str());
@@ -492,6 +654,135 @@ int cmd_audit(const nb::Cli& cli) {
                 what.c_str());
   }
   return result.diagnostics.empty() ? 0 : 1;
+}
+
+/// `rdtool stats TRACE`: reads a trace written by `refine --trace` (Chrome
+/// trace_event or JSONL) and summarizes it -- per-iteration convergence
+/// table (the trace-side twin of render_refine_log, from the "iteration"
+/// span args) plus a phase-time breakdown and per-prefix span totals.
+int cmd_stats(const nb::Cli& cli) {
+  std::string path = cli.get_string("trace", "");
+  if (path.empty() && !cli.positional().empty()) path = cli.positional().front();
+  if (path.empty()) {
+    std::fprintf(stderr, "rdtool: stats needs a trace file "
+                         "(rdtool stats TRACE)\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rdtool: cannot open trace %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<nb::JsonValue> events;
+  std::string error;
+  if (auto doc = nb::json_parse(text, &error); doc.has_value()) {
+    // One document: the Chrome envelope (or a single bare event).
+    if (const nb::JsonValue* list = doc->find("traceEvents");
+        list != nullptr && list->is_array()) {
+      events = list->array;
+    } else if (doc->find("ph") != nullptr) {
+      events.push_back(std::move(*doc));
+    } else {
+      std::fprintf(stderr, "rdtool: %s: no traceEvents array\n", path.c_str());
+      return 2;
+    }
+  } else {
+    // JSONL: one event object per line.
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(lines, line)) {
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      auto event = nb::json_parse(line, &error);
+      if (!event) {
+        std::fprintf(stderr, "rdtool: %s:%zu: %s\n", path.c_str(), line_no,
+                     error.c_str());
+        return 2;
+      }
+      events.push_back(std::move(*event));
+    }
+  }
+
+  struct PhaseAgg {
+    std::uint64_t count = 0;
+    std::uint64_t us = 0;
+  };
+  std::vector<std::pair<std::string, PhaseAgg>> phases;  // first-seen order
+  const auto phase_slot = [&phases](std::string_view name) -> PhaseAgg& {
+    for (auto& [known, agg] : phases)
+      if (known == name) return agg;
+    phases.emplace_back(std::string(name), PhaseAgg{});
+    return phases.back().second;
+  };
+
+  nb::TextTable table({"iter", "active", "matched", "routers", "+routers",
+                       "filters", "rankings", "~policies", "messages"});
+  std::size_t iterations = 0;
+  std::uint64_t prefix_spans = 0;
+  std::uint64_t prefix_messages = 0;
+  for (const nb::JsonValue& event : events) {
+    if (event.string_or("ph") != "X") continue;
+    const std::string_view cat = event.string_or("cat");
+    const std::string_view name = event.string_or("name");
+    const nb::JsonValue* args = event.find("args");
+    if (cat == "prefix") {
+      ++prefix_spans;
+      if (args != nullptr)
+        prefix_messages +=
+            static_cast<std::uint64_t>(args->number_or("messages"));
+      continue;
+    }
+    if (cat == "phase") {
+      PhaseAgg& agg = phase_slot(name);
+      ++agg.count;
+      agg.us += static_cast<std::uint64_t>(event.number_or("dur"));
+      continue;
+    }
+    if (name != "iteration" || args == nullptr) continue;
+    ++iterations;
+    const auto u64 = [args](std::string_view key) {
+      return static_cast<std::uint64_t>(args->number_or(key));
+    };
+    table.add_row({std::to_string(u64("iteration")),
+                   std::to_string(u64("active_prefixes")),
+                   std::to_string(u64("matched")) + "/" +
+                       std::to_string(u64("paths_total")),
+                   std::to_string(u64("routers")),
+                   "+" + std::to_string(u64("routers_added")),
+                   std::to_string(u64("filters")),
+                   std::to_string(u64("rankings")),
+                   "~" + std::to_string(u64("policies_changed")),
+                   std::to_string(u64("messages"))});
+  }
+
+  std::printf("trace: %s (%zu events)\n", path.c_str(), events.size());
+  if (iterations == 0) {
+    std::printf("no refinement iteration spans (trace level below "
+                "'iteration', or not a refine trace)\n");
+  } else {
+    std::printf("\n%s", table.render().c_str());
+  }
+  if (!phases.empty()) {
+    nb::TextTable phase_table({"phase", "spans", "seconds"});
+    for (const auto& [name, agg] : phases) {
+      char seconds[32];
+      std::snprintf(seconds, sizeof seconds, "%.3f",
+                    static_cast<double>(agg.us) / 1e6);
+      phase_table.add_row({name, std::to_string(agg.count), seconds});
+    }
+    std::printf("\n%s", phase_table.render().c_str());
+  }
+  if (prefix_spans > 0) {
+    std::printf("\nper-prefix sims: %llu spans, %llu messages\n",
+                static_cast<unsigned long long>(prefix_spans),
+                static_cast<unsigned long long>(prefix_messages));
+  }
+  return 0;
 }
 
 int cmd_selftest(const nb::Cli& cli) {
@@ -512,6 +803,38 @@ int cmd_selftest(const nb::Cli& cli) {
                           model_path.c_str()};
     nb::Cli sub(5, const_cast<char**>(argv));
     if (cmd_refine(sub) != 0) return 1;
+  }
+  // refine again with full observability attached: the fitted model must
+  // be byte-identical to the unobserved one, and the trace must summarize.
+  {
+    const std::string traced_model = dir + "/rdtool_selftest_traced.model";
+    const std::string trace_path = dir + "/rdtool_selftest.trace";
+    const std::string metrics_path = dir + "/rdtool_selftest.metrics.json";
+    {
+      const char* argv[] = {"rdtool", "--dataset", dump.c_str(),
+                            "--out", traced_model.c_str(),
+                            "--trace", trace_path.c_str(),
+                            "--trace-level", "prefix",
+                            "--metrics", metrics_path.c_str()};
+      nb::Cli sub(11, const_cast<char**>(argv));
+      if (cmd_refine(sub) != 0) return 1;
+    }
+    const auto slurp = [](const std::string& p) {
+      std::ifstream f(p);
+      std::ostringstream s;
+      s << f.rdbuf();
+      return s.str();
+    };
+    if (slurp(model_path) != slurp(traced_model)) {
+      std::fprintf(stderr, "selftest: traced refine produced a different "
+                           "model\n");
+      return 1;
+    }
+    {
+      const char* argv[] = {"rdtool", trace_path.c_str()};
+      nb::Cli sub(2, const_cast<char**>(argv));
+      if (cmd_stats(sub) != 0) return 1;
+    }
   }
   // predict on held-out feeds
   {
@@ -589,6 +912,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return cmd_explain(cli);
   if (command == "lint") return cmd_lint(cli);
   if (command == "audit") return cmd_audit(cli);
+  if (command == "stats") return cmd_stats(cli);
   if (command == "selftest") return cmd_selftest(cli);
   if (command == "help" || command == "--help" || command == "-h") {
     print_help(stdout);
