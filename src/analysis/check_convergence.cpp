@@ -43,9 +43,11 @@ class Checker {
     }
     if (!result_.converged) {
       error(codes::kSimNotConverged, "simulation",
-            "message cap exceeded after " +
-                std::to_string(result_.messages) +
-                " messages; RIB state is mid-flight");
+            "divergence guard tripped: " + std::to_string(result_.messages) +
+                " messages exceeded the cap of " +
+                std::to_string(result_.message_cap) + " after " +
+                std::to_string(result_.activations) +
+                " router activations; RIB state is mid-flight");
       return std::move(out_);
     }
     ctx_ = engine_.context();  // shared per-epoch ids, no per-check rebuild

@@ -12,6 +12,8 @@
 //   C4xx  engine post-state / convergence fixed point
 //   S5xx  static safety (policy_audit: dispute-wheel detection)
 //   D6xx  dead policies (policy_audit: rules that can never take effect)
+//   R7xx  runtime refinement faults (core/refine: oscillation freezes,
+//         budget exhaustion, sweep faults, checkpoint errors)
 #pragma once
 
 #include <cstddef>
@@ -125,6 +127,20 @@ inline constexpr const char* kAuditSkippedPrefix = "S502-audit-skipped-prefix";
 inline constexpr const char* kFilterNeverBlocks = "D600-filter-never-blocks";
 inline constexpr const char* kFilterShadowed = "D601-filter-shadowed";
 inline constexpr const char* kRankingDead = "D610-ranking-dead";
+
+// Runtime refinement faults (core/refine).  R700/R701 freeze a prefix at
+// its best-matched state and name the suspected dispute wheel (see
+// dispute_graph.hpp); R702/R703 report budget exhaustion; R704/R705 report
+// faults of the loop machinery itself.
+inline constexpr const char* kRefineOscillation = "R700-refine-oscillation";
+inline constexpr const char* kEngineDiverged = "R701-engine-diverged";
+inline constexpr const char* kPrefixBudgetExhausted =
+    "R702-prefix-budget-exhausted";
+inline constexpr const char* kWallClockExhausted =
+    "R703-wall-clock-exhausted";
+inline constexpr const char* kSweepFault = "R704-sweep-fault";
+inline constexpr const char* kCheckpointError = "R705-checkpoint-error";
+inline constexpr const char* kResumeMismatch = "R706-resume-mismatch";
 
 }  // namespace codes
 

@@ -167,6 +167,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
   const std::uint64_t message_cap =
       options_.message_cap_factor *
       std::max<std::uint64_t>(model_->num_sessions(), 1);
+  res.message_cap = message_cap;
 
   std::deque<Model::Dense> queue;
   std::vector<char> queued(n, 0);
@@ -407,6 +408,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
       }
     }
   }
+  res.activations = tally.activations;
   if (counters != nullptr) {
     tally.messages = res.messages;
     *counters = tally;

@@ -89,6 +89,14 @@ struct PrefixSimResult {
   std::vector<RouterState> routers;  // indexed by dense router index
   bool converged = true;
   std::uint64_t messages = 0;
+  /// Router wake-ups processed (always filled, with or without SimCounters):
+  /// together with `messages` and `message_cap` this makes a divergence-
+  /// guard trip a structured outcome callers can report, not a silent
+  /// partial RIB (core/refine emits R701, check_convergence C401).
+  std::uint64_t activations = 0;
+  /// The divergence-guard threshold this run used
+  /// (EngineOptions::message_cap_factor x max(#sessions, 1)).
+  std::uint64_t message_cap = 0;
 
   const RouterState& state(Model::Dense r) const { return routers[r]; }
 };

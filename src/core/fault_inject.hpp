@@ -1,0 +1,44 @@
+// Fault-injection hooks for the refinement loop.
+//
+// A FaultPlan describes faults for refine_model to inject at precise points
+// of the fit, so tests and CI can prove the robustness story end to end:
+// degraded completion instead of hangs, diagnostics instead of silent
+// corruption, checkpoints that survive a crash mid-sweep.
+//
+// The struct is always declared (so RefineConfig can carry a pointer
+// unconditionally), but the injection *sites* in refine.cpp compile only
+// under RD_FAULT_INJECTION, which CMake defines PRIVATE-ly for repro_core
+// (option RD_FAULT_INJECTION, default ON).  Release packagers can switch it
+// off; the hooks cost nothing when `plan == nullptr` either way.
+//
+// Iteration numbers are 1-based, 0 = disabled.
+#pragma once
+
+#include <cstddef>
+
+#include "netbase/ids.hpp"
+
+namespace core {
+
+struct FaultPlan {
+  /// Force the engine result for `fail_sim_origin` to report
+  /// non-convergence (as if the divergence guard tripped) during iteration
+  /// `fail_sim_iteration` -- exercises the R701 freeze path without needing
+  /// a real dispute wheel.
+  std::size_t fail_sim_iteration = 0;
+  nb::Asn fail_sim_origin = nb::kInvalidAsn;
+
+  /// Throw std::runtime_error (or std::bad_alloc when `throw_bad_alloc`)
+  /// from inside a ThreadPool worker mid-sweep during this iteration --
+  /// exercises exception propagation out of parallel_for_worker, pool
+  /// reusability, and the R704 abort-with-checkpoint path.
+  std::size_t throw_iteration = 0;
+  bool throw_bad_alloc = false;
+
+  /// Simulate SIGINT delivery at the end of this iteration: refine writes a
+  /// checkpoint and returns with stop == kInterrupted, exactly like the
+  /// signal path in rdtool, but deterministically for tests.
+  std::size_t interrupt_iteration = 0;
+};
+
+}  // namespace core

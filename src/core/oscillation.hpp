@@ -1,0 +1,107 @@
+// Oscillation detection for the refinement loop.
+//
+// A dispute wheel in the fitted policies makes the per-prefix heuristic cycle:
+// iteration k's (route selections, policy edits) state recurs at iteration
+// k + p and the loop burns its entire iteration budget re-visiting the same
+// states (Griffin/Shepherd/Wilfong).  The detector fingerprints each
+// iteration's state and, once a fingerprint recurs often enough, asks the
+// loop to freeze the prefix -- ideally at the best-matched state seen during
+// the cycle, so the partial fit degrades gracefully instead of ending on an
+// arbitrary phase of the oscillation.
+//
+// Fingerprints are commutative (an XOR of per-entry mixed terms keyed by
+// RouterId *values*, not dense indices), so they are invariant to router
+// enumeration order.  That matters for checkpoint/resume: reloading a model
+// rebuilds dense indices in sorted order, and a recurrence that spans the
+// resume boundary must still be recognised for the resumed run to stay
+// byte-identical with an uninterrupted one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "topology/model.hpp"
+
+namespace core {
+
+/// splitmix64 finalizer; good avalanche for XOR-combining per-entry terms.
+std::uint64_t mix_u64(std::uint64_t value);
+
+/// Order-independent hash of the prefix's policy state (filters, rankings,
+/// lp-overrides, export-allows).  All map keys are RouterId-value based, so
+/// the result survives a checkpoint/resume re-index.
+std::uint64_t fingerprint_policy(const topo::Model& model, nb::Prefix prefix);
+
+/// Order-independent hash of the converged route selections: for every
+/// router, (router-id value, best path).  `ids` maps dense index ->
+/// RouterId value (bgp::SimContext::ids).
+std::uint64_t fingerprint_selections(
+    const bgp::PrefixSimResult& sim,
+    std::span<const std::uint32_t> ids);
+
+/// One detector per refined prefix.
+///
+/// Protocol: after every mutation pass call observe().  Once
+/// freeze_pending() turns true, start each subsequent iteration with a
+/// count-only pass and ask should_freeze(count_only_matched): true means
+/// freeze the prefix *before* mutating, so the frozen policy state is
+/// exactly the one whose matched count is reported.
+class OscillationDetector {
+ public:
+  /// What the refinement loop learned from this iteration.
+  enum class Verdict {
+    kStable,         // no recurrence evidence
+    kSuspected,      // recurrence seen, waiting for more confirmations
+    kFreezePending,  // cycle confirmed -- switch to the freeze protocol
+  };
+
+  /// Serializable state for checkpoint round-trips
+  /// (topo::PrefixCheckpointState carries the same fields).
+  struct State {
+    std::vector<std::uint64_t> fingerprints;  // ring, oldest first
+    std::size_t hits = 0;
+    std::size_t best_matched = 0;
+    bool freeze_pending = false;
+    std::size_t freeze_countdown = 0;
+  };
+
+  OscillationDetector() = default;
+  OscillationDetector(std::size_t window, std::size_t confirmations)
+      : window_(window), confirmations_(confirmations) {}
+
+  /// Records one completed iteration of the prefix.  `fingerprint` combines
+  /// selections + policies + matched count, `matched` is the paths matched
+  /// this iteration, `changed` whether the heuristic still mutated policy.
+  /// A recurrence only counts while the heuristic is still making changes;
+  /// a stable fingerprint with no edits is ordinary convergence.
+  Verdict observe(std::uint64_t fingerprint, std::size_t matched,
+                  bool changed);
+
+  /// Freeze decision at the top of an iteration in freeze-pending mode.
+  /// `matched` is the count-only (no-mutation) matched count of the current
+  /// policy state.  Returns true when that state ties the best seen -- or
+  /// when the countdown safety valve expires without the best state
+  /// recurring (policy edits are not perfectly periodic, so the best state
+  /// is not guaranteed to come around again).
+  bool should_freeze(std::size_t matched);
+
+  /// True once a cycle is confirmed: the caller should run the count-only
+  /// pass + should_freeze() protocol instead of mutating immediately.
+  bool freeze_pending() const { return state_.freeze_pending; }
+
+  /// Best matched count seen over the prefix's lifetime.
+  std::size_t best_matched() const { return state_.best_matched; }
+
+  const State& state() const { return state_; }
+  void restore(State state) { state_ = std::move(state); }
+
+ private:
+  std::size_t window_ = 12;
+  std::size_t confirmations_ = 2;
+  State state_;
+};
+
+}  // namespace core

@@ -4,16 +4,23 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <memory>
+#include <new>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/check_convergence.hpp"
+#include "analysis/dispute_graph.hpp"
 #include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/threadpool.hpp"
+#include "core/fault_inject.hpp"
+#include "core/oscillation.hpp"
 #include "netbase/json.hpp"
 #include "obs/observer.hpp"
+#include "topology/model_io.hpp"
 
 namespace core {
 namespace {
@@ -37,6 +44,11 @@ struct PrefixWork {
   std::vector<AsPath> paths;  // deterministically sorted, shorter first
   bool done = false;
   std::size_t matched = 0;  // last iteration's fully matched paths
+  // Fault-tolerance state (all checkpointed; see topo::RefineCheckpoint).
+  PrefixOutcome outcome = PrefixOutcome::kActive;
+  std::size_t active_iterations = 0;  // iterations this prefix was refined
+  std::size_t frozen_iteration = 0;   // 0 = never frozen
+  OscillationDetector detector;
 };
 
 class Refiner {
@@ -57,7 +69,14 @@ class Refiner {
 
   /// Runs one heuristic pass for one prefix on top of its simulation.
   /// Returns true if the model was changed.
-  bool process(PrefixWork& work, const PrefixSimResult& sim);
+  ///
+  /// mutate=false is the count-only mode of the oscillation guard's freeze
+  /// protocol: reservations and matched counting are performed exactly as
+  /// in a real pass (mutations never alter the *current* simulation, so the
+  /// counts agree), but the model is left untouched -- the pass answers
+  /// "how many paths stay matched if we freeze this prefix right now".
+  bool process(PrefixWork& work, const PrefixSimResult& sim,
+               bool mutate = true);
 
  private:
   // Candidate scan at AS `a` for the route path `route_path` (not including
@@ -132,6 +151,9 @@ class Refiner {
 
   Model& model_;
   const RefineConfig& config_;
+  /// False during count-only passes (see process); mutation branches then
+  /// report "would change" without touching the model.
+  bool mutate_ = true;
   /// This-iteration duplicate -> snapshot ancestor (kNoRouter when none).
   std::unordered_map<Model::Dense, Model::Dense> alias_;
   /// Duplicates minted by the prefix currently in process(), published to
@@ -233,6 +255,7 @@ bool Refiner::try_filter_deletion(const PrefixWork& work,
       const topo::ExportFilter* filter =
           model_.find_export_filter(q, r, policy);
       if (filter == nullptr || !filter->blocks(arriving_len)) continue;
+      if (!mutate_) return true;  // count-only: report without relaxing
       const RouterId r_id = model_.router_id(r);
       if (config_.allow_duplication && filter->owner_target.valid() &&
           filter->owner_target == r_id) {
@@ -254,7 +277,9 @@ bool Refiner::try_filter_deletion(const PrefixWork& work,
   return false;
 }
 
-bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
+bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim,
+                      bool mutate) {
+  mutate_ = mutate;
   bool changed = false;
   Reservations reserved;
   work.matched = 0;
@@ -285,27 +310,32 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
       const bool debug = work.origin == config_.debug_origin;
       if (c.rib_in_unreserved != Model::kNoRouter) {
         reserved.emplace(c.rib_in_unreserved, route_path);
-        if (debug)
-          std::fprintf(stderr, "[refine %u] adjust %s for suffix-at %u len %zu\n",
-                       work.origin,
-                       model_.router_id(c.rib_in_unreserved).str().c_str(), a,
-                       route_path.size());
-        adjust_policy(work, announcer,
-                      model_.router_id(c.rib_in_unreserved), route_path);
+        if (mutate_) {
+          if (debug)
+            std::fprintf(stderr,
+                         "[refine %u] adjust %s for suffix-at %u len %zu\n",
+                         work.origin,
+                         model_.router_id(c.rib_in_unreserved).str().c_str(),
+                         a, route_path.size());
+          adjust_policy(work, announcer,
+                        model_.router_id(c.rib_in_unreserved), route_path);
+        }
         changed = true;
       } else if (c.rib_in_any != Model::kNoRouter) {
         if (config_.allow_duplication) {
-          const RouterId dup =
-              model_.duplicate_router(model_.router_id(c.rib_in_any));
-          ++routers_added;
-          record_duplicate(sim, c.rib_in_any, dup);
-          reserved.emplace(model_.dense(dup), route_path);
-          if (debug)
-            std::fprintf(stderr, "[refine %u] duplicate %s -> %s at %u\n",
-                         work.origin,
-                         model_.router_id(c.rib_in_any).str().c_str(),
-                         dup.str().c_str(), a);
-          adjust_policy(work, announcer, dup, route_path);
+          if (mutate_) {
+            const RouterId dup =
+                model_.duplicate_router(model_.router_id(c.rib_in_any));
+            ++routers_added;
+            record_duplicate(sim, c.rib_in_any, dup);
+            reserved.emplace(model_.dense(dup), route_path);
+            if (debug)
+              std::fprintf(stderr, "[refine %u] duplicate %s -> %s at %u\n",
+                           work.origin,
+                           model_.router_id(c.rib_in_any).str().c_str(),
+                           dup.str().c_str(), a);
+            adjust_policy(work, announcer, dup, route_path);
+          }
           changed = true;
         }
         // Without duplication the path cannot be accommodated; give up.
@@ -327,6 +357,62 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim) {
 }
 
 }  // namespace
+
+const char* prefix_outcome_name(PrefixOutcome outcome) {
+  switch (outcome) {
+    case PrefixOutcome::kActive:
+      return "active";
+    case PrefixOutcome::kConverged:
+      return "converged";
+    case PrefixOutcome::kOscillating:
+      return "oscillating";
+    case PrefixOutcome::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "active";
+}
+
+std::optional<PrefixOutcome> prefix_outcome_from(std::string_view token) {
+  if (token == "active") return PrefixOutcome::kActive;
+  if (token == "converged") return PrefixOutcome::kConverged;
+  if (token == "oscillating") return PrefixOutcome::kOscillating;
+  if (token == "budget-exhausted") return PrefixOutcome::kBudgetExhausted;
+  return std::nullopt;
+}
+
+const char* refine_stop_name(RefineStop stop) {
+  switch (stop) {
+    case RefineStop::kCompleted:
+      return "completed";
+    case RefineStop::kIterationCap:
+      return "iteration-cap";
+    case RefineStop::kWallClock:
+      return "wall-clock";
+    case RefineStop::kInterrupted:
+      return "interrupted";
+    case RefineStop::kFault:
+      return "fault";
+  }
+  return "completed";
+}
+
+std::uint64_t dataset_fingerprint(const data::BgpDataset& training) {
+  // FNV-1a over the origin-ordered training paths: the identity refinement
+  // actually consumes (points and record order are irrelevant to the fit).
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mixin = [&hash](std::uint64_t value) {
+    hash = (hash ^ value) * 1099511628211ull;
+  };
+  for (const auto& [origin, paths] : training.paths_by_origin()) {
+    mixin(origin);
+    mixin(paths.size());
+    for (const AsPath& path : paths) {
+      mixin(path.hops().size());
+      for (const Asn hop : path.hops()) mixin(hop);
+    }
+  }
+  return hash;
+}
 
 RefineResult refine_model(topo::Model& model,
                           const data::BgpDataset& training,
@@ -378,6 +464,144 @@ RefineResult refine_model(topo::Model& model,
   bgp::ThreadPool pool(config.threads);
   result.threads_used = pool.size() == 0 ? 1 : pool.size();
 
+  for (PrefixWork& w : work) {
+    w.detector =
+        OscillationDetector(config.oscillation_window,
+                            config.oscillation_confirmations);
+  }
+
+  const std::uint64_t dataset_hash = dataset_fingerprint(training);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto push_diag = [&result](analysis::Severity severity,
+                                   const char* code, std::string location,
+                                   std::string message) {
+    result.diagnostics.push_back(analysis::Diagnostic{
+        severity, code, std::move(location), std::move(message)});
+  };
+  const auto freeze = [](PrefixWork& w, PrefixOutcome outcome,
+                         std::size_t iteration) {
+    w.done = true;
+    w.outcome = outcome;
+    w.frozen_iteration = iteration;
+  };
+  // Forensic pass behind an R700/R701 freeze: name the dispute wheel the
+  // static analyzer can pin on this prefix (cross-link to dispute_graph).
+  // Enumeration caps are far below the audit's defaults -- this runs inside
+  // the fit, so it must stay cheap even on hostile policy states.
+  const auto suspect_wheel = [&](const PrefixWork& w) -> std::string {
+    analysis::DisputeGraphOptions options;
+    options.max_paths_per_router = 16;
+    options.max_path_length = 12;
+    options.max_nodes = 4096;
+    const analysis::DisputeGraph graph =
+        analysis::build_dispute_graph(engine, w.prefix, w.origin, options);
+    const std::vector<std::size_t> cycle = analysis::find_dispute_cycle(graph);
+    if (cycle.empty()) {
+      return graph.truncated
+                 ? "no dispute cycle found within enumeration caps"
+                 : "no static dispute cycle found";
+    }
+    return "suspected dispute wheel: " +
+           analysis::render_cycle(model, graph, cycle);
+  };
+  // Atomic full-state snapshot after `completed_iteration`; resuming from it
+  // reproduces the uninterrupted run byte for byte.  A failed save degrades
+  // to a warning (R705): losing checkpoints must not lose the fit.
+  const auto write_checkpoint = [&](std::size_t completed_iteration) {
+    if (config.checkpoint_path.empty()) return;
+    topo::RefineCheckpoint ck;
+    ck.iteration = completed_iteration;
+    ck.dataset_hash = dataset_hash;
+    ck.messages_simulated = result.messages_simulated;
+    ck.routers_added = refiner.routers_added;
+    ck.policies_changed = refiner.policies_changed;
+    ck.filters_relaxed = refiner.filters_relaxed;
+    ck.prefixes.reserve(work.size());
+    for (const PrefixWork& w : work) {
+      topo::PrefixCheckpointState p;
+      p.origin = w.origin;
+      p.state = prefix_outcome_name(w.outcome);
+      p.matched = w.matched;
+      p.paths_total = w.paths.size();
+      p.active_iterations = w.active_iterations;
+      p.frozen_iteration = w.frozen_iteration;
+      const OscillationDetector::State& st = w.detector.state();
+      p.best_matched = st.best_matched;
+      p.hits = st.hits;
+      p.freeze_pending = st.freeze_pending;
+      p.freeze_countdown = st.freeze_countdown;
+      p.fingerprints = st.fingerprints;
+      ck.prefixes.push_back(std::move(p));
+    }
+    ck.model = model;
+    std::string save_error;
+    if (topo::save_refine_checkpoint(config.checkpoint_path, ck,
+                                     &save_error)) {
+      result.checkpoint_written = true;
+    } else {
+      push_diag(analysis::Severity::kWarning,
+                analysis::codes::kCheckpointError, "checkpoint",
+                save_error + "; fit continues without this checkpoint");
+    }
+  };
+  const auto finish = [&]() -> RefineResult {
+    total_timer.stop();
+    result.phase_seconds.total = total_timer.seconds();
+    return std::move(result);
+  };
+
+  std::size_t start_iteration = 1;
+  if (config.resume != nullptr) {
+    const topo::RefineCheckpoint& ck = *config.resume;
+    if (ck.dataset_hash != dataset_hash) {
+      push_diag(analysis::Severity::kError,
+                analysis::codes::kResumeMismatch, "resume",
+                "checkpoint was written for a different training set "
+                "(dataset hash mismatch); refusing to resume");
+      result.stop = RefineStop::kFault;
+      return finish();
+    }
+    for (PrefixWork& w : work) {
+      const topo::PrefixCheckpointState* saved = nullptr;
+      for (const topo::PrefixCheckpointState& p : ck.prefixes) {
+        if (p.origin == w.origin) {
+          saved = &p;
+          break;
+        }
+      }
+      const std::optional<PrefixOutcome> outcome =
+          saved != nullptr ? prefix_outcome_from(saved->state) : std::nullopt;
+      if (saved == nullptr || !outcome ||
+          saved->paths_total != w.paths.size()) {
+        push_diag(analysis::Severity::kError,
+                  analysis::codes::kResumeMismatch,
+                  "origin " + std::to_string(w.origin),
+                  "checkpoint does not cover this prefix with the same "
+                  "path count; refusing to resume");
+        result.stop = RefineStop::kFault;
+        return finish();
+      }
+      w.outcome = *outcome;
+      w.done = w.outcome != PrefixOutcome::kActive;
+      w.matched = saved->matched;
+      w.active_iterations = saved->active_iterations;
+      w.frozen_iteration = saved->frozen_iteration;
+      OscillationDetector::State st;
+      st.fingerprints = saved->fingerprints;
+      st.hits = saved->hits;
+      st.best_matched = saved->best_matched;
+      st.freeze_pending = saved->freeze_pending;
+      st.freeze_countdown = saved->freeze_countdown;
+      w.detector.restore(std::move(st));
+    }
+    refiner.routers_added = ck.routers_added;
+    refiner.policies_changed = ck.policies_changed;
+    refiner.filters_relaxed = ck.filters_relaxed;
+    result.messages_simulated = ck.messages_simulated;
+    result.iterations = ck.iteration;
+    start_iteration = ck.iteration + 1;
+  }
+
   // Per-prefix sim spans land on synthetic tids 1000 + worker so Perfetto
   // shows one track per sweep worker (tid 0 is the serial refine track).
   const bool prefix_trace =
@@ -399,16 +623,17 @@ RefineResult refine_model(topo::Model& model,
     unsigned worker = 0;
   };
 
-  std::size_t routers_added_prev = 0;
-  std::size_t policies_changed_prev = 0;
+  std::size_t routers_added_prev = refiner.routers_added;
+  std::size_t policies_changed_prev = refiner.policies_changed;
+  bool reached_fixpoint = false;
   // Reused across iterations so sims keep their RouterState capacity.
   std::vector<std::size_t> active_index;
   std::vector<PrefixSimResult> sims;
   std::vector<analysis::Diagnostics> sim_diags;
   std::vector<bgp::SimCounters> sim_counters;
   std::vector<PrefixSpan> spans;
-  for (std::size_t iteration = 1; iteration <= config.max_iterations;
-       ++iteration) {
+  for (std::size_t iteration = start_iteration;
+       iteration <= config.max_iterations; ++iteration) {
     active_index.clear();
     for (std::size_t i = 0; i < work.size(); ++i) {
       if (!work[i].done) active_index.push_back(i);
@@ -422,11 +647,26 @@ RefineResult refine_model(topo::Model& model,
 
     // Simulation sweep: every active prefix against the immutable
     // iteration-start model.  The engine's epoch context is built once up
-    // front; worker order does not matter because results land in slots.
+    // front (and held for this iteration's selection fingerprints); worker
+    // order does not matter because results land in slots.
     sims.resize(active);
-    engine.context();
+    const std::shared_ptr<const bgp::SimContext> iter_ctx = engine.context();
+    // Test-only fault hook: throw from one worker body mid-sweep.
+    const auto inject_worker_fault = [&](std::size_t i) {
+#ifdef RD_FAULT_INJECTION
+      if (config.fault_plan != nullptr &&
+          config.fault_plan->throw_iteration == iteration && i == 0) {
+        if (config.fault_plan->throw_bad_alloc) throw std::bad_alloc();
+        throw std::runtime_error("injected sweep fault");
+      }
+#else
+      (void)i;
+#endif
+    };
     obs::PhaseTimer sim_timer(reg, metrics.simulate_ns, trace, "simulate",
                               iter_args(iteration));
+    bool sweep_faulted = false;
+    try {
     if (counting) {
       // Instrumented sweep: identical engine runs, plus per-prefix
       // SimCounters and per-worker metric shards.  The shards merge into
@@ -438,6 +678,7 @@ RefineResult refine_model(topo::Model& model,
       std::optional<obs::ShardGroup> shards;
       if (reg != nullptr) shards.emplace(*reg, pool.shard_count());
       pool.parallel_for_worker(active, [&](unsigned worker, std::size_t i) {
+        inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
         const std::uint64_t t0 = prefix_trace ? trace->now_us() : 0;
         sims[i] = engine.run(w.prefix, w.origin, &sim_counters[i]);
@@ -459,12 +700,40 @@ RefineResult refine_model(topo::Model& model,
     } else {
       // Zero-observer sweep: exactly the pre-observability code path.
       pool.parallel_for(active, [&](std::size_t i) {
+        inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
         sims[i] = engine.run(w.prefix, w.origin);
       });
     }
+    } catch (const std::exception& e) {
+      // A worker body threw (the pool drains the batch, rethrows here, and
+      // stays usable).  The model still reflects the last completed
+      // iteration -- mutations only happen in the serial phase -- so the
+      // state is checkpointable and the partial result is consistent.
+      push_diag(analysis::Severity::kError, analysis::codes::kSweepFault,
+                "iteration " + std::to_string(iteration),
+                std::string("simulation sweep failed: ") + e.what() +
+                    "; returning partial result at the last completed "
+                    "iteration");
+      sweep_faulted = true;
+    }
     sim_timer.stop();
     result.phase_seconds.simulate += sim_timer.seconds();
+    if (sweep_faulted) {
+      result.stop = RefineStop::kFault;
+      write_checkpoint(iteration - 1);
+      break;
+    }
+#ifdef RD_FAULT_INJECTION
+    // Test-only fault hook: make one prefix's simulation report divergence.
+    if (config.fault_plan != nullptr &&
+        config.fault_plan->fail_sim_iteration == iteration) {
+      for (std::size_t i = 0; i < active; ++i) {
+        if (work[active_index[i]].origin == config.fault_plan->fail_sim_origin)
+          sims[i].converged = false;
+      }
+    }
+#endif
     std::uint64_t iteration_messages = 0;
     for (const PrefixSimResult& sim : sims)
       iteration_messages += sim.messages;
@@ -536,9 +805,74 @@ RefineResult refine_model(topo::Model& model,
     bool any_changed = false;
     for (std::size_t i = 0; i < active; ++i) {
       PrefixWork& w = work[active_index[i]];
+
+      if (!sims[i].converged) {
+        // The engine's divergence guard tripped: the policy state reachable
+        // for this prefix genuinely oscillates at the protocol level (a
+        // dispute wheel; the ground-truth BAD GADGET case).  Iterating
+        // further would re-simulate the divergence every round, so freeze
+        // the prefix immediately with its structured engine outcome.
+        freeze(w, PrefixOutcome::kOscillating, iteration);
+        push_diag(analysis::Severity::kError,
+                  analysis::codes::kEngineDiverged,
+                  "origin " + std::to_string(w.origin),
+                  "simulation diverged: " + std::to_string(sims[i].messages) +
+                      " messages exceeded the cap of " +
+                      std::to_string(sims[i].message_cap) + " after " +
+                      std::to_string(sims[i].activations) +
+                      " router activations; prefix frozen at matched " +
+                      std::to_string(w.matched) + "/" +
+                      std::to_string(w.paths.size()) + "; " +
+                      suspect_wheel(w));
+        continue;
+      }
+
+      if (w.detector.freeze_pending()) {
+        // Cycle confirmed earlier: check -- without mutating -- whether
+        // freezing at the current policy state keeps the best matched
+        // count seen during the oscillation.
+        refiner.process(w, sims[i], /*mutate=*/false);
+        if (w.detector.should_freeze(w.matched)) {
+          freeze(w, PrefixOutcome::kOscillating, iteration);
+          push_diag(analysis::Severity::kWarning,
+                    analysis::codes::kRefineOscillation,
+                    "origin " + std::to_string(w.origin),
+                    "refinement oscillation confirmed; policies frozen at "
+                    "best-matched state (" +
+                        std::to_string(w.matched) + "/" +
+                        std::to_string(w.paths.size()) + " paths); " +
+                        suspect_wheel(w));
+          continue;
+        }
+      }
+
       const bool changed = refiner.process(w, sims[i]);
       any_changed |= changed;
-      if (!changed && w.matched == w.paths.size()) w.done = true;
+      ++w.active_iterations;
+      if (!changed && w.matched == w.paths.size()) {
+        w.done = true;
+        w.outcome = PrefixOutcome::kConverged;
+        continue;
+      }
+      if (config.oscillation_window > 0) {
+        const std::uint64_t fp =
+            mix_u64(fingerprint_selections(sims[i], iter_ctx->ids) ^
+                    mix_u64(fingerprint_policy(model, w.prefix)) ^
+                    mix_u64(w.matched));
+        w.detector.observe(fp, w.matched, changed);
+      }
+      if (config.prefix_iteration_budget > 0 &&
+          w.active_iterations >= config.prefix_iteration_budget) {
+        freeze(w, PrefixOutcome::kBudgetExhausted, iteration);
+        push_diag(analysis::Severity::kWarning,
+                  analysis::codes::kPrefixBudgetExhausted,
+                  "origin " + std::to_string(w.origin),
+                  "per-prefix iteration budget of " +
+                      std::to_string(config.prefix_iteration_budget) +
+                      " exhausted; policies frozen at matched " +
+                      std::to_string(w.matched) + "/" +
+                      std::to_string(w.paths.size()));
+      }
     }
     heur_timer.stop();
     result.phase_seconds.heuristic += heur_timer.seconds();
@@ -634,10 +968,87 @@ RefineResult refine_model(topo::Model& model,
       // every path matched (unmatched remainders occur under ablations).
       // Fully matched prefixes are still marked done for the accounting.
       for (PrefixWork& w : work) {
-        if (w.matched == w.paths.size()) w.done = true;
+        if (w.outcome == PrefixOutcome::kActive &&
+            w.matched == w.paths.size()) {
+          w.done = true;
+          w.outcome = PrefixOutcome::kConverged;
+        }
       }
+      reached_fixpoint = true;
       break;
     }
+
+    // Cooperative interrupt (rdtool's SIGINT/SIGTERM path, or injected):
+    // checkpoint the completed iteration and return a partial result whose
+    // still-active prefixes stay kActive.
+    bool interrupted = config.interrupt != nullptr &&
+                       config.interrupt->load(std::memory_order_relaxed);
+#ifdef RD_FAULT_INJECTION
+    if (config.fault_plan != nullptr &&
+        config.fault_plan->interrupt_iteration == iteration)
+      interrupted = true;
+#endif
+    if (interrupted) {
+      result.stop = RefineStop::kInterrupted;
+      write_checkpoint(iteration);
+      break;
+    }
+
+    if (config.wall_clock_budget_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      if (elapsed > config.wall_clock_budget_seconds) {
+        std::size_t frozen = 0;
+        for (PrefixWork& w : work) {
+          if (w.outcome != PrefixOutcome::kActive) continue;
+          freeze(w, PrefixOutcome::kBudgetExhausted, iteration);
+          ++frozen;
+        }
+        push_diag(analysis::Severity::kWarning,
+                  analysis::codes::kWallClockExhausted, "refine",
+                  "wall-clock budget of " +
+                      std::to_string(config.wall_clock_budget_seconds) +
+                      "s exhausted after " + std::to_string(iteration) +
+                      " iterations; " + std::to_string(frozen) +
+                      " prefixes frozen as budget-exhausted");
+        result.stop = RefineStop::kWallClock;
+        write_checkpoint(iteration);
+        break;
+      }
+    }
+
+    if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        iteration % config.checkpoint_every == 0) {
+      write_checkpoint(iteration);
+    }
+  }
+
+  if (reached_fixpoint) {
+    // Stable-but-unmatched prefixes (ablation fixpoints) did converge to a
+    // fixed point; their coverage gap shows in matched/paths_total.
+    for (PrefixWork& w : work) {
+      if (w.outcome == PrefixOutcome::kActive)
+        w.outcome = PrefixOutcome::kConverged;
+    }
+  } else if (result.stop == RefineStop::kCompleted) {
+    // The for-loop ran out of iterations (or never ran) with prefixes
+    // still active: the global iteration cap is a budget too.
+    std::size_t capped = 0;
+    for (PrefixWork& w : work) {
+      if (w.outcome != PrefixOutcome::kActive) continue;
+      freeze(w, PrefixOutcome::kBudgetExhausted, result.iterations);
+      push_diag(analysis::Severity::kWarning,
+                analysis::codes::kPrefixBudgetExhausted,
+                "origin " + std::to_string(w.origin),
+                "iteration cap of " + std::to_string(config.max_iterations) +
+                    " reached with prefix still active; matched " +
+                    std::to_string(w.matched) + "/" +
+                    std::to_string(w.paths.size()));
+      ++capped;
+    }
+    if (capped > 0) result.stop = RefineStop::kIterationCap;
   }
 
   std::size_t matched_total = 0;
@@ -648,7 +1059,33 @@ RefineResult refine_model(topo::Model& model,
   result.policies_changed = refiner.policies_changed;
   result.filters_relaxed = refiner.filters_relaxed;
 
-  if (config.prune_dead) {
+  result.outcomes.reserve(work.size());
+  for (const PrefixWork& w : work) {
+    result.outcomes.push_back(PrefixFitOutcome{
+        w.origin, w.outcome, w.matched, w.paths.size(), w.frozen_iteration});
+    switch (w.outcome) {
+      case PrefixOutcome::kConverged:
+        ++result.prefixes_converged;
+        break;
+      case PrefixOutcome::kOscillating:
+        ++result.prefixes_oscillating;
+        break;
+      case PrefixOutcome::kBudgetExhausted:
+        ++result.prefixes_budget_exhausted;
+        break;
+      case PrefixOutcome::kActive:
+        break;  // partial result (interrupted/faulted)
+    }
+  }
+
+  // Early stops return the partial state untouched: pruning or auditing a
+  // half-refined (or about-to-be-resumed) model would mutate past the
+  // checkpoint, and pruning relies on simulations a degraded model cannot
+  // promise to converge.
+  const bool ran_to_stop = result.stop != RefineStop::kInterrupted &&
+                           result.stop != RefineStop::kFault;
+
+  if (config.prune_dead && ran_to_stop && !result.degraded()) {
     obs::PhaseTimer prune_timer(nullptr, obs::CounterId{}, trace, "prune");
     analysis::AuditOptions prune;
     prune.engine = config.engine;
@@ -657,7 +1094,7 @@ RefineResult refine_model(topo::Model& model,
     result.dead_rules_pruned = pruned.rules_removed();
     result.empty_policies_dropped = pruned.policies_dropped;
   }
-  if (config.validate) {
+  if (config.validate && ran_to_stop) {
     // Static safety gate on the final model: the MED-only policy language
     // must never have produced a dispute wheel (see dispute_graph.hpp).
     // Only error-severity findings (S500) propagate; enumeration-cap
@@ -683,10 +1120,25 @@ RefineResult refine_model(topo::Model& model,
     reg->add(metrics.routers_added, result.routers_added);
     reg->add(metrics.policies_changed, result.policies_changed);
     reg->add(metrics.filters_relaxed, result.filters_relaxed);
+    reg->add(metrics.outcome_converged, result.prefixes_converged);
+    reg->add(metrics.outcome_oscillating, result.prefixes_oscillating);
+    reg->add(metrics.outcome_budget_exhausted,
+             result.prefixes_budget_exhausted);
   }
-  total_timer.stop();
-  result.phase_seconds.total = total_timer.seconds();
-  return result;
+  if (trace != nullptr && trace->enabled(obs::TraceLevel::kIteration)) {
+    nb::JsonWriter args;
+    args.begin_object();
+    args.key("stop").value(std::string_view(refine_stop_name(result.stop)));
+    args.key("converged")
+        .value(static_cast<std::uint64_t>(result.prefixes_converged));
+    args.key("oscillating")
+        .value(static_cast<std::uint64_t>(result.prefixes_oscillating));
+    args.key("budget_exhausted")
+        .value(static_cast<std::uint64_t>(result.prefixes_budget_exhausted));
+    args.end_object();
+    trace->instant("refine", "stop", trace->now_us(), 0, args.str());
+  }
+  return finish();
 }
 
 }  // namespace core

@@ -46,7 +46,11 @@
 // byte-identical for every thread count, including 1.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
@@ -58,7 +62,43 @@ namespace obs {
 struct Observer;
 }  // namespace obs
 
+namespace topo {
+struct RefineCheckpoint;
+}  // namespace topo
+
 namespace core {
+
+struct FaultPlan;
+
+/// Per-prefix fate of a fit.  kActive only survives into results of runs
+/// that stopped early (interrupt/fault); every run that ran to a stop
+/// condition resolves each prefix to one of the other three.
+enum class PrefixOutcome {
+  kActive,            // still being refined when the run stopped
+  kConverged,         // reached a stable state (fully matched or fixpoint)
+  kOscillating,       // oscillation guard froze it (R700/R701)
+  kBudgetExhausted,   // an iteration or wall-clock budget froze it (R702/R703)
+};
+
+/// Stable token for serialization/JSON: active|converged|oscillating|
+/// budget-exhausted.
+const char* prefix_outcome_name(PrefixOutcome outcome);
+std::optional<PrefixOutcome> prefix_outcome_from(std::string_view token);
+
+/// Why refine_model returned.
+enum class RefineStop {
+  kCompleted,     // fixpoint or every prefix resolved
+  kIterationCap,  // max_iterations exhausted with active prefixes left
+  kWallClock,     // wall_clock_budget_seconds exhausted
+  kInterrupted,   // RefineConfig::interrupt observed (or injected)
+  kFault,         // sweep fault / resume mismatch; see diagnostics
+};
+
+const char* refine_stop_name(RefineStop stop);
+
+/// Hash of the training paths (order-independent input identity); stored in
+/// checkpoints so a resume against different data fails fast (R706).
+std::uint64_t dataset_fingerprint(const data::BgpDataset& training);
 
 struct RefineConfig {
   /// Hard cap; the paper observes convergence within a small multiple of the
@@ -112,6 +152,43 @@ struct RefineConfig {
   /// and without an observer, at every thread count, and the null-observer
   /// path does no observability work at all.
   const obs::Observer* observer = nullptr;
+
+  // ---- fault tolerance (DESIGN.md section 10) -------------------------------
+
+  /// Wall-clock budget for the whole fit, 0 = unlimited.  On exhaustion the
+  /// remaining active prefixes freeze as kBudgetExhausted (R703) and the
+  /// fit returns a partial result with stop == kWallClock.
+  double wall_clock_budget_seconds = 0;
+  /// Cap on refinement iterations spent on any single prefix, 0 =
+  /// unlimited.  A prefix hitting it freezes as kBudgetExhausted (R702);
+  /// the rest of the fit continues.
+  std::size_t prefix_iteration_budget = 0;
+
+  /// Oscillation guard: recent-fingerprint window per prefix and how many
+  /// recurrences confirm a cycle.  window 0 disables the guard.
+  std::size_t oscillation_window = 12;
+  std::size_t oscillation_confirmations = 2;
+
+  /// When non-empty, a resumable checkpoint is written (atomically) to this
+  /// path every `checkpoint_every` iterations and at interrupt/fault stops.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 8;
+  /// Resume state loaded by the caller (topo::load_refine_checkpoint).  The
+  /// caller must also pass the checkpoint's model as `model`; refine_model
+  /// verifies the dataset hash and per-prefix consistency (R706 on
+  /// mismatch).  A resumed run produces a byte-identical final model to an
+  /// uninterrupted one.
+  const topo::RefineCheckpoint* resume = nullptr;
+
+  /// Cooperative cancellation: checked between iterations.  When it reads
+  /// true the fit checkpoints (if configured) and returns stop ==
+  /// kInterrupted with per-prefix partial outcomes.  Safe to set from a
+  /// signal handler (rdtool's SIGINT/SIGTERM path).
+  const std::atomic<bool>* interrupt = nullptr;
+
+  /// Fault-injection hooks (tests/CI only; see core/fault_inject.hpp).
+  /// Ignored unless the library was built with RD_FAULT_INJECTION.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct RefineIterationLog {
@@ -137,8 +214,23 @@ struct RefinePhaseSeconds {
   double total = 0;
 };
 
+/// Per-prefix outcome row of a fit (ascending origin order, one row per
+/// prefix whose origin exists in the model).
+struct PrefixFitOutcome {
+  nb::Asn origin = nb::kInvalidAsn;
+  PrefixOutcome outcome = PrefixOutcome::kActive;
+  std::size_t matched = 0;
+  std::size_t paths_total = 0;
+  /// Iteration at which the oscillation/budget guard froze the prefix,
+  /// 0 when it was never frozen.
+  std::size_t frozen_iteration = 0;
+};
+
 struct RefineResult {
   bool success = false;  // every training path is a RIB-Out match
+  /// Why the loop returned.  Partial results (kInterrupted/kFault) carry
+  /// valid counters and outcomes up to the stop point.
+  RefineStop stop = RefineStop::kCompleted;
   std::size_t iterations = 0;
   std::size_t unmatched_paths = 0;
   /// BGP messages processed across every simulation of the fit (the
@@ -156,8 +248,24 @@ struct RefineResult {
   std::size_t empty_policies_dropped = 0;
   std::vector<RefineIterationLog> log;
   /// Findings from the RefineConfig::validate hooks (empty when validation
-  /// is off or the fit never corrupted the model / engine state).
+  /// is off or the fit never corrupted the model / engine state) plus any
+  /// R7xx runtime-fault diagnostics the loop itself emitted.
   analysis::Diagnostics diagnostics;
+
+  /// Per-prefix fates (graceful degradation: a partial fit still reports
+  /// exactly which prefixes converged and what match coverage they reached).
+  std::vector<PrefixFitOutcome> outcomes;
+  std::size_t prefixes_converged = 0;
+  std::size_t prefixes_oscillating = 0;
+  std::size_t prefixes_budget_exhausted = 0;
+  /// True if at least one checkpoint was successfully written this run.
+  bool checkpoint_written = false;
+
+  /// Completed, but with frozen prefixes: the model is usable yet some
+  /// training paths are knowingly unmatched (rdtool exit code 3).
+  bool degraded() const {
+    return prefixes_oscillating + prefixes_budget_exhausted > 0;
+  }
 };
 
 /// Refines `model` in place against the training dataset.

@@ -129,6 +129,26 @@ std::string render_refine_log(const RefineResult& result) {
   out += result.success ? "yes (all training paths RIB-Out matched)" : "NO";
   out += ", iterations: " + std::to_string(result.iterations);
   out += ", unmatched paths: " + std::to_string(result.unmatched_paths) + "\n";
+  // Fault-tolerance epilogue, only when there is something to say: a clean
+  // completed fit renders exactly as it always has.
+  if (result.stop != RefineStop::kCompleted || result.degraded()) {
+    out += "stop: ";
+    out += refine_stop_name(result.stop);
+    out += ", prefixes converged: " + std::to_string(result.prefixes_converged);
+    out += ", oscillating: " + std::to_string(result.prefixes_oscillating);
+    out += ", budget-exhausted: " +
+           std::to_string(result.prefixes_budget_exhausted) + "\n";
+    for (const PrefixFitOutcome& o : result.outcomes) {
+      if (o.outcome == PrefixOutcome::kConverged) continue;
+      out += "  origin " + std::to_string(o.origin) + ": ";
+      out += prefix_outcome_name(o.outcome);
+      out += ", matched " + std::to_string(o.matched) + "/" +
+             std::to_string(o.paths_total);
+      if (o.frozen_iteration != 0)
+        out += ", frozen at iteration " + std::to_string(o.frozen_iteration);
+      out += "\n";
+    }
+  }
   return out;
 }
 

@@ -66,12 +66,15 @@ bool parse_into(std::istream& in, BgpDataset& dataset, std::string* error) {
       auto origin = nb::parse_u64(fields[2]);
       if (!point || *point >= dataset.points.size())
         return fail(error, "route references unknown point", line_number);
-      if (!origin)
+      // AS numbers above the invalid sentinel would silently truncate
+      // through the uint32_t cast.
+      if (!origin || *origin >= nb::kInvalidAsn)
         return fail(error, "malformed origin", line_number);
       std::vector<nb::Asn> hops;
       for (std::size_t i = 3; i < fields.size(); ++i) {
         auto hop = nb::parse_u64(fields[i]);
-        if (!hop) return fail(error, "malformed path hop", line_number);
+        if (!hop || *hop >= nb::kInvalidAsn)
+          return fail(error, "malformed path hop", line_number);
         hops.push_back(static_cast<nb::Asn>(*hop));
       }
       if (hops.back() != *origin)

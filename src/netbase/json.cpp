@@ -199,9 +199,21 @@ class Parser {
   }
 
  private:
+  /// Recursion guard for parse_value/parse_object/parse_array: a hostile
+  /// document of 100k '[' characters would otherwise overflow the stack
+  /// before any semantic check runs.
+  static constexpr std::size_t kMaxDepth = 256;
+
   void fill_error(std::string* error) const {
-    if (error != nullptr)
-      *error = error_ + " at offset " + std::to_string(pos_);
+    if (error == nullptr) return;
+    // 1-based line of the failure position, so parser errors are uniform
+    // with the line-numbered text-format parsers (model_io, rib_io).
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    *error = error_ + " at line " + std::to_string(line) + ", offset " +
+             std::to_string(pos_);
   }
 
   void skip_ws() {
@@ -245,11 +257,14 @@ class Parser {
   }
 
   bool parse_object(JsonValue& out) {
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
+    ++depth_;
     out.type = JsonValue::Type::kObject;
     ++pos_;  // '{'
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     for (;;) {
@@ -268,16 +283,21 @@ class Parser {
         ++pos_;
         continue;
       }
-      return consume('}', "expected ',' or '}' in object");
+      if (!consume('}', "expected ',' or '}' in object")) return false;
+      --depth_;
+      return true;
     }
   }
 
   bool parse_array(JsonValue& out) {
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
+    ++depth_;
     out.type = JsonValue::Type::kArray;
     ++pos_;  // '['
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     for (;;) {
@@ -290,7 +310,9 @@ class Parser {
         ++pos_;
         continue;
       }
-      return consume(']', "expected ',' or ']' in array");
+      if (!consume(']', "expected ',' or ']' in array")) return false;
+      --depth_;
+      return true;
     }
   }
 
@@ -391,6 +413,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string error_;
 };
 

@@ -11,6 +11,10 @@ RefineMetricSet RefineMetricSet::define(Registry& registry) {
   m.routers_added = registry.counter("refine.routers_added");
   m.policies_changed = registry.counter("refine.policies_changed");
   m.filters_relaxed = registry.counter("refine.filters_relaxed");
+  m.outcome_converged = registry.counter("refine.outcome.converged");
+  m.outcome_oscillating = registry.counter("refine.outcome.oscillating");
+  m.outcome_budget_exhausted =
+      registry.counter("refine.outcome.budget_exhausted");
   m.simulate_ns = registry.counter("refine.phase.simulate_ns");
   m.heuristic_ns = registry.counter("refine.phase.heuristic_ns");
   m.validate_ns = registry.counter("refine.phase.validate_ns");

@@ -41,6 +41,9 @@ struct RefineMetricSet {
   CounterId routers_added;              // refine.routers_added
   CounterId policies_changed;           // refine.policies_changed
   CounterId filters_relaxed;            // refine.filters_relaxed
+  CounterId outcome_converged;          // refine.outcome.converged
+  CounterId outcome_oscillating;        // refine.outcome.oscillating
+  CounterId outcome_budget_exhausted;   // refine.outcome.budget_exhausted
   CounterId simulate_ns;                // refine.phase.simulate_ns
   CounterId heuristic_ns;               // refine.phase.heuristic_ns
   CounterId validate_ns;                // refine.phase.validate_ns

@@ -1,6 +1,8 @@
 #include "topology/model_io.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 
@@ -185,6 +187,8 @@ bool parse_into(std::istream& in, Model& model, std::string* error) {
       if (!receiver || !sender || !cost || !model.has_router(*receiver) ||
           !model.has_router(*sender))
         return fail(error, "malformed igp", line_number);
+      if (*cost > 0xffffffffu)
+        return fail(error, "igp cost out of range", line_number);
       model.set_igp_cost(*receiver, *sender,
                          static_cast<std::uint32_t>(*cost));
     } else if (directive == "class") {
@@ -194,6 +198,8 @@ bool parse_into(std::istream& in, Model& model, std::string* error) {
       auto cls = fields.size() == 4 ? class_from(fields[3]) : std::nullopt;
       if (!of || !neighbor || !cls)
         return fail(error, "malformed class", line_number);
+      if (*of >= nb::kInvalidAsn || *neighbor >= nb::kInvalidAsn)
+        return fail(error, "class AS number out of range", line_number);
       model.set_neighbor_class(static_cast<Asn>(*of),
                                static_cast<Asn>(*neighbor), *cls);
     } else if (directive == "filter") {
@@ -206,6 +212,10 @@ bool parse_into(std::istream& in, Model& model, std::string* error) {
       if (fields[4] == "all") {
         deny = ExportFilter::kDenyAll;
       } else if (auto value = nb::parse_u64(fields[4]); value) {
+        // kDenyAll is reserved for the "all" keyword; larger values would
+        // silently truncate through the uint32_t cast.
+        if (*value >= ExportFilter::kDenyAll)
+          return fail(error, "filter threshold out of range", line_number);
         deny = static_cast<std::uint32_t>(*value);
       } else {
         return fail(error, "malformed filter threshold", line_number);
@@ -230,6 +240,8 @@ bool parse_into(std::istream& in, Model& model, std::string* error) {
           fields.size() == 4 ? nb::parse_u64(fields[3]) : std::nullopt;
       if (!prefix || !router || !preferred)
         return fail(error, "malformed ranking", line_number);
+      if (*preferred >= nb::kInvalidAsn)
+        return fail(error, "ranking AS number out of range", line_number);
       model.set_ranking(*router, *prefix, static_cast<Asn>(*preferred));
     } else if (directive == "lp-override") {
       auto prefix =
@@ -241,6 +253,8 @@ bool parse_into(std::istream& in, Model& model, std::string* error) {
       auto lp = fields.size() == 5 ? nb::parse_u64(fields[4]) : std::nullopt;
       if (!prefix || !router || !neighbor || !lp)
         return fail(error, "malformed lp-override", line_number);
+      if (*neighbor >= nb::kInvalidAsn || *lp > 0xffffffffu)
+        return fail(error, "lp-override value out of range", line_number);
       model.set_lp_override(*router, *prefix, static_cast<Asn>(*neighbor),
                             static_cast<std::uint32_t>(*lp));
     } else if (directive == "export-allow") {
@@ -271,6 +285,264 @@ std::optional<Model> model_from_string(const std::string& text,
                                        std::string* error) {
   std::istringstream in(text);
   return read_model(in, error);
+}
+
+// ---- refinement checkpoints -------------------------------------------------
+
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view text) {
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return value;
+}
+
+bool known_prefix_state(std::string_view state) {
+  return state == "active" || state == "converged" ||
+         state == "oscillating" || state == "budget-exhausted";
+}
+
+}  // namespace
+
+void write_refine_checkpoint(std::ostream& out, const RefineCheckpoint& ck) {
+  out << "refine-checkpoint v1\n";
+  out << "iteration " << ck.iteration << "\n";
+  out << "dataset-hash " << hex16(ck.dataset_hash) << "\n";
+  out << "messages " << ck.messages_simulated << "\n";
+  out << "edits " << ck.routers_added << " " << ck.policies_changed << " "
+      << ck.filters_relaxed << "\n";
+  for (const PrefixCheckpointState& p : ck.prefixes) {
+    out << "prefix " << p.origin << " " << p.state << " " << p.matched << " "
+        << p.paths_total << " " << p.active_iterations << " "
+        << p.frozen_iteration << " " << p.best_matched << " " << p.hits << " ";
+    if (p.freeze_pending) {
+      out << p.freeze_countdown;
+    } else {
+      out << "-";
+    }
+    out << "\n";
+    if (!p.fingerprints.empty()) {
+      out << "fp " << p.origin;
+      for (std::uint64_t fp : p.fingerprints) out << " " << hex16(fp);
+      out << "\n";
+    }
+  }
+  write_model(out, ck.model);
+  // Explicit trailer: the model section has no length prefix, so without it
+  // a truncation that drops trailing policy lines would still parse -- as a
+  // silently wrong model.  The trailer makes every proper-prefix cut of a
+  // checkpoint file a detectable error.
+  out << "end refine-checkpoint\n";
+}
+
+std::optional<RefineCheckpoint> read_refine_checkpoint(std::istream& in,
+                                                       std::string* error) {
+  RefineCheckpoint ck;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  bool saw_iteration = false;
+  bool saw_hash = false;
+  auto bad = [&](const std::string& message) {
+    fail(error, message, line_number);
+    return std::optional<RefineCheckpoint>();
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text = nb::trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    auto fields = nb::split_ws(text);
+    const std::string_view directive = fields[0];
+
+    if (directive == "refine-checkpoint") {
+      if (fields.size() != 2 || fields[1] != "v1")
+        return bad("unsupported checkpoint version");
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header)
+      return bad("missing 'refine-checkpoint v1' header");
+
+    if (directive == "iteration") {
+      auto value = fields.size() == 2 ? nb::parse_u64(fields[1]) : std::nullopt;
+      if (!value) return bad("malformed iteration");
+      ck.iteration = static_cast<std::size_t>(*value);
+      saw_iteration = true;
+    } else if (directive == "dataset-hash") {
+      auto value = fields.size() == 2 ? parse_hex64(fields[1]) : std::nullopt;
+      if (!value || fields[1].size() != 16)
+        return bad("malformed dataset-hash");
+      ck.dataset_hash = *value;
+      saw_hash = true;
+    } else if (directive == "messages") {
+      auto value = fields.size() == 2 ? nb::parse_u64(fields[1]) : std::nullopt;
+      if (!value) return bad("malformed messages");
+      ck.messages_simulated = *value;
+    } else if (directive == "edits") {
+      if (fields.size() != 4) return bad("edits needs 3 fields");
+      auto routers = nb::parse_u64(fields[1]);
+      auto policies = nb::parse_u64(fields[2]);
+      auto filters = nb::parse_u64(fields[3]);
+      if (!routers || !policies || !filters) return bad("malformed edits");
+      ck.routers_added = static_cast<std::size_t>(*routers);
+      ck.policies_changed = static_cast<std::size_t>(*policies);
+      ck.filters_relaxed = static_cast<std::size_t>(*filters);
+    } else if (directive == "prefix") {
+      if (fields.size() != 10) return bad("prefix needs 9 fields");
+      auto origin = nb::parse_u64(fields[1]);
+      if (!origin || *origin >= nb::kInvalidAsn)
+        return bad("malformed prefix origin");
+      if (!known_prefix_state(fields[2]))
+        return bad("unknown prefix state");
+      auto matched = nb::parse_u64(fields[3]);
+      auto paths = nb::parse_u64(fields[4]);
+      auto active = nb::parse_u64(fields[5]);
+      auto frozen = nb::parse_u64(fields[6]);
+      auto best = nb::parse_u64(fields[7]);
+      auto hits = nb::parse_u64(fields[8]);
+      if (!matched || !paths || !active || !frozen || !best || !hits)
+        return bad("malformed prefix state");
+      PrefixCheckpointState p;
+      p.origin = static_cast<nb::Asn>(*origin);
+      p.state = std::string(fields[2]);
+      p.matched = static_cast<std::size_t>(*matched);
+      p.paths_total = static_cast<std::size_t>(*paths);
+      p.active_iterations = static_cast<std::size_t>(*active);
+      p.frozen_iteration = static_cast<std::size_t>(*frozen);
+      p.best_matched = static_cast<std::size_t>(*best);
+      p.hits = static_cast<std::size_t>(*hits);
+      if (fields[9] == "-") {
+        p.freeze_pending = false;
+      } else {
+        auto countdown = nb::parse_u64(fields[9]);
+        if (!countdown) return bad("malformed freeze countdown");
+        p.freeze_pending = true;
+        p.freeze_countdown = static_cast<std::size_t>(*countdown);
+      }
+      if (p.matched > p.paths_total)
+        return bad("matched exceeds path count");
+      for (const PrefixCheckpointState& prev : ck.prefixes) {
+        if (prev.origin == p.origin)
+          return bad("duplicate prefix origin");
+      }
+      ck.prefixes.push_back(std::move(p));
+    } else if (directive == "fp") {
+      if (fields.size() < 3) return bad("fp needs at least 2 fields");
+      auto origin = nb::parse_u64(fields[1]);
+      if (!origin) return bad("malformed fp origin");
+      PrefixCheckpointState* target = nullptr;
+      for (PrefixCheckpointState& p : ck.prefixes) {
+        if (p.origin == static_cast<nb::Asn>(*origin)) target = &p;
+      }
+      if (target == nullptr)
+        return bad("fp references undeclared prefix");
+      if (!target->fingerprints.empty())
+        return bad("duplicate fp line for prefix");
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        auto fp = parse_hex64(fields[i]);
+        if (!fp || fields[i].size() != 16)
+          return bad("malformed fingerprint");
+        target->fingerprints.push_back(*fp);
+      }
+    } else if (directive == "model") {
+      // The rest of the stream (this line included) is a standard model
+      // section; hand it to the model parser and remap error lines to
+      // absolute positions in the checkpoint file.
+      std::ostringstream rest;
+      rest << line << "\n" << in.rdbuf();
+      std::string model_text = std::move(rest).str();
+      // The trailer must be the final line, exactly; anything else means
+      // the file was cut off inside the model section.
+      constexpr std::string_view kTrailer = "end refine-checkpoint\n";
+      if (model_text.size() < kTrailer.size() ||
+          std::string_view(model_text).substr(model_text.size() -
+                                              kTrailer.size()) != kTrailer)
+        return bad("checkpoint truncated in model section (missing trailer)");
+      model_text.resize(model_text.size() - kTrailer.size());
+      std::string model_error;
+      auto model = model_from_string(model_text, &model_error);
+      if (!model) {
+        std::size_t relative = 0;
+        if (model_error.rfind("line ", 0) == 0) {
+          auto end = model_error.find(':');
+          auto value = end == std::string::npos
+                           ? std::nullopt
+                           : nb::parse_u64(std::string_view(model_error)
+                                               .substr(5, end - 5));
+          if (value) {
+            relative = static_cast<std::size_t>(*value);
+            model_error = "model section " + model_error.substr(0, 5) +
+                          std::to_string(line_number - 1 + relative) +
+                          model_error.substr(end);
+          }
+        }
+        if (relative == 0) model_error = "model section: " + model_error;
+        if (error != nullptr) *error = model_error;
+        return std::nullopt;
+      }
+      if (!saw_iteration || !saw_hash)
+        return bad("checkpoint missing iteration or dataset-hash");
+      ck.model = std::move(*model);
+      return ck;
+    } else {
+      return bad("unknown directive");
+    }
+  }
+  if (!saw_header) return bad("empty input");
+  return bad("checkpoint truncated before model section");
+}
+
+bool save_refine_checkpoint(const std::string& path,
+                            const RefineCheckpoint& checkpoint,
+                            std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    write_refine_checkpoint(out, checkpoint);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      if (error != nullptr) *error = "short write to " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<RefineCheckpoint> load_refine_checkpoint(const std::string& path,
+                                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_refine_checkpoint(in, error);
 }
 
 }  // namespace topo

@@ -15,11 +15,36 @@
 //   export-allow <prefix> <from> <to>
 //
 // Deterministic output (sorted) so diffs of fitted models are meaningful.
+//
+// The same file also owns the refinement checkpoint format ("refine-
+// checkpoint v1"), a header of loop/per-prefix state lines followed by a
+// full "model v1" section:
+//
+//   refine-checkpoint v1
+//   iteration <completed-iteration>
+//   dataset-hash <16 hex digits>
+//   messages <messages-simulated-so-far>
+//   edits <routers-added> <policies-changed> <filters-relaxed>
+//   prefix <origin> <state> <matched> <paths> <active-iters> <frozen-iter>
+//          <best-matched> <hits> <freeze-countdown|->
+//   fp <origin> <hex fingerprint>...        (oscillation ring, oldest first)
+//   model v1
+//   ...
+//   end refine-checkpoint
+//
+// <state> is one of active|converged|oscillating|budget-exhausted (the
+// PrefixOutcome tokens of core/refine).  The "end refine-checkpoint"
+// trailer must be the final line: the model section has no length prefix,
+// so the trailer is what turns any truncation into a detectable error
+// instead of a silently shortened model.  save_refine_checkpoint is atomic:
+// tmp + rename, so a crash mid-write never corrupts an existing checkpoint.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "topology/model.hpp"
 
@@ -33,5 +58,57 @@ std::string model_to_string(const Model& model);
 std::optional<Model> read_model(std::istream& in, std::string* error = nullptr);
 std::optional<Model> model_from_string(const std::string& text,
                                        std::string* error = nullptr);
+
+// ---- refinement checkpoints -------------------------------------------------
+
+/// Serialized per-prefix loop state (core::refine_model's PrefixWork plus
+/// its oscillation-detector state).  `state` carries the PrefixOutcome token
+/// (see the format comment above); topology stays decoupled from core's
+/// enum.
+struct PrefixCheckpointState {
+  nb::Asn origin = nb::kInvalidAsn;
+  std::string state = "active";
+  std::size_t matched = 0;
+  std::size_t paths_total = 0;
+  std::size_t active_iterations = 0;
+  std::size_t frozen_iteration = 0;  // 0 = never frozen
+  // Oscillation-detector state (core::OscillationDetector::State).
+  std::size_t best_matched = 0;
+  std::size_t hits = 0;
+  bool freeze_pending = false;
+  std::size_t freeze_countdown = 0;
+  std::vector<std::uint64_t> fingerprints;  // recent ring, oldest first
+};
+
+/// Everything needed to resume a fit at the start of iteration
+/// `iteration + 1` and still produce a byte-identical final model: the
+/// mutated-so-far model, per-prefix progress, and the running counters that
+/// feed RefineResult.  `dataset_hash` (core::dataset_fingerprint of the
+/// training set) guards against resuming with different training data.
+struct RefineCheckpoint {
+  std::size_t iteration = 0;  // completed iterations
+  std::uint64_t dataset_hash = 0;
+  std::uint64_t messages_simulated = 0;
+  std::size_t routers_added = 0;
+  std::size_t policies_changed = 0;
+  std::size_t filters_relaxed = 0;
+  std::vector<PrefixCheckpointState> prefixes;
+  Model model;
+};
+
+void write_refine_checkpoint(std::ostream& out, const RefineCheckpoint& ck);
+/// Parses a checkpoint; nullopt (and *error with a line number) on any
+/// malformed, truncated or version-mismatched input -- never throws.
+std::optional<RefineCheckpoint> read_refine_checkpoint(
+    std::istream& in, std::string* error = nullptr);
+
+/// Atomic save: writes to `path` + ".tmp", flushes, then renames over
+/// `path`.  On any failure the destination is untouched, the tmp file is
+/// removed and *error describes the failure.
+bool save_refine_checkpoint(const std::string& path,
+                            const RefineCheckpoint& checkpoint,
+                            std::string* error = nullptr);
+std::optional<RefineCheckpoint> load_refine_checkpoint(
+    const std::string& path, std::string* error = nullptr);
 
 }  // namespace topo

@@ -1,0 +1,221 @@
+// refine-checkpoint v1 round-trip and hardening tests: field fidelity,
+// atomic save semantics, and rejection (never a crash, always a line
+// number) of truncated or corrupted checkpoint files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "topology/model_io.hpp"
+
+namespace {
+
+using nb::Prefix;
+using nb::RouterId;
+using topo::Model;
+using topo::PrefixCheckpointState;
+using topo::RefineCheckpoint;
+
+Model small_model() {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Model model = Model::one_router_per_as(g);
+  model.set_lp_override(RouterId{1, 0}, Prefix::for_asn(3), 2, 200);
+  return model;
+}
+
+RefineCheckpoint sample_checkpoint() {
+  RefineCheckpoint ck;
+  ck.iteration = 7;
+  ck.dataset_hash = 0x0123456789abcdefull;
+  ck.messages_simulated = 4242;
+  ck.routers_added = 3;
+  ck.policies_changed = 9;
+  ck.filters_relaxed = 1;
+
+  PrefixCheckpointState active;
+  active.origin = 3;
+  active.state = "active";
+  active.matched = 2;
+  active.paths_total = 5;
+  active.active_iterations = 7;
+  active.best_matched = 4;
+  active.hits = 1;
+  active.freeze_pending = true;
+  active.freeze_countdown = 11;
+  active.fingerprints = {0xdeadbeefcafef00dull, 0x1ull};
+  ck.prefixes.push_back(active);
+
+  PrefixCheckpointState frozen;
+  frozen.origin = 2;
+  frozen.state = "oscillating";
+  frozen.matched = 1;
+  frozen.paths_total = 1;
+  frozen.frozen_iteration = 4;
+  ck.prefixes.push_back(frozen);
+
+  ck.model = small_model();
+  return ck;
+}
+
+std::string to_string(const RefineCheckpoint& ck) {
+  std::ostringstream out;
+  topo::write_refine_checkpoint(out, ck);
+  return out.str();
+}
+
+TEST(CheckpointTest, RoundTripPreservesEveryField) {
+  const RefineCheckpoint ck = sample_checkpoint();
+  const std::string text = to_string(ck);
+
+  std::istringstream in(text);
+  std::string error;
+  auto loaded = topo::read_refine_checkpoint(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->iteration, ck.iteration);
+  EXPECT_EQ(loaded->dataset_hash, ck.dataset_hash);
+  EXPECT_EQ(loaded->messages_simulated, ck.messages_simulated);
+  EXPECT_EQ(loaded->routers_added, ck.routers_added);
+  EXPECT_EQ(loaded->policies_changed, ck.policies_changed);
+  EXPECT_EQ(loaded->filters_relaxed, ck.filters_relaxed);
+  ASSERT_EQ(loaded->prefixes.size(), ck.prefixes.size());
+  for (std::size_t i = 0; i < ck.prefixes.size(); ++i) {
+    const PrefixCheckpointState& a = ck.prefixes[i];
+    const PrefixCheckpointState& b = loaded->prefixes[i];
+    EXPECT_EQ(b.origin, a.origin);
+    EXPECT_EQ(b.state, a.state);
+    EXPECT_EQ(b.matched, a.matched);
+    EXPECT_EQ(b.paths_total, a.paths_total);
+    EXPECT_EQ(b.active_iterations, a.active_iterations);
+    EXPECT_EQ(b.frozen_iteration, a.frozen_iteration);
+    EXPECT_EQ(b.best_matched, a.best_matched);
+    EXPECT_EQ(b.hits, a.hits);
+    EXPECT_EQ(b.freeze_pending, a.freeze_pending);
+    EXPECT_EQ(b.freeze_countdown, a.freeze_countdown);
+    EXPECT_EQ(b.fingerprints, a.fingerprints);
+  }
+  EXPECT_EQ(topo::model_to_string(loaded->model),
+            topo::model_to_string(ck.model));
+
+  // Serialization is canonical: writing the loaded checkpoint reproduces
+  // the original bytes.
+  EXPECT_EQ(to_string(*loaded), text);
+}
+
+TEST(CheckpointTest, EveryTruncationFailsCleanly) {
+  const std::string text = to_string(sample_checkpoint());
+  ASSERT_GT(text.size(), 0u);
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    std::istringstream in(text.substr(0, cut));
+    std::string error;
+    std::optional<RefineCheckpoint> loaded;
+    EXPECT_NO_THROW(loaded = topo::read_refine_checkpoint(in, &error));
+    EXPECT_FALSE(loaded.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(error.empty()) << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointTest, RejectsForeignHeader) {
+  std::istringstream in("model v1\n");
+  std::string error;
+  EXPECT_FALSE(topo::read_refine_checkpoint(in, &error).has_value());
+  EXPECT_NE(error.find("refine-checkpoint"), std::string::npos);
+}
+
+TEST(CheckpointTest, RejectsMalformedLines) {
+  const struct {
+    const char* mutation;
+    const char* needle;  // must appear in the error
+  } cases[] = {
+      {"dataset-hash xyz\n", "line"},
+      {"dataset-hash 123\n", "line"},  // not 16 digits
+      {"prefix 3 bogus-state 0 1 0 0 0 0 -\n", "line"},
+      {"prefix 3 active 5 1 0 0 0 0 -\n", "line"},  // matched > total
+      {"fp 99 0000000000000001\n", "line"},         // undeclared prefix
+      {"unknown-directive 1\n", "line"},
+  };
+  for (const auto& c : cases) {
+    std::string text = "refine-checkpoint v1\niteration 1\n";
+    text += c.mutation;
+    std::istringstream in(text);
+    std::string error;
+    EXPECT_FALSE(topo::read_refine_checkpoint(in, &error).has_value())
+        << c.mutation;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << c.mutation << " -> " << error;
+  }
+}
+
+TEST(CheckpointTest, RejectsDuplicateOrigins) {
+  std::string text =
+      "refine-checkpoint v1\n"
+      "iteration 1\n"
+      "dataset-hash 00000000000000ff\n"
+      "prefix 3 active 0 1 0 0 0 0 -\n"
+      "prefix 3 active 0 1 0 0 0 0 -\n";
+  std::istringstream in(text);
+  std::string error;
+  EXPECT_FALSE(topo::read_refine_checkpoint(in, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(CheckpointTest, TruncationBeforeModelSectionIsNamed) {
+  std::string text =
+      "refine-checkpoint v1\n"
+      "iteration 1\n"
+      "dataset-hash 00000000000000ff\n";
+  std::istringstream in(text);
+  std::string error;
+  EXPECT_FALSE(topo::read_refine_checkpoint(in, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(CheckpointTest, ModelSectionErrorsCarryAbsoluteLines) {
+  std::string text = to_string(sample_checkpoint());
+  // Corrupt the first line after the embedded model header.
+  const std::size_t model_at = text.find("model v1\n");
+  ASSERT_NE(model_at, std::string::npos);
+  const std::size_t line_end = text.find('\n', model_at + 9);
+  text.replace(model_at + 9, line_end - (model_at + 9), "garbage here");
+  std::istringstream in(text);
+  std::string error;
+  EXPECT_FALSE(topo::read_refine_checkpoint(in, &error).has_value());
+  EXPECT_NE(error.find("model section line"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, SaveIsAtomicAndLoadable) {
+  const std::string path = testing::TempDir() + "ckpt_atomic_test";
+  const RefineCheckpoint ck = sample_checkpoint();
+  std::string error;
+  ASSERT_TRUE(topo::save_refine_checkpoint(path, ck, &error)) << error;
+  // No temporary left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  auto loaded = topo::load_refine_checkpoint(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->iteration, ck.iteration);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FailedSaveLeavesDestinationUntouched) {
+  const std::string dir = testing::TempDir() + "ckpt_no_such_dir_xyz";
+  const std::string path = dir + "/checkpoint";
+  std::string error;
+  EXPECT_FALSE(topo::save_refine_checkpoint(path, sample_checkpoint(),
+                                            &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(CheckpointTest, LoadReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(topo::load_refine_checkpoint(
+                   testing::TempDir() + "ckpt_does_not_exist", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace

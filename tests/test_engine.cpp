@@ -347,6 +347,28 @@ TEST(EngineTest, MessageCountingAndCap) {
   EXPECT_GT(ok.messages, 0u);
 }
 
+TEST(EngineTest, DivergenceGuardTripIsAStructuredOutcome) {
+  // A cap trip must leave callers with everything needed to report it:
+  // the threshold that was in force, the message count that hit it, and
+  // the activations processed before the guard fired.
+  Model m = line_model();
+  EngineOptions opts;
+  opts.message_cap_factor = 0;
+  Engine e(m, opts);
+  auto sim = e.run(Prefix::for_asn(4), 4);
+  EXPECT_FALSE(sim.converged);
+  EXPECT_EQ(sim.message_cap, 0u);
+  EXPECT_GE(sim.messages, sim.message_cap);
+  EXPECT_GT(sim.activations, 0u);
+
+  Engine normal(m);
+  auto ok = normal.run(Prefix::for_asn(4), 4);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_GT(ok.message_cap, 0u);
+  EXPECT_LT(ok.messages, ok.message_cap);
+  EXPECT_GE(ok.activations, m.num_routers());
+}
+
 TEST(EngineTest, ModelMutationPickedUpBetweenRuns) {
   Model m = line_model();
   Engine e(m);

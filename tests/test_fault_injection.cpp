@@ -1,0 +1,292 @@
+// Fault-tolerance tests for the refinement loop: the oscillation guard on a
+// real dispute wheel (BAD GADGET), budget exhaustion with graceful
+// degradation, checkpoint/resume byte-identity across an injected
+// interrupt, and -- when the library is built with RD_FAULT_INJECTION --
+// injected sweep faults (worker exceptions, allocation failure, forced
+// non-convergence).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/fixtures.hpp"
+#include "core/fault_inject.hpp"
+#include "core/oscillation.hpp"
+#include "core/refine.hpp"
+#include "topology/model_io.hpp"
+
+namespace {
+
+using analysis::contains_code;
+using data::BgpDataset;
+using nb::Asn;
+using nb::RouterId;
+using topo::AsPath;
+using topo::Model;
+
+namespace codes = analysis::codes;
+
+BgpDataset dataset_of(std::vector<std::pair<Asn, AsPath>> records) {
+  BgpDataset dataset;
+  std::map<Asn, std::uint32_t> points;
+  for (auto& [observer, path] : records) {
+    if (!points.count(observer)) {
+      points[observer] = static_cast<std::uint32_t>(dataset.points.size());
+      dataset.points.push_back({RouterId{observer, 0}});
+    }
+    dataset.records.push_back({points[observer], path.origin(), path});
+  }
+  return dataset;
+}
+
+/// A fit that needs several iterations: the observed path goes the long way
+/// around a ring, so the direct 1-6 shortcut must be filtered away and the
+/// suffix has to propagate across iterations.
+BgpDataset ring_dataset() {
+  return dataset_of({{1, AsPath{1, 2, 3, 4, 5, 6}}});
+}
+
+Model ring_model() {
+  topo::AsGraph g;
+  for (Asn a = 1; a < 6; ++a) g.add_edge(a, a + 1);
+  g.add_edge(1, 6);
+  return Model::one_router_per_as(g);
+}
+
+TEST(FaultToleranceTest, BadGadgetFreezesAsOscillatingNotIterationBurn) {
+  // Refining on top of the BAD GADGET local-pref wheel makes every
+  // simulation of AS 4's prefix diverge (the guard trips).  The fit must
+  // freeze the prefix with a structured diagnostic within the first
+  // iterations -- not burn all 96 silently as it used to.
+  auto fixture = analysis::audit_fixture("bad-gadget");
+  ASSERT_TRUE(fixture.has_value());
+  Model model = std::move(*fixture);
+  BgpDataset training = dataset_of({{1, AsPath{1, 4}}});
+
+  core::RefineConfig config;
+  auto result = core::refine_model(model, training, config);
+
+  EXPECT_LE(result.iterations, 3u);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.prefixes_oscillating, 1u);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].outcome, core::PrefixOutcome::kOscillating);
+  EXPECT_EQ(result.outcomes[0].origin, 4u);
+  EXPECT_GT(result.outcomes[0].frozen_iteration, 0u);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kEngineDiverged));
+}
+
+TEST(FaultToleranceTest, PrefixIterationBudgetFreezesJustThatPrefix) {
+  Model model = ring_model();
+  core::RefineConfig config;
+  config.prefix_iteration_budget = 1;
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.prefixes_budget_exhausted, 1u);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].outcome,
+            core::PrefixOutcome::kBudgetExhausted);
+  EXPECT_TRUE(contains_code(result.diagnostics,
+                            codes::kPrefixBudgetExhausted));
+  // Frozen means frozen: the loop must not keep iterating on it.
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(FaultToleranceTest, WallClockBudgetStopsTheFit) {
+  Model model = ring_model();
+  core::RefineConfig config;
+  config.wall_clock_budget_seconds = 1e-9;  // expires after iteration 1
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_EQ(result.stop, core::RefineStop::kWallClock);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.prefixes_budget_exhausted, 1u);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kWallClockExhausted));
+  // The partial result still reports coverage for the frozen prefix.
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].paths_total, 1u);
+}
+
+TEST(FaultToleranceTest, ResumeRejectsForeignDataset) {
+  Model model = ring_model();
+  topo::RefineCheckpoint ck;
+  ck.iteration = 1;
+  ck.dataset_hash = 0x1234;  // not ring_dataset()'s hash
+  ck.model = model;
+  core::RefineConfig config;
+  config.resume = &ck;
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_EQ(result.stop, core::RefineStop::kFault);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kResumeMismatch));
+}
+
+TEST(FaultToleranceTest, ResumeRejectsMissingPrefixState) {
+  Model model = ring_model();
+  const BgpDataset training = ring_dataset();
+  topo::RefineCheckpoint ck;
+  ck.iteration = 1;
+  ck.dataset_hash = core::dataset_fingerprint(training);
+  ck.model = model;  // no per-prefix state for origin 6
+  core::RefineConfig config;
+  config.resume = &ck;
+  auto result = core::refine_model(model, training, config);
+
+  EXPECT_EQ(result.stop, core::RefineStop::kFault);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kResumeMismatch));
+}
+
+TEST(FaultToleranceTest, ResumedFreezePendingPrefixFreezesBeforeMutating) {
+  // A checkpoint can carry a confirmed-cycle detector (freeze_pending with
+  // an expired countdown).  The resumed iteration must then freeze the
+  // prefix via the count-only pass -- the R700 path -- without mutating it
+  // past the frozen state.
+  Model model = ring_model();
+  const BgpDataset training = ring_dataset();
+  topo::RefineCheckpoint ck;
+  ck.iteration = 1;
+  ck.dataset_hash = core::dataset_fingerprint(training);
+  ck.model = model;
+  topo::PrefixCheckpointState p;
+  p.origin = 6;
+  p.state = "active";
+  p.matched = 0;
+  p.paths_total = 1;
+  p.active_iterations = 1;
+  p.best_matched = 2;  // never reachable: forces the countdown valve
+  p.hits = 2;
+  p.freeze_pending = true;
+  p.freeze_countdown = 0;  // expired: freeze on the first resumed iteration
+  ck.prefixes.push_back(p);
+  core::RefineConfig config;
+  config.resume = &ck;
+  const std::string before = topo::model_to_string(model);
+  auto result = core::refine_model(model, training, config);
+
+  EXPECT_EQ(result.prefixes_oscillating, 1u);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].outcome, core::PrefixOutcome::kOscillating);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kRefineOscillation));
+  // Frozen at the checkpointed policy state, not mutated beyond it.
+  EXPECT_EQ(topo::model_to_string(model), before);
+}
+
+#ifdef RD_FAULT_INJECTION
+
+TEST(FaultInjectionTest, ForcedSimDivergenceFreezesThePrefix) {
+  Model model = ring_model();
+  core::FaultPlan plan;
+  plan.fail_sim_iteration = 1;
+  plan.fail_sim_origin = 6;
+  core::RefineConfig config;
+  config.fault_plan = &plan;
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.prefixes_oscillating, 1u);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kEngineDiverged));
+}
+
+TEST(FaultInjectionTest, WorkerExceptionYieldsFaultStopAndCheckpoint) {
+  const std::string ck_path =
+      testing::TempDir() + "fault_worker_exception.ckpt";
+  std::remove(ck_path.c_str());
+  Model model = ring_model();
+  core::FaultPlan plan;
+  plan.throw_iteration = 2;
+  core::RefineConfig config;
+  config.fault_plan = &plan;
+  config.threads = 2;  // fault crosses the pool boundary
+  config.checkpoint_path = ck_path;
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_EQ(result.stop, core::RefineStop::kFault);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kSweepFault));
+  // The abort checkpoint reflects the last completed iteration and loads
+  // cleanly -- a faulted run never leaves a corrupt checkpoint behind.
+  ASSERT_TRUE(result.checkpoint_written);
+  std::string error;
+  auto saved = topo::load_refine_checkpoint(ck_path, &error);
+  ASSERT_TRUE(saved.has_value()) << error;
+  EXPECT_EQ(saved->iteration, 1u);
+  std::remove(ck_path.c_str());
+}
+
+TEST(FaultInjectionTest, AllocationFailureMidSweepIsAFaultNotACrash) {
+  Model model = ring_model();
+  core::FaultPlan plan;
+  plan.throw_iteration = 1;
+  plan.throw_bad_alloc = true;
+  core::RefineConfig config;
+  config.fault_plan = &plan;
+  config.threads = 2;
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_EQ(result.stop, core::RefineStop::kFault);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kSweepFault));
+}
+
+TEST(FaultInjectionTest, InjectedInterruptResumesToIdenticalModel) {
+  const std::string ck_path = testing::TempDir() + "fault_interrupt.ckpt";
+  std::remove(ck_path.c_str());
+  const BgpDataset training = ring_dataset();
+
+  Model uninterrupted = ring_model();
+  auto baseline =
+      core::refine_model(uninterrupted, training, core::RefineConfig{});
+  ASSERT_TRUE(baseline.success);
+  ASSERT_GT(baseline.iterations, 2u) << "fixture too easy to interrupt";
+
+  Model interrupted = ring_model();
+  core::FaultPlan plan;
+  plan.interrupt_iteration = 2;
+  core::RefineConfig config;
+  config.fault_plan = &plan;
+  config.checkpoint_path = ck_path;
+  config.checkpoint_every = 1;
+  auto partial = core::refine_model(interrupted, training, config);
+  EXPECT_EQ(partial.stop, core::RefineStop::kInterrupted);
+  EXPECT_EQ(partial.iterations, 2u);
+  ASSERT_TRUE(partial.checkpoint_written);
+
+  std::string error;
+  auto saved = topo::load_refine_checkpoint(ck_path, &error);
+  ASSERT_TRUE(saved.has_value()) << error;
+  Model resumed = saved->model;
+  core::RefineConfig resume_config;
+  resume_config.resume = &*saved;
+  auto completed = core::refine_model(resumed, training, resume_config);
+  EXPECT_TRUE(completed.success);
+  EXPECT_EQ(completed.stop, core::RefineStop::kCompleted);
+  EXPECT_EQ(completed.iterations, baseline.iterations);
+  EXPECT_EQ(completed.messages_simulated, baseline.messages_simulated);
+  EXPECT_EQ(topo::model_to_string(resumed),
+            topo::model_to_string(uninterrupted));
+  std::remove(ck_path.c_str());
+}
+
+TEST(FaultInjectionTest, CheckpointWriteFailureDegradesGracefully) {
+  // An unwritable checkpoint path must not kill the fit: it warns (R705)
+  // and completes.
+  Model model = ring_model();
+  core::RefineConfig config;
+  config.checkpoint_path =
+      testing::TempDir() + "no_such_dir_xyz/refine.ckpt";
+  config.checkpoint_every = 1;
+  auto result = core::refine_model(model, ring_dataset(), config);
+
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.checkpoint_written);
+  EXPECT_TRUE(contains_code(result.diagnostics, codes::kCheckpointError));
+}
+
+#endif  // RD_FAULT_INJECTION
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Oscillation-detector unit tests: fingerprint invariances and the
+// observe/should_freeze protocol the refinement loop drives (confirm a
+// cycle, wait for the best-matched state to recur, countdown safety valve,
+// checkpoint round-trip of detector state).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "core/oscillation.hpp"
+#include "topology/model.hpp"
+
+namespace {
+
+using core::OscillationDetector;
+using Verdict = core::OscillationDetector::Verdict;
+using nb::Prefix;
+using nb::RouterId;
+using topo::Model;
+
+Model square_model() {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 1);
+  return Model::one_router_per_as(g);
+}
+
+TEST(FingerprintTest, MixAvalanche) {
+  EXPECT_NE(core::mix_u64(0), 0u);
+  EXPECT_NE(core::mix_u64(1), core::mix_u64(2));
+  EXPECT_NE(core::mix_u64(1), core::mix_u64(1) ^ core::mix_u64(2));
+}
+
+TEST(FingerprintTest, PolicyFingerprintIsOrderIndependent) {
+  const Prefix prefix = Prefix::for_asn(3);
+  Model a = square_model();
+  a.set_lp_override(RouterId{1, 0}, prefix, 2, 200);
+  a.set_lp_override(RouterId{2, 0}, prefix, 3, 150);
+  Model b = square_model();
+  b.set_lp_override(RouterId{2, 0}, prefix, 3, 150);  // reversed insertion
+  b.set_lp_override(RouterId{1, 0}, prefix, 2, 200);
+  EXPECT_EQ(core::fingerprint_policy(a, prefix),
+            core::fingerprint_policy(b, prefix));
+}
+
+TEST(FingerprintTest, PolicyFingerprintSeesEveryRuleKind) {
+  const Prefix prefix = Prefix::for_asn(3);
+  Model base = square_model();
+  const std::uint64_t empty = core::fingerprint_policy(base, prefix);
+
+  Model with_lp = square_model();
+  with_lp.set_lp_override(RouterId{1, 0}, prefix, 2, 200);
+  EXPECT_NE(core::fingerprint_policy(with_lp, prefix), empty);
+
+  Model other_lp = square_model();
+  other_lp.set_lp_override(RouterId{1, 0}, prefix, 2, 150);
+  EXPECT_NE(core::fingerprint_policy(other_lp, prefix),
+            core::fingerprint_policy(with_lp, prefix));
+
+  // Policies of another prefix are invisible.
+  Model other_prefix = square_model();
+  other_prefix.set_lp_override(RouterId{1, 0}, Prefix::for_asn(2), 2, 200);
+  EXPECT_EQ(core::fingerprint_policy(other_prefix, prefix), empty);
+}
+
+TEST(FingerprintTest, SelectionFingerprintIsDeterministic) {
+  Model model = square_model();
+  bgp::Engine engine(model);
+  const auto ids = engine.context()->ids;
+  auto first = engine.run(Prefix::for_asn(3), 3);
+  auto second = engine.run(Prefix::for_asn(3), 3);
+  EXPECT_EQ(core::fingerprint_selections(first, ids),
+            core::fingerprint_selections(second, ids));
+  // A different prefix routes differently and must hash differently.
+  auto other = engine.run(Prefix::for_asn(2), 2);
+  EXPECT_NE(core::fingerprint_selections(first, ids),
+            core::fingerprint_selections(other, ids));
+}
+
+TEST(OscillationDetectorTest, DistinctFingerprintsStayStable) {
+  OscillationDetector detector(8, 2);
+  for (std::uint64_t fp = 1; fp <= 32; ++fp)
+    EXPECT_EQ(detector.observe(fp, 1, true), Verdict::kStable);
+  EXPECT_FALSE(detector.freeze_pending());
+}
+
+TEST(OscillationDetectorTest, RecurrenceWithoutEditsIsConvergenceNotCycle) {
+  OscillationDetector detector(8, 2);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(detector.observe(42, 3, /*changed=*/false), Verdict::kStable);
+  EXPECT_FALSE(detector.freeze_pending());
+}
+
+TEST(OscillationDetectorTest, PeriodTwoCycleConfirms) {
+  OscillationDetector detector(8, 2);
+  EXPECT_EQ(detector.observe(1, 2, true), Verdict::kStable);
+  EXPECT_EQ(detector.observe(2, 3, true), Verdict::kStable);
+  EXPECT_EQ(detector.observe(1, 2, true), Verdict::kSuspected);
+  EXPECT_EQ(detector.observe(2, 3, true), Verdict::kFreezePending);
+  EXPECT_TRUE(detector.freeze_pending());
+  EXPECT_EQ(detector.best_matched(), 3u);
+}
+
+TEST(OscillationDetectorTest, LongerPeriodWithinWindowConfirms) {
+  OscillationDetector detector(8, 2);
+  Verdict last = Verdict::kStable;
+  // Period-3 cycle: A B C A B C ...
+  const std::uint64_t cycle[] = {7, 8, 9};
+  for (int i = 0; i < 12 && last != Verdict::kFreezePending; ++i)
+    last = detector.observe(cycle[i % 3], 1, true);
+  EXPECT_EQ(last, Verdict::kFreezePending);
+}
+
+TEST(OscillationDetectorTest, PeriodBeyondWindowIsInvisible) {
+  OscillationDetector detector(4, 2);
+  // Period 6 > window 4: every recurrence falls off the ring first.
+  for (int i = 0; i < 60; ++i)
+    EXPECT_EQ(detector.observe(static_cast<std::uint64_t>(i % 6) + 1, 1, true),
+              Verdict::kStable);
+}
+
+TEST(OscillationDetectorTest, FreezeWaitsForBestMatchedState) {
+  OscillationDetector detector(8, 2);
+  detector.observe(1, 5, true);
+  detector.observe(2, 2, true);
+  detector.observe(1, 5, true);
+  ASSERT_EQ(detector.observe(2, 2, true), Verdict::kFreezePending);
+  ASSERT_EQ(detector.best_matched(), 5u);
+  // The worse phase of the cycle does not freeze; the best one does.
+  EXPECT_FALSE(detector.should_freeze(2));
+  EXPECT_TRUE(detector.should_freeze(5));
+}
+
+TEST(OscillationDetectorTest, CountdownSafetyValveExpires) {
+  OscillationDetector detector(3, 1);
+  detector.observe(1, 9, true);
+  ASSERT_EQ(detector.observe(1, 9, true), Verdict::kFreezePending);
+  // best_matched is 9 and never offered again; the window-sized countdown
+  // must still terminate the wait.
+  EXPECT_FALSE(detector.should_freeze(0));
+  EXPECT_FALSE(detector.should_freeze(0));
+  EXPECT_FALSE(detector.should_freeze(0));
+  EXPECT_TRUE(detector.should_freeze(0));
+}
+
+TEST(OscillationDetectorTest, StateRoundTripsThroughRestore) {
+  OscillationDetector detector(8, 2);
+  detector.observe(1, 4, true);
+  detector.observe(2, 1, true);
+  detector.observe(1, 4, true);
+  ASSERT_EQ(detector.observe(2, 1, true), Verdict::kFreezePending);
+
+  OscillationDetector resumed(8, 2);
+  resumed.restore(detector.state());
+  EXPECT_TRUE(resumed.freeze_pending());
+  EXPECT_EQ(resumed.best_matched(), 4u);
+  // The restored detector continues the same freeze protocol.
+  EXPECT_FALSE(resumed.should_freeze(1));
+  EXPECT_TRUE(resumed.should_freeze(4));
+}
+
+TEST(OscillationDetectorTest, WindowZeroDisablesTheGuard) {
+  OscillationDetector detector(0, 1);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(detector.observe(1, 1, true), Verdict::kStable);
+  EXPECT_FALSE(detector.freeze_pending());
+}
+
+}  // namespace

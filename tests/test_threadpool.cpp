@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <new>
 #include <numeric>
 #include <stdexcept>
 
 #include "bgp/threadpool.hpp"
+#include "obs/registry.hpp"
 
 namespace {
 
@@ -135,6 +137,66 @@ TEST(ThreadPoolTest, NestedParallelForOnOtherPoolIsAllowed) {
     inner.parallel_for(8, [&](std::size_t) { count++; });
   });
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesFromParallelForWorker) {
+  bgp::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_worker(100,
+                               [&](unsigned, std::size_t i) {
+                                 if (i == 41)
+                                   throw std::runtime_error("worker boom");
+                               }),
+      std::runtime_error);
+  // The pool is not poisoned: the next worker batch runs to completion.
+  std::atomic<int> count{0};
+  pool.parallel_for_worker(64, [&](unsigned, std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionDoesNotDeadlockShardMerge) {
+  // The refine sweep's shape: per-worker metric shards merged by ShardGroup
+  // after the batch barrier.  A body throwing mid-batch must neither
+  // deadlock the barrier nor corrupt the merge of the work that did finish.
+  bgp::ThreadPool pool(4);
+  obs::Registry registry;
+  const obs::CounterId done = registry.counter("test.done");
+  std::atomic<std::uint64_t> completed{0};
+  try {
+    obs::ShardGroup shards(registry, pool.shard_count());
+    pool.parallel_for_worker(200, [&](unsigned worker, std::size_t i) {
+      if (i == 97) throw std::runtime_error("mid-sweep fault");
+      shards.shard(worker).add(done, 1);
+      completed++;
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "mid-sweep fault");
+  }
+  // ~ShardGroup ran inside the try: every increment a worker completed
+  // before the fault was merged exactly once.
+  EXPECT_EQ(registry.value(done), completed.load());
+
+  // And the pool + a fresh ShardGroup still work for the next sweep.
+  {
+    obs::ShardGroup shards(registry, pool.shard_count());
+    pool.parallel_for_worker(50, [&](unsigned worker, std::size_t) {
+      shards.shard(worker).add(done, 1);
+    });
+  }
+  EXPECT_EQ(registry.value(done), completed.load() + 50);
+}
+
+TEST(ThreadPoolTest, BadAllocPropagatesLikeAnyException) {
+  bgp::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 5) throw std::bad_alloc();
+                                 }),
+               std::bad_alloc);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(ThreadPoolTest, ContentionStress) {

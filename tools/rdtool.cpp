@@ -15,8 +15,17 @@
 //   rdtool refine --dataset feeds.dump --out fitted.model
 //              [--training-fraction F] [--split-seed N] [--all]
 //              [--updates stream.upd]
+//              [--checkpoint ck [--checkpoint-every N]] [--resume ck]
+//              [--budget-seconds S] [--prefix-budget N]
 //       Split the feeds by observation point, fit the quasi-router model to
-//       the training side (--all: to every record) and write it.
+//       the training side (--all: to every record) and write it.  SIGINT/
+//       SIGTERM interrupt the fit cleanly (exit 130): with --checkpoint a
+//       resumable checkpoint lands on disk and a later --resume run
+//       continues the fit, producing a byte-identical final model to an
+//       uninterrupted one.  --budget-seconds / --prefix-budget bound the fit;
+//       on exhaustion (or a confirmed refinement oscillation, R700) the
+//       affected prefixes freeze and the fit completes degraded (exit 3)
+//       with per-prefix outcomes in the log and in --json.
 //
 //   rdtool predict --dataset feeds.dump --model fitted.model
 //              [--training-fraction F] [--split-seed N] [--validation-only]
@@ -63,9 +72,11 @@
 // JSON.  Observation never changes results: fitted models are byte-
 // identical with and without these flags.
 //
-// Exit codes for lint and audit are uniform; the single source of truth is
-// kExitCodeTable below (printed by `rdtool help`).  Other subcommands exit
-// 0 on success and non-zero on failure.
+// Exit codes for lint, audit and refine are uniform; the single source of
+// truth is kExitCodeTable below (printed by `rdtool help`).  Other
+// subcommands exit 0 on success and non-zero on failure.
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -78,6 +89,7 @@
 #include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/explain.hpp"
+#include "core/fault_inject.hpp"
 #include "core/pipeline.hpp"
 #include "core/predict.hpp"
 #include "core/report.hpp"
@@ -101,6 +113,13 @@ constexpr char kExitCodeTable[] =
     "  0  clean: no diagnostics at all\n"
     "  1  diagnostics found (any severity)\n"
     "  2  usage or I/O error\n"
+    "exit codes (refine):\n"
+    "  0  fit converged: every training path RIB-Out matched\n"
+    "  1  I/O error, resume mismatch or unrecoverable fault\n"
+    "  2  usage error\n"
+    "  3  fit completed degraded: oscillating or budget-exhausted\n"
+    "     prefixes were frozen, or the iteration cap left paths unmatched\n"
+    "  130  interrupted (SIGINT/SIGTERM); resume with --resume\n"
     "other subcommands exit 0 on success, non-zero on failure;\n"
     "see the header of tools/rdtool.cpp for details\n";
 
@@ -114,7 +133,11 @@ void print_help(std::FILE* out) {
       "  info      summarize --dataset F or --model F\n"
       "  refine    fit a quasi-router model (--dataset F --out F\n"
       "            [--threads N] [--json]); the parallel sweep yields the\n"
-      "            same model for every thread count\n"
+      "            same model for every thread count.  Fault tolerance:\n"
+      "            --checkpoint F [--checkpoint-every N] --resume F\n"
+      "            --budget-seconds S --prefix-budget N; SIGINT checkpoints\n"
+      "            and exits 130, --resume continues to a byte-identical\n"
+      "            final model\n"
       "  predict   evaluate a model (--dataset F --model F)\n"
       "  whatif    impact of removing a link (--model F --remove-link A:B)\n"
       "  explain   per-router decisions (--model F --origin O --as A)\n"
@@ -145,6 +168,12 @@ int usage() {
   print_help(stderr);
   return 2;
 }
+
+/// Set by the SIGINT/SIGTERM handlers installed around refine_model; the
+/// loop polls it between iterations, checkpoints and returns kInterrupted.
+std::atomic<bool> g_interrupt{false};
+
+void handle_interrupt(int) { g_interrupt.store(true); }
 
 std::optional<data::BgpDataset> load_dataset(const std::string& path) {
   std::ifstream in(path);
@@ -347,11 +376,69 @@ int cmd_refine(const nb::Cli& cli) {
   // 0 = hardware concurrency; the fitted model is identical for every
   // thread count (see refine.hpp), so this is purely a speed knob.
   config.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
+  config.wall_clock_budget_seconds = cli.get_double("budget-seconds", 0);
+  config.prefix_iteration_budget = cli.get_u64("prefix-budget", 0);
+  config.checkpoint_path = cli.get_string("checkpoint", "");
+  config.checkpoint_every = cli.get_u64("checkpoint-every", 8);
+
+  // --resume: the checkpoint replaces the fresh one-router-per-AS start;
+  // refine_model verifies the dataset hash and per-prefix state (R706).
+  std::optional<topo::RefineCheckpoint> checkpoint;
+  if (cli.has("resume")) {
+    const std::string resume_path = cli.get_string("resume", "");
+    std::string error;
+    checkpoint = topo::load_refine_checkpoint(resume_path, &error);
+    if (!checkpoint) {
+      std::fprintf(stderr, "rdtool: %s: %s\n", resume_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    model = checkpoint->model;
+    config.resume = &*checkpoint;
+    // Keep checkpointing to the same file unless redirected.
+    if (config.checkpoint_path.empty()) config.checkpoint_path = resume_path;
+    std::fprintf(stderr, "rdtool: resuming from %s after iteration %zu\n",
+                 resume_path.c_str(), checkpoint->iteration);
+  }
+
+  core::FaultPlan fault_plan;
+#ifdef RD_FAULT_INJECTION
+  // Deterministic stand-in for a real SIGINT (CI and the selftest use it to
+  // exercise the interrupt path without signal timing races).
+  if (cli.has("interrupt-after")) {
+    fault_plan.interrupt_iteration = cli.get_u64("interrupt-after", 0);
+    config.fault_plan = &fault_plan;
+  }
+#else
+  (void)fault_plan;
+#endif
+
   ObsSession obs_session;
   if (!obs_session.init(cli, "rdtool refine")) return 2;
   if (obs_session.attached()) config.observer = &obs_session.observer;
+
+  g_interrupt.store(false);
+  config.interrupt = &g_interrupt;
+  auto prev_int = std::signal(SIGINT, handle_interrupt);
+  auto prev_term = std::signal(SIGTERM, handle_interrupt);
   auto result = core::refine_model(model, training, config);
-  if (!write_file(out_path, topo::model_to_string(model))) return 1;
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+
+  const bool interrupted = result.stop == core::RefineStop::kInterrupted;
+  if (result.stop == core::RefineStop::kFault) {
+    // Resume mismatch or an unrecoverable sweep fault: the diagnostics say
+    // what happened; any partial state was already checkpointed.
+    std::fprintf(stderr, "%s",
+                 analysis::render_diagnostics(result.diagnostics).c_str());
+    obs_session.flush();
+    return 1;
+  }
+  // An interrupted fit leaves no --out model: the partial state lives in
+  // the checkpoint, and a half-refined model file would be easy to mistake
+  // for a finished one.
+  if (!interrupted && !write_file(out_path, topo::model_to_string(model)))
+    return 1;
   if (!obs_session.flush()) return 1;
   if (cli.get_bool("json")) {
     // Single JSON object on stdout; the model still lands in --out.
@@ -359,12 +446,36 @@ int cmd_refine(const nb::Cli& cli) {
     w.begin_object();
     w.key("tool").value("refine");
     w.key("success").value(result.success);
+    w.key("stop").value(core::refine_stop_name(result.stop));
+    w.key("degraded").value(result.degraded());
     w.key("iterations").value(static_cast<std::uint64_t>(result.iterations));
     w.key("unmatched_paths")
         .value(static_cast<std::uint64_t>(result.unmatched_paths));
     w.key("routers").value(static_cast<std::uint64_t>(model.num_routers()));
     w.key("messages_simulated").value(result.messages_simulated);
     w.key("threads").value(result.threads_used);
+    w.key("prefixes_converged")
+        .value(static_cast<std::uint64_t>(result.prefixes_converged));
+    w.key("prefixes_oscillating")
+        .value(static_cast<std::uint64_t>(result.prefixes_oscillating));
+    w.key("prefixes_budget_exhausted")
+        .value(static_cast<std::uint64_t>(result.prefixes_budget_exhausted));
+    w.key("checkpoint_written").value(result.checkpoint_written);
+    w.key("outcomes").begin_array();
+    for (const core::PrefixFitOutcome& o : result.outcomes) {
+      // The converged majority is summarized by prefixes_converged; listing
+      // only the exceptions keeps the report small at full scale.
+      if (o.outcome == core::PrefixOutcome::kConverged) continue;
+      w.begin_object();
+      w.key("origin").value(static_cast<std::uint64_t>(o.origin));
+      w.key("outcome").value(core::prefix_outcome_name(o.outcome));
+      w.key("matched").value(static_cast<std::uint64_t>(o.matched));
+      w.key("paths_total").value(static_cast<std::uint64_t>(o.paths_total));
+      w.key("frozen_iteration")
+          .value(static_cast<std::uint64_t>(o.frozen_iteration));
+      w.end_object();
+    }
+    w.end_array();
     w.key("phase_seconds").begin_object();
     w.key("simulate").value_fixed(result.phase_seconds.simulate, 6);
     w.key("heuristic").value_fixed(result.phase_seconds.heuristic, 6);
@@ -375,15 +486,32 @@ int cmd_refine(const nb::Cli& cli) {
     std::printf("%s\n", w.str().c_str());
   } else {
     std::printf("%s", core::render_refine_log(result).c_str());
+    if (!result.diagnostics.empty())
+      std::printf("%s",
+                  analysis::render_diagnostics(result.diagnostics).c_str());
     std::printf("fit took %.3fs (simulate %.3fs, heuristic %.3fs) on %u "
                 "thread(s), %llu messages\n",
                 result.phase_seconds.total, result.phase_seconds.simulate,
                 result.phase_seconds.heuristic, result.threads_used,
                 static_cast<unsigned long long>(result.messages_simulated));
-    std::printf("wrote model (%zu quasi-routers) to %s\n",
-                model.num_routers(), out_path.c_str());
+    if (!interrupted)
+      std::printf("wrote model (%zu quasi-routers) to %s\n",
+                  model.num_routers(), out_path.c_str());
   }
-  return result.success ? 0 : 3;
+  if (interrupted) {
+    if (result.checkpoint_written)
+      std::fprintf(stderr,
+                   "rdtool: interrupted after iteration %zu; resume with "
+                   "--resume %s\n",
+                   result.iterations, config.checkpoint_path.c_str());
+    else
+      std::fprintf(stderr,
+                   "rdtool: interrupted after iteration %zu (no --checkpoint "
+                   "given, progress discarded)\n",
+                   result.iterations);
+    return 130;
+  }
+  return result.success && !result.degraded() ? 0 : 3;
 }
 
 int cmd_predict(const nb::Cli& cli) {
@@ -789,6 +917,12 @@ int cmd_selftest(const nb::Cli& cli) {
   const std::string dir = cli.get_string("dir", "/tmp");
   const std::string dump = dir + "/rdtool_selftest.dump";
   const std::string model_path = dir + "/rdtool_selftest.model";
+  const auto slurp = [](const std::string& p) {
+    std::ifstream f(p);
+    std::ostringstream s;
+    s << f.rdbuf();
+    return s.str();
+  };
 
   // generate
   {
@@ -819,12 +953,6 @@ int cmd_selftest(const nb::Cli& cli) {
       nb::Cli sub(11, const_cast<char**>(argv));
       if (cmd_refine(sub) != 0) return 1;
     }
-    const auto slurp = [](const std::string& p) {
-      std::ifstream f(p);
-      std::ostringstream s;
-      s << f.rdbuf();
-      return s.str();
-    };
     if (slurp(model_path) != slurp(traced_model)) {
       std::fprintf(stderr, "selftest: traced refine produced a different "
                            "model\n");
@@ -836,6 +964,40 @@ int cmd_selftest(const nb::Cli& cli) {
       if (cmd_stats(sub) != 0) return 1;
     }
   }
+#ifdef RD_FAULT_INJECTION
+  // Fault tolerance: interrupt a fit mid-flight (deterministically, via the
+  // injected interrupt), resume from the checkpoint, and require the
+  // resumed fit to land on a byte-identical model.
+  {
+    const std::string ck_path = dir + "/rdtool_selftest.ckpt";
+    const std::string resumed_model = dir + "/rdtool_selftest_resumed.model";
+    {
+      const char* argv[] = {"rdtool", "--dataset", dump.c_str(),
+                            "--out", resumed_model.c_str(),
+                            "--checkpoint", ck_path.c_str(),
+                            "--checkpoint-every", "1",
+                            "--interrupt-after", "2"};
+      nb::Cli sub(11, const_cast<char**>(argv));
+      if (cmd_refine(sub) != 130) {
+        std::fprintf(stderr, "selftest: interrupted refine did not exit "
+                             "130\n");
+        return 1;
+      }
+    }
+    {
+      const char* argv[] = {"rdtool", "--dataset", dump.c_str(),
+                            "--out", resumed_model.c_str(),
+                            "--resume", ck_path.c_str()};
+      nb::Cli sub(7, const_cast<char**>(argv));
+      if (cmd_refine(sub) != 0) return 1;
+    }
+    if (slurp(model_path) != slurp(resumed_model)) {
+      std::fprintf(stderr, "selftest: resumed refine produced a different "
+                           "model\n");
+      return 1;
+    }
+  }
+#endif
   // predict on held-out feeds
   {
     const char* argv[] = {"rdtool", "--dataset", dump.c_str(), "--model",
