@@ -11,13 +11,20 @@
 // total at each scale is gated against the recorded baseline:
 // exit 1 if current > max-regress x baseline (CI perf smoke).
 //
+// Also times the static route-space analyzer (a 1-thread self-diff of the
+// fitted model -- two MAY-set enumerations per prefix plus the comparison,
+// the same path CI's diff gate exercises) and gates it against the
+// baseline alongside the fit, re-proving self-diff emptiness on the way.
+//
 //   bench_refine [--scales=0.05,0.1,0.2] [--seed=1] [--threads=0]
 //                [--out=BENCH_refine.json] [--baseline=FILE]
 //                [--max-regress=2.0] [--write-baseline=FILE]
 //
-// The baseline file is plain text, one `scale <seconds>` pair per line,
-// written by --write-baseline on a reference machine and parsed here
-// without any JSON dependency.
+// The baseline file is plain text, one `scale <fit-seconds>
+// [<route-space-seconds>]` line per scale, written by --write-baseline on
+// a reference machine and parsed here without any JSON dependency (the
+// third column is optional for pre-analyzer baselines).
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -26,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/model_diff.hpp"
 #include "bgp/threadpool.hpp"
 #include "core/pipeline.hpp"
 #include "netbase/cli.hpp"
@@ -51,6 +59,10 @@ struct RunResult {
   std::uint64_t validate_ns = 0;
   std::uint64_t total_ns = 0;
   std::uint64_t engine_messages = 0;
+  /// Route-space analyzer wall-clock: 1-thread self-diff of the fitted
+  /// model (0 on multi-thread runs, which skip it).
+  double route_space_seconds = 0;
+  bool self_diff_identical = true;
 };
 
 std::vector<double> parse_scales(const std::string& text) {
@@ -88,6 +100,21 @@ RunResult run_once(double scale, std::uint64_t seed, unsigned threads) {
   run.threads_used = run.refine.threads_used;
   run.routers = model.num_routers();
   run.model_text = topo::model_to_string(model);
+  if (threads == 1) {
+    // Static route-space analyzer leg: a 1-thread self-diff of the fitted
+    // model enumerates every prefix's MAY sets twice and compares them --
+    // the hot path behind `rdtool diff`/`impact` -- and must come back
+    // empty (the analyzer's own CI invariant).
+    analysis::DiffOptions diff_options;
+    diff_options.threads = 1;
+    const auto start = std::chrono::steady_clock::now();
+    const analysis::DiffResult self =
+        analysis::diff_models(model, model, diff_options);
+    run.route_space_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    run.self_diff_identical = self.identical();
+  }
   return run;
 }
 
@@ -122,14 +149,30 @@ void append_json(nb::JsonWriter& w, const RunResult& run) {
   w.key("total_ns").value(run.total_ns);
   w.key("engine_messages").value(run.engine_messages);
   w.end_object();
+  // Route-space analyzer leg (1-thread runs only; 0 elsewhere).
+  w.key("route_space_seconds").value_fixed(run.route_space_seconds, 6);
+  w.key("self_diff_identical").value(run.self_diff_identical);
   w.end_object();
 }
 
-std::map<double, double> read_baseline(const std::string& path) {
-  std::map<double, double> baseline;
+struct BaselineEntry {
+  double refine_seconds = 0;
+  double route_space_seconds = 0;  // 0: pre-analyzer baseline, not gated
+};
+
+std::map<double, BaselineEntry> read_baseline(const std::string& path) {
+  std::map<double, BaselineEntry> baseline;
   std::ifstream in(path);
-  double scale = 0, seconds = 0;
-  while (in >> scale >> seconds) baseline[scale] = seconds;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::stringstream fields(line);
+    double scale = 0;
+    BaselineEntry entry;
+    if (fields >> scale >> entry.refine_seconds) {
+      fields >> entry.route_space_seconds;  // optional third column
+      baseline[scale] = entry;
+    }
+  }
   return baseline;
 }
 
@@ -147,9 +190,9 @@ int main(int argc, char** argv) {
   std::printf("bench_refine: refinement fit wall-clock and throughput\n");
   std::printf("hardware threads: %u, multi-thread runs use %u\n\n",
               bgp::ThreadPool::resolve(0), multi);
-  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s\n", "scale",
+  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s %-10s\n", "scale",
               "threads", "iters", "routers", "simulate", "heuristic", "total",
-              "msgs/sec");
+              "msgs/sec", "rspace");
 
   bool ok = true;
   bool identical = true;
@@ -161,11 +204,18 @@ int main(int argc, char** argv) {
     for (const unsigned threads : thread_counts) {
       RunResult run = run_once(scale, seed, threads);
       ok &= run.refine.success;
-      std::printf("%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f\n",
-                  scale, run.threads_used, run.refine.iterations, run.routers,
-                  run.refine.phase_seconds.simulate,
-                  run.refine.phase_seconds.heuristic,
-                  run.refine.phase_seconds.total, messages_per_second(run));
+      if (!run.self_diff_identical) {
+        ok = false;
+        std::fprintf(stderr,
+                     "bench_refine: SELF-DIFF NOT EMPTY at scale %.3f\n",
+                     scale);
+      }
+      std::printf(
+          "%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f %-10.3f\n",
+          scale, run.threads_used, run.refine.iterations, run.routers,
+          run.refine.phase_seconds.simulate, run.refine.phase_seconds.heuristic,
+          run.refine.phase_seconds.total, messages_per_second(run),
+          run.route_space_seconds);
       runs.push_back(std::move(run));
       if (one_thread_model == nullptr) {
         one_thread_model = &runs.back().model_text;
@@ -186,7 +236,7 @@ int main(int argc, char** argv) {
   bool baseline_pass = true;
   if (cli.has("baseline")) {
     const double max_regress = cli.get_double("max-regress", 2.0);
-    const std::map<double, double> baseline =
+    const std::map<double, BaselineEntry> baseline =
         read_baseline(cli.get_string("baseline", ""));
     for (const RunResult& run : runs) {
       if (run.threads != 1) continue;
@@ -194,19 +244,32 @@ int main(int argc, char** argv) {
       if (it == baseline.end()) continue;
       baseline_checked = true;
       const double total = run.refine.phase_seconds.total;
-      const bool pass = total <= it->second * max_regress;
+      const bool pass = total <= it->second.refine_seconds * max_regress;
       baseline_pass &= pass;
       std::printf("baseline scale %.3f: %.3fs vs %.3fs recorded (%.2fx, "
                   "limit %.2fx) %s\n",
-                  run.scale, total, it->second, total / it->second,
-                  max_regress, pass ? "ok" : "REGRESSION");
+                  run.scale, total, it->second.refine_seconds,
+                  total / it->second.refine_seconds, max_regress,
+                  pass ? "ok" : "REGRESSION");
+      // Route-space leg, gated the same way when the baseline records it.
+      if (it->second.route_space_seconds > 0) {
+        const double rs = run.route_space_seconds;
+        const bool rs_pass = rs <= it->second.route_space_seconds * max_regress;
+        baseline_pass &= rs_pass;
+        std::printf("baseline scale %.3f route-space: %.3fs vs %.3fs recorded "
+                    "(%.2fx, limit %.2fx) %s\n",
+                    run.scale, rs, it->second.route_space_seconds,
+                    rs / it->second.route_space_seconds, max_regress,
+                    rs_pass ? "ok" : "REGRESSION");
+      }
     }
   }
   if (cli.has("write-baseline")) {
     std::ofstream out(cli.get_string("write-baseline", ""));
     for (const RunResult& run : runs) {
       if (run.threads == 1)
-        out << run.scale << ' ' << run.refine.phase_seconds.total << '\n';
+        out << run.scale << ' ' << run.refine.phase_seconds.total << ' '
+            << run.route_space_seconds << '\n';
     }
   }
 

@@ -14,6 +14,13 @@
 //   D6xx  dead policies (policy_audit: rules that can never take effect)
 //   R7xx  runtime refinement faults (core/refine: oscillation freezes,
 //         budget exhaustion, sweep faults, checkpoint errors)
+//   A8xx  static route-space analysis (route_space / model_diff: blackholes,
+//         enumeration caps, abstract route-set differences)
+//
+// Every code, its family and its numeric slot are registered in
+// codes::kRegistry below; tests/test_diagnostics_registry.cpp asserts the
+// table is unique, family-consistent, covers every code emitted anywhere in
+// src/, and that each code is documented in DESIGN.md.
 #pragma once
 
 #include <cstddef>
@@ -141,6 +148,51 @@ inline constexpr const char* kWallClockExhausted =
 inline constexpr const char* kSweepFault = "R704-sweep-fault";
 inline constexpr const char* kCheckpointError = "R705-checkpoint-error";
 inline constexpr const char* kResumeMismatch = "R706-resume-mismatch";
+
+// Static route-space analysis (route_space / model_diff).  A800 proves a
+// router can never install any route for a prefix; A801 marks the proof
+// surface as incomplete (enumeration caps hit); A81x report abstract
+// route-set / structural differences found by `rdtool diff`.
+inline constexpr const char* kStaticBlackhole = "A800-static-blackhole";
+inline constexpr const char* kRouteSpaceTruncated =
+    "A801-route-space-truncated";
+inline constexpr const char* kRouteSetDiffers = "A810-route-set-differs";
+inline constexpr const char* kStructureDiffers = "A811-structure-differs";
+
+// Single source of truth for every stable diagnostic code.  New codes must
+// be added here (and documented in DESIGN.md); tests assert the table is
+// duplicate-free, that each entry's family letter matches its hundreds
+// digit group, and that every code string emitted from src/ appears here.
+inline constexpr const char* kRegistry[] = {
+    // M1xx model structure
+    kSessionPeerDead, kSessionAsymmetric, kSessionIntraAs,
+    kSessionCountMismatch, kRouterIndexBroken, kPeerOrderBroken,
+    kRelationshipAsymmetric, kRelationshipDangling,
+    // P2xx per-prefix policies
+    kFilterDanglingSession, kFilterOwnerMismatch, kFilterNoop,
+    kIgpCostDanglingSession, kRankingOrphanRouter, kRankingNonNeighbor,
+    kDefaultRankingOrphan, kLpOverrideOrphan, kExportAllowDangling,
+    kPolicyEmpty,
+    // F3xx fitted-model invariants
+    kSessionsNotPairwiseComplete, kNeighborSetDivergence, kModelNotAgnostic,
+    // C4xx engine post-state
+    kSimStale, kSimNotConverged, kBestIndexInvalid, kBestNotWinning, kAsLoop,
+    kRibInDuplicateSender, kRibInUnknownSender, kOriginNotOriginating,
+    kRibInStale, kBestExternalInvalid,
+    // S5xx static safety
+    kDisputeWheel, kAuditTruncated, kAuditSkippedPrefix,
+    // D6xx dead policies
+    kFilterNeverBlocks, kFilterShadowed, kRankingDead,
+    // R7xx runtime refinement faults
+    kRefineOscillation, kEngineDiverged, kPrefixBudgetExhausted,
+    kWallClockExhausted, kSweepFault, kCheckpointError, kResumeMismatch,
+    // A8xx static route-space analysis
+    kStaticBlackhole, kRouteSpaceTruncated, kRouteSetDiffers,
+    kStructureDiffers,
+};
+
+inline constexpr std::size_t kRegistrySize =
+    sizeof(kRegistry) / sizeof(kRegistry[0]);
 
 }  // namespace codes
 

@@ -1,96 +1,43 @@
 #include "analysis/dispute_graph.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <optional>
-#include <utility>
+#include <string>
+#include <vector>
 
 namespace analysis {
 
-using bgp::Route;
 using topo::Model;
 
 DisputeGraph build_dispute_graph(const bgp::Engine& engine,
                                  const nb::Prefix& prefix, nb::Asn origin,
                                  const DisputeGraphOptions& options) {
+  return build_dispute_graph(engine,
+                             build_route_space(engine, prefix, origin, options));
+}
+
+DisputeGraph build_dispute_graph(const bgp::Engine& engine,
+                                 const RouteSpace& space) {
   DisputeGraph graph;
   const Model& model = engine.model();
-  const topo::PrefixPolicy* policy = model.find_policy(prefix);
   const std::vector<std::uint32_t> ids = bgp::dense_ids(model);
-  graph.by_router.resize(model.num_routers());
 
-  // (router, path) -> node id.  std::map keeps rediscovery deterministic.
-  std::map<std::pair<Model::Dense, std::vector<nb::Asn>>, std::size_t> index;
-  std::deque<std::size_t> queue;
-
-  auto add_node = [&](Model::Dense router, Route route) {
-    const std::size_t id = graph.nodes.size();
-    index.emplace(std::make_pair(router, route.path), id);
-    graph.by_router[router].push_back(id);
-    graph.nodes.push_back({router, std::move(route)});
-    graph.arcs.emplace_back();
-    queue.push_back(id);
-    return id;
-  };
-
-  // Origination, exactly as Engine::run seeds it (empty path, MED 0).
-  for (const Model::Dense r : model.routers_of(origin)) {
-    Route self;
-    self.sender = r;
-    self.med = 0;
-    add_node(r, std::move(self));
-  }
-
-  while (!queue.empty()) {
-    const std::size_t parent = queue.front();
-    queue.pop_front();
-    const Model::Dense v = graph.nodes[parent].router;
-    if (graph.nodes[parent].route.path.size() + 1 > options.max_path_length) {
-      graph.truncated = true;
-      continue;
-    }
-    for (const Model::Dense u : model.peers(v)) {
-      // The propagated route depends only on the parent's PATH (export and
-      // import both recompute attributes), so the representative choice
-      // below never requires re-propagation.
-      std::optional<Route> imported =
-          engine.propagate(policy, v, u, graph.nodes[parent].route);
-      if (!imported.has_value()) continue;
-      auto it = index.find(std::make_pair(u, imported->path));
-      std::size_t child;
-      if (it != index.end()) {
-        child = it->second;
-        // Keep the best-ranked sender as the representative for preference
-        // comparisons (the engine would install exactly one of these).
-        if (bgp::compare_routes(*imported, graph.nodes[child].route, ids)
-                .order < 0) {
-          graph.nodes[child].route = std::move(*imported);
-        }
-      } else {
-        if (graph.by_router[u].size() >= options.max_paths_per_router ||
-            graph.nodes.size() >= options.max_nodes) {
-          graph.truncated = true;
-          continue;
-        }
-        child = add_node(u, std::move(*imported));
-      }
-      auto& arcs = graph.arcs[child];
-      if (std::none_of(arcs.begin(), arcs.end(), [&](const DisputeGraph::Arc& a) {
-            return a.to == parent &&
-                   a.kind == DisputeGraph::ArcKind::kDependence;
-          })) {
-        arcs.push_back({parent, DisputeGraph::ArcKind::kDependence});
-      }
+  // The node universe IS the route space; dependence arcs were recorded
+  // during its BFS (child -> announcing parent).
+  graph.by_router = space.by_router;
+  graph.truncated = space.truncated;
+  graph.nodes.reserve(space.nodes.size());
+  graph.arcs.resize(space.nodes.size());
+  for (std::size_t j = 0; j < space.nodes.size(); ++j) {
+    graph.nodes.push_back({space.nodes[j].router, space.nodes[j].route});
+    for (const std::size_t parent : space.dependence[j]) {
+      graph.arcs[j].push_back({parent, DisputeGraph::ArcKind::kDependence});
     }
   }
 
   // Dispute arcs: for every dependence (u, vQ) -> (v, Q), v abandoning Q for
   // a strictly preferred Q' destabilizes u's path.
   for (std::size_t j = 0; j < graph.nodes.size(); ++j) {
-    const std::vector<DisputeGraph::Arc> dependence = graph.arcs[j];
-    for (const DisputeGraph::Arc& dep : dependence) {
-      const std::size_t i = dep.to;
+    for (const std::size_t i : space.dependence[j]) {
       const Model::Dense v = graph.nodes[i].router;
       for (const std::size_t k : graph.by_router[v]) {
         if (k == i) continue;

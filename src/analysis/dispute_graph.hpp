@@ -38,17 +38,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/route_space.hpp"
 #include "bgp/engine.hpp"
 #include "topology/model.hpp"
 
 namespace analysis {
 
-struct DisputeGraphOptions {
-  /// Enumeration caps; exceeding any sets DisputeGraph::truncated.
-  std::size_t max_paths_per_router = 32;
-  std::size_t max_path_length = 16;
-  std::size_t max_nodes = 65536;
-};
+/// The permitted-path universe and its caps live in route_space.hpp; the
+/// dispute digraph is a view over that shared enumeration.
+using DisputeGraphOptions = RouteSpaceOptions;
 
 struct DisputeGraph {
   enum class ArcKind : std::uint8_t { kDependence, kDispute };
@@ -80,6 +78,13 @@ struct DisputeGraph {
 DisputeGraph build_dispute_graph(const bgp::Engine& engine,
                                  const nb::Prefix& prefix, nb::Asn origin,
                                  const DisputeGraphOptions& options = {});
+
+/// Same digraph over a route space already enumerated with build_route_space
+/// (the engine must be the one the space was built from).  Lets callers that
+/// need both the route-space abstraction and safety analysis -- policy_audit
+/// foremost -- run the BFS once.
+DisputeGraph build_dispute_graph(const bgp::Engine& engine,
+                                 const RouteSpace& space);
 
 /// A cycle as node indices (first == last omitted); empty when acyclic.
 /// Any cycle necessarily crosses a dispute arc: dependence arcs strictly

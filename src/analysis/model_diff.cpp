@@ -1,0 +1,215 @@
+#include "analysis/model_diff.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "bgp/threadpool.hpp"
+
+namespace analysis {
+
+using topo::Model;
+
+namespace {
+
+/// One router's abstract route set: permitted paths with representative
+/// import attributes, order-normalized for comparison.
+using RouteSet =
+    std::set<std::tuple<std::vector<nb::Asn>, std::uint32_t, std::uint32_t,
+                        std::uint32_t>>;
+
+RouteSet route_set(const RouteSpace& space, Model::Dense router) {
+  RouteSet set;
+  for (const std::size_t id : space.by_router[router]) {
+    const bgp::Route& route = space.nodes[id].route;
+    set.emplace(route.path, route.local_pref, route.med, route.igp_cost);
+  }
+  return set;
+}
+
+/// "1.0, 2.1, ... (+k more)" sample rendering shared by A810/A811 messages.
+std::string sample_list(const std::vector<std::string>& items,
+                        std::size_t cap) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size() && i < cap; ++i) {
+    if (!out.empty()) out += ", ";
+    out += items[i];
+  }
+  if (items.size() > cap) {
+    out += ", +" + std::to_string(items.size() - cap) + " more";
+  }
+  return out;
+}
+
+constexpr std::size_t kSampleCap = 8;
+
+void diff_structure(const Model& a, const Model& b, DiffResult& result) {
+  std::vector<std::string> only_a;
+  std::vector<std::string> only_b;
+  for (Model::Dense r = 0; r < a.num_routers(); ++r) {
+    if (!b.has_router(a.router_id(r))) only_a.push_back(a.router_id(r).str());
+  }
+  for (Model::Dense r = 0; r < b.num_routers(); ++r) {
+    if (!a.has_router(b.router_id(r))) only_b.push_back(b.router_id(r).str());
+  }
+  auto report_routers = [&result](const std::vector<std::string>& only,
+                                  const char* side) {
+    if (only.empty()) return;
+    ++result.structure_findings;
+    result.diagnostics.push_back(
+        {Severity::kError, codes::kStructureDiffers, "routers",
+         std::to_string(only.size()) + " router(s) only in model " + side +
+             ": " + sample_list(only, kSampleCap)});
+  };
+  report_routers(only_a, "A");
+  report_routers(only_b, "B");
+
+  // Sessions over the common routers (a session naming a router missing on
+  // the other side is already covered above).
+  auto session_set = [](const Model& m, const Model& other) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> sessions;
+    for (Model::Dense v = 0; v < m.num_routers(); ++v) {
+      const nb::RouterId v_id = m.router_id(v);
+      if (!other.has_router(v_id)) continue;
+      for (const Model::Dense u : m.peers(v)) {
+        const nb::RouterId u_id = m.router_id(u);
+        if (!other.has_router(u_id)) continue;
+        if (v_id.value() < u_id.value()) {
+          sessions.emplace(v_id.value(), u_id.value());
+        }
+      }
+    }
+    return sessions;
+  };
+  const auto sessions_a = session_set(a, b);
+  const auto sessions_b = session_set(b, a);
+  auto report_sessions = [&result](const auto& own, const auto& other,
+                                   const char* side) {
+    std::vector<std::string> only;
+    for (const auto& [x, y] : own) {
+      if (other.count({x, y}) == 0) {
+        only.push_back(nb::RouterId::from_value(x).str() + "--" +
+                       nb::RouterId::from_value(y).str());
+      }
+    }
+    if (only.empty()) return;
+    ++result.structure_findings;
+    result.diagnostics.push_back(
+        {Severity::kError, codes::kStructureDiffers, "sessions",
+         std::to_string(only.size()) + " session(s) only in model " + side +
+             ": " + sample_list(only, kSampleCap)});
+  };
+  report_sessions(sessions_a, sessions_b, "A");
+  report_sessions(sessions_b, sessions_a, "B");
+}
+
+}  // namespace
+
+DiffResult diff_models(const topo::Model& a, const topo::Model& b,
+                       const DiffOptions& options) {
+  DiffResult result;
+  diff_structure(a, b, result);
+
+  // Comparison targets: explicit origins, else the union of both models'
+  // derivable policy overlays (ordered by prefix; std::map dedupes).
+  std::vector<std::pair<nb::Prefix, nb::Asn>> targets;
+  if (!options.origins.empty()) {
+    for (const nb::Asn origin : options.origins) {
+      targets.emplace_back(nb::Prefix::for_asn(origin), origin);
+    }
+  } else {
+    std::map<nb::Prefix, nb::Asn> derived;
+    std::set<nb::Prefix> seen;  // counts a both-sided skip once, not twice
+    for (const Model* m : {&a, &b}) {
+      for (const auto& [prefix, policy] : m->prefix_policies()) {
+        if (policy.empty() || !seen.insert(prefix).second) continue;
+        // Accept an origin derivable in either model: an overlay for an AS
+        // only one side knows is a real difference, not a skip -- the
+        // structural pass reported the router set, and the comparison below
+        // reports the route sets.
+        nb::Asn origin = derive_origin(a, prefix);
+        if (origin == nb::kInvalidAsn) origin = derive_origin(b, prefix);
+        if (origin == nb::kInvalidAsn) {
+          ++result.prefixes_skipped;
+          continue;
+        }
+        derived.emplace(prefix, origin);
+      }
+    }
+    targets.assign(derived.begin(), derived.end());
+  }
+
+  const bgp::Engine engine_a(a, options.engine_a);
+  const bgp::Engine engine_b(b, options.engine_b);
+  engine_a.context();  // build both epoch snapshots once, not per worker
+  engine_b.context();
+
+  // Per-target comparisons are independent and read-only; fan across the
+  // pool, merge in target order (thread-count invariant results).
+  std::vector<PrefixDiff> outcomes(targets.size());
+  bgp::ThreadPool pool(options.threads);
+  pool.parallel_for(targets.size(), [&](std::size_t i) {
+    const auto& [prefix, origin] = targets[i];
+    PrefixDiff& diff = outcomes[i];
+    diff.prefix = prefix;
+    diff.origin = origin;
+    const RouteSpace space_a =
+        build_route_space(engine_a, prefix, origin, options.space);
+    const RouteSpace space_b =
+        build_route_space(engine_b, prefix, origin, options.space);
+    diff.truncated = space_a.truncated || space_b.truncated;
+    for (Model::Dense r = 0; r < a.num_routers(); ++r) {
+      const nb::RouterId id = a.router_id(r);
+      if (!b.has_router(id)) continue;  // structural finding already
+      if (route_set(space_a, r) != route_set(space_b, b.dense(id))) {
+        diff.routers.push_back(id);
+      }
+    }
+    std::sort(diff.routers.begin(), diff.routers.end(),
+              [](nb::RouterId x, nb::RouterId y) {
+                return x.value() < y.value();
+              });
+  });
+
+  std::size_t truncated_prefixes = 0;
+  for (PrefixDiff& diff : outcomes) {
+    ++result.prefixes_compared;
+    const std::string where = "prefix " + diff.prefix.str();
+    if (diff.truncated) {
+      result.truncated = true;
+      ++truncated_prefixes;
+    }
+    if (!diff.routers.empty()) {
+      result.routers_differing += diff.routers.size();
+      std::vector<std::string> names;
+      names.reserve(diff.routers.size());
+      for (const nb::RouterId id : diff.routers) names.push_back(id.str());
+      result.diagnostics.push_back(
+          {Severity::kError, codes::kRouteSetDiffers, where,
+           std::to_string(diff.routers.size()) +
+               " router(s) with differing abstract route sets: " +
+               sample_list(names, kSampleCap)});
+    }
+    if (!diff.routers.empty() || diff.truncated) {
+      result.prefixes.push_back(std::move(diff));
+    }
+  }
+  // One aggregate truncation note instead of a line per prefix: at real
+  // scales most prefixes cap out, and the per-prefix flag is still in
+  // result.prefixes for consumers that need it.
+  if (truncated_prefixes > 0) {
+    result.diagnostics.push_back(
+        {Severity::kWarning, codes::kRouteSpaceTruncated, "diff",
+         std::to_string(truncated_prefixes) + " of " +
+             std::to_string(result.prefixes_compared) +
+             " compared prefix(es) hit an enumeration cap on at least one "
+             "side; their equality covers the enumerated universe only"});
+  }
+  return result;
+}
+
+}  // namespace analysis

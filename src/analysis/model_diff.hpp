@@ -1,0 +1,87 @@
+// Static model diff: do two models route the same way -- without simulating
+// either?
+//
+// Structural pass (A811): routers or sessions present in exactly one model.
+// Semantic pass (A810): per analyzed prefix, the per-router abstract route
+// sets -- each permitted path with the import attributes (local-pref, MED,
+// IGP cost) of its best-ranked sender, from route_space.hpp -- are compared
+// between the models; routers whose sets differ are reported.
+//
+// Equal abstract sets mean equal simulations: Engine::run only ever installs
+// routes from the permitted universe, and selection is a deterministic
+// function of the installed candidates' attributes.  Differences in inputs
+// that matter (relationship classes, IGP costs, filters, rankings,
+// local-pref overrides) all surface through the enumerated paths or their
+// attributes, so they need no structural rules of their own.  Two caveats,
+// inherited from the representative-attribute abstraction: (1) attributes
+// are those of the best-ranked SENDER of each path -- a model pair whose
+// sets differ only in non-best senders of the same path compares equal (the
+// engine would never install those senders' copies anyway, but the RIB-In
+// contents can differ); (2) on truncated enumerations (A801) equality of
+// the enumerated portion proves nothing about the remainder, so the prefix
+// is flagged rather than claimed equivalent -- identical models still
+// compare clean because the enumeration is deterministic.
+//
+// A model diffed against itself reports zero differences (enforced in CI).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/route_space.hpp"
+#include "bgp/engine.hpp"
+#include "topology/model.hpp"
+
+namespace analysis {
+
+struct DiffOptions {
+  /// Engine interpretation per side (a ground-truth model wants
+  /// relationship policies + IGP costs; a fitted one wants the defaults).
+  bgp::EngineOptions engine_a;
+  bgp::EngineOptions engine_b;
+  RouteSpaceOptions space;
+
+  /// Worker threads for the per-prefix comparison (0 = hardware
+  /// concurrency); results merge in target order, thread-count invariant.
+  unsigned threads = 1;
+
+  /// Origin ASes to compare (prefix = Prefix::for_asn).  Empty: derive one
+  /// origin per policy overlay found in EITHER model; overlays with no
+  /// derivable origin are skipped (counted, not reported -- a self-diff
+  /// must stay empty).
+  std::vector<nb::Asn> origins;
+};
+
+struct PrefixDiff {
+  nb::Prefix prefix;
+  nb::Asn origin = nb::kInvalidAsn;
+  /// Routers (present in both models) whose abstract route sets differ,
+  /// ascending by router id.
+  std::vector<nb::RouterId> routers;
+  bool truncated = false;  // either side hit an enumeration cap (A801)
+};
+
+struct DiffResult {
+  /// A811 structural findings, then per-prefix A810/A801 in target order.
+  Diagnostics diagnostics;
+  /// Only prefixes with differing routers or truncation.
+  std::vector<PrefixDiff> prefixes;
+  std::size_t prefixes_compared = 0;
+  std::size_t prefixes_skipped = 0;   // no derivable origin
+  std::size_t routers_differing = 0;  // A810 total across prefixes
+  std::size_t structure_findings = 0;  // A811 count
+  bool truncated = false;
+
+  /// No observable difference found.  Truncation does not break identity
+  /// (deterministic enumeration) but does weaken it to the enumerated
+  /// universe; callers needing a proof must also check !truncated.
+  bool identical() const {
+    return routers_differing == 0 && structure_findings == 0;
+  }
+};
+
+DiffResult diff_models(const topo::Model& a, const topo::Model& b,
+                       const DiffOptions& options = {});
+
+}  // namespace analysis

@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/route_space.hpp"
 #include "bgp/threadpool.hpp"
 
 namespace analysis {
@@ -16,17 +17,6 @@ using topo::Model;
 namespace {
 
 constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
-
-/// Recovers the origin AS from the Prefix::for_asn convention
-/// (10.<asn_hi>.<asn_lo>.0/24); kInvalidAsn when the prefix does not follow
-/// it or the AS is not in the model.
-nb::Asn origin_of(const Model& model, const nb::Prefix& prefix) {
-  const nb::Asn asn = (prefix.network().value() >> 8) & 0xffffu;
-  if (nb::Prefix::for_asn(asn) != prefix || !model.has_as(asn)) {
-    return nb::kInvalidAsn;
-  }
-  return asn;
-}
 
 /// BFS from the origin's routers over sessions, skipping edges whose export
 /// filter is kDenyAll for this prefix.  dist[r] is a LOWER bound on the
@@ -67,8 +57,65 @@ struct DeadRules {
   std::vector<std::uint32_t> rankings;             // D610 router id values
 };
 
+/// Dead rules against the exact permitted-path universe.  Tighter than the
+/// relaxed BFS in every direction -- valley-free export, AS-loop rejection
+/// and deny-below filters all shrink the MAY sets -- and still sound: a rule
+/// that cannot fire against the complete universe cannot fire in any
+/// simulation.  Requires !space.truncated.
+DeadRules find_dead_rules_exact(const Model& model,
+                                const topo::PrefixPolicy& policy,
+                                const RouteSpace& space) {
+  DeadRules dead;
+  for (const auto& [key, filter] : policy.filters) {
+    const nb::RouterId from =
+        nb::RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+    if (!model.has_router(from)) continue;  // linter territory (P200)
+    const Model::Dense announcer = model.dense(from);
+    if (!space.may_reach(announcer)) {
+      dead.filters_shadowed.push_back(key);
+    } else if (filter.deny_below_len != ExportFilter::kDenyAll &&
+               space.min_announced_len(announcer) >= filter.deny_below_len) {
+      // Every permitted arriving path is at least as long as the announcer's
+      // shortest selectable route plus its own AS.
+      dead.filters_never_block.push_back(key);
+    }
+  }
+
+  for (const auto& [router_value, rule] : policy.rankings) {
+    const nb::RouterId router = nb::RouterId::from_value(router_value);
+    if (!model.has_router(router)) continue;  // linter territory (P210)
+    const Model::Dense r = model.dense(router);
+    // A per-prefix ranking masks the default one (the engine consults the
+    // default only when no per-prefix rule exists), so removing a dead rule
+    // here would un-mask it and change behavior.
+    if (model.default_ranking(r) != nb::kInvalidAsn) continue;
+    // Live iff some permitted route AT the router was announced by the
+    // preferred AS (path head = announcing AS) -- the exact condition for
+    // the MED rewrite to ever fire.
+    bool preferred_can_announce = false;
+    for (const std::size_t id : space.by_router[r]) {
+      const std::vector<nb::Asn>& path = space.nodes[id].route.path;
+      if (!path.empty() && path.front() == rule.preferred_neighbor) {
+        preferred_can_announce = true;
+        break;
+      }
+    }
+    if (!preferred_can_announce) dead.rankings.push_back(router_value);
+  }
+
+  std::sort(dead.filters_never_block.begin(), dead.filters_never_block.end());
+  std::sort(dead.filters_shadowed.begin(), dead.filters_shadowed.end());
+  std::sort(dead.rankings.begin(), dead.rankings.end());
+  return dead;
+}
+
+/// find_dead_rules_exact when the enumeration completed, else the PR 2
+/// relaxed-BFS bounds (sound on truncated spaces precisely because they
+/// ignore the constraints the enumeration ran out of budget exploring).
 DeadRules find_dead_rules(const Model& model, const topo::PrefixPolicy& policy,
-                          nb::Asn origin) {
+                          nb::Asn origin, const RouteSpace& space) {
+  if (!space.truncated) return find_dead_rules_exact(model, policy, space);
+
   DeadRules dead;
   const std::vector<std::size_t> dist =
       relaxed_distances(model, policy, origin);
@@ -91,9 +138,6 @@ DeadRules find_dead_rules(const Model& model, const topo::PrefixPolicy& policy,
     const nb::RouterId router = nb::RouterId::from_value(router_value);
     if (!model.has_router(router)) continue;  // linter territory (P210)
     const Model::Dense r = model.dense(router);
-    // A per-prefix ranking masks the default one (the engine consults the
-    // default only when no per-prefix rule exists), so removing a dead rule
-    // here would un-mask it and change behavior.
     if (model.default_ranking(r) != nb::kInvalidAsn) continue;
     bool preferred_can_announce = false;
     for (const Model::Dense p : model.peers(r)) {
@@ -129,7 +173,7 @@ std::vector<std::pair<nb::Prefix, nb::Asn>> audit_targets(
   }
   for (const auto& [prefix, policy] : model.prefix_policies()) {
     if (policy.empty()) continue;
-    const nb::Asn origin = origin_of(model, prefix);
+    const nb::Asn origin = derive_origin(model, prefix);
     if (origin == nb::kInvalidAsn) {
       if (out != nullptr) {
         out->push_back({Severity::kWarning, codes::kAuditSkippedPrefix,
@@ -151,6 +195,7 @@ struct TargetOutcome {
   PrefixAuditStats stats;
   std::size_t dead_filters = 0;
   std::size_t dead_rankings = 0;
+  std::size_t unreachable_routers = 0;
 };
 
 TargetOutcome audit_one(const Model& model, const bgp::Engine& engine,
@@ -162,9 +207,15 @@ TargetOutcome audit_one(const Model& model, const bgp::Engine& engine,
   stats.origin = origin;
   const std::string where = "prefix " + prefix.str();
 
+  // One BFS feeds every pass: dead rules, blackholes, safety, diversity.
+  const RouteSpace space =
+      build_route_space(engine, prefix, origin, options.graph);
+  stats.permitted_paths = space.nodes.size();
+  stats.truncated = space.truncated;
+
   if (options.check_dead) {
     if (const topo::PrefixPolicy* policy = model.find_policy(prefix)) {
-      const DeadRules dead = find_dead_rules(model, *policy, origin);
+      const DeadRules dead = find_dead_rules(model, *policy, origin, space);
       for (const std::uint64_t key : dead.filters_never_block) {
         out.diags.push_back(
             {Severity::kWarning, codes::kFilterNeverBlocks,
@@ -197,20 +248,26 @@ TargetOutcome audit_one(const Model& model, const bgp::Engine& engine,
     }
   }
 
+  if (options.check_blackholes) {
+    // Emits A801 when truncated; the S501 below already covers that for the
+    // safety/diversity passes, so skip the duplicate.
+    if (!space.truncated || !(options.check_safety || options.compute_diversity)) {
+      out.unreachable_routers += report_blackholes(model, space, out.diags);
+    }
+    stats.unreachable_routers = out.unreachable_routers;
+  }
+
   if (options.check_safety || options.compute_diversity) {
-    const DisputeGraph graph =
-        build_dispute_graph(engine, prefix, origin, options.graph);
-    stats.permitted_paths = graph.nodes.size();
-    stats.dispute_arcs = graph.dispute_arcs;
-    stats.truncated = graph.truncated;
-    if (graph.truncated) {
+    if (space.truncated) {
       out.diags.push_back(
           {Severity::kWarning, codes::kAuditTruncated, where,
            "permitted-path enumeration hit a cap (" +
-               std::to_string(graph.nodes.size()) +
+               std::to_string(space.nodes.size()) +
                " nodes kept); safety and diversity results are partial"});
     }
     if (options.check_safety) {
+      const DisputeGraph graph = build_dispute_graph(engine, space);
+      stats.dispute_arcs = graph.dispute_arcs;
       const std::vector<std::size_t> cycle = find_dispute_cycle(graph);
       if (!cycle.empty()) {
         stats.wheel = true;
@@ -222,7 +279,7 @@ TargetOutcome audit_one(const Model& model, const bgp::Engine& engine,
     }
     if (options.compute_diversity) {
       std::map<nb::Asn, std::set<std::vector<nb::Asn>>> paths_by_as;
-      for (const DisputeGraph::Node& node : graph.nodes) {
+      for (const RouteSpace::Node& node : space.nodes) {
         paths_by_as[model.router_id(node.router).asn()].insert(
             node.route.path);
       }
@@ -258,6 +315,7 @@ AuditResult audit_model(const topo::Model& model, const AuditOptions& options) {
               std::back_inserter(result.diagnostics));
     result.dead_filters += out.dead_filters;
     result.dead_rankings += out.dead_rankings;
+    result.unreachable_routers += out.unreachable_routers;
     result.truncated |= out.stats.truncated;
     if (out.stats.wheel) ++result.wheels;
     result.prefixes.push_back(std::move(out.stats));
@@ -271,13 +329,19 @@ PruneResult prune_dead_policies(topo::Model& model,
   const std::vector<std::pair<nb::Prefix, nb::Asn>> targets =
       audit_targets(model, options, nullptr);
 
+  // The exact dead-rule bounds need the permitted-path universe, which
+  // needs an engine view of the model; removals bump the model generation,
+  // so the engine re-snapshots between prefixes automatically.
+  const bgp::Engine engine(model, options.engine);
   for (const auto& [prefix, origin] : targets) {
     topo::PrefixPolicy* policy = nullptr;
     // audit_targets only returns prefixes that already carry an overlay, so
     // Model::policy never creates one here.
     if (model.find_policy(prefix) == nullptr) continue;
+    const RouteSpace space =
+        build_route_space(engine, prefix, origin, options.graph);
     policy = &model.policy(prefix);
-    const DeadRules dead = find_dead_rules(model, *policy, origin);
+    const DeadRules dead = find_dead_rules(model, *policy, origin, space);
     for (const std::uint64_t key : dead.filters_never_block) {
       result.filters_removed += policy->filters.erase(key);
     }

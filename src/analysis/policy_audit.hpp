@@ -12,22 +12,29 @@
 //
 //  2. DEAD POLICIES (D6xx).  Rules that provably never take effect:
 //       D600  a deny-below-length filter no permitted arriving path can
-//             match (the announcer's static shortest distance to the origin
-//             already meets the threshold);
+//             match (the announcer's shortest selectable route already meets
+//             the threshold);
 //       D601  a filter on a session whose announcer can never hold a route
-//             for the prefix (every inbound avenue crossed a kDenyAll);
+//             for the prefix (empty MAY set);
 //       D610  a ranking whose preferred neighbor AS can never announce to
-//             the router (no session to that AS, or the AS itself is cut off
-//             from the origin) -- only reported when the router has no
-//             default ranking, because a per-prefix ranking MASKS the
-//             default one even when its preferred AS is dead.
-//     Distance/reachability arguments use BFS lower bounds that ignore
-//     AS-loop and valley-free constraints, so every report is sound (the
-//     real permitted universe is a subset of the relaxed one); shadowing by
-//     deny-below filters is deliberately not credited, keeping D600/D601
-//     independent of filter evaluation order.  prune_dead_policies removes
-//     exactly the reported rules -- behavior-preserving by the same
-//     arguments -- so fitted models ship minimal.
+//             the router (no permitted route at the router is headed by that
+//             AS) -- only reported when the router has no default ranking,
+//             because a per-prefix ranking MASKS the default one even when
+//             its preferred AS is dead.
+//     Reachability and length bounds come from the exact permitted-path
+//     universe (route_space.hpp) when its enumeration completes -- valley-
+//     free export, AS-loop rejection and deny-below filters all credited --
+//     and fall back to the PR 2 relaxed-BFS lower bounds when a cap was hit
+//     (those ignore exactly the constraints the enumeration ran out of
+//     budget exploring, so they stay sound on the truncated remainder).
+//     Either way a reported rule cannot fire in any simulation, so
+//     prune_dead_policies removes exactly the reported rules --
+//     behavior-preserving -- and fitted models ship minimal.
+//
+//  2b. BLACKHOLES (A800, opt-in via check_blackholes).  Routers whose MAY
+//     set is empty can never install any route for the audited prefix; see
+//     route_space.hpp for the soundness argument and the truncation
+//     behavior (A801 instead of claims).
 //
 //  3. DIVERSITY BOUNDS.  The dispute-graph node universe doubles as a static
 //     ceiling on route diversity: the number of distinct permitted AS-paths
@@ -56,6 +63,11 @@ struct AuditOptions {
   bool check_safety = true;
   bool check_dead = true;
   bool compute_diversity = true;
+  /// Report statically unreachable routers per audited prefix (A800).
+  /// Opt-in: ground-truth models legitimately strand routers behind
+  /// kDenyAll business filters, so blackholes are findings only where a
+  /// reachability expectation exists (fitted-model validation, diffs).
+  bool check_blackholes = false;
 
   /// Worker threads for the per-prefix audit passes (0 = hardware
   /// concurrency).  Prefixes are audited independently and findings merge in
@@ -72,8 +84,10 @@ struct AuditOptions {
 struct PrefixAuditStats {
   nb::Prefix prefix;
   nb::Asn origin = nb::kInvalidAsn;
-  std::size_t permitted_paths = 0;  // dispute-graph nodes
-  std::size_t dispute_arcs = 0;
+  std::size_t permitted_paths = 0;  // route-space nodes (MAY-set total)
+  std::size_t dispute_arcs = 0;     // only populated when check_safety
+  /// Statically unreachable routers (A800); only when check_blackholes.
+  std::size_t unreachable_routers = 0;
   bool truncated = false;
   bool wheel = false;
   /// Static diversity ceiling: AS -> distinct permitted AS-paths across its
@@ -87,6 +101,7 @@ struct AuditResult {
   std::size_t wheels = 0;         // S500 count
   std::size_t dead_filters = 0;   // D600 + D601
   std::size_t dead_rankings = 0;  // D610
+  std::size_t unreachable_routers = 0;  // A800 total across prefixes
   bool truncated = false;         // any prefix hit an enumeration cap
 };
 

@@ -1,0 +1,117 @@
+// Static route-space abstraction: per (prefix, quasi-router) sets of
+// selectable routes, computed by abstract interpretation over the policy
+// graph -- no simulation, no message dynamics.
+//
+// Two approximations bracket every possible steady state of the engine:
+//
+//  * MAY set (over-approximation).  The permitted-path universe: every
+//    (router, path) pair that survives the engine's export rules
+//    (valley-free classes where enabled, per-prefix deny-below-length
+//    filters) and import rules (AS-loop rejection), enumerated breadth-first
+//    from the origin through Engine::propagate -- the exact export+import
+//    code path `run` uses.  Any route any simulation of this prefix can
+//    install at a router is in the router's MAY set; a router whose MAY set
+//    is empty is a *static blackhole* for the prefix (A800).
+//
+//  * GUARANTEED routers (under-approximation).  The fixpoint of: origin
+//    routers are guaranteed; a router u is guaranteed when some guaranteed
+//    peer v transmits to u under EVERY route in v's MAY set (no filter or
+//    export rule on v->u can drop any of them).  Whatever v ends up
+//    selecting -- and it selects something, by induction -- u imports a
+//    route, so u holds a route in every converged state.  Routers outside
+//    the set are not claimed unreachable (that is what the MAY set is for).
+//
+// Soundness depends on the enumeration being complete, so every claim is
+// withdrawn when a cap is hit (RouteSpace::truncated): blackhole detection
+// reports A801 instead of A800, dead-rule tightening in policy_audit falls
+// back to the relaxed BFS bounds, and the guaranteed set collapses to the
+// origin routers (whose originated route exists unconditionally).
+//
+// The dispute digraph (dispute_graph.hpp) is a view over this same
+// enumeration -- build_route_space records the dependence parents the
+// dispute graph needs, so the BFS runs once per audited prefix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "bgp/engine.hpp"
+#include "topology/model.hpp"
+
+namespace analysis {
+
+struct RouteSpaceOptions {
+  /// Enumeration caps; exceeding any sets RouteSpace::truncated.
+  std::size_t max_paths_per_router = 32;
+  std::size_t max_path_length = 16;
+  std::size_t max_nodes = 65536;
+};
+
+struct RouteSpace {
+  /// One permitted (router, path) pair.  `route` carries the path in RIB-In
+  /// form ([announcing AS ... origin], router's own AS excluded) plus the
+  /// import attributes of the best-ranked sender producing it -- the
+  /// representative used for preference comparisons.
+  struct Node {
+    topo::Model::Dense router = 0;
+    bgp::Route route;
+  };
+
+  nb::Prefix prefix;
+  nb::Asn origin = nb::kInvalidAsn;
+  std::vector<Node> nodes;  // BFS discovery order from the origin
+  /// dependence[j] lists the node indices whose router announced node j's
+  /// path (j's path with the head popped) -- the dispute digraph's
+  /// dependence arcs, recorded here so the BFS is shared.
+  std::vector<std::vector<std::size_t>> dependence;
+  std::vector<std::vector<std::size_t>> by_router;  // dense -> node indices
+  bool truncated = false;
+
+  /// MAY set non-empty: some simulation can install a route here.
+  bool may_reach(topo::Model::Dense router) const {
+    return !by_router[router].empty();
+  }
+
+  /// Exact lower bound on the AS-path length of any route announced BY
+  /// `router` (announced length = held path + the router's own AS).
+  /// Meaningless (SIZE_MAX) when the MAY set is empty or truncated.
+  std::size_t min_announced_len(topo::Model::Dense router) const;
+};
+
+/// Recovers the origin AS of a prefix from the Prefix::for_asn convention
+/// (10.<asn_hi>.<asn_lo>.0/24); kInvalidAsn when the prefix does not follow
+/// it or the AS is not in the model.  Shared by every analysis that walks a
+/// model's policy overlays (policy_audit, model_diff, impact).
+nb::Asn derive_origin(const topo::Model& model, const nb::Prefix& prefix);
+
+/// Enumerates the permitted-path universe of (prefix, origin).
+/// Deterministic: routers and paths are visited in model order.
+RouteSpace build_route_space(const bgp::Engine& engine,
+                             const nb::Prefix& prefix, nb::Asn origin,
+                             const RouteSpaceOptions& options = {});
+
+/// Relaxed over-approximation of MAY-reachability that needs no enumeration:
+/// BFS from the origin's routers over sessions, skipping only edges whose
+/// export filter is kDenyAll for the prefix (`policy` may be null).  Ignores
+/// valley-free and AS-loop constraints, so it strictly contains the true
+/// MAY-reachable set -- the sound fallback when build_route_space truncates.
+std::vector<char> relaxed_reachable(const topo::Model& model,
+                                    const topo::PrefixPolicy* policy,
+                                    nb::Asn origin);
+
+/// The guaranteed-router under-approximation (see file header): dense-indexed
+/// flags, fixpoint over the MAY sets.  On truncated spaces only origin
+/// routers are claimed.
+std::vector<char> guaranteed_routers(const bgp::Engine& engine,
+                                     const RouteSpace& space);
+
+/// Static blackhole detection: one A800 warning per prefix naming
+/// the routers whose MAY set is empty (they can never install a route for an
+/// announced prefix -- traffic they attract blackholes).  On truncated
+/// spaces emits A801 instead: unreachability is not provable past the cap.
+/// Returns the number of provably unreachable routers (0 when truncated).
+std::size_t report_blackholes(const topo::Model& model,
+                              const RouteSpace& space, Diagnostics& out);
+
+}  // namespace analysis

@@ -1096,20 +1096,26 @@ RefineResult refine_model(topo::Model& model,
   }
   if (config.validate && ran_to_stop) {
     // Static safety gate on the final model: the MED-only policy language
-    // must never have produced a dispute wheel (see dispute_graph.hpp).
-    // Only error-severity findings (S500) propagate; enumeration-cap
-    // warnings are expected at real scales and stay advisory (visible via
-    // Pipeline::audit or `rdtool audit`), keeping "a clean fit reports no
-    // diagnostics" intact.
+    // must never have produced a dispute wheel (see dispute_graph.hpp), and
+    // a fitted model must not blackhole any router for a fitted prefix
+    // (route_space.hpp: refinement filters deny below a length, never
+    // everything, so an empty MAY set means the fit destroyed
+    // reachability).  Error-severity findings (S500) and A800 blackholes
+    // propagate; enumeration-cap warnings (S501/A801) are expected at real
+    // scales and stay advisory (visible via Pipeline::audit or `rdtool
+    // audit`), keeping "a clean fit reports no diagnostics" intact.
     obs::PhaseTimer audit_timer(reg, metrics.validate_ns, trace, "audit");
     analysis::AuditOptions audit;
     audit.engine = config.engine;
     audit.check_dead = false;
     audit.compute_diversity = false;
+    audit.check_blackholes = true;
     analysis::AuditResult audited = analysis::audit_model(model, audit);
     for (analysis::Diagnostic& d : audited.diagnostics) {
-      if (d.severity == analysis::Severity::kError)
+      if (d.severity == analysis::Severity::kError ||
+          d.code == analysis::codes::kStaticBlackhole) {
         result.diagnostics.push_back(std::move(d));
+      }
     }
     audit_timer.stop();
     result.phase_seconds.validate += audit_timer.seconds();

@@ -1,0 +1,198 @@
+// Diagnostic-code registry hardening (analysis/diagnostics codes::kRegistry):
+// uniqueness, family/slot consistency, and coverage -- every code-shaped
+// string literal in src/ must be registered, and every registered code must
+// be documented in DESIGN.md.  RD_SOURCE_DIR is injected by the build so the
+// test can scan the repository sources it was compiled from.
+#include "analysis/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+using analysis::codes::kRegistry;
+using analysis::codes::kRegistrySize;
+
+/// family letter -> hundreds digit, mirroring the header's numbering table.
+const std::map<char, char>& family_digits() {
+  static const std::map<char, char> kFamilies = {
+      {'M', '1'}, {'P', '2'}, {'F', '3'}, {'C', '4'},
+      {'S', '5'}, {'D', '6'}, {'R', '7'}, {'A', '8'},
+  };
+  return kFamilies;
+}
+
+/// "X###-kebab-slug": a known family letter, its digit group, three digits
+/// total, then a dash and a lowercase kebab suffix.
+bool well_formed(const std::string& code) {
+  if (code.size() < 6) return false;
+  const auto family = family_digits().find(code[0]);
+  if (family == family_digits().end()) return false;
+  if (code[1] != family->second) return false;
+  if (std::isdigit(static_cast<unsigned char>(code[2])) == 0 ||
+      std::isdigit(static_cast<unsigned char>(code[3])) == 0) {
+    return false;
+  }
+  if (code[4] != '-') return false;
+  for (std::size_t i = 5; i < code.size(); ++i) {
+    const char c = code[i];
+    if ((std::islower(static_cast<unsigned char>(c)) == 0) &&
+        (std::isdigit(static_cast<unsigned char>(c)) == 0) && c != '-') {
+      return false;
+    }
+  }
+  return code.back() != '-';
+}
+
+/// Every maximal code-shaped token ("X###-kebab...") in `text`.
+std::set<std::string> extract_codes(const std::string& text) {
+  std::set<std::string> found;
+  for (std::size_t i = 0; i + 5 < text.size(); ++i) {
+    if (family_digits().count(text[i]) == 0) continue;
+    if (std::isdigit(static_cast<unsigned char>(text[i + 1])) == 0 ||
+        std::isdigit(static_cast<unsigned char>(text[i + 2])) == 0 ||
+        std::isdigit(static_cast<unsigned char>(text[i + 3])) == 0 ||
+        text[i + 4] != '-') {
+      continue;
+    }
+    // Codes appear inside string literals and prose; require a non-word
+    // character before the family letter so identifiers like kA800x or
+    // hex constants never match.
+    if (i > 0) {
+      const char prev = text[i - 1];
+      if (std::isalnum(static_cast<unsigned char>(prev)) != 0 || prev == '_') {
+        continue;
+      }
+    }
+    std::size_t end = i + 5;
+    while (end < text.size() &&
+           ((std::islower(static_cast<unsigned char>(text[end])) != 0) ||
+            (std::isdigit(static_cast<unsigned char>(text[end])) != 0) ||
+            text[end] == '-')) {
+      ++end;
+    }
+    std::string code = text.substr(i, end - i);
+    while (!code.empty() && code.back() == '-') code.pop_back();
+    if (code.size() > 5) found.insert(code);
+  }
+  return found;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(DiagnosticsRegistryTest, CodesAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  std::set<std::string> slots;  // "X###" prefixes must be unique too
+  for (std::size_t i = 0; i < kRegistrySize; ++i) {
+    const std::string code = kRegistry[i];
+    EXPECT_TRUE(well_formed(code)) << code;
+    EXPECT_TRUE(seen.insert(code).second) << "duplicate code: " << code;
+    EXPECT_TRUE(slots.insert(code.substr(0, 4)).second)
+        << "duplicate numeric slot: " << code;
+  }
+  EXPECT_EQ(seen.size(), kRegistrySize);
+}
+
+TEST(DiagnosticsRegistryTest, EveryEmittedCodeIsRegistered) {
+  const fs::path src = fs::path(RD_SOURCE_DIR) / "src";
+  ASSERT_TRUE(fs::is_directory(src)) << src;
+  const std::set<std::string> registered(kRegistry, kRegistry + kRegistrySize);
+  std::size_t files_scanned = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    ++files_scanned;
+    for (const std::string& code : extract_codes(read_file(entry.path()))) {
+      EXPECT_TRUE(registered.count(code) != 0)
+          << entry.path().filename().string() << " mentions unregistered code "
+          << code;
+    }
+  }
+  EXPECT_GT(files_scanned, 20u);  // the scan actually saw the tree
+}
+
+TEST(DiagnosticsRegistryTest, EveryRegisteredCodeIsEmittedSomewhere) {
+  // The registry must not accrete dead entries: each code's constant
+  // (emitters reference codes::kFoo, not the literal) has to be used in at
+  // least one src/ file beyond diagnostics.hpp itself.  The code->constant
+  // mapping is parsed from diagnostics.hpp, keeping the header the single
+  // source of truth.
+  const fs::path src = fs::path(RD_SOURCE_DIR) / "src";
+  const fs::path header = src / "analysis" / "diagnostics.hpp";
+  ASSERT_TRUE(fs::is_regular_file(header));
+  const std::string header_text = read_file(header);
+  std::map<std::string, std::string> constant_of;  // code -> identifier
+  for (std::size_t pos = header_text.find("constexpr const char* k");
+       pos != std::string::npos;
+       pos = header_text.find("constexpr const char* k", pos + 1)) {
+    std::size_t name_begin = pos + std::string("constexpr const char* ").size();
+    std::size_t name_end = name_begin;
+    while (name_end < header_text.size() &&
+           (std::isalnum(static_cast<unsigned char>(header_text[name_end])) !=
+            0)) {
+      ++name_end;
+    }
+    const std::size_t quote = header_text.find('"', name_end);
+    const std::size_t close = header_text.find('"', quote + 1);
+    ASSERT_NE(close, std::string::npos);
+    constant_of[header_text.substr(quote + 1, close - quote - 1)] =
+        header_text.substr(name_begin, name_end - name_begin);
+  }
+
+  std::string all_sources;  // concatenated src/ minus diagnostics.hpp
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    if (entry.path() == header) continue;
+    all_sources += read_file(entry.path());
+    all_sources += '\n';
+  }
+  auto identifier_used = [&all_sources](const std::string& name) {
+    for (std::size_t pos = all_sources.find(name); pos != std::string::npos;
+         pos = all_sources.find(name, pos + 1)) {
+      const std::size_t end = pos + name.size();
+      const char next = end < all_sources.size() ? all_sources[end] : ' ';
+      if (std::isalnum(static_cast<unsigned char>(next)) == 0 && next != '_') {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < kRegistrySize; ++i) {
+    const std::string code = kRegistry[i];
+    const auto it = constant_of.find(code);
+    ASSERT_TRUE(it != constant_of.end())
+        << code << " is in kRegistry but has no named constant";
+    EXPECT_TRUE(identifier_used(it->second))
+        << code << " (" << it->second
+        << ") is registered but never referenced outside diagnostics.hpp";
+  }
+}
+
+TEST(DiagnosticsRegistryTest, EveryRegisteredCodeIsDocumented) {
+  const fs::path design = fs::path(RD_SOURCE_DIR) / "DESIGN.md";
+  ASSERT_TRUE(fs::is_regular_file(design)) << design;
+  const std::string text = read_file(design);
+  for (std::size_t i = 0; i < kRegistrySize; ++i) {
+    EXPECT_NE(text.find(kRegistry[i]), std::string::npos)
+        << kRegistry[i] << " is not documented in DESIGN.md";
+  }
+}
+
+}  // namespace

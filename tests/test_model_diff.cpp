@@ -1,0 +1,151 @@
+// Static model diff (analysis/model_diff): self-diff emptiness (the
+// acceptance criterion), structural findings (A811), abstract route-set
+// findings (A810), and target derivation.
+#include "analysis/model_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "topology/as_graph.hpp"
+
+namespace {
+
+using analysis::DiffOptions;
+using analysis::DiffResult;
+using nb::Prefix;
+using nb::RouterId;
+using topo::ExportFilter;
+using topo::Model;
+
+Model diamond() {
+  topo::AsGraph graph;
+  graph.add_edge(9, 1);
+  graph.add_edge(9, 2);
+  graph.add_edge(1, 5);
+  graph.add_edge(2, 5);
+  Model model = Model::one_router_per_as(graph);
+  // A policy overlay so the diff has a derivable target prefix.
+  model.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 2);
+  return model;
+}
+
+TEST(ModelDiffTest, SelfDiffIsIdentical) {
+  const Model model = diamond();
+  const DiffResult result = analysis::diff_models(model, model);
+  EXPECT_TRUE(result.identical());
+  EXPECT_EQ(result.routers_differing, 0u);
+  EXPECT_EQ(result.structure_findings, 0u);
+  EXPECT_EQ(result.prefixes_compared, 1u);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << analysis::render_diagnostics(result.diagnostics);
+}
+
+TEST(ModelDiffTest, FittedSelfDiffIsIdentical) {
+  // The acceptance criterion at pipeline scale: a fitted model diffed
+  // against itself reports zero differences even where enumeration caps
+  // truncate (deterministic enumeration => identical abstract sets).
+  core::Pipeline pipeline =
+      core::run_full_pipeline(core::PipelineConfig::with(0.08, 11));
+  ASSERT_TRUE(pipeline.refine_result.success);
+  const DiffResult result =
+      analysis::diff_models(pipeline.model, pipeline.model);
+  EXPECT_TRUE(result.identical());
+  EXPECT_GT(result.prefixes_compared, 0u);
+  for (const auto& diagnostic : result.diagnostics) {
+    // Only the aggregate truncation note may appear.
+    EXPECT_EQ(diagnostic.code, analysis::codes::kRouteSpaceTruncated);
+  }
+}
+
+TEST(ModelDiffTest, MissingRouterAndSessionAreStructuralFindings) {
+  const Model a = diamond();
+  topo::AsGraph graph;
+  graph.add_edge(9, 1);
+  graph.add_edge(9, 2);
+  graph.add_edge(1, 5);  // 2-5 session missing
+  Model b = Model::one_router_per_as(graph);
+  b.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 2);
+
+  const DiffResult result = analysis::diff_models(a, b);
+  EXPECT_FALSE(result.identical());
+  EXPECT_GT(result.structure_findings, 0u);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kStructureDiffers));
+}
+
+TEST(ModelDiffTest, FilterChangeShowsAsRouteSetDifference) {
+  const Model a = diamond();
+  Model b = diamond();
+  b.set_export_filter(RouterId{1, 0}, RouterId{5, 0}, Prefix::for_asn(9),
+                      ExportFilter::kDenyAll, RouterId{5, 0});
+  const DiffResult result = analysis::diff_models(a, b);
+  EXPECT_FALSE(result.identical());
+  EXPECT_EQ(result.structure_findings, 0u);  // same routers and sessions
+  EXPECT_GT(result.routers_differing, 0u);
+  EXPECT_TRUE(analysis::contains_code(result.diagnostics,
+                                      analysis::codes::kRouteSetDiffers));
+  ASSERT_EQ(result.prefixes.size(), 1u);
+  // 5.0 loses the [1 9] branch; 1.0's own route set is unchanged (its
+  // export filter does not affect what IT holds).
+  const auto& routers = result.prefixes.front().routers;
+  EXPECT_NE(std::find(routers.begin(), routers.end(), RouterId{5, 0}),
+            routers.end());
+  EXPECT_EQ(std::find(routers.begin(), routers.end(), RouterId{1, 0}),
+            routers.end());
+}
+
+TEST(ModelDiffTest, RankingChangeShowsThroughImportAttributes) {
+  // Import rewrites MED from the per-prefix ranking, so moving 5.0's
+  // preference from AS 2 to AS 1 changes the attribute tuples of both
+  // received routes -- the diff sees rankings without simulating.
+  const Model a = diamond();  // prefers AS 2
+  Model b = diamond();
+  b.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 1);
+  const DiffResult result = analysis::diff_models(a, b);
+  EXPECT_FALSE(result.identical());
+  ASSERT_EQ(result.prefixes.size(), 1u);
+  const auto& routers = result.prefixes.front().routers;
+  EXPECT_NE(std::find(routers.begin(), routers.end(), RouterId{5, 0}),
+            routers.end());
+}
+
+TEST(ModelDiffTest, ExplicitOriginsOverrideDerivation) {
+  const Model model = diamond();
+  DiffOptions options;
+  options.origins = {9};
+  const DiffResult result = analysis::diff_models(model, model, options);
+  EXPECT_EQ(result.prefixes_compared, 1u);
+  EXPECT_TRUE(result.identical());
+}
+
+TEST(ModelDiffTest, UnderivableOverlayIsSkippedNotDiffed) {
+  Model a = diamond();
+  Model b = diamond();
+  const Prefix alien = *Prefix::parse("192.168.7.0/24");
+  a.set_ranking(RouterId{5, 0}, alien, 2);
+  b.set_ranking(RouterId{5, 0}, alien, 2);
+  const DiffResult result = analysis::diff_models(a, b);
+  EXPECT_EQ(result.prefixes_skipped, 1u);
+  EXPECT_TRUE(result.identical());
+}
+
+TEST(ModelDiffTest, ThreadCountDoesNotChangeTheResult) {
+  const Model a = diamond();
+  Model b = diamond();
+  b.set_export_filter(RouterId{1, 0}, RouterId{5, 0}, Prefix::for_asn(9),
+                      ExportFilter::kDenyAll, RouterId{5, 0});
+  DiffOptions serial;
+  serial.threads = 1;
+  DiffOptions wide;
+  wide.threads = 4;
+  const DiffResult x = analysis::diff_models(a, b, serial);
+  const DiffResult y = analysis::diff_models(a, b, wide);
+  EXPECT_EQ(x.routers_differing, y.routers_differing);
+  EXPECT_EQ(x.prefixes_compared, y.prefixes_compared);
+  EXPECT_EQ(analysis::render_diagnostics(x.diagnostics),
+            analysis::render_diagnostics(y.diagnostics));
+}
+
+}  // namespace

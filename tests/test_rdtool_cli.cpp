@@ -1,0 +1,207 @@
+// rdtool exit-code contract tests: the documented 0/1/2/3/130 contracts of
+// lint, audit, refine, diff and impact, exercised against the real binary
+// (RDTOOL_BIN, injected by the build), plus --json well-formedness via the
+// nb::json_parse round trip.  Every fixture file the commands read is
+// written by this test into a throwaway directory.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "netbase/json.hpp"
+#include "topology/as_graph.hpp"
+#include "topology/model_io.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using nb::Prefix;
+using nb::RouterId;
+using topo::Model;
+
+/// Runs `rdtool <args>`, returns the exit code (asserts the process ran).
+int run(const std::string& args) {
+  const std::string command =
+      std::string(RDTOOL_BIN) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  EXPECT_NE(status, -1) << command;
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return WEXITSTATUS(status);
+}
+
+/// Runs `rdtool <args>` and captures stdout (stderr discarded).
+std::string capture(const std::string& args, int* exit_code = nullptr) {
+  const std::string command =
+      std::string(RDTOOL_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    out.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (exit_code != nullptr) *exit_code = WEXITSTATUS(status);
+  return out;
+}
+
+/// Shared throwaway workspace with the model/dataset files the contract
+/// tests read; built once (generate + refine dominate the cost).
+class RdtoolCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::temp_directory_path() /
+                        ("rdtool_cli_" + std::to_string(getpid())));
+    fs::create_directories(*dir_);
+
+    // A clean hand-built model: lint and audit must both exit 0 on it.
+    topo::AsGraph graph;
+    graph.add_edge(9, 1);
+    graph.add_edge(9, 2);
+    graph.add_edge(1, 5);
+    graph.add_edge(2, 5);
+    Model diamond = Model::one_router_per_as(graph);
+    diamond.set_ranking(RouterId{5, 0}, Prefix::for_asn(9), 2);
+    std::ofstream out(path("diamond.model"));
+    topo::write_model(out, diamond);
+    ASSERT_TRUE(out.good());
+
+    // Generated dataset + ground truth, and a fitted model refined from it.
+    ASSERT_EQ(run("generate --out " + path("ds.dump") + " --scale 0.05 "
+                  "--seed 3 --model-out " + path("gt.model")),
+              0);
+    ASSERT_EQ(run("refine --dataset " + path("ds.dump") + " --out " +
+                  path("fit.model")),
+              0);  // the refine exit-0 contract: fit converged
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string path(const std::string& name) {
+    return (*dir_ / name).string();
+  }
+
+  static fs::path* dir_;
+};
+
+fs::path* RdtoolCliTest::dir_ = nullptr;
+
+TEST_F(RdtoolCliTest, HelpAndUsage) {
+  EXPECT_EQ(run("help"), 0);
+  EXPECT_EQ(run("no-such-command"), 2);
+  EXPECT_EQ(run(""), 2);
+}
+
+TEST_F(RdtoolCliTest, LintContract) {
+  EXPECT_EQ(run("lint --model " + path("diamond.model")), 0);
+  EXPECT_EQ(run("lint --fixture dangling-session"), 1);
+  EXPECT_EQ(run("lint --model " + path("no-such-file.model")), 2);
+
+  int code = -1;
+  const auto json = nb::json_parse(
+      capture("lint --fixture dangling-session --json", &code));
+  EXPECT_EQ(code, 1);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("errors"), nullptr);
+  EXPECT_GE(json->find("errors")->number, 1.0);
+  EXPECT_NE(json->find("diagnostics"), nullptr);
+}
+
+TEST_F(RdtoolCliTest, AuditContract) {
+  EXPECT_EQ(run("audit --model " + path("diamond.model")), 0);
+  EXPECT_EQ(run("audit --fixture bad-gadget"), 1);
+  EXPECT_EQ(run("audit --model " + path("no-such-file.model")), 2);
+
+  int code = -1;
+  const auto json =
+      nb::json_parse(capture("audit --fixture bad-gadget --json", &code));
+  EXPECT_EQ(code, 1);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("errors"), nullptr);
+  EXPECT_GE(json->find("errors")->number, 1.0);
+}
+
+TEST_F(RdtoolCliTest, RefineContract) {
+  // Exit 0 is pinned by SetUpTestSuite (the fit that produced fit.model).
+  EXPECT_EQ(run("refine --out " + path("x.model")), 2);  // missing --dataset
+  EXPECT_EQ(run("refine --dataset " + path("no-such.dump") + " --out " +
+                path("x.model")),
+            1);
+  // A one-iteration prefix budget cannot fit the 0.05 dataset: the fit
+  // completes degraded (frozen budget-exhausted prefixes), exit 3.
+  int code = -1;
+  const auto json = nb::json_parse(
+      capture("refine --dataset " + path("ds.dump") + " --out " +
+                  path("degraded.model") + " --prefix-budget 1 --json",
+              &code));
+  EXPECT_EQ(code, 3);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("degraded"), nullptr);
+  EXPECT_TRUE(json->find("degraded")->boolean);
+#ifdef RD_FAULT_INJECTION
+  // The injected deterministic interrupt follows the SIGINT path: exit 130.
+  EXPECT_EQ(run("refine --dataset " + path("ds.dump") + " --out " +
+                path("y.model") + " --checkpoint " + path("ckpt") +
+                " --interrupt-after 1"),
+            130);
+#endif
+}
+
+TEST_F(RdtoolCliTest, DiffContract) {
+  EXPECT_EQ(run("diff " + path("fit.model") + " " + path("fit.model")), 0);
+  EXPECT_EQ(run("diff " + path("fit.model") + " " + path("gt.model")), 1);
+  EXPECT_EQ(run("diff " + path("fit.model")), 2);  // missing operand
+  EXPECT_EQ(
+      run("diff " + path("fit.model") + " " + path("no-such-file.model")), 2);
+
+  int code = -1;
+  const auto json = nb::json_parse(capture(
+      "diff " + path("fit.model") + " " + path("fit.model") + " --json",
+      &code));
+  EXPECT_EQ(code, 0);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("identical"), nullptr);
+  EXPECT_TRUE(json->find("identical")->boolean);
+  ASSERT_NE(json->find("routers_differing"), nullptr);
+  EXPECT_EQ(json->find("routers_differing")->number, 0.0);
+}
+
+TEST_F(RdtoolCliTest, ImpactContract) {
+  const std::string model = " --model " + path("diamond.model");
+  EXPECT_EQ(run("impact" + model + " --edit session-down --session 9.0:1.0"),
+            0);
+  EXPECT_EQ(run("impact" + model + " --edit no-such-edit"), 2);
+  EXPECT_EQ(run("impact" + model + " --edit session-down"), 2);  // no session
+  EXPECT_EQ(run("impact" + model +
+                " --edit policy-change --router 5.0"),  // missing --origin
+            2);
+  EXPECT_EQ(run("impact --model " + path("no-such-file.model") +
+                " --edit session-down --session 9.0:1.0"),
+            2);
+
+  int code = -1;
+  const auto json = nb::json_parse(
+      capture("impact" + model +
+                  " --edit session-down --session 9.0:1.0 --json",
+              &code));
+  EXPECT_EQ(code, 0);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("routers_total"), nullptr);
+  EXPECT_GE(json->find("routers_total")->number, 1.0);
+  ASSERT_NE(json->find("prefixes"), nullptr);
+  EXPECT_FALSE(json->find("prefixes")->array.empty());
+}
+
+}  // namespace

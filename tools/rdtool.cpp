@@ -56,6 +56,25 @@
 //       policies.  --fixture audits a deliberately unsafe/wasteful in-process
 //       model (ctest asserts these fail).
 //
+//   rdtool diff A.model B.model [--origin N] [--a-raw] [--b-raw]
+//              [--threads N] [--json]
+//       Static model diff (analysis::diff_models): compares the per-router
+//       abstract route sets of the two models per prefix -- proving
+//       equivalence or naming the differing routers (A810) and structural
+//       deltas (A811) without simulating either model.  Engine
+//       interpretation per side is auto-detected (relationship policies /
+//       IGP costs switch on when the model carries classes / costs);
+//       --a-raw / --b-raw force the plain fitted-model interpretation.
+//       A model diffed against itself exits 0 with no findings.
+//
+//   rdtool impact --model F --edit session-down --session A.I:B.J
+//          | --edit policy-change --router A.I --origin N [--prefer ASN]
+//          | --edit filter-edit --session A.I:B.J --origin N [--deny-below L]
+//          [--origin N] [--json]
+//       Static edit-impact set (analysis::compute_impact): the routers whose
+//       steady-state selection MAY change under the edit, per prefix --
+//       the dirty frontier an incremental re-fit has to re-simulate.
+//
 //   rdtool stats TRACE [--json]
 //       Summarize a refinement trace (written by refine --trace) into a
 //       Table-3-style per-iteration convergence table plus a phase-time
@@ -76,6 +95,7 @@
 // truth is kExitCodeTable below (printed by `rdtool help`).  Other
 // subcommands exit 0 on success and non-zero on failure.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -86,6 +106,8 @@
 
 #include "analysis/fixtures.hpp"
 #include "bgp/threadpool.hpp"
+#include "analysis/impact.hpp"
+#include "analysis/model_diff.hpp"
 #include "analysis/policy_audit.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/explain.hpp"
@@ -113,6 +135,13 @@ constexpr char kExitCodeTable[] =
     "  0  clean: no diagnostics at all\n"
     "  1  diagnostics found (any severity)\n"
     "  2  usage or I/O error\n"
+    "exit codes (diff):\n"
+    "  0  no differences (A801 truncation notes may still print)\n"
+    "  1  models differ (A810 route sets or A811 structure)\n"
+    "  2  usage or I/O error\n"
+    "exit codes (impact):\n"
+    "  0  impact set computed (possibly empty)\n"
+    "  2  usage or I/O error\n"
     "exit codes (refine):\n"
     "  0  fit converged: every training path RIB-Out matched\n"
     "  1  I/O error, resume mismatch or unrecoverable fault\n"
@@ -127,9 +156,10 @@ void print_help(std::FILE* out) {
   std::fprintf(
       out,
       "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-      "lint|audit|stats|selftest|help> [options]\n"
+      "lint|audit|diff|impact|stats|selftest|help> [options]\n"
       "\n"
-      "  generate  write a synthetic RIB dump (--out F [--scale S --seed N])\n"
+      "  generate  write a synthetic RIB dump (--out F [--scale S --seed N\n"
+      "            --model-out F: also write the ground-truth model])\n"
       "  info      summarize --dataset F or --model F\n"
       "  refine    fit a quasi-router model (--dataset F --out F\n"
       "            [--threads N] [--json]); the parallel sweep yields the\n"
@@ -146,7 +176,14 @@ void print_help(std::FILE* out) {
       "  audit     static policy auditor: dispute-wheel safety, dead\n"
       "            policies, diversity bounds (--model F [--origin N] | "
       "--generated | --fixture NAME | --list-fixtures)\n"
-      "            [--threads N] [--json]\n"
+      "            [--blackholes] [--threads N] [--json]\n"
+      "  diff      static model diff over abstract route sets\n"
+      "            (rdtool diff A.model B.model [--origin N] [--a-raw]\n"
+      "            [--b-raw] [--threads N] [--json])\n"
+      "  impact    static edit-impact set (--model F --edit\n"
+      "            session-down|policy-change|filter-edit\n"
+      "            [--session A.I:B.J] [--router A.I] [--origin N]\n"
+      "            [--prefer ASN] [--deny-below L] [--json])\n"
       "  stats     summarize a refinement trace (rdtool stats TRACE):\n"
       "            per-iteration convergence table + phase timings\n"
       "  selftest  end-to-end smoke test over real files (--dir D)\n"
@@ -289,6 +326,17 @@ int cmd_generate(const nb::Cli& cli) {
               dataset.records.size(), dataset.points.size(),
               out_path.c_str());
 
+  if (cli.has("model-out")) {
+    // The ground-truth model serializes like any fitted one; used by the
+    // diff CI gate (fitted vs ground truth) and handy for inspection.
+    std::ostringstream model_text;
+    topo::write_model(model_text, pipeline.ground_truth.model);
+    const std::string model_out = cli.get_string("model-out", "");
+    if (!write_file(model_out, model_text.str())) return 1;
+    std::printf("wrote ground-truth model (%zu routers) to %s\n",
+                pipeline.ground_truth.model.num_routers(), model_out.c_str());
+  }
+
   if (cli.has("updates-out")) {
     data::DynamicsConfig dynamics;
     dynamics.num_events = cli.get_u64("updates", 16);
@@ -343,9 +391,11 @@ int cmd_info(const nb::Cli& cli) {
 }
 
 int cmd_refine(const nb::Cli& cli) {
+  // Absent flags are usage errors (2); an unreadable dataset is I/O (1).
+  if (!cli.has("dataset") || !cli.has("out")) return usage();
   auto dataset = load_dataset(cli.get_string("dataset", ""));
+  if (!dataset) return 1;
   const std::string out_path = cli.get_string("out", "");
-  if (!dataset || out_path.empty()) return dataset ? usage() : 1;
 
   data::BgpDataset training = *dataset;
   if (!cli.get_bool("all")) {
@@ -733,6 +783,7 @@ int cmd_audit(const nb::Cli& cli) {
   }
   if (cli.has("origin"))
     options.origins.push_back(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+  options.check_blackholes = cli.get_bool("blackholes");
   // 0 = hardware concurrency; per-prefix passes fan out, results are
   // thread-count invariant (see policy_audit.hpp).
   options.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
@@ -782,6 +833,232 @@ int cmd_audit(const nb::Cli& cli) {
                 what.c_str());
   }
   return result.diagnostics.empty() ? 0 : 1;
+}
+
+/// Parses "ASN.IDX" (or bare "ASN", index 0) into a RouterId; nullopt on
+/// malformed text.
+std::optional<nb::RouterId> parse_router(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t asn = 0;
+  std::uint64_t index = 0;
+  const std::size_t dot = text.find('.');
+  const auto number = [](const std::string& s, std::uint64_t* out) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+      *out = *out * 10 + static_cast<std::uint64_t>(c - '0');
+      if (*out > 0xffffffffull) return false;
+    }
+    return true;
+  };
+  if (dot == std::string::npos) {
+    if (!number(text, &asn)) return std::nullopt;
+  } else {
+    if (!number(text.substr(0, dot), &asn) ||
+        !number(text.substr(dot + 1), &index)) {
+      return std::nullopt;
+    }
+  }
+  if (asn > 0xffffu || index > 0xffffu) return std::nullopt;
+  return nb::RouterId(static_cast<nb::Asn>(asn),
+                      static_cast<std::uint16_t>(index));
+}
+
+/// Parses "A.I:B.J" into two RouterIds.
+bool parse_session(const std::string& text, nb::RouterId* a, nb::RouterId* b) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  const auto left = parse_router(text.substr(0, colon));
+  const auto right = parse_router(text.substr(colon + 1));
+  if (!left || !right) return false;
+  *a = *left;
+  *b = *right;
+  return true;
+}
+
+/// Relationship policies / IGP costs switch on when the model carries them
+/// (ground-truth models serialize their classes and costs; fitted models
+/// have neither), so a diff interprets each side the way its simulations
+/// would run.
+bgp::EngineOptions detect_engine_options(const topo::Model& model) {
+  bgp::EngineOptions options;
+  options.use_relationship_policies = !model.neighbor_classes().empty();
+  options.use_igp_cost = !model.igp_costs().empty();
+  return options;
+}
+
+int cmd_diff(const nb::Cli& cli) {
+  if (cli.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "rdtool: diff needs two models (rdtool diff A.model "
+                 "B.model)\n");
+    return 2;
+  }
+  auto model_a = load_model(cli.positional()[0]);
+  if (!model_a) return 2;
+  auto model_b = load_model(cli.positional()[1]);
+  if (!model_b) return 2;
+
+  analysis::DiffOptions options;
+  options.engine_a = cli.get_bool("a-raw") ? bgp::EngineOptions{}
+                                           : detect_engine_options(*model_a);
+  options.engine_b = cli.get_bool("b-raw") ? bgp::EngineOptions{}
+                                           : detect_engine_options(*model_b);
+  if (cli.has("origin"))
+    options.origins.push_back(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+  options.threads = static_cast<unsigned>(cli.get_u64("threads", 1));
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::DiffResult result =
+      analysis::diff_models(*model_a, *model_b, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::string subject =
+      cli.positional()[0] + " vs " + cli.positional()[1];
+  if (cli.get_bool("json")) {
+    nb::JsonWriter extra;
+    extra.begin_object();
+    extra.key("seconds").value_fixed(seconds, 6);
+    extra.key("identical").value(result.identical());
+    extra.key("prefixes_compared")
+        .value(static_cast<std::uint64_t>(result.prefixes_compared));
+    extra.key("prefixes_skipped")
+        .value(static_cast<std::uint64_t>(result.prefixes_skipped));
+    extra.key("routers_differing")
+        .value(static_cast<std::uint64_t>(result.routers_differing));
+    extra.key("structure_findings")
+        .value(static_cast<std::uint64_t>(result.structure_findings));
+    extra.key("truncated").value(result.truncated);
+    extra.end_object();
+    const std::string& rendered = extra.str();
+    std::printf("%s",
+                analysis::diagnostics_to_json(
+                    "diff", subject, result.diagnostics,
+                    std::string_view(rendered).substr(1, rendered.size() - 2))
+                    .c_str());
+  } else {
+    std::printf("%s", analysis::render_diagnostics(result.diagnostics).c_str());
+    if (result.identical()) {
+      std::printf("diff: no differences across %zu prefix(es)%s\n",
+                  result.prefixes_compared,
+                  result.truncated
+                      ? " (enumeration capped: equivalence holds for the "
+                        "enumerated route space only)"
+                      : " (models are route-equivalent)");
+    } else {
+      std::printf("diff: %zu router(s) differ across %zu prefix(es), "
+                  "%zu structural finding(s)\n",
+                  result.routers_differing, result.prefixes_compared,
+                  result.structure_findings);
+    }
+  }
+  return result.identical() ? 0 : 1;
+}
+
+int cmd_impact(const nb::Cli& cli) {
+  auto model = load_model(cli.get_string("model", ""));
+  if (!model) return 2;
+
+  analysis::ModelEdit edit;
+  const std::string kind = cli.get_string("edit", "");
+  const std::string session = cli.get_string("session", "");
+  if (kind == "session-down") {
+    edit.kind = analysis::ModelEdit::Kind::kSessionDown;
+    if (!parse_session(session, &edit.a, &edit.b)) {
+      std::fprintf(stderr, "rdtool: session-down needs --session A.I:B.J\n");
+      return 2;
+    }
+  } else if (kind == "policy-change") {
+    edit.kind = analysis::ModelEdit::Kind::kPolicyChange;
+    const auto router = parse_router(cli.get_string("router", ""));
+    if (!router || !cli.has("origin")) {
+      std::fprintf(stderr,
+                   "rdtool: policy-change needs --router A.I and --origin N "
+                   "[--prefer ASN]\n");
+      return 2;
+    }
+    edit.router = *router;
+    edit.prefix =
+        nb::Prefix::for_asn(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+    edit.preferred = cli.has("prefer")
+                         ? static_cast<nb::Asn>(cli.get_u64("prefer", 0))
+                         : nb::kInvalidAsn;
+  } else if (kind == "filter-edit") {
+    edit.kind = analysis::ModelEdit::Kind::kFilterEdit;
+    if (!parse_session(session, &edit.a, &edit.b) || !cli.has("origin")) {
+      std::fprintf(stderr,
+                   "rdtool: filter-edit needs --session A.I:B.J and "
+                   "--origin N [--deny-below L]\n");
+      return 2;
+    }
+    edit.prefix =
+        nb::Prefix::for_asn(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+    edit.deny_below_len =
+        static_cast<std::uint32_t>(cli.get_u64("deny-below", 0));
+  } else {
+    std::fprintf(stderr,
+                 "rdtool: --edit must be session-down, policy-change or "
+                 "filter-edit\n");
+    return 2;
+  }
+
+  analysis::ImpactOptions options;
+  options.engine = detect_engine_options(*model);
+  if (cli.has("origin"))
+    options.origins.push_back(static_cast<nb::Asn>(cli.get_u64("origin", 0)));
+
+  const auto start = std::chrono::steady_clock::now();
+  const analysis::ImpactResult result =
+      analysis::compute_impact(*model, edit, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (cli.get_bool("json")) {
+    nb::JsonWriter json;
+    json.begin_object();
+    json.key("tool").value("impact");
+    json.key("edit").value(edit.str());
+    json.key("seconds").value_fixed(seconds, 6);
+    json.key("routers_total")
+        .value(static_cast<std::uint64_t>(result.routers_total));
+    json.key("truncated").value(result.truncated);
+    json.key("prefixes").begin_array();
+    for (const analysis::PrefixImpact& impact : result.prefixes) {
+      json.begin_object();
+      json.key("prefix").value(impact.prefix.str());
+      json.key("origin").value(static_cast<std::uint64_t>(impact.origin));
+      json.key("truncated").value(impact.truncated);
+      json.key("routers").begin_array();
+      for (const nb::RouterId id : impact.routers) json.value(id.str());
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("%s\n", json.str().c_str());
+  } else {
+    std::printf("impact of %s:\n", edit.str().c_str());
+    for (const analysis::PrefixImpact& impact : result.prefixes) {
+      std::printf("  prefix %s (origin AS %u): %zu router(s)%s\n",
+                  impact.prefix.str().c_str(), impact.origin,
+                  impact.routers.size(),
+                  impact.truncated
+                      ? " [enumeration capped: relaxed-reachability bound]"
+                      : "");
+      std::string line;
+      for (const nb::RouterId id : impact.routers) {
+        if (!line.empty()) line += " ";
+        line += id.str();
+      }
+      if (!line.empty()) std::printf("    %s\n", line.c_str());
+    }
+    std::printf("impact: %zu router(s) across %zu prefix(es)\n",
+                result.routers_total, result.prefixes.size());
+  }
+  return 0;
 }
 
 /// `rdtool stats TRACE`: reads a trace written by `refine --trace` (Chrome
@@ -1039,6 +1316,34 @@ int cmd_selftest(const nb::Cli& cli) {
     nb::Cli sub(3, const_cast<char**>(argv));
     if (cmd_audit(sub) >= 2) return 1;
   }
+  // static diff of the fitted model against itself: must be empty (exit 0).
+  {
+    const char* argv[] = {"rdtool", model_path.c_str(), model_path.c_str()};
+    nb::Cli sub(3, const_cast<char**>(argv));
+    if (cmd_diff(sub) != 0) {
+      std::fprintf(stderr, "selftest: self-diff reported differences\n");
+      return 1;
+    }
+  }
+  // static impact of downing the first session of the fitted model; exit 0
+  // regardless of the set's size.
+  {
+    auto model = load_model(model_path);
+    if (!model) return 1;
+    std::string session;
+    for (topo::Model::Dense r = 0;
+         r < model->num_routers() && session.empty(); ++r) {
+      if (!model->peers(r).empty()) {
+        session = model->router_id(r).str() + ":" +
+                  model->router_id(model->peers(r).front()).str();
+      }
+    }
+    const char* argv[] = {"rdtool", "--model", model_path.c_str(),
+                          "--edit", "session-down",
+                          "--session", session.c_str(), "--json"};
+    nb::Cli sub(8, const_cast<char**>(argv));
+    if (cmd_impact(sub) != 0) return 1;
+  }
   // what-if on the fitted model: remove the first link we can find.
   {
     auto model = load_model(model_path);
@@ -1074,6 +1379,8 @@ int main(int argc, char** argv) {
   if (command == "explain") return cmd_explain(cli);
   if (command == "lint") return cmd_lint(cli);
   if (command == "audit") return cmd_audit(cli);
+  if (command == "diff") return cmd_diff(cli);
+  if (command == "impact") return cmd_impact(cli);
   if (command == "stats") return cmd_stats(cli);
   if (command == "selftest") return cmd_selftest(cli);
   if (command == "help" || command == "--help" || command == "-h") {
