@@ -16,15 +16,31 @@
 // the same path CI's diff gate exercises) and gates it against the
 // baseline alongside the fit, re-proving self-diff emptiness on the way.
 //
+// The static working-set analyzer (analysis/workset.hpp) gets the same
+// treatment: 1-thread runs time compute_all_worksets + plan_shards over the
+// fitted model (the `rdtool plan` path) as `workset_seconds`, then replay
+// one full sweep per prefix twice -- plain Engine::run vs the compacted
+// view -- to report the compacted-sweep speedup.  At scale >= 0.15 the
+// speedup must exceed 1x (exit 1).  The per-prefix (static cost, measured
+// sweep seconds) samples from every 1-thread run are pooled ACROSS scales
+// and their correlation gated positive: within one scale the fitted
+// models' per-prefix workloads are deliberately uniform (measured message
+// counts are constant), so only the cross-scale pool carries predictable
+// variance.
+//
 //   bench_refine [--scales=0.05,0.1,0.2] [--seed=1] [--threads=0]
 //                [--out=BENCH_refine.json] [--baseline=FILE]
 //                [--max-regress=2.0] [--write-baseline=FILE]
 //
 // The baseline file is plain text, one `scale <fit-seconds>
-// [<route-space-seconds>]` line per scale, written by --write-baseline on
-// a reference machine and parsed here without any JSON dependency (the
-// third column is optional for pre-analyzer baselines).
+// <route-space-seconds> <workset-seconds>` line per scale, written by
+// --write-baseline on a reference machine and parsed here without any JSON
+// dependency.  The column count is STRICT: each metric column mirrors a
+// gated BENCH_refine.json key, and a file whose lines disagree with the
+// expected count is a named baseline-column-mismatch error, not a silent
+// skip -- stale baselines previously disabled the gate without a trace.
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -34,6 +50,9 @@
 #include <vector>
 
 #include "analysis/model_diff.hpp"
+#include "analysis/partition.hpp"
+#include "analysis/reachability_cache.hpp"
+#include "analysis/workset.hpp"
 #include "bgp/threadpool.hpp"
 #include "core/pipeline.hpp"
 #include "netbase/cli.hpp"
@@ -63,7 +82,44 @@ struct RunResult {
   /// model (0 on multi-thread runs, which skip it).
   double route_space_seconds = 0;
   bool self_diff_identical = true;
+  /// Working-set analyzer wall-clock: compute_all_worksets + plan_shards
+  /// over the fitted model (1-thread runs only; 0 elsewhere).
+  double workset_seconds = 0;
+  /// One full per-prefix sweep with Engine::run divided by the same sweep
+  /// through compacted views (0 when compaction was unavailable/skipped).
+  double compact_speedup = 0;
+  double plan_imbalance = 0;
+  /// Per-prefix (static cost, measured full-run seconds) samples; pooled
+  /// across scales in main for the cost-model validation.
+  std::vector<double> prefix_costs;
+  std::vector<double> prefix_times;
 };
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
 
 std::vector<double> parse_scales(const std::string& text) {
   std::vector<double> scales;
@@ -114,6 +170,46 @@ RunResult run_once(double scale, std::uint64_t seed, unsigned threads) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     run.self_diff_identical = self.identical();
+
+    // Working-set analyzer leg: per-prefix working sets + shard plan over
+    // the fitted model -- the path behind `rdtool plan`.
+    bgp::Engine engine(model, config.refine.engine);
+    analysis::ReachabilityCache cache;
+    const auto ws_start = std::chrono::steady_clock::now();
+    const std::vector<analysis::PrefixWorkset> worksets =
+        analysis::compute_all_worksets(engine, {}, &cache, nullptr);
+    const analysis::ShardPlan plan =
+        analysis::plan_shards(worksets, model.num_routers(), {}, nullptr);
+    run.workset_seconds = seconds_since(ws_start);
+    run.plan_imbalance = plan.imbalance;
+
+    // Cost-model samples + compacted-sweep speedup: one full sweep over
+    // every prefix with the plain engine, the same sweep through compacted
+    // views.  The (cost, seconds) pairs feed the pooled cross-scale
+    // predicted-vs-measured correlation in main.
+    double full_total = 0, compact_total = 0;
+    bool compact_ok = true;
+    for (const analysis::PrefixWorkset& ws : worksets) {
+      const auto full_start = std::chrono::steady_clock::now();
+      engine.run(ws.prefix, ws.origin);
+      const double full_seconds = seconds_since(full_start);
+      full_total += full_seconds;
+      run.prefix_costs.push_back(static_cast<double>(ws.cost));
+      run.prefix_times.push_back(full_seconds);
+      // The compacted leg charges view construction too (the sweep pays it
+      // every iteration), but reuses the workset like the refine loop
+      // reuses its reachability cache.
+      const auto compact_start = std::chrono::steady_clock::now();
+      if (std::shared_ptr<const bgp::PrefixView> view =
+              engine.build_view(ws.prefix, ws.origin, ws.members)) {
+        engine.run_compacted(std::move(view));
+      } else {
+        compact_ok = false;
+      }
+      compact_total += seconds_since(compact_start);
+    }
+    if (compact_ok && compact_total > 0)
+      run.compact_speedup = full_total / compact_total;
   }
   return run;
 }
@@ -152,26 +248,58 @@ void append_json(nb::JsonWriter& w, const RunResult& run) {
   // Route-space analyzer leg (1-thread runs only; 0 elsewhere).
   w.key("route_space_seconds").value_fixed(run.route_space_seconds, 6);
   w.key("self_diff_identical").value(run.self_diff_identical);
+  // Working-set analyzer leg (1-thread runs only; 0 elsewhere).
+  w.key("workset_seconds").value_fixed(run.workset_seconds, 6);
+  w.key("compact_speedup").value_fixed(run.compact_speedup, 3);
+  w.key("plan_imbalance").value_fixed(run.plan_imbalance, 4);
+  w.key("compacted_runs").value(run.refine.compacted_runs);
   w.end_object();
 }
 
 struct BaselineEntry {
   double refine_seconds = 0;
-  double route_space_seconds = 0;  // 0: pre-analyzer baseline, not gated
+  double route_space_seconds = 0;
+  double workset_seconds = 0;
 };
 
-std::map<double, BaselineEntry> read_baseline(const std::string& path) {
+/// One column per gated BENCH_refine.json key, plus the scale.  Bump in
+/// lockstep with the keys listed in the mismatch message below, and
+/// regenerate bench/refine_baseline.txt with --write-baseline.
+constexpr std::size_t kBaselineColumns = 4;
+
+/// Strict parse: every non-empty line must carry exactly kBaselineColumns
+/// whitespace-separated numbers.  A mismatch means the baseline file and
+/// the gated BENCH_refine.json keys drifted apart; that used to silently
+/// skip the gate, now it is a named error the caller turns into exit 1.
+std::map<double, BaselineEntry> read_baseline(const std::string& path,
+                                              std::string* error) {
   std::map<double, BaselineEntry> baseline;
   std::ifstream in(path);
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     std::stringstream fields(line);
-    double scale = 0;
-    BaselineEntry entry;
-    if (fields >> scale >> entry.refine_seconds) {
-      fields >> entry.route_space_seconds;  // optional third column
-      baseline[scale] = entry;
+    std::vector<double> columns;
+    double value = 0;
+    while (fields >> value) columns.push_back(value);
+    if (columns.empty()) continue;  // blank line
+    if (columns.size() != kBaselineColumns) {
+      *error = "baseline-column-mismatch: " + path + " line " +
+               std::to_string(line_no) + " has " +
+               std::to_string(columns.size()) + " columns, expected " +
+               std::to_string(kBaselineColumns) +
+               " (scale refine-seconds route-space-seconds workset-seconds, "
+               "mirroring the gated BENCH_refine.json keys "
+               "phase_seconds.total/route_space_seconds/workset_seconds); "
+               "regenerate with --write-baseline";
+      return {};
     }
+    BaselineEntry entry;
+    entry.refine_seconds = columns[1];
+    entry.route_space_seconds = columns[2];
+    entry.workset_seconds = columns[3];
+    baseline[columns[0]] = entry;
   }
   return baseline;
 }
@@ -190,9 +318,9 @@ int main(int argc, char** argv) {
   std::printf("bench_refine: refinement fit wall-clock and throughput\n");
   std::printf("hardware threads: %u, multi-thread runs use %u\n\n",
               bgp::ThreadPool::resolve(0), multi);
-  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s %-10s\n", "scale",
-              "threads", "iters", "routers", "simulate", "heuristic", "total",
-              "msgs/sec", "rspace");
+  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s %-8s %-8s %-8s\n",
+              "scale", "threads", "iters", "routers", "simulate", "heuristic",
+              "total", "msgs/sec", "rspace", "workset", "speedup");
 
   bool ok = true;
   bool identical = true;
@@ -211,11 +339,12 @@ int main(int argc, char** argv) {
                      scale);
       }
       std::printf(
-          "%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f %-10.3f\n",
+          "%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f %-8.3f "
+          "%-8.3f %-8.2f\n",
           scale, run.threads_used, run.refine.iterations, run.routers,
           run.refine.phase_seconds.simulate, run.refine.phase_seconds.heuristic,
           run.refine.phase_seconds.total, messages_per_second(run),
-          run.route_space_seconds);
+          run.route_space_seconds, run.workset_seconds, run.compact_speedup);
       runs.push_back(std::move(run));
       if (one_thread_model == nullptr) {
         one_thread_model = &runs.back().model_text;
@@ -236,8 +365,13 @@ int main(int argc, char** argv) {
   bool baseline_pass = true;
   if (cli.has("baseline")) {
     const double max_regress = cli.get_double("max-regress", 2.0);
+    std::string baseline_error;
     const std::map<double, BaselineEntry> baseline =
-        read_baseline(cli.get_string("baseline", ""));
+        read_baseline(cli.get_string("baseline", ""), &baseline_error);
+    if (!baseline_error.empty()) {
+      std::fprintf(stderr, "bench_refine: %s\n", baseline_error.c_str());
+      return 1;
+    }
     for (const RunResult& run : runs) {
       if (run.threads != 1) continue;
       const auto it = baseline.find(run.scale);
@@ -262,6 +396,17 @@ int main(int argc, char** argv) {
                     rs / it->second.route_space_seconds, max_regress,
                     rs_pass ? "ok" : "REGRESSION");
       }
+      // Working-set analyzer leg, fourth baseline column.
+      if (it->second.workset_seconds > 0) {
+        const double ws = run.workset_seconds;
+        const bool ws_pass = ws <= it->second.workset_seconds * max_regress;
+        baseline_pass &= ws_pass;
+        std::printf("baseline scale %.3f workset: %.3fs vs %.3fs recorded "
+                    "(%.2fx, limit %.2fx) %s\n",
+                    run.scale, ws, it->second.workset_seconds,
+                    ws / it->second.workset_seconds, max_regress,
+                    ws_pass ? "ok" : "REGRESSION");
+      }
     }
   }
   if (cli.has("write-baseline")) {
@@ -269,8 +414,50 @@ int main(int argc, char** argv) {
     for (const RunResult& run : runs) {
       if (run.threads == 1)
         out << run.scale << ' ' << run.refine.phase_seconds.total << ' '
-            << run.route_space_seconds << '\n';
+            << run.route_space_seconds << ' ' << run.workset_seconds << '\n';
     }
+  }
+
+  // Compacted-sweep gate: at scales large enough to rise above timer noise
+  // the compacted sweep must actually be faster than the plain one.
+  bool compact_pass = true;
+  for (const RunResult& run : runs) {
+    if (run.threads != 1 || run.scale < 0.15) continue;
+    if (run.compact_speedup > 0 && run.compact_speedup <= 1.0) {
+      compact_pass = false;
+      std::fprintf(stderr,
+                   "bench_refine: COMPACTED SWEEP NOT FASTER at scale %.3f "
+                   "(speedup %.3fx)\n",
+                   run.scale, run.compact_speedup);
+    }
+  }
+
+  // Cost-model validation: predicted per-prefix cost vs measured sweep
+  // seconds, pooled across every 1-thread run.  Within one scale the
+  // fitted models' workloads are near-uniform (constant message counts),
+  // so the gate needs at least two scales' worth of variance to mean
+  // anything -- with one scale the correlation is reported but not gated.
+  std::vector<double> pooled_costs, pooled_times;
+  std::size_t scales_pooled = 0;
+  for (const RunResult& run : runs) {
+    if (run.threads != 1 || run.prefix_costs.empty()) continue;
+    ++scales_pooled;
+    pooled_costs.insert(pooled_costs.end(), run.prefix_costs.begin(),
+                        run.prefix_costs.end());
+    pooled_times.insert(pooled_times.end(), run.prefix_times.begin(),
+                        run.prefix_times.end());
+  }
+  const double cost_correlation = pearson(pooled_costs, pooled_times);
+  if (!pooled_costs.empty())
+    std::printf("cost model: r=%.3f over %zu per-prefix samples (%zu "
+                "scales)\n",
+                cost_correlation, pooled_costs.size(), scales_pooled);
+  if (scales_pooled >= 2 && cost_correlation <= 0) {
+    compact_pass = false;
+    std::fprintf(stderr,
+                 "bench_refine: COST MODEL UNCORRELATED with measured "
+                 "sweep time (r=%.3f over %zu samples)\n",
+                 cost_correlation, pooled_costs.size());
   }
 
   nb::JsonWriter json(2);
@@ -279,6 +466,9 @@ int main(int argc, char** argv) {
   json.key("seed").value(seed);
   json.key("hardware_threads").value(bgp::ThreadPool::resolve(0));
   json.key("identical_across_threads").value(identical);
+  json.key("cost_correlation").value_fixed(cost_correlation, 3);
+  json.key("cost_samples")
+      .value(static_cast<std::uint64_t>(pooled_costs.size()));
   json.key("runs").begin_array();
   for (const RunResult& run : runs) append_json(json, run);
   json.end_array();
@@ -292,5 +482,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_refine: 1-thread wall-clock regression\n");
   if (baseline_checked && baseline_pass)
     std::printf("baseline check passed\n");
-  return (ok && identical && baseline_pass) ? 0 : 1;
+  return (ok && identical && baseline_pass && compact_pass) ? 0 : 1;
 }

@@ -159,6 +159,13 @@ inline constexpr const char* kRouteSpaceTruncated =
 inline constexpr const char* kRouteSetDiffers = "A810-route-set-differs";
 inline constexpr const char* kStructureDiffers = "A811-structure-differs";
 
+// Working-set & shard-plan analysis (workset / partition).  A820 marks a
+// prefix whose working set fell back to the relaxed reachability bound
+// (MAY enumeration truncated), so its cost estimate is coarse; A821 warns
+// that the emitted shard plan exceeds the balanced-load target.
+inline constexpr const char* kWorksetRelaxed = "A820-workset-relaxed";
+inline constexpr const char* kPlanImbalance = "A821-plan-imbalance";
+
 // Single source of truth for every stable diagnostic code.  New codes must
 // be added here (and documented in DESIGN.md); tests assert the table is
 // duplicate-free, that each entry's family letter matches its hundreds
@@ -188,7 +195,7 @@ inline constexpr const char* kRegistry[] = {
     kWallClockExhausted, kSweepFault, kCheckpointError, kResumeMismatch,
     // A8xx static route-space analysis
     kStaticBlackhole, kRouteSpaceTruncated, kRouteSetDiffers,
-    kStructureDiffers,
+    kStructureDiffers, kWorksetRelaxed, kPlanImbalance,
 };
 
 inline constexpr std::size_t kRegistrySize =

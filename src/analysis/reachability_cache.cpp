@@ -1,0 +1,44 @@
+#include "analysis/reachability_cache.hpp"
+
+#include "analysis/route_space.hpp"
+
+namespace analysis {
+
+std::shared_ptr<const std::vector<char>> ReachabilityCache::relaxed(
+    const topo::Model& model, const nb::Prefix& prefix, nb::Asn origin) {
+  const std::uint64_t generation = model.generation();
+  const Key key(prefix, origin);
+  {
+    nb::MutexLock lock(mutex_);
+    if (!primed_ || epoch_ != generation) {
+      if (primed_) ++stats_.invalidations;
+      primed_ = true;
+      epoch_ = generation;
+      entries_.clear();
+    }
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+
+  // Compute outside the lock: the BFS is the expensive part, and concurrent
+  // misses on the same key produce identical vectors.
+  auto value = std::make_shared<const std::vector<char>>(
+      relaxed_reachable(model, model.find_policy(prefix), origin));
+
+  nb::MutexLock lock(mutex_);
+  // A mutation may have raced the BFS; a stale result must not be cached
+  // (it is still correct for the generation the caller observed, so return
+  // it either way).
+  if (primed_ && epoch_ == generation) entries_.emplace(key, value);
+  return value;
+}
+
+ReachabilityCache::Stats ReachabilityCache::stats() const {
+  nb::MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace analysis

@@ -1,0 +1,63 @@
+// Generation-keyed cache for relaxed_reachable (route_space.hpp).
+//
+// The relaxed bound is a pure function of (model generation, prefix,
+// origin): the BFS reads only sessions and kDenyAll filter thresholds,
+// both of which bump Model::generation() when they change.  The refinement
+// sweep asks for the same bound once per prefix per iteration (working-set
+// construction) and the impact analyzer asks again for truncated prefixes,
+// so one cache per Model instance amortizes the BFS.
+//
+// Invalidation: entries are tagged with the generation they were computed
+// from; the first lookup against a newer generation drops the whole map
+// (a generation bump invalidates every prefix -- filters and sessions are
+// shared state).  Generations are per-Model counters, NOT globally unique,
+// so a cache must never be shared between Model instances; the cache
+// stores no Model pointer and relies on callers passing the same model
+// every time (checked only by the generation monotonicity it observes).
+//
+// Thread-safe: lookups/inserts take a mutex; the BFS itself runs outside
+// the lock, so concurrent misses on the same key may compute twice
+// (idempotent -- last insert wins).  Values are shared_ptr<const ...> so a
+// worker can keep using a result after invalidation frees the map slot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "netbase/ids.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/thread_annotations.hpp"
+#include "topology/model.hpp"
+
+namespace analysis {
+
+class ReachabilityCache {
+ public:
+  /// The relaxed MAY-reachability bound for (prefix, origin) against the
+  /// model's CURRENT generation, computing and caching it on a miss.
+  std::shared_ptr<const std::vector<char>> relaxed(const topo::Model& model,
+                                                   const nb::Prefix& prefix,
+                                                   nb::Asn origin);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  // generation changes observed
+  };
+  Stats stats() const;
+
+ private:
+  using Key = std::pair<nb::Prefix, nb::Asn>;
+
+  mutable nb::Mutex mutex_;
+  std::uint64_t epoch_ RD_GUARDED_BY(mutex_) = 0;
+  bool primed_ RD_GUARDED_BY(mutex_) = false;
+  std::map<Key, std::shared_ptr<const std::vector<char>>> entries_
+      RD_GUARDED_BY(mutex_);
+  Stats stats_ RD_GUARDED_BY(mutex_);
+};
+
+}  // namespace analysis

@@ -4,10 +4,22 @@
 #include <deque>
 #include <unordered_map>
 
+#include "netbase/check.hpp"
+
 namespace bgp {
 
 using topo::NeighborClass;
 using topo::PrefixPolicy;
+
+const RouterState& PrefixSimResult::state(Model::Dense r) const {
+  // Non-members of a compacted run hold no storage; a full run provably
+  // leaves them with exactly this default-empty state (every import into
+  // them fails), so the shared empty state IS their simulated outcome.
+  static const RouterState kEmpty;
+  if (view == nullptr || view->identity) return routers[r];
+  const std::uint32_t c = view->compact_of[r];
+  return c == PrefixView::kNoCompact ? kEmpty : routers[c];
+}
 
 std::vector<std::uint32_t> dense_ids(const Model& model) {
   std::vector<std::uint32_t> ids(model.num_routers());
@@ -147,7 +159,8 @@ std::optional<Route> Engine::propagate(const PrefixPolicy* policy,
 }
 
 PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
-                            SimCounters* counters) const {
+                            SimCounters* counters,
+                            std::vector<char>* activated) const {
   // Instrumentation accumulates in locals unconditionally (register
   // increments, negligible next to message processing) and is stored
   // through `counters` only at the end, keeping the uninstrumented path
@@ -158,6 +171,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
   res.origin = origin;
   const std::size_t n = model_->num_routers();
   res.routers.resize(n);
+  if (activated != nullptr) activated->assign(n, 0);
 
   const PrefixPolicy* policy = model_->find_policy(prefix);
   const std::shared_ptr<const SimContext> ctx_ptr = context();
@@ -315,6 +329,7 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
     queue.pop_front();
     queued[r] = 0;
     ++tally.activations;
+    if (activated != nullptr) (*activated)[r] = 1;
     const Route* best = res.routers[r].best_route();
 
     // iBGP mesh: push this router's best external route to its AS-mates.
@@ -405,6 +420,337 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
         const Selection old = snapshot(state);
         push_entry(peer, state, scratch);
         if (reselect(state, old, r, false)) enqueue(peer);
+      }
+    }
+  }
+  res.activations = tally.activations;
+  if (counters != nullptr) {
+    tally.messages = res.messages;
+    *counters = tally;
+  }
+  return res;
+}
+
+std::shared_ptr<const PrefixView> Engine::build_view(
+    const Prefix& prefix, nb::Asn origin,
+    const std::vector<char>& workset) const {
+  // The specialized loop resolves every import attribute per edge; the
+  // relationship (valley-free depends on where the route was learned), IGP
+  // and iBGP modes make attributes or fan-out route-dependent.
+  if (options_.use_relationship_policies || options_.use_igp_cost ||
+      options_.use_ibgp_mesh) {
+    return nullptr;
+  }
+  const std::shared_ptr<const SimContext> ctx_ptr = context();
+  const SimContext& ctx = *ctx_ptr;
+  const std::size_t n = model_->num_routers();
+  RD_CHECK(workset.size() == n, "Engine::build_view: workset size mismatch");
+
+  auto view = std::make_shared<PrefixView>();
+  view->epoch = model_->generation();
+  view->prefix = prefix;
+  view->origin = origin;
+  view->compact_of.assign(n, PrefixView::kNoCompact);
+  for (Model::Dense r = 0; r < n; ++r) {
+    if (workset[r] == 0) continue;
+    view->compact_of[r] = static_cast<std::uint32_t>(view->members.size());
+    view->members.push_back(r);
+  }
+  view->identity = view->members.size() == n;
+  for (const Model::Dense r : model_->routers_of(origin)) {
+    RD_CHECK(view->compact_of[r] != PrefixView::kNoCompact,
+             "Engine::build_view: working set excludes an origin router");
+  }
+
+  const PrefixPolicy* policy = model_->find_policy(prefix);
+  const std::size_t m = view->members.size();
+  view->member_asn.resize(m);
+  view->edge_offset.resize(m + 1, 0);
+  view->phantom.assign(m, 0);
+
+  // Receiver-side MED preference, hoisted per member: the per-prefix
+  // ranking override if present, else the router's default ranking --
+  // exactly how propagate_into resolves MED in agnostic mode, but paying
+  // at most two hash probes per MEMBER instead of per edge.
+  std::vector<nb::Asn> med_pref(m, nb::kInvalidAsn);
+  const bool has_rankings = policy != nullptr && !policy->rankings.empty();
+  for (std::size_t c = 0; c < m; ++c) {
+    const Model::Dense r = view->members[c];
+    view->member_asn[c] = ctx.asn_of[r];
+    if (has_rankings) {
+      if (auto it = policy->rankings.find(ctx.ids[r]);
+          it != policy->rankings.end()) {
+        med_pref[c] = it->second.preferred_neighbor;
+        continue;
+      }
+    }
+    med_pref[c] = model_->default_ranking(r);
+  }
+
+  // lp_overrides are ground-truth-only (refinement never creates them), so
+  // the fitted-model sweep skips the per-edge probe entirely.
+  const bool has_lp = policy != nullptr && !policy->lp_overrides.empty();
+
+  for (std::size_t c = 0; c < m; ++c) {
+    const Model::Dense r = view->members[c];
+    view->edge_offset[c] = static_cast<std::uint32_t>(view->edges.size());
+    const nb::Asn from_as = view->member_asn[c];
+    for (const Model::Dense peer : ctx.peers(r)) {
+      const std::uint32_t to_compact = view->compact_of[peer];
+      if (to_compact == PrefixView::kNoCompact) {
+        ++view->phantom[c];
+        continue;
+      }
+      PrefixView::Edge edge;
+      edge.to = to_compact;
+      if (has_lp) {
+        const nb::RouterId to_id = nb::RouterId::from_value(ctx.ids[peer]);
+        if (auto it =
+                policy->lp_overrides.find(topo::router_asn_key(to_id, from_as));
+            it != policy->lp_overrides.end()) {
+          edge.local_pref = it->second;
+        }
+      }
+      if (med_pref[to_compact] == from_as) edge.med = topo::kPreferredMed;
+      view->edges.push_back(edge);
+    }
+  }
+  view->edge_offset[m] = static_cast<std::uint32_t>(view->edges.size());
+
+  // Export filters, scattered from the policy map instead of probed per
+  // edge: a prefix carries far fewer filters than the model has directed
+  // edges, so F decode-and-place passes beat E session-key hash lookups.
+  // Filters on sessions that no longer exist (or cross out of the working
+  // set) find no edge to annotate -- the per-edge probe never saw them
+  // either.
+  if (policy != nullptr) {
+    for (const auto& [key, filter] : policy->filters) {
+      const nb::RouterId from_id =
+          nb::RouterId::from_value(static_cast<std::uint32_t>(key >> 32));
+      const nb::RouterId to_id =
+          nb::RouterId::from_value(static_cast<std::uint32_t>(key));
+      if (!model_->has_router(from_id) || !model_->has_router(to_id)) continue;
+      const std::uint32_t from_c = view->compact_of[model_->dense(from_id)];
+      const std::uint32_t to_c = view->compact_of[model_->dense(to_id)];
+      if (from_c == PrefixView::kNoCompact || to_c == PrefixView::kNoCompact)
+        continue;
+      for (std::uint32_t e = view->edge_offset[from_c];
+           e < view->edge_offset[from_c + 1]; ++e) {
+        if (view->edges[e].to == to_c) {
+          view->edges[e].deny_below_len = filter.deny_below_len;
+          break;
+        }
+      }
+    }
+  }
+  return view;
+}
+
+PrefixSimResult Engine::run_compacted(std::shared_ptr<const PrefixView> view,
+                                      SimCounters* counters) const {
+  const PrefixView& v = *view;
+  RD_CHECK(v.epoch == model_->generation(),
+           "Engine::run_compacted: view is stale (model mutated)");
+  SimCounters tally;
+  PrefixSimResult res;
+  res.prefix = v.prefix;
+  res.origin = v.origin;
+  const std::size_t m = v.members.size();
+  res.routers.resize(m);
+  res.view = std::move(view);
+
+  const std::shared_ptr<const SimContext> ctx_ptr = context();
+  const std::span<const std::uint32_t> ids(ctx_ptr->ids);
+
+  // Same divergence-guard threshold as run(): the cap is a property of the
+  // full model, not of the working set.
+  const std::uint64_t message_cap =
+      options_.message_cap_factor *
+      std::max<std::uint64_t>(model_->num_sessions(), 1);
+  res.message_cap = message_cap;
+
+  std::deque<std::uint32_t> queue;  // compact indices
+  std::vector<char> queued(m, 0);
+  auto enqueue = [&](std::uint32_t c) {
+    if (!queued[c]) {
+      queued[c] = 1;
+      queue.push_back(c);
+    }
+  };
+
+  // Same sender -> slot index as run(), keyed by compact receiver but by
+  // FULL dense sender (Route::sender stays dense so decision tie-breaks and
+  // every consumer read identical ids).  The indexing choice mirrors run()'s
+  // full fan-in threshold (in-set edges plus phantom peers), and is
+  // behaviorally neutral either way.
+  constexpr std::size_t kIndexedFanIn = 32;
+  std::vector<char> indexed(m, 0);
+  bool any_indexed = false;
+  for (std::size_t c = 0; c < m; ++c) {
+    const std::size_t fan_in =
+        (v.edge_offset[c + 1] - v.edge_offset[c]) + v.phantom[c];
+    if (fan_in >= kIndexedFanIn) {
+      indexed[c] = 1;
+      any_indexed = true;
+    }
+  }
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> slots(
+      any_indexed ? m : 0);
+
+  auto find_slot = [&](std::uint32_t c, const RouterState& state,
+                       Model::Dense sender) -> int {
+    if (indexed[c]) {
+      const auto& map = slots[c];
+      auto it = map.find(sender);
+      return it == map.end() ? -1 : static_cast<int>(it->second);
+    }
+    for (std::size_t i = 0; i < state.rib_in.size(); ++i) {
+      if (state.rib_in[i].sender == sender) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto push_entry = [&](std::uint32_t c, RouterState& state,
+                        const Route& route) {
+    ++tally.rib_inserts;
+    if (indexed[c]) {
+      slots[c][route.sender] =
+          static_cast<std::uint32_t>(state.rib_in.size());
+    }
+    state.rib_in.push_back(route);
+  };
+  auto erase_entry = [&](std::uint32_t c, RouterState& state, int slot) {
+    ++tally.withdrawals;
+    const Model::Dense sender =
+        state.rib_in[static_cast<std::size_t>(slot)].sender;
+    state.rib_in.erase(state.rib_in.begin() + slot);
+    if (indexed[c]) {
+      auto& map = slots[c];
+      map.erase(sender);
+      for (auto& [key, value] : map) {
+        if (value > static_cast<std::uint32_t>(slot)) --value;
+      }
+    }
+  };
+
+  for (const Model::Dense r : model_->routers_of(res.origin)) {
+    const std::uint32_t c = v.compact_of[r];
+    Route self;
+    self.sender = r;
+    self.med = 0;
+    push_entry(c, res.routers[c], self);
+    res.routers[c].best = 0;
+    res.routers[c].best_external = 0;
+    enqueue(c);
+  }
+
+  struct Selection {
+    std::int64_t best_sender = -1;
+    std::int64_t external_sender = -1;
+  };
+  auto snapshot = [](const RouterState& state) {
+    Selection s;
+    if (const Route* b = state.best_route()) s.best_sender = b->sender;
+    if (const Route* e = state.external_route()) s.external_sender = e->sender;
+    return s;
+  };
+  // Agnostic mode: best_external always tracks best (no iBGP entries).
+  auto reselect = [&](RouterState& state, const Selection& old,
+                      Model::Dense touched, bool touched_path_changed) {
+    state.best = select_best(state.rib_in, ids);
+    state.best_external = state.best;
+    auto differs = [&](std::int64_t old_sender, const Route* now) {
+      const std::int64_t now_sender =
+          now == nullptr ? -1 : static_cast<std::int64_t>(now->sender);
+      if (now_sender != old_sender) return true;
+      return now_sender == static_cast<std::int64_t>(touched) &&
+             touched_path_changed;
+    };
+    const bool changed = differs(old.best_sender, state.best_route()) ||
+                         differs(old.external_sender, state.external_route());
+    tally.selection_changes += changed ? 1 : 0;
+    return changed;
+  };
+
+  Route scratch;
+
+  while (!queue.empty()) {
+    if (res.messages > message_cap) {
+      res.converged = false;
+      break;
+    }
+    const std::uint32_t c = queue.front();
+    queue.pop_front();
+    queued[c] = 0;
+    ++tally.activations;
+    const Model::Dense r = v.members[c];
+    const nb::Asn from_as = v.member_asn[c];
+    const Route* best = res.routers[c].best_route();
+
+    // Out-of-set peers: the full run visits them, charges one message each,
+    // and provably changes nothing (the import always fails and their empty
+    // RIB-In has nothing to withdraw).  Only the message charge remains.
+    res.messages += v.phantom[c];
+
+    const std::uint32_t edges_end = v.edge_offset[c + 1];
+    for (std::uint32_t e = v.edge_offset[c]; e < edges_end; ++e) {
+      const PrefixView::Edge& edge = v.edges[e];
+      ++res.messages;
+
+      // Specialized propagate_into (agnostic mode): AS-loop check, filter
+      // threshold, then the pre-resolved import attributes.
+      bool has_incoming = false;
+      if (best != nullptr) {
+        const nb::Asn to_as = v.member_asn[edge.to];
+        if (to_as != from_as && !path_contains(best->path, to_as)) {
+          const std::size_t arriving_len = best->path.size() + 1;
+          if (arriving_len >= edge.deny_below_len) {
+            scratch.sender = r;
+            scratch.ibgp = false;
+            scratch.local_pref = edge.local_pref;
+            scratch.med = edge.med;
+            scratch.igp_cost = 0;
+            scratch.path.clear();
+            scratch.path.reserve(arriving_len);
+            scratch.path.push_back(from_as);
+            scratch.path.insert(scratch.path.end(), best->path.begin(),
+                                best->path.end());
+            has_incoming = true;
+          }
+        }
+      }
+
+      RouterState& state = res.routers[edge.to];
+      const int slot = find_slot(edge.to, state, r);
+
+      if (!has_incoming) {
+        if (slot < 0) continue;
+        const Selection old = snapshot(state);
+        erase_entry(edge.to, state, slot);
+        if (reselect(state, old, r, false)) enqueue(edge.to);
+        continue;
+      }
+      if (slot >= 0) {
+        Route& existing = state.rib_in[static_cast<std::size_t>(slot)];
+        if (existing.path == scratch.path &&
+            existing.local_pref == scratch.local_pref &&
+            existing.med == scratch.med &&
+            existing.igp_cost == scratch.igp_cost) {
+          continue;
+        }
+        const Selection old = snapshot(state);
+        const bool path_changed = existing.path != scratch.path;
+        ++tally.rib_replacements;
+        existing.sender = scratch.sender;
+        existing.local_pref = scratch.local_pref;
+        existing.med = scratch.med;
+        existing.igp_cost = scratch.igp_cost;
+        existing.ibgp = false;
+        if (path_changed) existing.path.swap(scratch.path);
+        if (reselect(state, old, r, path_changed)) enqueue(edge.to);
+      } else {
+        const Selection old = snapshot(state);
+        push_entry(edge.to, state, scratch);
+        if (reselect(state, old, r, false)) enqueue(edge.to);
       }
     }
   }

@@ -83,10 +83,54 @@ struct RouterState {
   }
 };
 
+/// Compacted per-prefix simulation view (Engine::build_view): the members
+/// of a static working set with their in-set adjacency flattened, and the
+/// per-edge import attributes the agnostic engine recomputes per message
+/// (export filter threshold, local-pref override, MED ranking) resolved
+/// once.  run_compacted iterates this instead of the full model; see
+/// DESIGN.md section 12 for the byte-identity argument.
+struct PrefixView {
+  static constexpr std::uint32_t kNoCompact = 0xffffffffu;
+
+  std::uint64_t epoch = 0;  // Model::generation() the view was built from
+  Prefix prefix;
+  nb::Asn origin = nb::kInvalidAsn;
+  std::vector<Model::Dense> members;    // compact index -> dense, ascending
+  std::vector<std::uint32_t> compact_of;  // dense -> compact or kNoCompact
+  std::vector<nb::Asn> member_asn;      // compact index -> owning AS
+
+  /// One in-set directed session with its import attributes pre-resolved
+  /// for this prefix (receiver side, routes from the sender's AS).
+  struct Edge {
+    std::uint32_t to = 0;              // compact receiver index
+    std::uint32_t deny_below_len = 0;  // 0: no filter; kDenyAll drops all
+    std::uint32_t local_pref = kDefaultLocalPref;
+    std::uint32_t med = topo::kDefaultMed;
+  };
+  /// edge_offset[c] .. edge_offset[c+1] delimit member c's in-set edges in
+  /// `edges`, preserving Model::peers order restricted to members.
+  std::vector<std::uint32_t> edge_offset;
+  std::vector<Edge> edges;
+  /// Out-of-set peers per member.  The full run charges one message per
+  /// peer visited -- including peers whose import provably fails -- and the
+  /// divergence guard reads that total, so the compacted run adds these
+  /// counts at each activation to keep the message totals identical.
+  std::vector<std::uint32_t> phantom;
+  /// Every router is a member: compaction degenerates to the specialized
+  /// inner loop and storage slots equal dense indices.
+  bool identity = false;
+};
+
 struct PrefixSimResult {
   Prefix prefix;
   nb::Asn origin = nb::kInvalidAsn;
-  std::vector<RouterState> routers;  // indexed by dense router index
+  /// Per-router outcomes.  Without `view` (Engine::run) this is indexed by
+  /// dense router index; with a non-identity `view` (run_compacted) it is
+  /// indexed by compact working-set index -- use state()/full_index() to
+  /// stay dense-agnostic.
+  std::vector<RouterState> routers;
+  /// The compacted view this result was simulated over; null for full runs.
+  std::shared_ptr<const PrefixView> view;
   bool converged = true;
   std::uint64_t messages = 0;
   /// Router wake-ups processed (always filled, with or without SimCounters):
@@ -98,7 +142,25 @@ struct PrefixSimResult {
   /// (EngineOptions::message_cap_factor x max(#sessions, 1)).
   std::uint64_t message_cap = 0;
 
-  const RouterState& state(Model::Dense r) const { return routers[r]; }
+  /// Number of dense router indices state() accepts -- the model's router
+  /// count at run time, with or without compaction.
+  std::size_t dense_size() const {
+    return view == nullptr ? routers.size() : view->compact_of.size();
+  }
+  /// True when `r`'s state was simulated (always, for full runs).  Routers
+  /// outside a compacted view's working set provably end every full run
+  /// with the default-empty state, which state() returns for them.
+  bool covered(Model::Dense r) const {
+    return view == nullptr || view->identity ||
+           view->compact_of[r] != PrefixView::kNoCompact;
+  }
+  /// Dense router index described by storage slot `routers[slot]`.
+  Model::Dense full_index(std::size_t slot) const {
+    return view == nullptr || view->identity
+               ? static_cast<Model::Dense>(slot)
+               : view->members[slot];
+  }
+  const RouterState& state(Model::Dense r) const;
 };
 
 /// Optional hot-loop instrumentation for the obs layer, filled by run()
@@ -154,9 +216,35 @@ class Engine {
   /// `origin`.  Re-reads the model on every call, so model mutations between
   /// calls (refinement) are picked up.  `counters`, when non-null, receives
   /// hot-loop instrumentation (see SimCounters); the result is bit-for-bit
-  /// the same with or without it.
+  /// the same with or without it.  `activated`, when non-null, is resized
+  /// to the router count and flags every dense index the run popped off the
+  /// dirty queue -- the dynamic ground truth the static working set
+  /// (analysis/workset.hpp) must over-approximate; pure observation, same
+  /// contract as `counters`.
   PrefixSimResult run(const Prefix& prefix, nb::Asn origin,
-                      SimCounters* counters = nullptr) const;
+                      SimCounters* counters = nullptr,
+                      std::vector<char>* activated = nullptr) const;
+
+  /// Compiles `workset` (dense-indexed membership flags; routers outside it
+  /// must be unable to ever import a route for the prefix, e.g. a working
+  /// set from analysis::compute_working_set) into a compacted simulation
+  /// view for the model's CURRENT generation.  Returns nullptr when the
+  /// engine options rule out the specialized loop (relationship policies,
+  /// IGP costs and the iBGP mesh make import attributes route-dependent, so
+  /// they cannot be resolved per edge) -- callers fall back to run().
+  std::shared_ptr<const PrefixView> build_view(
+      const Prefix& prefix, nb::Asn origin,
+      const std::vector<char>& workset) const;
+
+  /// run() over a compacted view: identical RouterStates, message and
+  /// activation totals and convergence flag for every member router (and
+  /// non-members provably keep the default-empty state a full run also
+  /// leaves them with), touching only working-set state and using the
+  /// view's pre-resolved per-edge attributes instead of per-message policy
+  /// lookups.  The view must come from build_view against the model's
+  /// current generation.
+  PrefixSimResult run_compacted(std::shared_ptr<const PrefixView> view,
+                                SimCounters* counters = nullptr) const;
 
   /// The simulation context for the model's CURRENT generation, (re)building
   /// it if the model mutated since the last call.  Thread-safe: concurrent

@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    nb::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -65,23 +65,27 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  std::lock_guard submit(submit_mutex_);
+  nb::MutexLock submit(submit_mutex_);
   {
-    std::lock_guard lock(mutex_);
+    nb::MutexLock lock(mutex_);
     batch_ = Batch{count, 0, 0, &body, nullptr};
     has_batch_ = true;
   }
   work_cv_.notify_all();
   // The calling thread participates too.
   work_through_batch();
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] {
-    return batch_.next >= batch_.count && batch_.in_flight == 0;
-  });
-  has_batch_ = false;
-  std::exception_ptr error = std::move(batch_.error);
-  batch_ = Batch{};
-  lock.unlock();
+  std::exception_ptr error;
+  {
+    nb::MutexLock lock(mutex_);
+    // Explicit wait loop: the predicate reads mutex_-guarded state, which
+    // the thread-safety analysis can follow here but not inside a lambda
+    // passed to condition_variable_any::wait.
+    while (batch_.next < batch_.count || batch_.in_flight != 0)
+      done_cv_.wait(lock);
+    has_batch_ = false;
+    error = std::move(batch_.error);
+    batch_ = Batch{};
+  }
   if (error) std::rethrow_exception(error);
 }
 
@@ -97,7 +101,7 @@ void ThreadPool::work_through_batch() {
     std::size_t index;
     const std::function<void(std::size_t)>* body;
     {
-      std::lock_guard lock(mutex_);
+      nb::MutexLock lock(mutex_);
       if (!has_batch_ || batch_.next >= batch_.count) return;
       index = batch_.next++;
       ++batch_.in_flight;
@@ -109,7 +113,7 @@ void ThreadPool::work_through_batch() {
     } catch (...) {
       error = std::current_exception();
     }
-    std::lock_guard lock(mutex_);
+    nb::MutexLock lock(mutex_);
     --batch_.in_flight;
     if (error) {
       if (!batch_.error) batch_.error = std::move(error);
@@ -124,10 +128,9 @@ void ThreadPool::worker_loop() {
   tls_running_pool = this;
   for (;;) {
     {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return stop_ || (has_batch_ && batch_.next < batch_.count);
-      });
+      nb::MutexLock lock(mutex_);
+      while (!stop_ && !(has_batch_ && batch_.next < batch_.count))
+        work_cv_.wait(lock);
       if (stop_) return;
     }
     work_through_batch();

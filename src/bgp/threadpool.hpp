@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "netbase/thread_annotations.hpp"
 
 namespace bgp {
 
@@ -72,19 +73,21 @@ class ThreadPool {
     std::exception_ptr error;   // first exception thrown by a body
   };
 
-  void worker_loop();
+  void worker_loop() RD_EXCLUDES(mutex_);
   /// Claims and runs batch indices until none remain (all claimed, or the
   /// batch was poisoned by an exception).
-  void work_through_batch();
+  void work_through_batch() RD_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex submit_mutex_;  // serializes external parallel_for callers
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Batch batch_;
-  bool has_batch_ = false;
-  bool stop_ = false;
+  nb::Mutex submit_mutex_;  // serializes external parallel_for callers
+  nb::Mutex mutex_;
+  /// _any variants: they wait on the annotated nb::MutexLock rather than
+  /// std::unique_lock<std::mutex>.
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  Batch batch_ RD_GUARDED_BY(mutex_);
+  bool has_batch_ RD_GUARDED_BY(mutex_) = false;
+  bool stop_ RD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bgp

@@ -11,14 +11,18 @@
 #include <stdexcept>
 #include <string>
 
+#include <atomic>
+
 #include "analysis/check_convergence.hpp"
 #include "analysis/dispute_graph.hpp"
 #include "analysis/policy_audit.hpp"
+#include "analysis/reachability_cache.hpp"
 #include "analysis/validate_model.hpp"
 #include "bgp/threadpool.hpp"
 #include "core/fault_inject.hpp"
 #include "core/oscillation.hpp"
 #include "netbase/json.hpp"
+#include "netbase/thread_annotations.hpp"
 #include "obs/observer.hpp"
 #include "topology/model_io.hpp"
 
@@ -132,7 +136,7 @@ class Refiner {
   /// through re-simulation).
   Model::Dense snapshot_proxy(const PrefixSimResult& sim,
                               Model::Dense r) const {
-    if (r < sim.routers.size()) return r;
+    if (r < sim.dense_size()) return r;
     const auto it = alias_.find(r);
     return it == alias_.end() ? Model::kNoRouter : it->second;
   }
@@ -168,7 +172,7 @@ Refiner::Candidates Refiner::scan(
   for (Model::Dense r : model_.routers_of(a)) {
     const Model::Dense proxy = snapshot_proxy(sim, r);
     if (proxy == Model::kNoRouter) continue;  // no simulated stand-in
-    const bgp::RouterState& state = sim.routers[proxy];
+    const bgp::RouterState& state = sim.state(proxy);
     const auto reservation = reserved.find(r);
     // Reserved for the same suffix == available for this suffix.
     const bool is_reserved =
@@ -247,7 +251,7 @@ bool Refiner::try_filter_deletion(const PrefixWork& work,
   for (Model::Dense q : model_.routers_of(announcing)) {
     const Model::Dense proxy = snapshot_proxy(sim, q);
     if (proxy == Model::kNoRouter) continue;
-    const bgp::Route* best = sim.routers[proxy].best_route();
+    const bgp::Route* best = sim.state(proxy).best_route();
     if (best == nullptr || !route_path_equals(best->path, neighbor_route))
       continue;
     const RouterId q_id = model_.router_id(q);
@@ -355,6 +359,30 @@ bool Refiner::process(PrefixWork& work, const PrefixSimResult& sim,
   pending_.clear();
   return changed;
 }
+
+/// Serialized access to the checkpoint file.  The loop writes between
+/// iterations today, but the interrupt and fault paths can both request a
+/// save around the same boundary (and sharded refiners will write from
+/// more than one place), so the writer owns a mutex and clang's
+/// thread-safety analysis checks it is taken for every write.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Atomic save (tmp + rename inside save_refine_checkpoint); returns
+  /// false and fills `error` on failure.
+  bool write(const topo::RefineCheckpoint& checkpoint, std::string* error)
+      RD_EXCLUDES(mutex_) {
+    nb::MutexLock lock(mutex_);
+    return topo::save_refine_checkpoint(path_, checkpoint, error);
+  }
+
+ private:
+  const std::string path_;
+  nb::Mutex mutex_;
+};
 
 }  // namespace
 
@@ -507,8 +535,9 @@ RefineResult refine_model(topo::Model& model,
   // Atomic full-state snapshot after `completed_iteration`; resuming from it
   // reproduces the uninterrupted run byte for byte.  A failed save degrades
   // to a warning (R705): losing checkpoints must not lose the fit.
+  CheckpointWriter checkpoint_writer(config.checkpoint_path);
   const auto write_checkpoint = [&](std::size_t completed_iteration) {
-    if (config.checkpoint_path.empty()) return;
+    if (!checkpoint_writer.enabled()) return;
     topo::RefineCheckpoint ck;
     ck.iteration = completed_iteration;
     ck.dataset_hash = dataset_hash;
@@ -535,8 +564,7 @@ RefineResult refine_model(topo::Model& model,
     }
     ck.model = model;
     std::string save_error;
-    if (topo::save_refine_checkpoint(config.checkpoint_path, ck,
-                                     &save_error)) {
+    if (checkpoint_writer.write(ck, &save_error)) {
       result.checkpoint_written = true;
     } else {
       push_diag(analysis::Severity::kWarning,
@@ -623,6 +651,34 @@ RefineResult refine_model(topo::Model& model,
     unsigned worker = 0;
   };
 
+  // Sweep compaction (RefineConfig::compact_sweep; DESIGN.md section 12):
+  // in agnostic mode each prefix simulates over its static working set.
+  // The relaxed reachability bound is the working set of choice here -- it
+  // is sound for the specialized loop (routers outside it sit behind
+  // kDenyAll filters, so a full run provably leaves them empty) and costs
+  // one session BFS per (generation, prefix), served by the cache across
+  // the sweep.  Engine::build_view returns null for non-agnostic option
+  // sets, which keeps the fallback decision in one place.
+  const bool compact_sweep = config.compact_sweep &&
+                             !config.engine.use_relationship_policies &&
+                             !config.engine.use_igp_cost &&
+                             !config.engine.use_ibgp_mesh;
+  analysis::ReachabilityCache reach_cache;
+  std::atomic<std::uint64_t> compacted_runs{0};
+  const auto simulate = [&](const PrefixWork& w,
+                            bgp::SimCounters* counters) -> PrefixSimResult {
+    if (compact_sweep) {
+      const std::shared_ptr<const std::vector<char>> members =
+          reach_cache.relaxed(model, w.prefix, w.origin);
+      if (std::shared_ptr<const bgp::PrefixView> view =
+              engine.build_view(w.prefix, w.origin, *members)) {
+        compacted_runs.fetch_add(1, std::memory_order_relaxed);
+        return engine.run_compacted(std::move(view), counters);
+      }
+    }
+    return engine.run(w.prefix, w.origin, counters);
+  };
+
   std::size_t routers_added_prev = refiner.routers_added;
   std::size_t policies_changed_prev = refiner.policies_changed;
   bool reached_fixpoint = false;
@@ -681,7 +737,7 @@ RefineResult refine_model(topo::Model& model,
         inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
         const std::uint64_t t0 = prefix_trace ? trace->now_us() : 0;
-        sims[i] = engine.run(w.prefix, w.origin, &sim_counters[i]);
+        sims[i] = simulate(w, &sim_counters[i]);
         if (prefix_trace)
           spans[i] = {t0, trace->now_us() - t0, worker};
         if (shards.has_value()) {
@@ -702,7 +758,7 @@ RefineResult refine_model(topo::Model& model,
       pool.parallel_for(active, [&](std::size_t i) {
         inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
-        sims[i] = engine.run(w.prefix, w.origin);
+        sims[i] = simulate(w, nullptr);
       });
     }
     } catch (const std::exception& e) {
@@ -1055,6 +1111,7 @@ RefineResult refine_model(topo::Model& model,
   for (const PrefixWork& w : work) matched_total += w.matched;
   result.unmatched_paths = total_paths - matched_total;
   result.success = result.unmatched_paths == 0;
+  result.compacted_runs = compacted_runs.load(std::memory_order_relaxed);
   result.routers_added = refiner.routers_added;
   result.policies_changed = refiner.policies_changed;
   result.filters_relaxed = refiner.filters_relaxed;

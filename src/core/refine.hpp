@@ -116,6 +116,15 @@ struct RefineConfig {
   /// alternative of Section 4.6.
   bgp::EngineOptions engine;
 
+  /// Sweep compaction (DESIGN.md section 12): simulate each prefix over its
+  /// static working set (analysis/workset.hpp relaxed bound, cached per
+  /// model generation) through Engine::run_compacted instead of the full
+  /// model.  Byte-identical fitted models with the flag on or off, at every
+  /// thread count; automatically falls back to full runs when the engine
+  /// options rule the specialized loop out (relationship policies, IGP
+  /// costs, iBGP mesh -- Engine::build_view returns null there).
+  bool compact_sweep = true;
+
   // Ablation switches (bench_ablation): disabling any of these degrades the
   // fixpoint, quantifying each mechanism's contribution.
   bool allow_duplication = true;
@@ -236,6 +245,10 @@ struct RefineResult {
   /// BGP messages processed across every simulation of the fit (the
   /// engine-throughput denominator for benchmarks).
   std::uint64_t messages_simulated = 0;
+  /// Simulations that ran through a compacted working-set view
+  /// (RefineConfig::compact_sweep); 0 when the flag is off or the engine
+  /// options forced the full-run fallback.
+  std::uint64_t compacted_runs = 0;
   RefinePhaseSeconds phase_seconds;
   /// Effective worker count of the simulation sweep.
   unsigned threads_used = 1;

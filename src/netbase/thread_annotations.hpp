@@ -1,0 +1,94 @@
+// Clang thread-safety analysis annotations (-Wthread-safety) plus an
+// annotated mutex/lock pair the concurrency-bearing classes share.
+//
+// The macros expand to Clang's `thread_safety` attributes when the compiler
+// supports them and to nothing elsewhere (GCC, MSVC), so annotated code
+// compiles everywhere while clang builds get static lock-discipline
+// checking; the top-level CMakeLists turns the analysis into an error on
+// clang.  Annotation guide:
+//
+//   RD_GUARDED_BY(m)    data member readable/writable only with m held
+//   RD_REQUIRES(m)      function must be called with m held
+//   RD_ACQUIRE/RELEASE  function acquires/releases m (lock implementations)
+//   RD_EXCLUDES(m)      function must NOT be called with m held
+//   RD_NO_THREAD_SAFETY_ANALYSIS  opt-out for code the analysis cannot
+//                                 follow (e.g. condition-variable re-lock
+//                                 protocols split across helpers)
+//
+// std::mutex is not annotated as a capability, so the analysis cannot track
+// it; nb::Mutex wraps it with the capability attribute and nb::MutexLock is
+// the matching scoped lock.  Condition variables wait on nb::Mutex through
+// std::condition_variable_any (any-lockable interface).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RD_THREAD_ANNOTATION
+#define RD_THREAD_ANNOTATION(x)  // no-op on compilers without the analysis
+#endif
+
+#define RD_CAPABILITY(x) RD_THREAD_ANNOTATION(capability(x))
+#define RD_SCOPED_CAPABILITY RD_THREAD_ANNOTATION(scoped_lockable)
+#define RD_GUARDED_BY(x) RD_THREAD_ANNOTATION(guarded_by(x))
+#define RD_PT_GUARDED_BY(x) RD_THREAD_ANNOTATION(pt_guarded_by(x))
+#define RD_REQUIRES(...) \
+  RD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RD_ACQUIRE(...) RD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RD_RELEASE(...) RD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RD_EXCLUDES(...) RD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RD_RETURN_CAPABILITY(x) RD_THREAD_ANNOTATION(lock_returned(x))
+#define RD_NO_THREAD_SAFETY_ANALYSIS \
+  RD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace nb {
+
+/// std::mutex with the `capability` attribute, so RD_GUARDED_BY members and
+/// RD_REQUIRES contracts referencing it are statically checked on clang.
+class RD_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() RD_ACQUIRE() { mutex_.lock(); }
+  void unlock() RD_RELEASE() { mutex_.unlock(); }
+  bool try_lock() RD_THREAD_ANNOTATION(try_acquire_capability(true)) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over nb::Mutex (std::lock_guard itself is unannotated).
+/// Satisfies BasicLockable, so std::condition_variable_any can wait on it.
+class RD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RD_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RD_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// BasicLockable for std::condition_variable_any::wait: the CV unlocks
+  /// around the wait and re-locks before returning.
+  void lock() RD_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() RD_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = true;
+};
+
+}  // namespace nb

@@ -25,7 +25,7 @@ void Shard::observe(HistogramId id, double value) {
 }
 
 CounterId Registry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   for (std::uint32_t i = 0; i < counters_.size(); ++i) {
     if (counters_[i].name == name) return CounterId{i};
   }
@@ -37,7 +37,7 @@ HistogramId Registry::histogram(std::string_view name,
                                 std::vector<double> bounds) {
   RD_CHECK(std::is_sorted(bounds.begin(), bounds.end()),
            "Registry::histogram bounds must ascend");
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   for (std::uint32_t i = 0; i < histograms_.size(); ++i) {
     if (histograms_[i].name == name) return HistogramId{i};
   }
@@ -50,12 +50,12 @@ HistogramId Registry::histogram(std::string_view name,
 }
 
 void Registry::add(CounterId id, std::uint64_t delta) {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   counters_[id.slot].value += delta;
 }
 
 void Registry::observe(HistogramId id, double value) {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   HistogramData& data = histograms_[id.slot].data;
   ++data.buckets[bucket_of(histograms_[id.slot].bounds, value)];
   ++data.count;
@@ -63,7 +63,7 @@ void Registry::observe(HistogramId id, double value) {
 }
 
 Shard Registry::make_shard() const {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   Shard shard;
   shard.counters_.assign(counters_.size(), 0);
   shard.histograms_.resize(histograms_.size());
@@ -76,7 +76,7 @@ Shard Registry::make_shard() const {
 }
 
 void Registry::merge(const Shard& shard) {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   RD_CHECK(shard.counters_.size() == counters_.size() &&
                shard.histograms_.size() == histograms_.size(),
            "Registry::merge: shard from a different definition set");
@@ -93,17 +93,17 @@ void Registry::merge(const Shard& shard) {
 }
 
 std::uint64_t Registry::value(CounterId id) const {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   return counters_[id.slot].value;
 }
 
 HistogramData Registry::data(HistogramId id) const {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   return histograms_[id.slot].data;
 }
 
 std::uint64_t Registry::counter_value(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   for (const CounterDef& def : counters_) {
     if (def.name == name) return def.value;
   }
@@ -111,7 +111,7 @@ std::uint64_t Registry::counter_value(std::string_view name) const {
 }
 
 std::string Registry::to_json(int indent) const {
-  std::lock_guard lock(mutex_);
+  nb::MutexLock lock(mutex_);
   nb::JsonWriter json(indent);
   json.begin_object();
   json.key("counters").begin_object();

@@ -21,10 +21,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "netbase/thread_annotations.hpp"
 
 namespace obs {
 
@@ -112,9 +113,9 @@ class Registry {
     HistogramData data;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<CounterDef> counters_;
-  std::vector<HistogramDef> histograms_;
+  mutable nb::Mutex mutex_;
+  std::vector<CounterDef> counters_ RD_GUARDED_BY(mutex_);
+  std::vector<HistogramDef> histograms_ RD_GUARDED_BY(mutex_);
 };
 
 /// RAII bundle of one shard per pool worker; hand `shard(worker)` out to

@@ -178,6 +178,54 @@ TEST_F(RdtoolCliTest, DiffContract) {
   EXPECT_EQ(json->find("routers_differing")->number, 0.0);
 }
 
+TEST_F(RdtoolCliTest, PlanContract) {
+  EXPECT_EQ(run("plan --shards 4"), 2);  // no model source
+  EXPECT_EQ(run("plan --model " + path("diamond.model") + " --shards 0"), 2);
+  EXPECT_EQ(run("plan --model " + path("no-such-file.model")), 2);
+  EXPECT_EQ(run("plan --model " + path("diamond.model")), 0);
+
+  // The pinned --json shape the CI determinism job diffs.
+  const std::string args =
+      "plan --generated --scale 0.05 --seed 3 --shards 4 --json";
+  int code = -1;
+  const std::string out = capture(args, &code);
+  EXPECT_EQ(code, 0);
+  const auto json = nb::json_parse(out);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("tool"), nullptr);
+  EXPECT_EQ(json->find("tool")->string, "plan");
+  ASSERT_NE(json->find("version"), nullptr);
+  EXPECT_EQ(json->find("version")->number, 1.0);
+  ASSERT_NE(json->find("shards"), nullptr);
+  EXPECT_EQ(json->find("shards")->number, 4.0);
+  ASSERT_NE(json->find("total_cost"), nullptr);
+  EXPECT_GT(json->find("total_cost")->number, 0.0);
+  EXPECT_NE(json->find("cut_weight"), nullptr);
+  ASSERT_NE(json->find("imbalance"), nullptr);
+  EXPECT_GE(json->find("imbalance")->number, 1.0);
+  EXPECT_NE(json->find("relaxed_prefixes"), nullptr);
+  ASSERT_NE(json->find("plan"), nullptr);
+  ASSERT_EQ(json->find("plan")->array.size(), 4u);
+  const auto& shard = json->find("plan")->array.front();
+  ASSERT_NE(shard.find("shard"), nullptr);
+  ASSERT_NE(shard.find("cost"), nullptr);
+  ASSERT_NE(shard.find("routers"), nullptr);
+  ASSERT_NE(shard.find("prefixes"), nullptr);
+  ASSERT_FALSE(shard.find("prefixes")->array.empty());
+  const auto& prefix = shard.find("prefixes")->array.front();
+  EXPECT_NE(prefix.find("prefix"), nullptr);
+  EXPECT_NE(prefix.find("origin"), nullptr);
+  EXPECT_NE(prefix.find("cost"), nullptr);
+  EXPECT_NE(prefix.find("workset"), nullptr);
+  EXPECT_NE(prefix.find("relaxed"), nullptr);
+
+  // Determinism: the same invocation yields byte-identical output (no
+  // timings or other run-dependent fields in plan --json).
+  int again_code = -1;
+  EXPECT_EQ(out, capture(args, &again_code));
+  EXPECT_EQ(again_code, 0);
+}
+
 TEST_F(RdtoolCliTest, ImpactContract) {
   const std::string model = " --model " + path("diamond.model");
   EXPECT_EQ(run("impact" + model + " --edit session-down --session 9.0:1.0"),

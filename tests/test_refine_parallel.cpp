@@ -22,7 +22,8 @@ struct Fit {
   core::RefineResult result;
 };
 
-Fit fit_at(double scale, std::uint64_t seed, unsigned threads) {
+Fit fit_at(double scale, std::uint64_t seed, unsigned threads,
+           bool compact_sweep = true) {
   core::PipelineConfig config = core::PipelineConfig::with(scale, seed);
   core::Pipeline pipeline = core::make_pipeline(config);
   core::run_data_stages(pipeline);
@@ -30,6 +31,7 @@ Fit fit_at(double scale, std::uint64_t seed, unsigned threads) {
   Model model = Model::one_router_per_as(pipeline.graph);
   core::RefineConfig refine;
   refine.threads = threads;
+  refine.compact_sweep = compact_sweep;
   Fit fit;
   fit.result = core::refine_model(model, pipeline.split.training, refine);
   fit.model_text = topo::model_to_string(model);
@@ -76,6 +78,32 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair<double, std::uint64_t>{0.05, 1},
                       std::pair<double, std::uint64_t>{0.08, 6},
                       std::pair<double, std::uint64_t>{0.1, 3}));
+
+TEST(CompactSweep, FitIsByteIdenticalWithAndWithoutCompaction) {
+  // The working-set-compacted sweep is an optimization, never a semantic
+  // change: the fitted model and iteration counters must match the plain
+  // full-model sweep at every thread count, and the counters must prove
+  // the compacted path actually ran (or stayed off).
+  const Fit baseline = fit_at(0.08, 6, 1, /*compact_sweep=*/false);
+  ASSERT_TRUE(baseline.result.success);
+  EXPECT_EQ(baseline.result.compacted_runs, 0u)
+      << "compact_sweep=false must not build views";
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const Fit compacted = fit_at(0.08, 6, threads, /*compact_sweep=*/true);
+    EXPECT_TRUE(compacted.result.success);
+    EXPECT_GT(compacted.result.compacted_runs, 0u)
+        << "compact_sweep=true never took the compacted path";
+    EXPECT_EQ(baseline.model_text, compacted.model_text)
+        << "fitted model differs between full and compacted sweeps at "
+        << threads << " thread(s)";
+    EXPECT_EQ(baseline.result.iterations, compacted.result.iterations);
+    EXPECT_EQ(baseline.result.messages_simulated,
+              compacted.result.messages_simulated);
+    EXPECT_EQ(baseline.result.routers_added, compacted.result.routers_added);
+    EXPECT_EQ(baseline.result.policies_changed,
+              compacted.result.policies_changed);
+  }
+}
 
 TEST(ParallelEngine, PooledRunsEqualSerialRuns) {
   core::PipelineConfig config = core::PipelineConfig::with(0.1, 2);

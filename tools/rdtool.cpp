@@ -108,8 +108,11 @@
 #include "bgp/threadpool.hpp"
 #include "analysis/impact.hpp"
 #include "analysis/model_diff.hpp"
+#include "analysis/partition.hpp"
 #include "analysis/policy_audit.hpp"
+#include "analysis/reachability_cache.hpp"
 #include "analysis/validate_model.hpp"
+#include "analysis/workset.hpp"
 #include "bgp/explain.hpp"
 #include "core/fault_inject.hpp"
 #include "core/pipeline.hpp"
@@ -142,6 +145,9 @@ constexpr char kExitCodeTable[] =
     "exit codes (impact):\n"
     "  0  impact set computed (possibly empty)\n"
     "  2  usage or I/O error\n"
+    "exit codes (plan):\n"
+    "  0  shard plan emitted (A820/A821 advisories may print)\n"
+    "  2  usage or I/O error\n"
     "exit codes (refine):\n"
     "  0  fit converged: every training path RIB-Out matched\n"
     "  1  I/O error, resume mismatch or unrecoverable fault\n"
@@ -156,7 +162,7 @@ void print_help(std::FILE* out) {
   std::fprintf(
       out,
       "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-      "lint|audit|diff|impact|stats|selftest|help> [options]\n"
+      "lint|audit|diff|impact|plan|stats|selftest|help> [options]\n"
       "\n"
       "  generate  write a synthetic RIB dump (--out F [--scale S --seed N\n"
       "            --model-out F: also write the ground-truth model])\n"
@@ -184,6 +190,11 @@ void print_help(std::FILE* out) {
       "            session-down|policy-change|filter-edit\n"
       "            [--session A.I:B.J] [--router A.I] [--origin N]\n"
       "            [--prefer ASN] [--deny-below L] [--json])\n"
+      "  plan      static working-set & shard plan: per-prefix working\n"
+      "            sets, cost model, balanced prefix partition\n"
+      "            (--model F | --generated [--scale S --seed N])\n"
+      "            [--shards N] [--no-exact] [--json]; deterministic for\n"
+      "            identical inputs\n"
       "  stats     summarize a refinement trace (rdtool stats TRACE):\n"
       "            per-iteration convergence table + phase timings\n"
       "  selftest  end-to-end smoke test over real files (--dir D)\n"
@@ -1061,6 +1072,72 @@ int cmd_impact(const nb::Cli& cli) {
   return 0;
 }
 
+/// `rdtool plan`: static working-set and shard-plan analyzer
+/// (analysis/workset.hpp + analysis/partition.hpp).  Deliberately emits no
+/// timings in --json mode: the CI determinism gate asserts byte-identical
+/// output for identical inputs.
+int cmd_plan(const nb::Cli& cli) {
+  std::optional<topo::Model> model;
+  bgp::EngineOptions engine_options;
+  std::string what;
+  if (cli.has("model")) {
+    const std::string path = cli.get_string("model", "");
+    model = load_model(path);
+    if (!model) return 2;
+    engine_options = detect_engine_options(*model);
+    what = path;
+  } else if (cli.get_bool("generated")) {
+    core::PipelineConfig config = core::PipelineConfig::with(
+        cli.get_double("scale", 0.2), cli.get_u64("seed", 1));
+    core::Pipeline pipeline = core::make_pipeline(config);
+    core::run_data_stages(pipeline);
+    model = std::move(pipeline.ground_truth.model);
+    engine_options = pipeline.ground_truth.config.engine_options();
+    what = "ground-truth model of generated topology (" +
+           std::to_string(model->num_ases()) + " ASes)";
+  } else {
+    return usage();
+  }
+
+  analysis::PlanOptions plan_options;
+  plan_options.shards = cli.get_u64("shards", 4);
+  if (plan_options.shards == 0) {
+    std::fprintf(stderr, "rdtool: --shards must be at least 1\n");
+    return 2;
+  }
+  analysis::WorksetOptions workset_options;
+  workset_options.exact = !cli.get_bool("no-exact");
+
+  bgp::Engine engine(*model, engine_options);
+  analysis::ReachabilityCache cache;
+  analysis::Diagnostics diagnostics;
+  const std::vector<analysis::PrefixWorkset> worksets =
+      analysis::compute_all_worksets(engine, workset_options, &cache,
+                                     &diagnostics);
+  const analysis::ShardPlan plan = analysis::plan_shards(
+      worksets, model->num_routers(), plan_options, &diagnostics);
+
+  if (cli.get_bool("json")) {
+    std::printf("%s\n", analysis::plan_to_json(plan, worksets).c_str());
+  } else {
+    std::printf("shard plan for %s:\n", what.c_str());
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+      const analysis::ShardPlan::Shard& shard = plan.shards[s];
+      std::printf("  shard %zu: %zu prefix(es), cost %llu, %zu router(s)\n",
+                  s, shard.prefixes.size(),
+                  static_cast<unsigned long long>(shard.cost), shard.routers);
+    }
+    std::printf("plan: %zu prefix(es) over %zu shard(s), total cost %llu, "
+                "cut weight %llu, imbalance %.3f, %zu relaxed prefix(es)\n",
+                worksets.size(), plan.num_shards,
+                static_cast<unsigned long long>(plan.total_cost),
+                static_cast<unsigned long long>(plan.cut_weight),
+                plan.imbalance, plan.relaxed_prefixes);
+    std::printf("%s", analysis::render_diagnostics(diagnostics).c_str());
+  }
+  return 0;
+}
+
 /// `rdtool stats TRACE`: reads a trace written by `refine --trace` (Chrome
 /// trace_event or JSONL) and summarizes it -- per-iteration convergence
 /// table (the trace-side twin of render_refine_log, from the "iteration"
@@ -1381,6 +1458,7 @@ int main(int argc, char** argv) {
   if (command == "audit") return cmd_audit(cli);
   if (command == "diff") return cmd_diff(cli);
   if (command == "impact") return cmd_impact(cli);
+  if (command == "plan") return cmd_plan(cli);
   if (command == "stats") return cmd_stats(cli);
   if (command == "selftest") return cmd_selftest(cli);
   if (command == "help" || command == "--help" || command == "-h") {
