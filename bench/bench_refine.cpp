@@ -28,17 +28,26 @@
 // counts are constant), so only the cross-scale pool carries predictable
 // variance.
 //
+// Every run also records fit throughput in routers/sec (fitted quasi-
+// routers over fit wall-clock) and the process peak RSS
+// (nb::peak_rss_bytes -- a process-wide high-water mark, so later scales
+// report the running maximum), and each scale's hardware-thread leg
+// reports its parallel_speedup over the 1-thread leg, gated >= 1x at
+// scales above the timer-noise floor whenever more than one hardware
+// thread is available.
+//
 //   bench_refine [--scales=0.05,0.1,0.2] [--seed=1] [--threads=0]
 //                [--out=BENCH_refine.json] [--baseline=FILE]
 //                [--max-regress=2.0] [--write-baseline=FILE]
 //
 // The baseline file is plain text, one `scale <fit-seconds>
-// <route-space-seconds> <workset-seconds>` line per scale, written by
-// --write-baseline on a reference machine and parsed here without any JSON
-// dependency.  The column count is STRICT: each metric column mirrors a
-// gated BENCH_refine.json key, and a file whose lines disagree with the
-// expected count is a named baseline-column-mismatch error, not a silent
-// skip -- stale baselines previously disabled the gate without a trace.
+// <route-space-seconds> <workset-seconds> <routers-per-sec> <peak-rss-mb>`
+// line per scale, written by --write-baseline on a reference machine and
+// parsed here without any JSON dependency.  The column count is STRICT:
+// each metric column mirrors a gated BENCH_refine.json key, and a file
+// whose lines disagree with the expected count is a named
+// baseline-column-mismatch error, not a silent skip -- stale baselines
+// previously disabled the gate without a trace.
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -57,6 +66,7 @@
 #include "core/pipeline.hpp"
 #include "netbase/cli.hpp"
 #include "netbase/json.hpp"
+#include "netbase/sysinfo.hpp"
 #include "obs/observer.hpp"
 #include "topology/model_io.hpp"
 
@@ -89,6 +99,11 @@ struct RunResult {
   /// through compacted views (0 when compaction was unavailable/skipped).
   double compact_speedup = 0;
   double plan_imbalance = 0;
+  /// Process peak RSS right after the fit (getrusage high-water mark:
+  /// monotone across the process, so per-scale values are running maxima).
+  std::uint64_t peak_rss_bytes = 0;
+  /// 1-thread total / this run's total; only set on the multi-thread leg.
+  double parallel_speedup = 0;
   /// Per-prefix (static cost, measured full-run seconds) samples; pooled
   /// across scales in main for the cost-model validation.
   std::vector<double> prefix_costs;
@@ -155,6 +170,7 @@ RunResult run_once(double scale, std::uint64_t seed, unsigned threads) {
   run.engine_messages = registry.counter_value("engine.messages");
   run.threads_used = run.refine.threads_used;
   run.routers = model.num_routers();
+  run.peak_rss_bytes = nb::peak_rss_bytes();
   run.model_text = topo::model_to_string(model);
   if (threads == 1) {
     // Static route-space analyzer leg: a 1-thread self-diff of the fitted
@@ -220,6 +236,14 @@ double messages_per_second(const RunResult& run) {
   return static_cast<double>(run.refine.messages_simulated) / sim;
 }
 
+/// Fit throughput: fitted quasi-routers over end-to-end fit wall-clock --
+/// the paper-scale headline number (README "Scaling up").
+double routers_per_second(const RunResult& run) {
+  const double total = run.refine.phase_seconds.total;
+  if (total <= 0) return 0;
+  return static_cast<double>(run.routers) / total;
+}
+
 void append_json(nb::JsonWriter& w, const RunResult& run) {
   w.begin_object();
   w.key("scale").value_fixed(run.scale, 3);
@@ -230,6 +254,12 @@ void append_json(nb::JsonWriter& w, const RunResult& run) {
   w.key("routers").value(static_cast<std::uint64_t>(run.routers));
   w.key("messages").value(run.refine.messages_simulated);
   w.key("messages_per_second").value_fixed(messages_per_second(run), 0);
+  w.key("routers_per_second").value_fixed(routers_per_second(run), 1);
+  w.key("peak_rss_bytes").value(run.peak_rss_bytes);
+  w.key("sharded_iterations").value(run.refine.sharded_iterations);
+  // 0 on 1-thread legs; the multi-thread leg carries its speedup over the
+  // 1-thread fit at the same scale.
+  w.key("parallel_speedup").value_fixed(run.parallel_speedup, 3);
   w.key("phase_seconds").begin_object();
   w.key("simulate").value_fixed(run.refine.phase_seconds.simulate, 6);
   w.key("heuristic").value_fixed(run.refine.phase_seconds.heuristic, 6);
@@ -260,12 +290,14 @@ struct BaselineEntry {
   double refine_seconds = 0;
   double route_space_seconds = 0;
   double workset_seconds = 0;
+  double routers_per_second = 0;
+  double peak_rss_mb = 0;
 };
 
 /// One column per gated BENCH_refine.json key, plus the scale.  Bump in
 /// lockstep with the keys listed in the mismatch message below, and
 /// regenerate bench/refine_baseline.txt with --write-baseline.
-constexpr std::size_t kBaselineColumns = 4;
+constexpr std::size_t kBaselineColumns = 6;
 
 /// Strict parse: every non-empty line must carry exactly kBaselineColumns
 /// whitespace-separated numbers.  A mismatch means the baseline file and
@@ -289,16 +321,19 @@ std::map<double, BaselineEntry> read_baseline(const std::string& path,
                std::to_string(line_no) + " has " +
                std::to_string(columns.size()) + " columns, expected " +
                std::to_string(kBaselineColumns) +
-               " (scale refine-seconds route-space-seconds workset-seconds, "
-               "mirroring the gated BENCH_refine.json keys "
-               "phase_seconds.total/route_space_seconds/workset_seconds); "
-               "regenerate with --write-baseline";
+               " (scale refine-seconds route-space-seconds workset-seconds "
+               "routers-per-sec peak-rss-mb, mirroring the gated "
+               "BENCH_refine.json keys phase_seconds.total/"
+               "route_space_seconds/workset_seconds/routers_per_second/"
+               "peak_rss_bytes); regenerate with --write-baseline";
       return {};
     }
     BaselineEntry entry;
     entry.refine_seconds = columns[1];
     entry.route_space_seconds = columns[2];
     entry.workset_seconds = columns[3];
+    entry.routers_per_second = columns[4];
+    entry.peak_rss_mb = columns[5];
     baseline[columns[0]] = entry;
   }
   return baseline;
@@ -318,15 +353,18 @@ int main(int argc, char** argv) {
   std::printf("bench_refine: refinement fit wall-clock and throughput\n");
   std::printf("hardware threads: %u, multi-thread runs use %u\n\n",
               bgp::ThreadPool::resolve(0), multi);
-  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s %-8s %-8s %-8s\n",
+  std::printf("%-7s %-8s %-6s %-9s %-10s %-10s %-10s %-12s %-9s %-8s %-8s "
+              "%-8s %-8s\n",
               "scale", "threads", "iters", "routers", "simulate", "heuristic",
-              "total", "msgs/sec", "rspace", "workset", "speedup");
+              "total", "msgs/sec", "rts/sec", "rss-mb", "rspace", "workset",
+              "speedup");
 
   bool ok = true;
   bool identical = true;
   std::vector<RunResult> runs;
   for (const double scale : scales) {
     const std::string* one_thread_model = nullptr;
+    double one_thread_total = 0;
     std::vector<unsigned> thread_counts{1};
     if (multi != 1) thread_counts.push_back(multi);
     for (const unsigned threads : thread_counts) {
@@ -338,12 +376,20 @@ int main(int argc, char** argv) {
                      "bench_refine: SELF-DIFF NOT EMPTY at scale %.3f\n",
                      scale);
       }
+      if (threads == 1) {
+        one_thread_total = run.refine.phase_seconds.total;
+      } else if (run.refine.phase_seconds.total > 0) {
+        run.parallel_speedup =
+            one_thread_total / run.refine.phase_seconds.total;
+      }
       std::printf(
-          "%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f %-8.3f "
-          "%-8.3f %-8.2f\n",
+          "%-7.3f %-8u %-6zu %-9zu %-10.3f %-10.3f %-10.3f %-12.0f %-9.1f "
+          "%-8.1f %-8.3f %-8.3f %-8.2f\n",
           scale, run.threads_used, run.refine.iterations, run.routers,
           run.refine.phase_seconds.simulate, run.refine.phase_seconds.heuristic,
           run.refine.phase_seconds.total, messages_per_second(run),
+          routers_per_second(run),
+          static_cast<double>(run.peak_rss_bytes) / (1024.0 * 1024.0),
           run.route_space_seconds, run.workset_seconds, run.compact_speedup);
       runs.push_back(std::move(run));
       if (one_thread_model == nullptr) {
@@ -407,6 +453,32 @@ int main(int argc, char** argv) {
                     ws / it->second.workset_seconds, max_regress,
                     ws_pass ? "ok" : "REGRESSION");
       }
+      // Throughput column: a regression is the fit slowing DOWN, so the
+      // gate is current >= recorded / max-regress.
+      if (it->second.routers_per_second > 0) {
+        const double rps = routers_per_second(run);
+        const bool rps_pass =
+            rps >= it->second.routers_per_second / max_regress;
+        baseline_pass &= rps_pass;
+        std::printf("baseline scale %.3f routers/sec: %.1f vs %.1f recorded "
+                    "(%.2fx, floor 1/%.2fx) %s\n",
+                    run.scale, rps, it->second.routers_per_second,
+                    rps / it->second.routers_per_second, max_regress,
+                    rps_pass ? "ok" : "REGRESSION");
+      }
+      // Peak-RSS column (MB).  Both sides are process-monotone high-water
+      // marks taken right after the fit at this scale, so like-for-like.
+      if (it->second.peak_rss_mb > 0) {
+        const double rss_mb =
+            static_cast<double>(run.peak_rss_bytes) / (1024.0 * 1024.0);
+        const bool rss_pass = rss_mb <= it->second.peak_rss_mb * max_regress;
+        baseline_pass &= rss_pass;
+        std::printf("baseline scale %.3f peak-rss: %.1fMB vs %.1fMB recorded "
+                    "(%.2fx, limit %.2fx) %s\n",
+                    run.scale, rss_mb, it->second.peak_rss_mb,
+                    rss_mb / it->second.peak_rss_mb, max_regress,
+                    rss_pass ? "ok" : "REGRESSION");
+      }
     }
   }
   if (cli.has("write-baseline")) {
@@ -414,7 +486,24 @@ int main(int argc, char** argv) {
     for (const RunResult& run : runs) {
       if (run.threads == 1)
         out << run.scale << ' ' << run.refine.phase_seconds.total << ' '
-            << run.route_space_seconds << ' ' << run.workset_seconds << '\n';
+            << run.route_space_seconds << ' ' << run.workset_seconds << ' '
+            << routers_per_second(run) << ' '
+            << static_cast<double>(run.peak_rss_bytes) / (1024.0 * 1024.0)
+            << '\n';
+    }
+  }
+
+  // Parallel-speedup gate: whenever a real multi-thread leg ran, fits at
+  // scales above the timer-noise floor must not be slower than 1-thread.
+  bool parallel_pass = true;
+  for (const RunResult& run : runs) {
+    if (run.threads == 1 || multi == 1 || run.scale < 0.15) continue;
+    if (run.parallel_speedup > 0 && run.parallel_speedup < 1.0) {
+      parallel_pass = false;
+      std::fprintf(stderr,
+                   "bench_refine: PARALLEL SWEEP SLOWER THAN SERIAL at scale "
+                   "%.3f (%.3fx with %u threads)\n",
+                   run.scale, run.parallel_speedup, run.threads_used);
     }
   }
 
@@ -482,5 +571,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_refine: 1-thread wall-clock regression\n");
   if (baseline_checked && baseline_pass)
     std::printf("baseline check passed\n");
-  return (ok && identical && baseline_pass && compact_pass) ? 0 : 1;
+  return (ok && identical && baseline_pass && compact_pass && parallel_pass)
+             ? 0
+             : 1;
 }

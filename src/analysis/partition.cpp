@@ -1,6 +1,7 @@
 #include "analysis/partition.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 
@@ -9,6 +10,38 @@
 
 namespace analysis {
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t plan_fingerprint(std::size_t num_routers,
+                               const std::vector<PrefixWorkset>& worksets) {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, num_routers);
+  fnv_mix(hash, worksets.size());
+  for (const PrefixWorkset& ws : worksets) fnv_mix(hash, ws.origin);
+  return hash;
+}
+
+std::uint64_t plan_fingerprint(const topo::Model& model) {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, model.num_routers());
+  const std::vector<nb::Asn> asns = model.asns();
+  fnv_mix(hash, asns.size());
+  for (const nb::Asn asn : asns) fnv_mix(hash, asn);
+  return hash;
+}
+
 ShardPlan plan_shards(const std::vector<PrefixWorkset>& worksets,
                       std::size_t num_routers, const PlanOptions& options,
                       Diagnostics* diags) {
@@ -16,6 +49,7 @@ ShardPlan plan_shards(const std::vector<PrefixWorkset>& worksets,
   ShardPlan plan;
   plan.num_shards = options.shards;
   plan.shards.resize(options.shards);
+  plan.fingerprint = plan_fingerprint(num_routers, worksets);
 
   for (const PrefixWorkset& ws : worksets) {
     RD_CHECK(ws.members.size() == num_routers,
@@ -128,6 +162,11 @@ std::string plan_to_json(const ShardPlan& plan,
   json.key("imbalance").value_fixed(plan.imbalance, 4);
   json.key("relaxed_prefixes")
       .value(static_cast<std::uint64_t>(plan.relaxed_prefixes));
+  // Hex string, not a number: JSON doubles cannot hold 64 bits exactly.
+  char fingerprint[17];
+  std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                static_cast<unsigned long long>(plan.fingerprint));
+  json.key("fingerprint").value(fingerprint);
   json.key("plan").begin_array();
   for (std::size_t s = 0; s < plan.shards.size(); ++s) {
     const ShardPlan::Shard& shard = plan.shards[s];

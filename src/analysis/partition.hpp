@@ -57,7 +57,24 @@ struct ShardPlan {
   /// Prefixes whose cost rests on the relaxed bound (A820): the plan is
   /// advisory to that extent.
   std::size_t relaxed_prefixes = 0;
+  /// Dataset fingerprint (plan_fingerprint): identifies the (model router
+  /// count, per-prefix origin sequence) the plan's workset indices refer
+  /// to.  Consumers executing an externally supplied plan -- refine_model
+  /// via RefineConfig::shard_plan -- recompute the model-side fingerprint
+  /// and reject a mismatch with A822 rather than mis-mapping indices.
+  std::uint64_t fingerprint = 0;
 };
+
+/// FNV-1a over the dataset identity a plan indexes into: the model's
+/// router count, the prefix count, and each prefix's origin AS in index
+/// order.  The workset overload hashes what the planner was given; the
+/// model overload hashes what compute_all_worksets WOULD produce for
+/// `model` (its ascending AS list, one Prefix::for_asn prefix each) --
+/// they agree exactly when the plan was built from that model's full
+/// workset sweep.
+std::uint64_t plan_fingerprint(std::size_t num_routers,
+                               const std::vector<PrefixWorkset>& worksets);
+std::uint64_t plan_fingerprint(const topo::Model& model);
 
 /// Plans `options.shards` shards over the given worksets (all against the
 /// same model; `num_routers` = that model's router count).  `diags`, when
@@ -70,6 +87,8 @@ ShardPlan plan_shards(const std::vector<PrefixWorkset>& worksets,
 /// determinism gate:
 ///   {"tool": "plan", "version": 1, "shards": N, "total_cost": C,
 ///    "cut_weight": W, "imbalance": I, "relaxed_prefixes": K,
+///    "fingerprint": "1af3...b2" (hex string: JSON doubles lose 64-bit
+///    precision),
 ///    "plan": [{"shard": i, "cost": c, "routers": m,
 ///              "prefixes": [{"prefix": "10.0.9.0/24", "origin": 9,
 ///                            "cost": c, "workset": s,

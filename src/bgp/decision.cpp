@@ -22,13 +22,13 @@ const char* decision_step_name(DecisionStep step) {
   return "?";
 }
 
-Comparison compare_routes(const Route& a, const Route& b,
-                          std::span<const std::uint32_t> sender_ids) {
+Comparison compare_views(const RouteView& a, const RouteView& b,
+                         std::span<const std::uint32_t> sender_ids) {
   if (a.local_pref != b.local_pref) {
     return {a.local_pref > b.local_pref ? -1 : 1, DecisionStep::kLocalPref};
   }
-  if (a.path.size() != b.path.size()) {
-    return {a.path.size() < b.path.size() ? -1 : 1, DecisionStep::kPathLength};
+  if (a.path_len != b.path_len) {
+    return {a.path_len < b.path_len ? -1 : 1, DecisionStep::kPathLength};
   }
   if (a.med != b.med) {
     return {a.med < b.med ? -1 : 1, DecisionStep::kMed};
@@ -45,6 +45,11 @@ Comparison compare_routes(const Route& a, const Route& b,
     return {ida < idb ? -1 : 1, DecisionStep::kTieBreak};
   }
   return {0, DecisionStep::kEqual};
+}
+
+Comparison compare_routes(const Route& a, const Route& b,
+                          std::span<const std::uint32_t> sender_ids) {
+  return compare_views(view_of(a), view_of(b), sender_ids);
 }
 
 int select_best(std::span<const Route> candidates,

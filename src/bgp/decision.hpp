@@ -42,9 +42,30 @@ struct Comparison {
   DecisionStep step = DecisionStep::kEqual;
 };
 
+/// The decision-relevant attributes of a stored route.  Every step of the
+/// decision process reads scalars only -- path CONTENT never participates,
+/// just its length -- so this view fully determines compare_routes and lets
+/// the struct-of-arrays RIB (bgp::SimMemory) compare entries without
+/// materializing Route objects.
+struct RouteView {
+  std::uint32_t sender = 0;
+  std::uint32_t local_pref = 0;
+  std::uint32_t med = 0;
+  std::uint32_t igp_cost = 0;
+  std::uint32_t path_len = 0;
+  bool ibgp = false;
+};
+
+inline RouteView view_of(const Route& route) {
+  return RouteView{route.sender, route.local_pref, route.med, route.igp_cost,
+                   static_cast<std::uint32_t>(route.path.size()), route.ibgp};
+}
+
 /// Compares two candidate routes; negative order means `a` wins.
 /// `sender_ids[dense]` is the router-id value of a dense router index, so the
 /// final tie-break uses the paper's addressing (ASN<<16 | index).
+Comparison compare_views(const RouteView& a, const RouteView& b,
+                         std::span<const std::uint32_t> sender_ids);
 Comparison compare_routes(const Route& a, const Route& b,
                           std::span<const std::uint32_t> sender_ids);
 

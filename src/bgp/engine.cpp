@@ -1,9 +1,8 @@
 #include "bgp/engine.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_map>
 
+#include "bgp/sim_memory.hpp"
 #include "netbase/check.hpp"
 
 namespace bgp {
@@ -60,13 +59,13 @@ std::shared_ptr<const SimContext> Engine::context() const {
 }
 
 bool Engine::propagate_into(const PrefixPolicy* policy, Model::Dense from,
-                            Model::Dense to, const Route& best,
+                            Model::Dense to, std::span<const Asn> best_path,
                             const SimContext& ctx, Route& out) const {
   const nb::Asn from_as = ctx.asn_of[from];
   const nb::Asn to_as = ctx.asn_of[to];
   // Receiver-side AS-loop detection on the route as it would arrive
-  // ([from_as, best.path...]); checked before building the path.
-  if (to_as == from_as || path_contains(best.path, to_as)) return false;
+  // ([from_as, best_path...]); checked before building the path.
+  if (to_as == from_as || path_contains(best_path, to_as)) return false;
 
   if (options_.use_relationship_policies) {
     // Valley-free export: routes learned from a peer or provider are only
@@ -75,9 +74,9 @@ bool Engine::propagate_into(const PrefixPolicy* policy, Model::Dense from,
     const NeighborClass to_class = model_->neighbor_class(from_as, to_as);
     if (to_class == NeighborClass::kPeer ||
         to_class == NeighborClass::kProvider) {
-      bool from_customer_or_self = best.originated();
+      bool from_customer_or_self = best_path.empty();
       if (!from_customer_or_self) {
-        const Asn learned_from = best.path.front();
+        const Asn learned_from = best_path.front();
         const NeighborClass learned_class =
             model_->neighbor_class(from_as, learned_from);
         from_customer_or_self = learned_class == NeighborClass::kCustomer ||
@@ -94,7 +93,7 @@ bool Engine::propagate_into(const PrefixPolicy* policy, Model::Dense from,
       }
     }
   }
-  const std::size_t arriving_len = best.path.size() + 1;
+  const std::size_t arriving_len = best_path.size() + 1;
   if (const topo::ExportFilter* filter =
           model_->find_export_filter(from, to, policy);
       filter != nullptr && filter->blocks(arriving_len)) {
@@ -145,7 +144,7 @@ bool Engine::propagate_into(const PrefixPolicy* policy, Model::Dense from,
   out.path.clear();
   out.path.reserve(arriving_len);
   out.path.push_back(from_as);
-  out.path.insert(out.path.end(), best.path.begin(), best.path.end());
+  out.path.insert(out.path.end(), best_path.begin(), best_path.end());
   return true;
 }
 
@@ -154,23 +153,155 @@ std::optional<Route> Engine::propagate(const PrefixPolicy* policy,
                                        const Route& best) const {
   const std::shared_ptr<const SimContext> ctx = context();
   Route out;
-  if (!propagate_into(policy, from, to, best, *ctx, out)) return std::nullopt;
+  if (!propagate_into(policy, from, to, best.path, *ctx, out)) {
+    return std::nullopt;
+  }
   return out;
 }
+
+namespace {
+
+// Pre-mutation snapshot of a router's selections: only the announcing
+// router of each selection.  A message touches exactly one RIB-In entry
+// (its sender's), so "did the selection change in a way that requires
+// re-advertising" reduces to comparing selected senders, plus one flag for
+// the touched entry's path -- no Route (and no AS-path vector) is copied.
+struct Selection {
+  std::int64_t best_sender = -1;  // -1: nothing selected
+  std::int64_t external_sender = -1;
+};
+
+Selection snapshot(const SimMemory& mem, std::uint32_t slot) {
+  Selection s;
+  const std::uint32_t base = mem.begin_of(slot);
+  if (const int b = mem.best(slot); b >= 0) {
+    s.best_sender = mem.sender_at(base + static_cast<std::uint32_t>(b));
+  }
+  if (const int e = mem.best_external(slot); e >= 0) {
+    s.external_sender = mem.sender_at(base + static_cast<std::uint32_t>(e));
+  }
+  return s;
+}
+
+/// select_best over a SoA RIB region: same ascending scan, same strictly-
+/// less replacement rule, via the same compare_views the Route overload
+/// delegates to -- identical winner for identical contents.
+int select_best_region(const SimMemory& mem, std::uint32_t base,
+                       std::uint32_t live,
+                       std::span<const std::uint32_t> ids) {
+  int best = -1;
+  for (std::uint32_t i = 0; i < live; ++i) {
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const Comparison cmp =
+        compare_views(mem.view_at(base + i),
+                      mem.view_at(base + static_cast<std::uint32_t>(best)), ids);
+    if (cmp.order < 0) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+/// Recomputes a slot's best (and external best); returns true if either
+/// selection changed from `old` in a way that requires re-advertising.
+/// `touched` is the sender whose entry this message modified and
+/// `touched_path_changed` whether that entry's AS-path changed: a selection
+/// that stays on an untouched sender is unchanged by construction (one
+/// entry per sender, and only the touched one was written).
+bool reselect(SimMemory& mem, std::uint32_t slot, bool ibgp_mesh,
+              std::span<const std::uint32_t> ids, const Selection& old,
+              Model::Dense touched, bool touched_path_changed,
+              SimCounters& tally) {
+  const std::uint32_t base = mem.begin_of(slot);
+  const std::uint32_t live = mem.live(slot);
+  const int best = select_best_region(mem, base, live, ids);
+  mem.set_best(slot, best);
+  int external = -1;
+  if (ibgp_mesh) {
+    for (std::uint32_t i = 0; i < live; ++i) {
+      if (mem.ibgp_at(base + i)) continue;
+      if (external < 0 ||
+          compare_views(mem.view_at(base + i),
+                        mem.view_at(base + static_cast<std::uint32_t>(external)),
+                        ids)
+                  .order < 0) {
+        external = static_cast<int>(i);
+      }
+    }
+  } else {
+    external = best;
+  }
+  mem.set_best_external(slot, external);
+
+  const auto differs = [&](std::int64_t old_sender, int now_rel) {
+    const std::int64_t now_sender =
+        now_rel < 0 ? -1
+                    : static_cast<std::int64_t>(
+                          mem.sender_at(base + static_cast<std::uint32_t>(now_rel)));
+    if (now_sender != old_sender) return true;
+    return now_sender == static_cast<std::int64_t>(touched) &&
+           touched_path_changed;
+  };
+  const bool changed =
+      differs(old.best_sender, best) || differs(old.external_sender, external);
+  tally.selection_changes += changed ? 1 : 0;
+  return changed;
+}
+
+/// Materializes the arena's final state into the public RouterState form.
+/// Reuses `routers`' existing rib_in and path capacities, so a sweep that
+/// recycles its PrefixSimResult objects allocates nothing at steady state.
+void export_state(const SimMemory& mem, std::size_t slots,
+                  std::vector<RouterState>& routers) {
+  routers.resize(slots);
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    RouterState& state = routers[s];
+    const std::uint32_t base = mem.begin_of(s);
+    const std::uint32_t live = mem.live(s);
+    state.rib_in.resize(live);
+    for (std::uint32_t i = 0; i < live; ++i) {
+      const std::uint32_t r = base + i;
+      Route& route = state.rib_in[i];
+      const RouteView v = mem.view_at(r);
+      route.sender = v.sender;
+      route.local_pref = v.local_pref;
+      route.med = v.med;
+      route.igp_cost = v.igp_cost;
+      route.ibgp = v.ibgp;
+      const std::span<const Asn> path = mem.path_at(r);
+      route.path.assign(path.begin(), path.end());
+    }
+    state.best = mem.best(s);
+    state.best_external = mem.best_external(s);
+  }
+}
+
+}  // namespace
 
 PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
                             SimCounters* counters,
                             std::vector<char>* activated) const {
+  PrefixSimResult res;
+  SimMemory memory;
+  run_into(prefix, origin, memory, counters, activated, res);
+  return res;
+}
+
+void Engine::run_into(const Prefix& prefix, nb::Asn origin, SimMemory& mem,
+                      SimCounters* counters, std::vector<char>* activated,
+                      PrefixSimResult& res) const {
   // Instrumentation accumulates in locals unconditionally (register
   // increments, negligible next to message processing) and is stored
   // through `counters` only at the end, keeping the uninstrumented path
   // byte- and perf-identical.
   SimCounters tally;
-  PrefixSimResult res;
   res.prefix = prefix;
   res.origin = origin;
+  res.view = nullptr;
+  res.converged = true;
+  res.messages = 0;
   const std::size_t n = model_->num_routers();
-  res.routers.resize(n);
   if (activated != nullptr) activated->assign(n, 0);
 
   const PrefixPolicy* policy = model_->find_policy(prefix);
@@ -183,252 +314,156 @@ PrefixSimResult Engine::run(const Prefix& prefix, nb::Asn origin,
       std::max<std::uint64_t>(model_->num_sessions(), 1);
   res.message_cap = message_cap;
 
-  std::deque<Model::Dense> queue;
-  std::vector<char> queued(n, 0);
-  auto enqueue = [&](Model::Dense r) {
-    if (!queued[r]) {
-      queued[r] = 1;
-      queue.push_back(r);
-    }
-  };
-
-  // Adj-RIB-In holds at most one entry per announcing router, so a sender ->
-  // slot hash replaces the linear scan at routers whose inbound fan-in is
-  // large (tier-1-like degrees); low-degree routers keep the scan, which is
-  // faster than hashing there.  Slots shift on erase, so the index is
-  // repaired then (erases are rare next to lookups).
-  constexpr std::size_t kIndexedFanIn = 32;
-  std::vector<char> indexed(n, 0);
-  bool any_indexed = false;
+  // Region capacities: sessions are symmetric (the linter enforces M101),
+  // so a router's possible senders are exactly its peers, plus its AS-mates
+  // in ibgp-mesh mode; the +1 for self-origination is SimMemory's.
+  mem.begin(n);
   for (Model::Dense r = 0; r < n; ++r) {
     std::size_t fan_in = ctx.peers(r).size();
     if (options_.use_ibgp_mesh)
       fan_in += model_->routers_of(ctx.asn_of[r]).size() - 1;
-    if (fan_in >= kIndexedFanIn) {
-      indexed[r] = 1;
-      any_indexed = true;
-    }
+    mem.set_fan_in(r, static_cast<std::uint32_t>(fan_in));
   }
-  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> slots(
-      any_indexed ? n : 0);
-
-  // -1 when `sender` has no entry in `state`'s RIB-In.
-  auto find_slot = [&](Model::Dense router, const RouterState& state,
-                       Model::Dense sender) -> int {
-    if (indexed[router]) {
-      const auto& map = slots[router];
-      auto it = map.find(sender);
-      return it == map.end() ? -1 : static_cast<int>(it->second);
-    }
-    for (std::size_t i = 0; i < state.rib_in.size(); ++i) {
-      if (state.rib_in[i].sender == sender) return static_cast<int>(i);
-    }
-    return -1;
-  };
-  auto push_entry = [&](Model::Dense router, RouterState& state,
-                        const Route& route) {
-    ++tally.rib_inserts;
-    if (indexed[router]) {
-      slots[router][route.sender] =
-          static_cast<std::uint32_t>(state.rib_in.size());
-    }
-    state.rib_in.push_back(route);
-  };
-  auto erase_entry = [&](Model::Dense router, RouterState& state, int slot) {
-    ++tally.withdrawals;
-    const Model::Dense sender = state.rib_in[static_cast<std::size_t>(slot)].sender;
-    state.rib_in.erase(state.rib_in.begin() + slot);
-    if (indexed[router]) {
-      auto& map = slots[router];
-      map.erase(sender);
-      for (auto& [key, value] : map) {
-        if (value > static_cast<std::uint32_t>(slot)) --value;
-      }
-    }
-  };
+  mem.finish_setup();
 
   // Origination: each quasi-router of the origin AS injects a route with an
   // empty path (sender = self, MED 0 so an origin router never prefers a
   // learned alternative -- vacuous anyway since the empty path wins on
   // length).
   for (Model::Dense r : model_->routers_of(origin)) {
-    Route self;
-    self.sender = r;
-    self.med = 0;
-    push_entry(r, res.routers[r], self);
-    res.routers[r].best = 0;
-    res.routers[r].best_external = 0;
-    enqueue(r);
+    ++tally.rib_inserts;
+    mem.push(r, SimMemory::Attrs{r, kDefaultLocalPref, 0, 0, false}, {});
+    mem.set_best(r, 0);
+    mem.set_best_external(r, 0);
+    mem.enqueue(r);
   }
 
-  // Pre-mutation snapshot of a router's selections: only the announcing
-  // router of each selection.  A message touches exactly one RIB-In entry
-  // (its sender's), so "did the selection change in a way that requires
-  // re-advertising" reduces to comparing selected senders, plus one flag for
-  // the touched entry's path -- no Route (and no AS-path vector) is copied.
-  struct Selection {
-    std::int64_t best_sender = -1;      // -1: nothing selected
-    std::int64_t external_sender = -1;
-  };
-  auto snapshot = [](const RouterState& state) {
-    Selection s;
-    if (const Route* b = state.best_route()) s.best_sender = b->sender;
-    if (const Route* e = state.external_route()) s.external_sender = e->sender;
-    return s;
-  };
-
-  // Recomputes a router's best (and external best); returns true if either
-  // selection changed from `old` in a way that requires re-advertising.
-  // `touched` is the sender whose entry this message modified and
-  // `touched_path_changed` whether that entry's AS-path changed: a selection
-  // that stays on an untouched sender is unchanged by construction (one
-  // entry per sender, and only the touched one was written).
-  auto reselect = [&](RouterState& state, const Selection& old,
-                      Model::Dense touched, bool touched_path_changed) {
-    state.best = select_best(state.rib_in, ids);
-    state.best_external = -1;
-    if (options_.use_ibgp_mesh) {
-      for (std::size_t i = 0; i < state.rib_in.size(); ++i) {
-        if (state.rib_in[i].ibgp) continue;
-        if (state.best_external < 0 ||
-            compare_routes(state.rib_in[i],
-                           state.rib_in[static_cast<std::size_t>(
-                               state.best_external)],
-                           ids)
-                    .order < 0) {
-          state.best_external = static_cast<int>(i);
-        }
-      }
-    } else {
-      state.best_external = state.best;
-    }
-
-    auto differs = [&](std::int64_t old_sender, const Route* now) {
-      const std::int64_t now_sender =
-          now == nullptr ? -1 : static_cast<std::int64_t>(now->sender);
-      if (now_sender != old_sender) return true;
-      return now_sender == static_cast<std::int64_t>(touched) &&
-             touched_path_changed;
-    };
-    const bool changed = differs(old.best_sender, state.best_route()) ||
-                         differs(old.external_sender, state.external_route());
-    tally.selection_changes += changed ? 1 : 0;
-    return changed;
-  };
+  const bool ibgp_mesh = options_.use_ibgp_mesh;
+  std::uint64_t messages = 0;
 
   // Reused across every message; its path buffer's capacity persists, so
-  // steady-state propagation allocates only when a RIB-In entry is created.
+  // steady-state propagation allocates nothing.
   Route scratch;
 
-  while (!queue.empty()) {
-    if (res.messages > message_cap) {
+  while (!mem.queue_empty()) {
+    if (messages > message_cap) {
       res.converged = false;
       break;
     }
-    const Model::Dense r = queue.front();
-    queue.pop_front();
-    queued[r] = 0;
+    const Model::Dense r = mem.pop_front();
     ++tally.activations;
     if (activated != nullptr) (*activated)[r] = 1;
-    const Route* best = res.routers[r].best_route();
+    const std::uint32_t r_base = mem.begin_of(r);
+    // r's own region is never written during r's activation (every message
+    // targets a mate or peer), so these relative indices stay valid; path
+    // SPANS are re-derived at each use because pushes can move the arena.
+    const int r_best = mem.best(r);
 
     // iBGP mesh: push this router's best external route to its AS-mates.
-    if (options_.use_ibgp_mesh) {
-      const Route* external = res.routers[r].external_route();
+    if (ibgp_mesh) {
+      const int r_external = mem.best_external(r);
       for (Model::Dense mate : model_->routers_of(ctx.asn_of[r])) {
         if (mate == r) continue;
-        ++res.messages;
-        RouterState& state = res.routers[mate];
-        const int slot = find_slot(mate, state, r);
-        if (external == nullptr) {
+        ++messages;
+        const int slot = mem.find(mate, r);
+        if (r_external < 0) {
           if (slot < 0) continue;
-          const Selection old = snapshot(state);
-          erase_entry(mate, state, slot);
-          if (reselect(state, old, r, false)) enqueue(mate);
+          const Selection old = snapshot(mem, mate);
+          ++tally.withdrawals;
+          mem.erase(mate, slot);
+          if (reselect(mem, mate, ibgp_mesh, ids, old, r, false, tally))
+            mem.enqueue(mate);
           continue;
         }
+        const std::uint32_t external =
+            r_base + static_cast<std::uint32_t>(r_external);
+        const RouteView ext = mem.view_at(external);
         const std::uint32_t igp =
             options_.use_igp_cost ? model_->igp_cost(mate, r) : 0;
         if (slot >= 0) {
-          Route& existing = state.rib_in[static_cast<std::size_t>(slot)];
-          if (existing.path == external->path &&
-              existing.local_pref == external->local_pref &&
-              existing.med == external->med && existing.igp_cost == igp &&
+          const std::uint32_t row =
+              mem.row(mate, static_cast<std::uint32_t>(slot));
+          const RouteView existing = mem.view_at(row);
+          const bool same_path = mem.paths_equal(row, external);
+          if (same_path && existing.local_pref == ext.local_pref &&
+              existing.med == ext.med && existing.igp_cost == igp &&
               existing.ibgp) {
             continue;
           }
-          const Selection old = snapshot(state);
-          const bool path_changed = existing.path != external->path;
+          const Selection old = snapshot(mem, mate);
           ++tally.rib_replacements;
-          existing.sender = r;
-          existing.local_pref = external->local_pref;
-          existing.med = external->med;
-          existing.igp_cost = igp;
-          existing.ibgp = true;
-          if (path_changed) existing.path = external->path;
-          if (reselect(state, old, r, path_changed)) enqueue(mate);
+          mem.set_attrs(row,
+                        SimMemory::Attrs{r, ext.local_pref, ext.med, igp, true});
+          if (!same_path) mem.assign_path_from(row, external);
+          if (reselect(mem, mate, ibgp_mesh, ids, old, r, !same_path, tally))
+            mem.enqueue(mate);
         } else {
-          const Selection old = snapshot(state);
-          Route shared;
-          shared.sender = r;
-          shared.local_pref = external->local_pref;
-          shared.med = external->med;
-          shared.igp_cost = igp;
-          shared.ibgp = true;
-          shared.path = external->path;
-          push_entry(mate, state, shared);
-          if (reselect(state, old, r, false)) enqueue(mate);
+          const Selection old = snapshot(mem, mate);
+          ++tally.rib_inserts;
+          mem.push_from(mate,
+                        SimMemory::Attrs{r, ext.local_pref, ext.med, igp, true},
+                        external);
+          if (reselect(mem, mate, ibgp_mesh, ids, old, r, false, tally))
+            mem.enqueue(mate);
         }
       }
     }
 
     for (const Model::Dense peer : ctx.peers(r)) {
-      ++res.messages;
+      ++messages;
       const bool has_incoming =
-          best != nullptr && propagate_into(policy, r, peer, *best, ctx, scratch);
+          r_best >= 0 &&
+          propagate_into(policy, r, peer,
+                         mem.path_at(r_base + static_cast<std::uint32_t>(r_best)),
+                         ctx, scratch);
 
-      RouterState& state = res.routers[peer];
-      const int slot = find_slot(peer, state, r);
+      const int slot = mem.find(peer, r);
 
       if (!has_incoming) {
         if (slot < 0) continue;  // nothing to withdraw
-        const Selection old = snapshot(state);
-        erase_entry(peer, state, slot);
-        if (reselect(state, old, r, false)) enqueue(peer);
+        const Selection old = snapshot(mem, peer);
+        ++tally.withdrawals;
+        mem.erase(peer, slot);
+        if (reselect(mem, peer, ibgp_mesh, ids, old, r, false, tally))
+          mem.enqueue(peer);
         continue;
       }
       if (slot >= 0) {
-        Route& existing = state.rib_in[static_cast<std::size_t>(slot)];
-        if (existing.path == scratch.path &&
-            existing.local_pref == scratch.local_pref &&
+        const std::uint32_t row = mem.row(peer, static_cast<std::uint32_t>(slot));
+        const RouteView existing = mem.view_at(row);
+        const bool same_path = mem.path_equals(row, scratch.path);
+        if (same_path && existing.local_pref == scratch.local_pref &&
             existing.med == scratch.med &&
             existing.igp_cost == scratch.igp_cost) {
           continue;  // unchanged advertisement
         }
-        const Selection old = snapshot(state);
-        const bool path_changed = existing.path != scratch.path;
+        const Selection old = snapshot(mem, peer);
         ++tally.rib_replacements;
-        existing.sender = scratch.sender;
-        existing.local_pref = scratch.local_pref;
-        existing.med = scratch.med;
-        existing.igp_cost = scratch.igp_cost;
-        existing.ibgp = false;
-        // Swap instead of assign: both buffers stay allocated and are reused.
-        if (path_changed) existing.path.swap(scratch.path);
-        if (reselect(state, old, r, path_changed)) enqueue(peer);
+        mem.set_attrs(row, SimMemory::Attrs{scratch.sender, scratch.local_pref,
+                                            scratch.med, scratch.igp_cost,
+                                            false});
+        if (!same_path) mem.set_path(row, scratch.path);
+        if (reselect(mem, peer, ibgp_mesh, ids, old, r, !same_path, tally))
+          mem.enqueue(peer);
       } else {
-        const Selection old = snapshot(state);
-        push_entry(peer, state, scratch);
-        if (reselect(state, old, r, false)) enqueue(peer);
+        const Selection old = snapshot(mem, peer);
+        ++tally.rib_inserts;
+        mem.push(peer,
+                 SimMemory::Attrs{scratch.sender, scratch.local_pref,
+                                  scratch.med, scratch.igp_cost, false},
+                 scratch.path);
+        if (reselect(mem, peer, ibgp_mesh, ids, old, r, false, tally))
+          mem.enqueue(peer);
       }
     }
   }
+  res.messages = messages;
   res.activations = tally.activations;
+  export_state(mem, n, res.routers);
   if (counters != nullptr) {
-    tally.messages = res.messages;
+    tally.messages = messages;
     *counters = tally;
   }
-  return res;
 }
 
 std::shared_ptr<const PrefixView> Engine::build_view(
@@ -548,15 +583,24 @@ std::shared_ptr<const PrefixView> Engine::build_view(
 
 PrefixSimResult Engine::run_compacted(std::shared_ptr<const PrefixView> view,
                                       SimCounters* counters) const {
+  PrefixSimResult res;
+  SimMemory memory;
+  run_compacted_into(std::move(view), memory, counters, res);
+  return res;
+}
+
+void Engine::run_compacted_into(std::shared_ptr<const PrefixView> view,
+                                SimMemory& mem, SimCounters* counters,
+                                PrefixSimResult& res) const {
   const PrefixView& v = *view;
   RD_CHECK(v.epoch == model_->generation(),
            "Engine::run_compacted: view is stale (model mutated)");
   SimCounters tally;
-  PrefixSimResult res;
   res.prefix = v.prefix;
   res.origin = v.origin;
+  res.converged = true;
+  res.messages = 0;
   const std::size_t m = v.members.size();
-  res.routers.resize(m);
   res.view = std::move(view);
 
   const std::shared_ptr<const SimContext> ctx_ptr = context();
@@ -569,140 +613,64 @@ PrefixSimResult Engine::run_compacted(std::shared_ptr<const PrefixView> view,
       std::max<std::uint64_t>(model_->num_sessions(), 1);
   res.message_cap = message_cap;
 
-  std::deque<std::uint32_t> queue;  // compact indices
-  std::vector<char> queued(m, 0);
-  auto enqueue = [&](std::uint32_t c) {
-    if (!queued[c]) {
-      queued[c] = 1;
-      queue.push_back(c);
-    }
-  };
-
-  // Same sender -> slot index as run(), keyed by compact receiver but by
-  // FULL dense sender (Route::sender stays dense so decision tie-breaks and
-  // every consumer read identical ids).  The indexing choice mirrors run()'s
-  // full fan-in threshold (in-set edges plus phantom peers), and is
-  // behaviorally neutral either way.
-  constexpr std::size_t kIndexedFanIn = 32;
-  std::vector<char> indexed(m, 0);
-  bool any_indexed = false;
-  for (std::size_t c = 0; c < m; ++c) {
-    const std::size_t fan_in =
-        (v.edge_offset[c + 1] - v.edge_offset[c]) + v.phantom[c];
-    if (fan_in >= kIndexedFanIn) {
-      indexed[c] = 1;
-      any_indexed = true;
-    }
+  // Region capacity per member: only in-set edges can install a RIB row,
+  // and sessions are symmetric, so a member's in-set in-degree equals its
+  // in-set out-degree (the edge list length).  The hash-index heuristic
+  // mirrors run()'s FULL fan-in (in-set edges plus phantom peers) -- the
+  // choice is behaviorally neutral, but kept identical on principle.
+  // Slots are keyed by compact receiver; senders stay FULL dense indices so
+  // decision tie-breaks and every consumer read identical ids.
+  mem.begin(m);
+  for (std::uint32_t c = 0; c < m; ++c) {
+    const std::uint32_t in_set = v.edge_offset[c + 1] - v.edge_offset[c];
+    mem.set_fan_in(c, in_set, in_set + v.phantom[c]);
   }
-  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> slots(
-      any_indexed ? m : 0);
-
-  auto find_slot = [&](std::uint32_t c, const RouterState& state,
-                       Model::Dense sender) -> int {
-    if (indexed[c]) {
-      const auto& map = slots[c];
-      auto it = map.find(sender);
-      return it == map.end() ? -1 : static_cast<int>(it->second);
-    }
-    for (std::size_t i = 0; i < state.rib_in.size(); ++i) {
-      if (state.rib_in[i].sender == sender) return static_cast<int>(i);
-    }
-    return -1;
-  };
-  auto push_entry = [&](std::uint32_t c, RouterState& state,
-                        const Route& route) {
-    ++tally.rib_inserts;
-    if (indexed[c]) {
-      slots[c][route.sender] =
-          static_cast<std::uint32_t>(state.rib_in.size());
-    }
-    state.rib_in.push_back(route);
-  };
-  auto erase_entry = [&](std::uint32_t c, RouterState& state, int slot) {
-    ++tally.withdrawals;
-    const Model::Dense sender =
-        state.rib_in[static_cast<std::size_t>(slot)].sender;
-    state.rib_in.erase(state.rib_in.begin() + slot);
-    if (indexed[c]) {
-      auto& map = slots[c];
-      map.erase(sender);
-      for (auto& [key, value] : map) {
-        if (value > static_cast<std::uint32_t>(slot)) --value;
-      }
-    }
-  };
+  mem.finish_setup();
 
   for (const Model::Dense r : model_->routers_of(res.origin)) {
     const std::uint32_t c = v.compact_of[r];
-    Route self;
-    self.sender = r;
-    self.med = 0;
-    push_entry(c, res.routers[c], self);
-    res.routers[c].best = 0;
-    res.routers[c].best_external = 0;
-    enqueue(c);
+    ++tally.rib_inserts;
+    mem.push(c, SimMemory::Attrs{r, kDefaultLocalPref, 0, 0, false}, {});
+    mem.set_best(c, 0);
+    mem.set_best_external(c, 0);
+    mem.enqueue(c);
   }
 
-  struct Selection {
-    std::int64_t best_sender = -1;
-    std::int64_t external_sender = -1;
-  };
-  auto snapshot = [](const RouterState& state) {
-    Selection s;
-    if (const Route* b = state.best_route()) s.best_sender = b->sender;
-    if (const Route* e = state.external_route()) s.external_sender = e->sender;
-    return s;
-  };
-  // Agnostic mode: best_external always tracks best (no iBGP entries).
-  auto reselect = [&](RouterState& state, const Selection& old,
-                      Model::Dense touched, bool touched_path_changed) {
-    state.best = select_best(state.rib_in, ids);
-    state.best_external = state.best;
-    auto differs = [&](std::int64_t old_sender, const Route* now) {
-      const std::int64_t now_sender =
-          now == nullptr ? -1 : static_cast<std::int64_t>(now->sender);
-      if (now_sender != old_sender) return true;
-      return now_sender == static_cast<std::int64_t>(touched) &&
-             touched_path_changed;
-    };
-    const bool changed = differs(old.best_sender, state.best_route()) ||
-                         differs(old.external_sender, state.external_route());
-    tally.selection_changes += changed ? 1 : 0;
-    return changed;
-  };
-
+  std::uint64_t messages = 0;
   Route scratch;
 
-  while (!queue.empty()) {
-    if (res.messages > message_cap) {
+  while (!mem.queue_empty()) {
+    if (messages > message_cap) {
       res.converged = false;
       break;
     }
-    const std::uint32_t c = queue.front();
-    queue.pop_front();
-    queued[c] = 0;
+    const std::uint32_t c = mem.pop_front();
     ++tally.activations;
     const Model::Dense r = v.members[c];
     const nb::Asn from_as = v.member_asn[c];
-    const Route* best = res.routers[c].best_route();
+    const std::uint32_t c_base = mem.begin_of(c);
+    const int c_best = mem.best(c);
 
     // Out-of-set peers: the full run visits them, charges one message each,
     // and provably changes nothing (the import always fails and their empty
     // RIB-In has nothing to withdraw).  Only the message charge remains.
-    res.messages += v.phantom[c];
+    messages += v.phantom[c];
 
     const std::uint32_t edges_end = v.edge_offset[c + 1];
     for (std::uint32_t e = v.edge_offset[c]; e < edges_end; ++e) {
       const PrefixView::Edge& edge = v.edges[e];
-      ++res.messages;
+      ++messages;
 
       // Specialized propagate_into (agnostic mode): AS-loop check, filter
-      // threshold, then the pre-resolved import attributes.
+      // threshold, then the pre-resolved import attributes.  The best path
+      // span is re-derived per edge -- pushes can move the hop arena.
       bool has_incoming = false;
-      if (best != nullptr) {
+      if (c_best >= 0) {
+        const std::span<const Asn> best_path =
+            mem.path_at(c_base + static_cast<std::uint32_t>(c_best));
         const nb::Asn to_as = v.member_asn[edge.to];
-        if (to_as != from_as && !path_contains(best->path, to_as)) {
-          const std::size_t arriving_len = best->path.size() + 1;
+        if (to_as != from_as && !path_contains(best_path, to_as)) {
+          const std::size_t arriving_len = best_path.size() + 1;
           if (arriving_len >= edge.deny_below_len) {
             scratch.sender = r;
             scratch.ibgp = false;
@@ -712,54 +680,61 @@ PrefixSimResult Engine::run_compacted(std::shared_ptr<const PrefixView> view,
             scratch.path.clear();
             scratch.path.reserve(arriving_len);
             scratch.path.push_back(from_as);
-            scratch.path.insert(scratch.path.end(), best->path.begin(),
-                                best->path.end());
+            scratch.path.insert(scratch.path.end(), best_path.begin(),
+                                best_path.end());
             has_incoming = true;
           }
         }
       }
 
-      RouterState& state = res.routers[edge.to];
-      const int slot = find_slot(edge.to, state, r);
+      const int slot = mem.find(edge.to, r);
 
       if (!has_incoming) {
         if (slot < 0) continue;
-        const Selection old = snapshot(state);
-        erase_entry(edge.to, state, slot);
-        if (reselect(state, old, r, false)) enqueue(edge.to);
+        const Selection old = snapshot(mem, edge.to);
+        ++tally.withdrawals;
+        mem.erase(edge.to, slot);
+        if (reselect(mem, edge.to, false, ids, old, r, false, tally))
+          mem.enqueue(edge.to);
         continue;
       }
       if (slot >= 0) {
-        Route& existing = state.rib_in[static_cast<std::size_t>(slot)];
-        if (existing.path == scratch.path &&
-            existing.local_pref == scratch.local_pref &&
+        const std::uint32_t row =
+            mem.row(edge.to, static_cast<std::uint32_t>(slot));
+        const RouteView existing = mem.view_at(row);
+        const bool same_path = mem.path_equals(row, scratch.path);
+        if (same_path && existing.local_pref == scratch.local_pref &&
             existing.med == scratch.med &&
             existing.igp_cost == scratch.igp_cost) {
           continue;
         }
-        const Selection old = snapshot(state);
-        const bool path_changed = existing.path != scratch.path;
+        const Selection old = snapshot(mem, edge.to);
         ++tally.rib_replacements;
-        existing.sender = scratch.sender;
-        existing.local_pref = scratch.local_pref;
-        existing.med = scratch.med;
-        existing.igp_cost = scratch.igp_cost;
-        existing.ibgp = false;
-        if (path_changed) existing.path.swap(scratch.path);
-        if (reselect(state, old, r, path_changed)) enqueue(edge.to);
+        mem.set_attrs(row, SimMemory::Attrs{scratch.sender, scratch.local_pref,
+                                            scratch.med, scratch.igp_cost,
+                                            false});
+        if (!same_path) mem.set_path(row, scratch.path);
+        if (reselect(mem, edge.to, false, ids, old, r, !same_path, tally))
+          mem.enqueue(edge.to);
       } else {
-        const Selection old = snapshot(state);
-        push_entry(edge.to, state, scratch);
-        if (reselect(state, old, r, false)) enqueue(edge.to);
+        const Selection old = snapshot(mem, edge.to);
+        ++tally.rib_inserts;
+        mem.push(edge.to,
+                 SimMemory::Attrs{scratch.sender, scratch.local_pref,
+                                  scratch.med, scratch.igp_cost, false},
+                 scratch.path);
+        if (reselect(mem, edge.to, false, ids, old, r, false, tally))
+          mem.enqueue(edge.to);
       }
     }
   }
+  res.messages = messages;
   res.activations = tally.activations;
+  export_state(mem, m, res.routers);
   if (counters != nullptr) {
-    tally.messages = res.messages;
+    tally.messages = messages;
     *counters = tally;
   }
-  return res;
 }
 
 }  // namespace bgp

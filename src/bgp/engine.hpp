@@ -188,6 +188,9 @@ struct SimCounters {
 /// Maps dense index -> router-id value for tie-breaking and reporting.
 std::vector<std::uint32_t> dense_ids(const Model& model);
 
+/// Reusable struct-of-arrays run storage (sim_memory.hpp).
+class SimMemory;
+
 /// Model-derived state every run() against the same model version shares:
 /// dense router ids, per-router AS numbers and the per-router peer lists
 /// flattened into one contiguous span array.  Built once per model epoch
@@ -225,6 +228,15 @@ class Engine {
                       SimCounters* counters = nullptr,
                       std::vector<char>* activated = nullptr) const;
 
+  /// run() into caller-owned storage: `memory` supplies every per-run
+  /// buffer (and keeps them for the next call -- a sweep reuses one
+  /// instance per worker), `out` is overwritten with the result and its
+  /// rib_in / path capacities are likewise recycled.  Bit-for-bit the
+  /// same outcome as run() for any SimMemory history.
+  void run_into(const Prefix& prefix, nb::Asn origin, SimMemory& memory,
+                SimCounters* counters, std::vector<char>* activated,
+                PrefixSimResult& out) const;
+
   /// Compiles `workset` (dense-indexed membership flags; routers outside it
   /// must be unable to ever import a route for the prefix, e.g. a working
   /// set from analysis::compute_working_set) into a compacted simulation
@@ -245,6 +257,11 @@ class Engine {
   /// current generation.
   PrefixSimResult run_compacted(std::shared_ptr<const PrefixView> view,
                                 SimCounters* counters = nullptr) const;
+
+  /// run_compacted() into caller-owned storage; same contract as run_into.
+  void run_compacted_into(std::shared_ptr<const PrefixView> view,
+                          SimMemory& memory, SimCounters* counters,
+                          PrefixSimResult& out) const;
 
   /// The simulation context for the model's CURRENT generation, (re)building
   /// it if the model mutated since the last call.  Thread-safe: concurrent
@@ -270,10 +287,13 @@ class Engine {
   /// export gating (valley-free rule, filters), receiver-side loop
   /// detection, and import attribute rewrite, writing the resulting route
   /// into `out` (whose path buffer is REUSED across calls -- no per-message
-  /// allocation once its capacity has grown).  Returns false when the route
-  /// would be dropped, leaving `out` unspecified.
+  /// allocation once its capacity has grown).  The advertised best route
+  /// enters as its AS-path alone (`best_path`, empty iff originated) --
+  /// the decision process rewrites every other attribute on import, so
+  /// the path is all the SoA hot loop needs to hand over.  Returns false
+  /// when the route would be dropped, leaving `out` unspecified.
   bool propagate_into(const topo::PrefixPolicy* policy, Model::Dense from,
-                      Model::Dense to, const Route& best,
+                      Model::Dense to, std::span<const Asn> best_path,
                       const SimContext& ctx, Route& out) const;
 
   const Model* model_;

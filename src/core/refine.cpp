@@ -15,13 +15,16 @@
 
 #include "analysis/check_convergence.hpp"
 #include "analysis/dispute_graph.hpp"
+#include "analysis/partition.hpp"
 #include "analysis/policy_audit.hpp"
 #include "analysis/reachability_cache.hpp"
 #include "analysis/validate_model.hpp"
+#include "bgp/sim_memory.hpp"
 #include "bgp/threadpool.hpp"
 #include "core/fault_inject.hpp"
 #include "core/oscillation.hpp"
 #include "netbase/json.hpp"
+#include "netbase/sysinfo.hpp"
 #include "netbase/thread_annotations.hpp"
 #include "obs/observer.hpp"
 #include "topology/model_io.hpp"
@@ -575,8 +578,62 @@ RefineResult refine_model(topo::Model& model,
   const auto finish = [&]() -> RefineResult {
     total_timer.stop();
     result.phase_seconds.total = total_timer.seconds();
+    if (reg != nullptr)
+      reg->set_gauge(metrics.peak_rss_bytes, nb::peak_rss_bytes());
     return std::move(result);
   };
+
+  // Externally supplied shard plan (RefineConfig::shard_plan): its workset
+  // indices refer to compute_all_worksets order -- the INITIAL model's
+  // ascending AS list -- so it is only meaningful if its dataset
+  // fingerprint matches this model.  Verified once up front; executing a
+  // mismatched plan would silently mis-map prefixes to shards, so reject
+  // it loudly (A822, kFault) instead.  The check is against the pre-fit
+  // model on purpose: refinement adds routers, and the plan's shard
+  // ASSIGNMENT (origin -> shard) stays valid regardless because origins
+  // never change.
+  std::vector<std::size_t> work_shard;  // work index -> assigned shard
+  if (config.shard_plan != nullptr) {
+    const analysis::ShardPlan& plan = *config.shard_plan;
+    const std::uint64_t model_fp = analysis::plan_fingerprint(model);
+    bool indices_ok = plan.num_shards > 0;
+    const std::vector<Asn> asns = model.asns();
+    for (const analysis::ShardPlan::Shard& shard : plan.shards) {
+      for (const std::size_t p : shard.prefixes)
+        indices_ok = indices_ok && p < asns.size();
+    }
+    if (plan.fingerprint != model_fp || !indices_ok) {
+      char have[17], want[17];
+      std::snprintf(have, sizeof have, "%016llx",
+                    static_cast<unsigned long long>(plan.fingerprint));
+      std::snprintf(want, sizeof want, "%016llx",
+                    static_cast<unsigned long long>(model_fp));
+      push_diag(analysis::Severity::kError,
+                analysis::codes::kPlanFingerprintMismatch, "shard-plan",
+                std::string("externally supplied shard plan does not match "
+                            "the model being refined (plan fingerprint ") +
+                    have + ", model " + want +
+                    (indices_ok ? "" : "; plan indexes past the AS list") +
+                    "); refusing to execute it");
+      result.stop = RefineStop::kFault;
+      return finish();
+    }
+    // Map each work item's origin to its planned shard.  asns is ascending
+    // and plan index p names asns[p]'s prefix, so a binary search per work
+    // item resolves the assignment.  Origins a plan somehow omits default
+    // to shard 0 -- scheduling only, never correctness.
+    std::vector<std::size_t> shard_of(asns.size(), 0);
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+      for (const std::size_t p : plan.shards[s].prefixes) shard_of[p] = s;
+    }
+    work_shard.resize(work.size(), 0);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const auto it =
+          std::lower_bound(asns.begin(), asns.end(), work[i].origin);
+      if (it != asns.end() && *it == work[i].origin)
+        work_shard[i] = shard_of[static_cast<std::size_t>(it - asns.begin())];
+    }
+  }
 
   std::size_t start_iteration = 1;
   if (config.resume != nullptr) {
@@ -663,20 +720,33 @@ RefineResult refine_model(topo::Model& model,
                              !config.engine.use_relationship_policies &&
                              !config.engine.use_igp_cost &&
                              !config.engine.use_ibgp_mesh;
-  analysis::ReachabilityCache reach_cache;
+  // Reachability bounds are shared with the shard planner and -- via
+  // RefineConfig::reachability_cache -- with callers that already computed
+  // worksets for this model in-process (rdtool plan | refine); the cache is
+  // generation-keyed, so a stale injected cache just misses.
+  analysis::ReachabilityCache local_cache;
+  analysis::ReachabilityCache& reach_cache =
+      config.reachability_cache != nullptr ? *config.reachability_cache
+                                           : local_cache;
+  // One simulation arena per pool slot: parallel_for_worker guarantees a
+  // slot is owned by one thread per batch, so sweeps reuse these buffers
+  // across prefixes and iterations with no per-message heap traffic.
+  std::vector<bgp::SimMemory> sim_memory(pool.shard_count());
   std::atomic<std::uint64_t> compacted_runs{0};
-  const auto simulate = [&](const PrefixWork& w,
-                            bgp::SimCounters* counters) -> PrefixSimResult {
+  const auto simulate = [&](const PrefixWork& w, bgp::SimCounters* counters,
+                            unsigned worker, PrefixSimResult& out) {
+    bgp::SimMemory& mem = sim_memory[worker];
     if (compact_sweep) {
       const std::shared_ptr<const std::vector<char>> members =
           reach_cache.relaxed(model, w.prefix, w.origin);
       if (std::shared_ptr<const bgp::PrefixView> view =
               engine.build_view(w.prefix, w.origin, *members)) {
         compacted_runs.fetch_add(1, std::memory_order_relaxed);
-        return engine.run_compacted(std::move(view), counters);
+        engine.run_compacted_into(std::move(view), mem, counters, out);
+        return;
       }
     }
-    return engine.run(w.prefix, w.origin, counters);
+    engine.run_into(w.prefix, w.origin, mem, counters, nullptr, out);
   };
 
   std::size_t routers_added_prev = refiner.routers_added;
@@ -688,6 +758,8 @@ RefineResult refine_model(topo::Model& model,
   std::vector<analysis::Diagnostics> sim_diags;
   std::vector<bgp::SimCounters> sim_counters;
   std::vector<PrefixSpan> spans;
+  std::vector<std::vector<std::size_t>> shard_items;
+  std::vector<analysis::PrefixWorkset> iter_worksets;
   for (std::size_t iteration = start_iteration;
        iteration <= config.max_iterations; ++iteration) {
     active_index.clear();
@@ -723,6 +795,44 @@ RefineResult refine_model(topo::Model& model,
                               iter_args(iteration));
     bool sweep_faulted = false;
     try {
+    // Shard-executed schedule (RefineConfig::shard_sweep; DESIGN.md
+    // section 13): instead of handing the pool a flat index range, group
+    // the active prefixes into cost-balanced shards -- the external plan's
+    // assignment, or a fresh plan over this iteration's relaxed worksets
+    // -- and hand the pool one task per shard.  Scheduling only: results
+    // still land in their deterministic slots and the apply phase stays
+    // serial, so the fitted model is byte-identical to the flat sweep at
+    // every thread and shard count.
+    const bool shard_exec = config.shard_sweep && active > 1;
+    shard_items.clear();
+    if (shard_exec) {
+      if (config.shard_plan != nullptr) {
+        shard_items.assign(config.shard_plan->num_shards, {});
+        for (std::size_t i = 0; i < active; ++i)
+          shard_items[work_shard[active_index[i]]].push_back(i);
+      } else {
+        // Fresh plan each iteration: the model mutated since the last
+        // one.  Each active prefix's relaxed bound is primed in parallel
+        // through reach_cache -- the compacted sweep reads the very same
+        // entries back, so this is a prefetch, not duplicated work.
+        iter_worksets.assign(active, {});
+        analysis::WorksetOptions ws_options;
+        ws_options.exact = false;
+        pool.parallel_for(active, [&](std::size_t i) {
+          const PrefixWork& w = work[active_index[i]];
+          iter_worksets[i] = analysis::compute_working_set(
+              engine, w.prefix, w.origin, ws_options, &reach_cache, nullptr);
+        });
+        analysis::PlanOptions plan_options;
+        plan_options.shards = result.threads_used;
+        const analysis::ShardPlan plan = analysis::plan_shards(
+            iter_worksets, model.num_routers(), plan_options, nullptr);
+        shard_items.assign(plan.shards.size(), {});
+        for (std::size_t s = 0; s < plan.shards.size(); ++s)
+          shard_items[s] = plan.shards[s].prefixes;
+      }
+      ++result.sharded_iterations;
+    }
     if (counting) {
       // Instrumented sweep: identical engine runs, plus per-prefix
       // SimCounters and per-worker metric shards.  The shards merge into
@@ -733,11 +843,11 @@ RefineResult refine_model(topo::Model& model,
       if (prefix_trace) spans.assign(active, {});
       std::optional<obs::ShardGroup> shards;
       if (reg != nullptr) shards.emplace(*reg, pool.shard_count());
-      pool.parallel_for_worker(active, [&](unsigned worker, std::size_t i) {
+      const auto run_item = [&](unsigned worker, std::size_t i) {
         inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
         const std::uint64_t t0 = prefix_trace ? trace->now_us() : 0;
-        sims[i] = simulate(w, &sim_counters[i]);
+        simulate(w, &sim_counters[i], worker, sims[i]);
         if (prefix_trace)
           spans[i] = {t0, trace->now_us() - t0, worker};
         if (shards.has_value()) {
@@ -752,14 +862,31 @@ RefineResult refine_model(topo::Model& model,
           shard.observe(metrics.messages_per_prefix,
                         static_cast<double>(c.messages));
         }
-      });
+      };
+      if (shard_exec) {
+        pool.parallel_for_worker(
+            shard_items.size(), [&](unsigned worker, std::size_t s) {
+              for (const std::size_t i : shard_items[s]) run_item(worker, i);
+            });
+      } else {
+        pool.parallel_for_worker(active, run_item);
+      }
     } else {
-      // Zero-observer sweep: exactly the pre-observability code path.
-      pool.parallel_for(active, [&](std::size_t i) {
+      // Zero-observer sweep: the pre-observability code path, modulo the
+      // worker-slot simulation arena.
+      const auto run_item = [&](unsigned worker, std::size_t i) {
         inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
-        sims[i] = simulate(w, nullptr);
-      });
+        simulate(w, nullptr, worker, sims[i]);
+      };
+      if (shard_exec) {
+        pool.parallel_for_worker(
+            shard_items.size(), [&](unsigned worker, std::size_t s) {
+              for (const std::size_t i : shard_items[s]) run_item(worker, i);
+            });
+      } else {
+        pool.parallel_for_worker(active, run_item);
+      }
     }
     } catch (const std::exception& e) {
       // A worker body threw (the pool drains the batch, rethrows here, and

@@ -62,6 +62,11 @@ namespace obs {
 struct Observer;
 }  // namespace obs
 
+namespace analysis {
+class ReachabilityCache;
+struct ShardPlan;
+}  // namespace analysis
+
 namespace topo {
 struct RefineCheckpoint;
 }  // namespace topo
@@ -124,6 +129,28 @@ struct RefineConfig {
   /// options rule the specialized loop out (relationship policies, IGP
   /// costs, iBGP mesh -- Engine::build_view returns null there).
   bool compact_sweep = true;
+
+  /// Shard-executed sweep (DESIGN.md section 13): instead of fanning the
+  /// flat prefix list across workers, group each iteration's active
+  /// prefixes into cost-balanced shards (analysis/partition) and hand each
+  /// worker whole shards, so one giant prefix no longer gates the sweep
+  /// tail.  Scheduling only: results land in per-prefix slots and the
+  /// heuristic consumes them serially in deterministic order, so the
+  /// fitted model stays byte-identical with the flag on or off, for every
+  /// thread and shard count.
+  bool shard_sweep = true;
+  /// Externally supplied plan (e.g. `rdtool plan` output) executed instead
+  /// of the per-iteration default.  Must cover the full per-AS prefix list
+  /// of THIS model -- plan_fingerprint is verified and a mismatch stops
+  /// the fit with A822 / RefineStop::kFault.  The plan is read-only and
+  /// must outlive the call.
+  const analysis::ShardPlan* shard_plan = nullptr;
+  /// Shared generation-keyed reachability cache (analysis/workset).  When
+  /// non-null, the sweep's working-set BFS results are read from / written
+  /// to this cache, so callers that already ran a plan or workset analysis
+  /// in-process (rdtool plan before refine) reuse them instead of
+  /// recomputing; when null, refine_model keeps a private cache.
+  analysis::ReachabilityCache* reachability_cache = nullptr;
 
   // Ablation switches (bench_ablation): disabling any of these degrades the
   // fixpoint, quantifying each mechanism's contribution.
@@ -249,6 +276,10 @@ struct RefineResult {
   /// (RefineConfig::compact_sweep); 0 when the flag is off or the engine
   /// options forced the full-run fallback.
   std::uint64_t compacted_runs = 0;
+  /// Iterations whose sweep ran shard-executed (RefineConfig::shard_sweep);
+  /// 0 when the flag is off or every iteration had too few active prefixes
+  /// to shard.
+  std::uint64_t sharded_iterations = 0;
   RefinePhaseSeconds phase_seconds;
   /// Effective worker count of the simulation sweep.
   unsigned threads_used = 1;

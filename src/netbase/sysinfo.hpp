@@ -1,0 +1,16 @@
+// Process-level system introspection helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace nb {
+
+/// Peak resident-set size of the calling process in bytes (getrusage
+/// ru_maxrss).  Returns 0 on platforms where the value is unavailable.
+///
+/// The kernel reports a high-water mark, so the value is monotone over the
+/// process lifetime: a measurement taken after several runs reflects the
+/// largest of them, not the last one.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace nb

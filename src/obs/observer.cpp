@@ -33,6 +33,7 @@ RefineMetricSet RefineMetricSet::define(Registry& registry) {
   m.messages_per_prefix = registry.histogram(
       "engine.messages_per_prefix",
       {4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144});
+  m.peak_rss_bytes = registry.gauge("process.peak_rss_bytes");
   return m;
 }
 

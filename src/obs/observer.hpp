@@ -58,6 +58,9 @@ struct RefineMetricSet {
   std::array<CounterId, bgp::kNumDecisionSteps> eliminated;
   /// engine.messages_per_prefix (bounds: powers of four).
   HistogramId messages_per_prefix;
+  /// process.peak_rss_bytes -- nb::peak_rss_bytes() sampled once when the
+  /// fit finishes (a process high-water mark, so monotone across fits).
+  GaugeId peak_rss_bytes;
 
   /// Defines every metric on `registry` (idempotent: the registry dedups
   /// definitions by name).

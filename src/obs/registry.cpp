@@ -49,6 +49,15 @@ HistogramId Registry::histogram(std::string_view name,
   return HistogramId{static_cast<std::uint32_t>(histograms_.size() - 1)};
 }
 
+GaugeId Registry::gauge(std::string_view name) {
+  nb::MutexLock lock(mutex_);
+  for (std::uint32_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i].name == name) return GaugeId{i};
+  }
+  gauges_.push_back(GaugeDef{std::string(name), 0});
+  return GaugeId{static_cast<std::uint32_t>(gauges_.size() - 1)};
+}
+
 void Registry::add(CounterId id, std::uint64_t delta) {
   nb::MutexLock lock(mutex_);
   counters_[id.slot].value += delta;
@@ -60,6 +69,11 @@ void Registry::observe(HistogramId id, double value) {
   ++data.buckets[bucket_of(histograms_[id.slot].bounds, value)];
   ++data.count;
   data.sum += value;
+}
+
+void Registry::set_gauge(GaugeId id, std::uint64_t value) {
+  nb::MutexLock lock(mutex_);
+  gauges_[id.slot].value = value;
 }
 
 Shard Registry::make_shard() const {
@@ -110,12 +124,23 @@ std::uint64_t Registry::counter_value(std::string_view name) const {
   return 0;
 }
 
+std::uint64_t Registry::gauge_value(std::string_view name) const {
+  nb::MutexLock lock(mutex_);
+  for (const GaugeDef& def : gauges_) {
+    if (def.name == name) return def.value;
+  }
+  return 0;
+}
+
 std::string Registry::to_json(int indent) const {
   nb::MutexLock lock(mutex_);
   nb::JsonWriter json(indent);
   json.begin_object();
   json.key("counters").begin_object();
   for (const CounterDef& def : counters_) json.key(def.name).value(def.value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const GaugeDef& def : gauges_) json.key(def.name).value(def.value);
   json.end_object();
   json.key("histograms").begin_object();
   for (const HistogramDef& def : histograms_) {

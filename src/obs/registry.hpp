@@ -37,6 +37,9 @@ struct CounterId {
 struct HistogramId {
   std::uint32_t slot = 0;
 };
+struct GaugeId {
+  std::uint32_t slot = 0;
+};
 
 /// Merged histogram state: `buckets[i]` counts observations <= bounds[i],
 /// with one implicit overflow bucket at the end (buckets.size() ==
@@ -77,11 +80,16 @@ class Registry {
   /// bucket bounds; an overflow bucket is implicit.  Redefining with
   /// different bounds keeps the first definition.
   HistogramId histogram(std::string_view name, std::vector<double> bounds);
+  /// Defines (or looks up) a last-write-wins gauge.  Gauges record point
+  /// samples (e.g. process peak RSS) from serial code; they have no shard
+  /// representation and no merge semantics.
+  GaugeId gauge(std::string_view name);
 
   /// Direct updates, for serial code.  Thread-safe (mutex); use Shards on
   /// hot parallel paths.
   void add(CounterId id, std::uint64_t delta = 1);
   void observe(HistogramId id, double value);
+  void set_gauge(GaugeId id, std::uint64_t value);
 
   /// Snapshot of a shard sized to the *current* definitions.  Defining
   /// further metrics while shards are outstanding is not supported.
@@ -95,9 +103,11 @@ class Registry {
   HistogramData data(HistogramId id) const;
   /// Lookup by name for reports/tests; 0 / empty when never defined.
   std::uint64_t counter_value(std::string_view name) const;
+  std::uint64_t gauge_value(std::string_view name) const;
 
   /// Sorted-by-definition-order JSON export:
   ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
   ///    "histograms": {name: {"bounds": [...], "buckets": [...],
   ///                          "count": N, "sum": S}, ...}}
   std::string to_json(int indent = 0) const;
@@ -112,10 +122,15 @@ class Registry {
     std::vector<double> bounds;
     HistogramData data;
   };
+  struct GaugeDef {
+    std::string name;
+    std::uint64_t value = 0;
+  };
 
   mutable nb::Mutex mutex_;
   std::vector<CounterDef> counters_ RD_GUARDED_BY(mutex_);
   std::vector<HistogramDef> histograms_ RD_GUARDED_BY(mutex_);
+  std::vector<GaugeDef> gauges_ RD_GUARDED_BY(mutex_);
 };
 
 /// RAII bundle of one shard per pool worker; hand `shard(worker)` out to

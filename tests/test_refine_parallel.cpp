@@ -5,6 +5,7 @@
 // tsan preset, which exercises the simulate-in-parallel phase for races.
 #include <gtest/gtest.h>
 
+#include "analysis/partition.hpp"
 #include "bgp/driver.hpp"
 #include "bgp/engine.hpp"
 #include "core/pipeline.hpp"
@@ -22,8 +23,16 @@ struct Fit {
   core::RefineResult result;
 };
 
+struct FitOptions {
+  bool compact_sweep = true;
+  /// Sweep schedule: shard-executed (the default) or the flat index range.
+  bool shard_sweep = true;
+  /// Externally supplied shard plan (RefineConfig::shard_plan).
+  const analysis::ShardPlan* shard_plan = nullptr;
+};
+
 Fit fit_at(double scale, std::uint64_t seed, unsigned threads,
-           bool compact_sweep = true) {
+           const FitOptions& options = {}) {
   core::PipelineConfig config = core::PipelineConfig::with(scale, seed);
   core::Pipeline pipeline = core::make_pipeline(config);
   core::run_data_stages(pipeline);
@@ -31,45 +40,69 @@ Fit fit_at(double scale, std::uint64_t seed, unsigned threads,
   Model model = Model::one_router_per_as(pipeline.graph);
   core::RefineConfig refine;
   refine.threads = threads;
-  refine.compact_sweep = compact_sweep;
+  refine.compact_sweep = options.compact_sweep;
+  refine.shard_sweep = options.shard_sweep;
+  refine.shard_plan = options.shard_plan;
   Fit fit;
   fit.result = core::refine_model(model, pipeline.split.training, refine);
   fit.model_text = topo::model_to_string(model);
   return fit;
 }
 
+void expect_same_fit(const Fit& a, const Fit& b, const std::string& what) {
+  EXPECT_TRUE(b.result.success) << what;
+  EXPECT_EQ(a.model_text, b.model_text)
+      << "fitted model differs: " << what;
+  // The iteration log -- every per-iteration counter -- must match too.
+  ASSERT_EQ(a.result.log.size(), b.result.log.size()) << what;
+  for (std::size_t i = 0; i < a.result.log.size(); ++i) {
+    const auto& x = a.result.log[i];
+    const auto& y = b.result.log[i];
+    EXPECT_EQ(x.paths_matched, y.paths_matched) << what << " iteration " << i;
+    EXPECT_EQ(x.active_prefixes, y.active_prefixes)
+        << what << " iteration " << i;
+    EXPECT_EQ(x.routers, y.routers) << what << " iteration " << i;
+    EXPECT_EQ(x.filters, y.filters) << what << " iteration " << i;
+    EXPECT_EQ(x.rankings, y.rankings) << what << " iteration " << i;
+    EXPECT_EQ(x.routers_added, y.routers_added) << what << " iteration " << i;
+    EXPECT_EQ(x.policies_changed, y.policies_changed)
+        << what << " iteration " << i;
+  }
+  EXPECT_EQ(a.result.messages_simulated, b.result.messages_simulated) << what;
+  EXPECT_EQ(a.result.iterations, b.result.iterations) << what;
+  EXPECT_EQ(a.result.routers_added, b.result.routers_added) << what;
+  EXPECT_EQ(a.result.policies_changed, b.result.policies_changed) << what;
+}
+
 class ParallelFit : public ::testing::TestWithParam<std::pair<double,
                                                              std::uint64_t>> {
 };
 
-TEST_P(ParallelFit, ModelIsByteIdenticalAcrossThreadCounts) {
+TEST_P(ParallelFit, ModelIsByteIdenticalAcrossThreadAndShardSchedules) {
+  // Identity matrix: {flat, shard-executed} x {1, 2, 4, hardware} threads
+  // must all produce the reference model byte for byte.  threads == 0 is
+  // the hardware-concurrency leg (whatever this machine resolves it to).
   const auto [scale, seed] = GetParam();
-  const Fit serial = fit_at(scale, seed, 1);
+  FitOptions flat;
+  flat.shard_sweep = false;
+  const Fit serial = fit_at(scale, seed, 1, flat);
   ASSERT_TRUE(serial.result.success);
-  for (const unsigned threads : {2u, 4u}) {
-    const Fit parallel = fit_at(scale, seed, threads);
-    EXPECT_TRUE(parallel.result.success);
-    EXPECT_EQ(serial.model_text, parallel.model_text)
-        << "fitted model differs between 1 and " << threads << " threads";
-    // The iteration log -- every per-iteration counter -- must match too.
-    ASSERT_EQ(serial.result.log.size(), parallel.result.log.size());
-    for (std::size_t i = 0; i < serial.result.log.size(); ++i) {
-      const auto& a = serial.result.log[i];
-      const auto& b = parallel.result.log[i];
-      EXPECT_EQ(a.paths_matched, b.paths_matched) << "iteration " << i;
-      EXPECT_EQ(a.active_prefixes, b.active_prefixes) << "iteration " << i;
-      EXPECT_EQ(a.routers, b.routers) << "iteration " << i;
-      EXPECT_EQ(a.filters, b.filters) << "iteration " << i;
-      EXPECT_EQ(a.rankings, b.rankings) << "iteration " << i;
-      EXPECT_EQ(a.routers_added, b.routers_added) << "iteration " << i;
-      EXPECT_EQ(a.policies_changed, b.policies_changed) << "iteration " << i;
+  EXPECT_EQ(serial.result.sharded_iterations, 0u)
+      << "shard_sweep=false must never shard";
+  for (const bool shard : {false, true}) {
+    for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+      FitOptions options;
+      options.shard_sweep = shard;
+      const Fit fit = fit_at(scale, seed, threads, options);
+      const std::string what = std::string(shard ? "sharded" : "flat") +
+                               " sweep at threads=" +
+                               std::to_string(threads);
+      expect_same_fit(serial, fit, what);
+      if (shard && fit.result.iterations > 0) {
+        EXPECT_GT(fit.result.sharded_iterations, 0u)
+            << "shard schedule never engaged: " << what;
+      }
     }
-    EXPECT_EQ(serial.result.messages_simulated,
-              parallel.result.messages_simulated);
-    EXPECT_EQ(serial.result.iterations, parallel.result.iterations);
-    EXPECT_EQ(serial.result.routers_added, parallel.result.routers_added);
-    EXPECT_EQ(serial.result.policies_changed,
-              parallel.result.policies_changed);
   }
 }
 
@@ -79,17 +112,52 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<double, std::uint64_t>{0.08, 6},
                       std::pair<double, std::uint64_t>{0.1, 3}));
 
+TEST(ShardPlanExecution, ExternalPlanFitsToTheIdenticalModel) {
+  // An `rdtool plan`-style plan computed up front (any shard count) only
+  // changes the sweep schedule; the fit must equal the flat reference.
+  core::PipelineConfig config = core::PipelineConfig::with(0.08, 6);
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+  const Model planned_model = Model::one_router_per_as(pipeline.graph);
+  const bgp::Engine engine(planned_model);
+  analysis::WorksetOptions workset_options;
+  workset_options.exact = false;
+  const std::vector<analysis::PrefixWorkset> worksets =
+      analysis::compute_all_worksets(engine, workset_options);
+  analysis::PlanOptions plan_options;
+  plan_options.shards = 3;
+  const analysis::ShardPlan plan =
+      analysis::plan_shards(worksets, planned_model.num_routers(),
+                            plan_options);
+  ASSERT_NE(plan.fingerprint, 0u);
+
+  FitOptions flat;
+  flat.shard_sweep = false;
+  const Fit reference = fit_at(0.08, 6, 1, flat);
+  ASSERT_TRUE(reference.result.success);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    FitOptions options;
+    options.shard_plan = &plan;
+    const Fit fit = fit_at(0.08, 6, threads, options);
+    expect_same_fit(reference, fit,
+                    "external plan at threads=" + std::to_string(threads));
+    EXPECT_GT(fit.result.sharded_iterations, 0u);
+  }
+}
+
 TEST(CompactSweep, FitIsByteIdenticalWithAndWithoutCompaction) {
   // The working-set-compacted sweep is an optimization, never a semantic
   // change: the fitted model and iteration counters must match the plain
   // full-model sweep at every thread count, and the counters must prove
   // the compacted path actually ran (or stayed off).
-  const Fit baseline = fit_at(0.08, 6, 1, /*compact_sweep=*/false);
+  FitOptions full;
+  full.compact_sweep = false;
+  const Fit baseline = fit_at(0.08, 6, 1, full);
   ASSERT_TRUE(baseline.result.success);
   EXPECT_EQ(baseline.result.compacted_runs, 0u)
       << "compact_sweep=false must not build views";
   for (const unsigned threads : {1u, 2u, 4u}) {
-    const Fit compacted = fit_at(0.08, 6, threads, /*compact_sweep=*/true);
+    const Fit compacted = fit_at(0.08, 6, threads);
     EXPECT_TRUE(compacted.result.success);
     EXPECT_GT(compacted.result.compacted_runs, 0u)
         << "compact_sweep=true never took the compacted path";

@@ -125,6 +125,7 @@
 #include "netbase/cli.hpp"
 #include "netbase/json.hpp"
 #include "netbase/strings.hpp"
+#include "netbase/sysinfo.hpp"
 #include "netbase/table.hpp"
 #include "obs/observer.hpp"
 #include "topology/model_io.hpp"
@@ -222,6 +223,14 @@ int usage() {
 std::atomic<bool> g_interrupt{false};
 
 void handle_interrupt(int) { g_interrupt.store(true); }
+
+/// Process-wide reachability-bound cache shared by every command that
+/// computes working sets (`plan`, `refine`'s shard scheduler and compacted
+/// sweep).  Generation-keyed per model, so commands running back to back
+/// in one process -- the selftest, library embedders calling the cmd_*
+/// flows -- reuse each other's session BFS results instead of recomputing
+/// them; a stale entry is just a miss.
+analysis::ReachabilityCache g_reach_cache;
 
 std::optional<data::BgpDataset> load_dataset(const std::string& path) {
   std::ifstream in(path);
@@ -441,6 +450,7 @@ int cmd_refine(const nb::Cli& cli) {
   config.prefix_iteration_budget = cli.get_u64("prefix-budget", 0);
   config.checkpoint_path = cli.get_string("checkpoint", "");
   config.checkpoint_every = cli.get_u64("checkpoint-every", 8);
+  config.reachability_cache = &g_reach_cache;
 
   // --resume: the checkpoint replaces the fresh one-router-per-AS start;
   // refine_model verifies the dataset hash and per-prefix state (R706).
@@ -543,6 +553,7 @@ int cmd_refine(const nb::Cli& cli) {
     w.key("validate").value_fixed(result.phase_seconds.validate, 6);
     w.key("total").value_fixed(result.phase_seconds.total, 6);
     w.end_object();
+    w.key("peak_rss_bytes").value(nb::peak_rss_bytes());
     w.end_object();
     std::printf("%s\n", w.str().c_str());
   } else {
@@ -1109,10 +1120,9 @@ int cmd_plan(const nb::Cli& cli) {
   workset_options.exact = !cli.get_bool("no-exact");
 
   bgp::Engine engine(*model, engine_options);
-  analysis::ReachabilityCache cache;
   analysis::Diagnostics diagnostics;
   const std::vector<analysis::PrefixWorkset> worksets =
-      analysis::compute_all_worksets(engine, workset_options, &cache,
+      analysis::compute_all_worksets(engine, workset_options, &g_reach_cache,
                                      &diagnostics);
   const analysis::ShardPlan plan = analysis::plan_shards(
       worksets, model->num_routers(), plan_options, &diagnostics);
