@@ -36,9 +36,22 @@
 // scales above the timer-noise floor whenever more than one hardware
 // thread is available.
 //
+// The observer-overhead leg (DESIGN.md section 14) re-fits the largest
+// requested scale at the multi-thread count twice -- once bare (no
+// observer, no trace, no flight recorder: the zero-observer path) and once
+// fully profiled (metric registry + kIteration trace sink + flight
+// recorder) -- best-of-3 each, asserts the two fitted models are
+// byte-identical, and gates profiled/bare <= --observer-overhead-max
+// (default 1.05, the CI perf-smoke gate) at scales above the noise floor.
+// The profiled run's per-shard samples also score the static cost model:
+// the Spearman rank correlation of predicted shard cost vs measured shard
+// wall-clock must be positive whenever enough sharded samples exist (the
+// planner only needs the ORDER of shard loads to be right).
+//
 //   bench_refine [--scales=0.05,0.1,0.2] [--seed=1] [--threads=0]
 //                [--out=BENCH_refine.json] [--baseline=FILE]
 //                [--max-regress=2.0] [--write-baseline=FILE]
+//                [--observer-overhead-max=1.05] [--skip-overhead]
 //
 // The baseline file is plain text, one `scale <fit-seconds>
 // <route-space-seconds> <workset-seconds> <routers-per-sec> <peak-rss-mb>`
@@ -48,11 +61,13 @@
 // whose lines disagree with the expected count is a named
 // baseline-column-mismatch error, not a silent skip -- stale baselines
 // previously disabled the gate without a trace.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -67,7 +82,10 @@
 #include "netbase/cli.hpp"
 #include "netbase/json.hpp"
 #include "netbase/sysinfo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observer.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "topology/model_io.hpp"
 
 namespace {
@@ -227,6 +245,48 @@ RunResult run_once(double scale, std::uint64_t seed, unsigned threads) {
     if (compact_ok && compact_total > 0)
       run.compact_speedup = full_total / compact_total;
   }
+  return run;
+}
+
+/// One fit for the observer-overhead leg.  `profiled` attaches the full
+/// observability stack -- metric registry, kIteration trace sink and a
+/// flight recorder -- exactly like `rdtool refine --trace`; bare runs
+/// attach nothing, so they exercise the zero-observer path the overhead
+/// ratio is measured against.  The per-shard profiler samples from the
+/// profiled fit come back via `samples` for the cost-model score.
+struct OverheadRun {
+  double seconds = 0;
+  std::string model_text;
+};
+
+OverheadRun run_overhead_leg(double scale, std::uint64_t seed,
+                             unsigned threads, bool profiled,
+                             std::vector<obs::SweepShardSample>* samples) {
+  core::PipelineConfig config = core::PipelineConfig::with(scale, seed);
+  config.threads = threads;
+  config.refine.threads = threads;
+  core::Pipeline pipeline = core::make_pipeline(config);
+  core::run_data_stages(pipeline);
+  topo::Model model = topo::Model::one_router_per_as(pipeline.graph);
+
+  obs::Registry registry;
+  obs::TraceSink trace(obs::TraceLevel::kIteration);
+  obs::Observer observer;
+  observer.registry = &registry;
+  observer.trace = &trace;
+  obs::FlightRecorder flight(2 + bgp::ThreadPool::resolve(threads));
+  if (profiled) {
+    config.refine.observer = &observer;
+    config.refine.flight_recorder = &flight;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  core::RefineResult refine =
+      core::refine_model(model, pipeline.split.training, config.refine);
+  OverheadRun run;
+  run.seconds = seconds_since(start);
+  run.model_text = topo::model_to_string(model);
+  if (profiled && samples != nullptr)
+    *samples = std::move(refine.shard_samples);
   return run;
 }
 
@@ -549,12 +609,99 @@ int main(int argc, char** argv) {
                  cost_correlation, pooled_costs.size());
   }
 
+  // Observer-overhead leg: bare vs fully profiled fit at the largest
+  // requested scale, best-of-3 each (the minimum is the right statistic
+  // for a ratio gate -- it strips scheduler noise, which only ever adds
+  // time).  Byte-identity between the two fitted models re-proves the
+  // zero-observer guarantee from the other side: attaching the full
+  // profiler stack must not perturb the fit.
+  bool overhead_pass = true;
+  double overhead_ratio = 0;
+  double shard_rank = std::numeric_limits<double>::quiet_NaN();
+  std::size_t shard_sample_count = 0;
+  const double overhead_max = cli.get_double("observer-overhead-max", 1.05);
+  if (!cli.has("skip-overhead") && !scales.empty()) {
+    const double gate_scale = *std::max_element(scales.begin(), scales.end());
+    double best_bare = std::numeric_limits<double>::infinity();
+    double best_profiled = std::numeric_limits<double>::infinity();
+    std::string bare_model, profiled_model;
+    std::vector<obs::SweepShardSample> samples;
+    for (int rep = 0; rep < 3; ++rep) {
+      OverheadRun bare =
+          run_overhead_leg(gate_scale, seed, multi, false, nullptr);
+      std::vector<obs::SweepShardSample> rep_samples;
+      OverheadRun profiled =
+          run_overhead_leg(gate_scale, seed, multi, true, &rep_samples);
+      if (bare.seconds < best_bare) best_bare = bare.seconds;
+      if (profiled.seconds < best_profiled) best_profiled = profiled.seconds;
+      bare_model = std::move(bare.model_text);
+      profiled_model = std::move(profiled.model_text);
+      if (rep_samples.size() > samples.size()) samples = std::move(rep_samples);
+    }
+    if (bare_model != profiled_model) {
+      identical = false;
+      std::fprintf(stderr,
+                   "bench_refine: FITTED MODEL DIFFERS with profiler "
+                   "attached at scale %.3f\n",
+                   gate_scale);
+    }
+    if (best_bare > 0) overhead_ratio = best_profiled / best_bare;
+    std::printf("observer overhead: %.3fx at scale %.3f (bare %.3fs, "
+                "profiled %.3fs, limit %.2fx)\n",
+                overhead_ratio, gate_scale, best_bare, best_profiled,
+                overhead_max);
+    // Gate only above the timer-noise floor, like the other perf gates.
+    if (gate_scale >= 0.15 && overhead_ratio > overhead_max) {
+      overhead_pass = false;
+      std::fprintf(stderr,
+                   "bench_refine: OBSERVER OVERHEAD %.3fx EXCEEDS %.2fx at "
+                   "scale %.3f\n",
+                   overhead_ratio, overhead_max, gate_scale);
+    }
+    // Cost-model score over the profiled fit's shard samples.  NaN (too
+    // few samples, or a single-shard plan making one side constant) is
+    // reported but not gated -- there is nothing to rank.
+    shard_sample_count = samples.size();
+    std::vector<double> predicted, measured;
+    predicted.reserve(samples.size());
+    measured.reserve(samples.size());
+    for (const obs::SweepShardSample& sample : samples) {
+      predicted.push_back(static_cast<double>(sample.predicted_cost));
+      measured.push_back(static_cast<double>(sample.dur_us));
+    }
+    shard_rank = obs::rank_correlation(predicted, measured);
+    if (!std::isnan(shard_rank)) {
+      std::printf("shard cost model: rank r=%.3f over %zu shard samples\n",
+                  shard_rank, samples.size());
+      if (gate_scale >= 0.15 && shard_rank <= 0) {
+        overhead_pass = false;
+        std::fprintf(stderr,
+                     "bench_refine: SHARD COST MODEL UNCORRELATED with "
+                     "measured shard time (rank r=%.3f over %zu samples)\n",
+                     shard_rank, samples.size());
+      }
+    } else {
+      std::printf("shard cost model: not scored (%zu shard samples)\n",
+                  samples.size());
+    }
+  }
+
   nb::JsonWriter json(2);
   json.begin_object();
   json.key("bench").value("refine");
   json.key("seed").value(seed);
   json.key("hardware_threads").value(bgp::ThreadPool::resolve(0));
   json.key("identical_across_threads").value(identical);
+  json.key("observer_overhead_ratio").value_fixed(overhead_ratio, 3);
+  json.key("observer_overhead_max").value_fixed(overhead_max, 3);
+  json.key("shard_rank_correlation");
+  if (std::isnan(shard_rank)) {
+    json.raw("null");
+  } else {
+    json.value_fixed(shard_rank, 3);
+  }
+  json.key("shard_samples")
+      .value(static_cast<std::uint64_t>(shard_sample_count));
   json.key("cost_correlation").value_fixed(cost_correlation, 3);
   json.key("cost_samples")
       .value(static_cast<std::uint64_t>(pooled_costs.size()));
@@ -571,7 +718,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_refine: 1-thread wall-clock regression\n");
   if (baseline_checked && baseline_pass)
     std::printf("baseline check passed\n");
-  return (ok && identical && baseline_pass && compact_pass && parallel_pass)
+  return (ok && identical && baseline_pass && compact_pass && parallel_pass &&
+          overhead_pass)
              ? 0
              : 1;
 }

@@ -148,6 +148,7 @@ inline constexpr const char* kWallClockExhausted =
 inline constexpr const char* kSweepFault = "R704-sweep-fault";
 inline constexpr const char* kCheckpointError = "R705-checkpoint-error";
 inline constexpr const char* kResumeMismatch = "R706-resume-mismatch";
+inline constexpr const char* kFlightDumpError = "R707-flight-dump-error";
 
 // Static route-space analysis (route_space / model_diff).  A800 proves a
 // router can never install any route for a prefix; A801 marks the proof
@@ -198,6 +199,7 @@ inline constexpr const char* kRegistry[] = {
     // R7xx runtime refinement faults
     kRefineOscillation, kEngineDiverged, kPrefixBudgetExhausted,
     kWallClockExhausted, kSweepFault, kCheckpointError, kResumeMismatch,
+    kFlightDumpError,
     // A8xx static route-space analysis
     kStaticBlackhole, kRouteSpaceTruncated, kRouteSetDiffers,
     kStructureDiffers, kWorksetRelaxed, kPlanImbalance,

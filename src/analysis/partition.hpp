@@ -41,6 +41,11 @@ struct ShardPlan {
     /// Indices into the workset vector the plan was built from, in
     /// placement order.
     std::vector<std::size_t> prefixes;
+    /// Static cost of each placed prefix, aligned with `prefixes` -- lets
+    /// a consumer executing the plan over a SUBSET of prefixes (the
+    /// shard-executed sweep's active set) price the work it actually runs
+    /// without re-deriving worksets.
+    std::vector<std::uint64_t> prefix_costs;
     std::uint64_t cost = 0;
     /// Distinct routers covered by the shard's working sets.
     std::size_t routers = 0;

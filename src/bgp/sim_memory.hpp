@@ -222,6 +222,24 @@ class SimMemory {
     return r;
   }
 
+  /// Total bytes reserved across every buffer.  Capacities never shrink --
+  /// begin()/finish_setup() only resize upward and the hop arena doubles --
+  /// so this is a monotone high-water mark of the instance's footprint,
+  /// readable between runs at zero hot-path cost (the sweep profiler
+  /// samples it per shard).
+  std::size_t footprint_bytes() const {
+    return (region_off_.capacity() + sender_.capacity() +
+            local_pref_.capacity() + med_.capacity() + igp_cost_.capacity() +
+            path_off_.capacity() + path_len_.capacity() + path_cap_.capacity() +
+            ring_.capacity()) *
+               sizeof(std::uint32_t) +
+           (live_.capacity()) * sizeof(std::uint32_t) +
+           (best_.capacity() + best_external_.capacity()) * sizeof(int) +
+           (ibgp_.capacity() + queued_.capacity() + indexed_.capacity()) *
+               sizeof(char) +
+           hops_.capacity() * sizeof(Asn);
+  }
+
   /// Erases the slot-relative row `rel`, shifting the region tail left one
   /// place and repairing the hash index -- the AoS vector::erase semantics.
   void erase(std::uint32_t slot, int rel) {

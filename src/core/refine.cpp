@@ -26,6 +26,7 @@
 #include "netbase/json.hpp"
 #include "netbase/sysinfo.hpp"
 #include "netbase/thread_annotations.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observer.hpp"
 #include "topology/model_io.hpp"
 
@@ -459,6 +460,10 @@ RefineResult refine_model(topo::Model& model,
     trace = nullptr;
   obs::RefineMetricSet metrics;
   if (reg != nullptr) metrics = obs::RefineMetricSet::define(*reg);
+  // Flight recorder (RefineConfig::flight_recorder): same one-directional
+  // contract as the observer, but cheap enough -- one ring-slot write per
+  // coarse loop event -- to stay attached on every production run.
+  obs::FlightRecorder* flight = config.flight_recorder;
   // Phase-span args ({"iteration": N}); empty (unallocated) unless the
   // trace actually records phases.
   const auto iter_args = [&](std::size_t iteration) -> std::string {
@@ -503,17 +508,31 @@ RefineResult refine_model(topo::Model& model,
 
   const std::uint64_t dataset_hash = dataset_fingerprint(training);
   const auto wall_start = std::chrono::steady_clock::now();
+  // Timestamp source for shard samples and sweep spans: the trace clock
+  // when a sink is attached (so profiler spans align with phase spans in
+  // the same file), the fit's own steady clock otherwise -- consistent
+  // within one fit either way.
+  const auto sweep_now_us = [&]() -> std::uint64_t {
+    if (trace != nullptr) return trace->now_us();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+  };
   const auto push_diag = [&result](analysis::Severity severity,
                                    const char* code, std::string location,
                                    std::string message) {
     result.diagnostics.push_back(analysis::Diagnostic{
         severity, code, std::move(location), std::move(message)});
   };
-  const auto freeze = [](PrefixWork& w, PrefixOutcome outcome,
-                         std::size_t iteration) {
+  const auto freeze = [&flight](PrefixWork& w, PrefixOutcome outcome,
+                                std::size_t iteration) {
     w.done = true;
     w.outcome = outcome;
     w.frozen_iteration = iteration;
+    if (flight != nullptr)
+      flight->record(0, obs::FlightEventType::kPrefixFrozen, iteration,
+                     w.origin, static_cast<std::uint64_t>(outcome));
   };
   // Forensic pass behind an R700/R701 freeze: name the dispute wheel the
   // static analyzer can pin on this prefix (cross-link to dispute_graph).
@@ -567,19 +586,61 @@ RefineResult refine_model(topo::Model& model,
     }
     ck.model = model;
     std::string save_error;
-    if (checkpoint_writer.write(ck, &save_error)) {
+    const bool saved = checkpoint_writer.write(ck, &save_error);
+    if (saved) {
       result.checkpoint_written = true;
     } else {
       push_diag(analysis::Severity::kWarning,
                 analysis::codes::kCheckpointError, "checkpoint",
                 save_error + "; fit continues without this checkpoint");
     }
+    if (flight != nullptr)
+      flight->record(0, obs::FlightEventType::kCheckpoint,
+                     completed_iteration, saved ? 1 : 0);
   };
+  // Reachability bounds are shared with the shard planner and -- via
+  // RefineConfig::reachability_cache -- with callers that already computed
+  // worksets for this model in-process (rdtool plan | refine); the cache is
+  // generation-keyed, so a stale injected cache just misses.  Stats are
+  // reported as deltas against entry so a shared cache only charges this
+  // fit's traffic.
+  analysis::ReachabilityCache local_cache;
+  analysis::ReachabilityCache& reach_cache =
+      config.reachability_cache != nullptr ? *config.reachability_cache
+                                           : local_cache;
+  const analysis::ReachabilityCache::Stats cache_start = reach_cache.stats();
   const auto finish = [&]() -> RefineResult {
     total_timer.stop();
     result.phase_seconds.total = total_timer.seconds();
-    if (reg != nullptr)
+    const analysis::ReachabilityCache::Stats cache_end = reach_cache.stats();
+    result.cache_hits = cache_end.hits - cache_start.hits;
+    result.cache_misses = cache_end.misses - cache_start.misses;
+    result.cache_invalidations =
+        cache_end.invalidations - cache_start.invalidations;
+    if (reg != nullptr) {
+      reg->add(metrics.cache_hits, result.cache_hits);
+      reg->add(metrics.cache_misses, result.cache_misses);
+      reg->add(metrics.cache_invalidations, result.cache_invalidations);
       reg->set_gauge(metrics.peak_rss_bytes, nb::peak_rss_bytes());
+    }
+    if (flight != nullptr) {
+      flight->record(0, obs::FlightEventType::kStop,
+                     static_cast<std::uint64_t>(result.stop),
+                     result.iterations);
+      // The post-mortem trigger: any degraded or faulted stop dumps the
+      // rings, so the last moments of a bad run are always inspectable.
+      if ((result.degraded() || result.stop == RefineStop::kFault) &&
+          !config.flight_dump_path.empty()) {
+        std::string dump_error;
+        if (flight->dump_to_file(config.flight_dump_path, &dump_error)) {
+          result.flight_dump_written = true;
+        } else {
+          push_diag(analysis::Severity::kWarning,
+                    analysis::codes::kFlightDumpError, "flight-recorder",
+                    dump_error + "; post-mortem dump skipped");
+        }
+      }
+    }
     return std::move(result);
   };
 
@@ -593,6 +654,7 @@ RefineResult refine_model(topo::Model& model,
   // ASSIGNMENT (origin -> shard) stays valid regardless because origins
   // never change.
   std::vector<std::size_t> work_shard;  // work index -> assigned shard
+  std::vector<std::uint64_t> work_cost;  // work index -> planned cost
   if (config.shard_plan != nullptr) {
     const analysis::ShardPlan& plan = *config.shard_plan;
     const std::uint64_t model_fp = analysis::plan_fingerprint(model);
@@ -616,22 +678,37 @@ RefineResult refine_model(topo::Model& model,
                     (indices_ok ? "" : "; plan indexes past the AS list") +
                     "); refusing to execute it");
       result.stop = RefineStop::kFault;
+      if (flight != nullptr)
+        flight->record(0, obs::FlightEventType::kFault, 0, /*kind=*/1);
       return finish();
     }
-    // Map each work item's origin to its planned shard.  asns is ascending
-    // and plan index p names asns[p]'s prefix, so a binary search per work
-    // item resolves the assignment.  Origins a plan somehow omits default
-    // to shard 0 -- scheduling only, never correctness.
+    // Map each work item's origin to its planned shard (and its planned
+    // per-prefix cost, so the profiler can price the shards the plan's
+    // assignment yields over each iteration's ACTIVE subset).  asns is
+    // ascending and plan index p names asns[p]'s prefix, so a binary
+    // search per work item resolves the assignment.  Origins a plan
+    // somehow omits default to shard 0 -- scheduling only, never
+    // correctness.  Plans predating Shard::prefix_costs price as 0.
     std::vector<std::size_t> shard_of(asns.size(), 0);
+    std::vector<std::uint64_t> cost_of(asns.size(), 0);
     for (std::size_t s = 0; s < plan.shards.size(); ++s) {
-      for (const std::size_t p : plan.shards[s].prefixes) shard_of[p] = s;
+      const analysis::ShardPlan::Shard& shard = plan.shards[s];
+      const bool priced = shard.prefix_costs.size() == shard.prefixes.size();
+      for (std::size_t j = 0; j < shard.prefixes.size(); ++j) {
+        shard_of[shard.prefixes[j]] = s;
+        if (priced) cost_of[shard.prefixes[j]] = shard.prefix_costs[j];
+      }
     }
     work_shard.resize(work.size(), 0);
+    work_cost.resize(work.size(), 0);
     for (std::size_t i = 0; i < work.size(); ++i) {
       const auto it =
           std::lower_bound(asns.begin(), asns.end(), work[i].origin);
-      if (it != asns.end() && *it == work[i].origin)
-        work_shard[i] = shard_of[static_cast<std::size_t>(it - asns.begin())];
+      if (it != asns.end() && *it == work[i].origin) {
+        const auto p = static_cast<std::size_t>(it - asns.begin());
+        work_shard[i] = shard_of[p];
+        work_cost[i] = cost_of[p];
+      }
     }
   }
 
@@ -644,6 +721,8 @@ RefineResult refine_model(topo::Model& model,
                 "checkpoint was written for a different training set "
                 "(dataset hash mismatch); refusing to resume");
       result.stop = RefineStop::kFault;
+      if (flight != nullptr)
+        flight->record(0, obs::FlightEventType::kFault, 0, /*kind=*/2);
       return finish();
     }
     for (PrefixWork& w : work) {
@@ -664,6 +743,8 @@ RefineResult refine_model(topo::Model& model,
                   "checkpoint does not cover this prefix with the same "
                   "path count; refusing to resume");
         result.stop = RefineStop::kFault;
+        if (flight != nullptr)
+          flight->record(0, obs::FlightEventType::kFault, 0, /*kind=*/2);
         return finish();
       }
       w.outcome = *outcome;
@@ -696,7 +777,10 @@ RefineResult refine_model(topo::Model& model,
   const bool counting =
       reg != nullptr ||
       (trace != nullptr && trace->enabled(obs::TraceLevel::kIteration));
-  if (prefix_trace) {
+  // Named at kIteration (not just kPrefix): profile traces carry per-shard
+  // spans on the worker tracks at the default level, and Perfetto should
+  // label them.
+  if (trace != nullptr && trace->enabled(obs::TraceLevel::kIteration)) {
     trace->name_thread(0, "refine");
     for (unsigned worker = 0; worker < pool.shard_count(); ++worker)
       trace->name_thread(1000 + worker,
@@ -706,6 +790,15 @@ RefineResult refine_model(topo::Model& model,
     std::uint64_t start_us = 0;
     std::uint64_t dur_us = 0;
     unsigned worker = 0;
+  };
+  // Per executed shard of an instrumented shard-executed sweep: which
+  // worker ran it, its span on the sweep clock, and the worker arena's
+  // high-water mark when it finished.
+  struct ShardRec {
+    unsigned worker = 0;
+    std::uint64_t start_us = 0;
+    std::uint64_t dur_us = 0;
+    std::uint64_t arena_bytes = 0;
   };
 
   // Sweep compaction (RefineConfig::compact_sweep; DESIGN.md section 12):
@@ -720,14 +813,6 @@ RefineResult refine_model(topo::Model& model,
                              !config.engine.use_relationship_policies &&
                              !config.engine.use_igp_cost &&
                              !config.engine.use_ibgp_mesh;
-  // Reachability bounds are shared with the shard planner and -- via
-  // RefineConfig::reachability_cache -- with callers that already computed
-  // worksets for this model in-process (rdtool plan | refine); the cache is
-  // generation-keyed, so a stale injected cache just misses.
-  analysis::ReachabilityCache local_cache;
-  analysis::ReachabilityCache& reach_cache =
-      config.reachability_cache != nullptr ? *config.reachability_cache
-                                           : local_cache;
   // One simulation arena per pool slot: parallel_for_worker guarantees a
   // slot is owned by one thread per batch, so sweeps reuse these buffers
   // across prefixes and iterations with no per-message heap traffic.
@@ -759,6 +844,8 @@ RefineResult refine_model(topo::Model& model,
   std::vector<bgp::SimCounters> sim_counters;
   std::vector<PrefixSpan> spans;
   std::vector<std::vector<std::size_t>> shard_items;
+  std::vector<std::uint64_t> shard_predicted;
+  std::vector<ShardRec> shard_recs;
   std::vector<analysis::PrefixWorkset> iter_worksets;
   for (std::size_t iteration = start_iteration;
        iteration <= config.max_iterations; ++iteration) {
@@ -768,6 +855,9 @@ RefineResult refine_model(topo::Model& model,
     }
     const std::size_t active = active_index.size();
     if (active == 0) break;
+    if (flight != nullptr)
+      flight->record(0, obs::FlightEventType::kIterationStart, iteration,
+                     active);
     const std::uint64_t iter_ts =
         trace != nullptr && trace->enabled(obs::TraceLevel::kIteration)
             ? trace->now_us()
@@ -793,8 +883,6 @@ RefineResult refine_model(topo::Model& model,
     };
     obs::PhaseTimer sim_timer(reg, metrics.simulate_ns, trace, "simulate",
                               iter_args(iteration));
-    bool sweep_faulted = false;
-    try {
     // Shard-executed schedule (RefineConfig::shard_sweep; DESIGN.md
     // section 13): instead of handing the pool a flat index range, group
     // the active prefixes into cost-balanced shards -- the external plan's
@@ -804,12 +892,31 @@ RefineResult refine_model(topo::Model& model,
     // serial, so the fitted model is byte-identical to the flat sweep at
     // every thread and shard count.
     const bool shard_exec = config.shard_sweep && active > 1;
+    // Sweep profiling (DESIGN.md section 14): shard samples are collected
+    // whenever the sweep is both shard-executed and instrumented; the
+    // flight recorder's shard events ride the same hooks.  Neither exists
+    // on the zero-observer path.
+    const bool sweep_profiled = counting && shard_exec;
+    const std::uint64_t sweep_t0 =
+        (sweep_profiled || flight != nullptr) ? sweep_now_us() : 0;
+    bool sweep_faulted = false;
+    try {
     shard_items.clear();
+    shard_predicted.clear();
     if (shard_exec) {
       if (config.shard_plan != nullptr) {
         shard_items.assign(config.shard_plan->num_shards, {});
         for (std::size_t i = 0; i < active; ++i)
           shard_items[work_shard[active_index[i]]].push_back(i);
+        shard_predicted.assign(shard_items.size(), 0);
+        if (sweep_profiled || flight != nullptr) {
+          // Price each shard over the ACTIVE subset it actually runs this
+          // iteration, not the plan's full-sweep load.
+          for (std::size_t s = 0; s < shard_items.size(); ++s) {
+            for (const std::size_t i : shard_items[s])
+              shard_predicted[s] += work_cost[active_index[i]];
+          }
+        }
       } else {
         // Fresh plan each iteration: the model mutated since the last
         // one.  Each active prefix's relaxed bound is primed in parallel
@@ -828,8 +935,11 @@ RefineResult refine_model(topo::Model& model,
         const analysis::ShardPlan plan = analysis::plan_shards(
             iter_worksets, model.num_routers(), plan_options, nullptr);
         shard_items.assign(plan.shards.size(), {});
-        for (std::size_t s = 0; s < plan.shards.size(); ++s)
+        shard_predicted.assign(plan.shards.size(), 0);
+        for (std::size_t s = 0; s < plan.shards.size(); ++s) {
           shard_items[s] = plan.shards[s].prefixes;
+          shard_predicted[s] = plan.shards[s].cost;
+        }
       }
       ++result.sharded_iterations;
     }
@@ -864,16 +974,33 @@ RefineResult refine_model(topo::Model& model,
         }
       };
       if (shard_exec) {
+        // Wrap each shard in a timed span (trace clock) and flight events;
+        // the ShardRec lands in the shard's own slot, so the serial
+        // post-sweep pass reads it race-free after the pool barrier.
+        shard_recs.assign(shard_items.size(), {});
         pool.parallel_for_worker(
             shard_items.size(), [&](unsigned worker, std::size_t s) {
+              const std::uint64_t t0 = sweep_now_us();
+              if (flight != nullptr)
+                flight->record(1 + worker, obs::FlightEventType::kShardStart,
+                               iteration, s, shard_predicted[s]);
               for (const std::size_t i : shard_items[s]) run_item(worker, i);
+              const std::uint64_t arena =
+                  sim_memory[worker].footprint_bytes();
+              if (flight != nullptr)
+                flight->record(1 + worker, obs::FlightEventType::kShardEnd,
+                               iteration, s, arena);
+              shard_recs[s] =
+                  ShardRec{worker, t0, sweep_now_us() - t0, arena};
             });
       } else {
         pool.parallel_for_worker(active, run_item);
       }
     } else {
       // Zero-observer sweep: the pre-observability code path, modulo the
-      // worker-slot simulation arena.
+      // worker-slot simulation arena (and, when a flight recorder is
+      // attached, one ring write per shard boundary -- recording only,
+      // nothing is timed or aggregated here).
       const auto run_item = [&](unsigned worker, std::size_t i) {
         inject_worker_fault(i);
         const PrefixWork& w = work[active_index[i]];
@@ -882,7 +1009,14 @@ RefineResult refine_model(topo::Model& model,
       if (shard_exec) {
         pool.parallel_for_worker(
             shard_items.size(), [&](unsigned worker, std::size_t s) {
+              if (flight != nullptr)
+                flight->record(1 + worker, obs::FlightEventType::kShardStart,
+                               iteration, s, shard_predicted[s]);
               for (const std::size_t i : shard_items[s]) run_item(worker, i);
+              if (flight != nullptr)
+                flight->record(1 + worker, obs::FlightEventType::kShardEnd,
+                               iteration, s,
+                               sim_memory[worker].footprint_bytes());
             });
       } else {
         pool.parallel_for_worker(active, run_item);
@@ -899,13 +1033,63 @@ RefineResult refine_model(topo::Model& model,
                     "; returning partial result at the last completed "
                     "iteration");
       sweep_faulted = true;
+      if (flight != nullptr)
+        flight->record(0, obs::FlightEventType::kFault, iteration,
+                       /*kind=*/0);
     }
     sim_timer.stop();
     result.phase_seconds.simulate += sim_timer.seconds();
+    const std::uint64_t sweep_t1 = sweep_profiled ? sweep_now_us() : 0;
     if (sweep_faulted) {
       result.stop = RefineStop::kFault;
       write_checkpoint(iteration - 1);
       break;
+    }
+    if (sweep_profiled) {
+      // Serial post-sweep collection (after the pool barrier): one sample
+      // per non-empty shard, plus this iteration's sweep span -- the raw
+      // material obs::profile_sweep and `rdtool profile` attribute
+      // speedup loss from.  Shards the planner left empty are skipped:
+      // they carry no work and would only pollute the predicted-vs-
+      // measured correlation with (0, ~0) pairs.
+      const bool shard_trace =
+          trace != nullptr && trace->enabled(obs::TraceLevel::kIteration);
+      for (std::size_t s = 0; s < shard_items.size(); ++s) {
+        if (shard_items[s].empty()) continue;
+        std::uint64_t shard_messages = 0;
+        for (const std::size_t i : shard_items[s])
+          shard_messages += sim_counters[i].messages;
+        obs::SweepShardSample sample;
+        sample.iteration = iteration;
+        sample.shard = s;
+        sample.worker = shard_recs[s].worker;
+        sample.predicted_cost = shard_predicted[s];
+        sample.start_us = shard_recs[s].start_us;
+        sample.dur_us = shard_recs[s].dur_us;
+        sample.messages = shard_messages;
+        sample.prefixes = shard_items[s].size();
+        sample.arena_bytes = shard_recs[s].arena_bytes;
+        result.shard_samples.push_back(sample);
+        if (shard_trace) {
+          // One span per executed shard on its worker's track (stable
+          // schema; `rdtool profile` reads it back -- DESIGN.md section
+          // 9).
+          nb::JsonWriter args;
+          args.begin_object();
+          args.key("iteration").value(static_cast<std::uint64_t>(iteration));
+          args.key("shard").value(static_cast<std::uint64_t>(s));
+          args.key("predicted_cost").value(sample.predicted_cost);
+          args.key("prefixes")
+              .value(static_cast<std::uint64_t>(sample.prefixes));
+          args.key("messages").value(sample.messages);
+          args.key("arena_bytes").value(sample.arena_bytes);
+          args.end_object();
+          trace->complete("sweep", "shard", sample.start_us, sample.dur_us,
+                          1000 + sample.worker, args.str());
+        }
+      }
+      result.sweep_spans.push_back(
+          obs::SweepIterationSpan{iteration, sweep_t0, sweep_t1 - sweep_t0});
     }
 #ifdef RD_FAULT_INJECTION
     // Test-only fault hook: make one prefix's simulation report divergence.
@@ -1173,6 +1357,8 @@ RefineResult refine_model(topo::Model& model,
 #endif
     if (interrupted) {
       result.stop = RefineStop::kInterrupted;
+      if (flight != nullptr)
+        flight->record(0, obs::FlightEventType::kInterrupt, iteration);
       write_checkpoint(iteration);
       break;
     }

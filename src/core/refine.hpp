@@ -56,10 +56,12 @@
 #include "analysis/diagnostics.hpp"
 #include "bgp/engine.hpp"
 #include "data/observations.hpp"
+#include "obs/profiler.hpp"
 #include "topology/model.hpp"
 
 namespace obs {
 struct Observer;
+class FlightRecorder;
 }  // namespace obs
 
 namespace analysis {
@@ -189,6 +191,20 @@ struct RefineConfig {
   /// path does no observability work at all.
   const obs::Observer* observer = nullptr;
 
+  /// Always-on flight recorder (DESIGN.md section 14): when non-null the
+  /// fit records coarse lifecycle events (iteration/shard boundaries,
+  /// freezes, checkpoints, faults, the stop) into the recorder's lock-free
+  /// per-track rings.  Track 0 is the serial loop; track 1+w is sweep
+  /// worker w -- single writer per track, so recording is one relaxed
+  /// read + release store and cheap enough to leave attached by default.
+  /// Like the observer, it never feeds back into the fit.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// When non-empty AND a flight recorder is attached, the rings are
+  /// dumped (atomically) to this path whenever the fit ends degraded or
+  /// faulted -- the post-mortem a crash report can ship.  A dump failure
+  /// is reported as an R707 warning diagnostic, never an error.
+  std::string flight_dump_path;
+
   // ---- fault tolerance (DESIGN.md section 10) -------------------------------
 
   /// Wall-clock budget for the whole fit, 0 = unlimited.  On exhaustion the
@@ -304,6 +320,26 @@ struct RefineResult {
   std::size_t prefixes_budget_exhausted = 0;
   /// True if at least one checkpoint was successfully written this run.
   bool checkpoint_written = false;
+  /// True if a flight-recorder post-mortem dump was written (degraded or
+  /// faulted stop with RefineConfig::flight_dump_path set).
+  bool flight_dump_written = false;
+
+  /// Shared reachability-cache activity during this fit (deltas against the
+  /// cache's state at entry, so a caller-shared cache reports only this
+  /// fit's traffic).  All zero when no working-set machinery ran.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+
+  /// Sweep-profiler raw material (DESIGN.md section 14): one sample per
+  /// executed shard of every instrumented shard-executed sweep, and the
+  /// sweep (simulate-phase) span of each such iteration.  Populated only
+  /// when an observer with a registry or an iteration-level trace sink is
+  /// attached AND the sweep ran shard-executed; empty otherwise (the
+  /// zero-observer path records nothing).  obs::profile_sweep folds these
+  /// into the speedup-loss attribution `rdtool profile` reports.
+  std::vector<obs::SweepShardSample> shard_samples;
+  std::vector<obs::SweepIterationSpan> sweep_spans;
 
   /// Completed, but with frozen prefixes: the model is usable yet some
   /// training paths are knowingly unmatched (rdtool exit code 3).

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "netbase/json.hpp"
@@ -150,6 +151,26 @@ TEST_F(RdtoolCliTest, RefineContract) {
   ASSERT_TRUE(json.has_value());
   ASSERT_NE(json->find("degraded"), nullptr);
   EXPECT_TRUE(json->find("degraded")->boolean);
+  // Reachability-cache counters ride along in every refine --json.
+  const nb::JsonValue* cache = json->find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(cache->find("hits"), nullptr);
+  ASSERT_NE(cache->find("misses"), nullptr);
+  ASSERT_NE(cache->find("invalidations"), nullptr);
+  EXPECT_GT(cache->number_or("misses"), 0.0);
+  // A degraded stop leaves the always-on flight recorder's post-mortem
+  // next to the model, and the report says so.
+  ASSERT_NE(json->find("flight_dump_written"), nullptr);
+  EXPECT_TRUE(json->find("flight_dump_written")->boolean);
+  std::ifstream dump_in(path("degraded.model.flight.json"));
+  std::stringstream dump_text;
+  dump_text << dump_in.rdbuf();
+  const auto dump = nb::json_parse(dump_text.str());
+  ASSERT_TRUE(dump.has_value()) << "flight dump is not valid JSON";
+  ASSERT_NE(dump->find("tool"), nullptr);
+  EXPECT_EQ(dump->find("tool")->string, "flight-recorder");
+  ASSERT_NE(dump->find("rings"), nullptr);
+  EXPECT_FALSE(dump->find("rings")->array.empty());
 #ifdef RD_FAULT_INJECTION
   // The injected deterministic interrupt follows the SIGINT path: exit 130.
   EXPECT_EQ(run("refine --dataset " + path("ds.dump") + " --out " +
@@ -157,6 +178,45 @@ TEST_F(RdtoolCliTest, RefineContract) {
                 " --interrupt-after 1"),
             130);
 #endif
+}
+
+TEST_F(RdtoolCliTest, ProfileContract) {
+  // A shard-instrumented trace: multi-thread fit at kIteration level.
+  ASSERT_EQ(run("refine --dataset " + path("ds.dump") + " --out " +
+                path("prof.model") + " --threads 2 --trace " +
+                path("prof.trace")),
+            0);
+  // And one with no shard spans (phase level): exit 1, not a crash.
+  ASSERT_EQ(run("refine --dataset " + path("ds.dump") + " --out " +
+                path("phase.model") + " --threads 2 --trace " +
+                path("phase.trace") + " --trace-level phase"),
+            0);
+
+  EXPECT_EQ(run("profile"), 2);                        // missing operand
+  EXPECT_EQ(run("profile " + path("no-such.trace")), 2);
+  EXPECT_EQ(run("profile " + path("phase.trace")), 1);  // nothing to profile
+  EXPECT_EQ(run("profile " + path("prof.trace")), 0);
+
+  int code = -1;
+  const auto json = nb::json_parse(
+      capture("profile " + path("prof.trace") + " --json", &code));
+  EXPECT_EQ(code, 0);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_NE(json->find("tool"), nullptr);
+  EXPECT_EQ(json->find("tool")->string, "profile");
+  ASSERT_NE(json->find("workers"), nullptr);
+  EXPECT_GE(json->find("workers")->number, 1.0);
+  ASSERT_NE(json->find("shard_samples"), nullptr);
+  EXPECT_GT(json->find("shard_samples")->number, 0.0);
+  EXPECT_NE(json->find("measured_speedup"), nullptr);
+  EXPECT_NE(json->find("cost_rank_correlation"), nullptr);
+  ASSERT_NE(json->find("lanes"), nullptr);
+  ASSERT_FALSE(json->find("lanes")->array.empty());
+  const auto& lane = json->find("lanes")->array.front();
+  EXPECT_NE(lane.find("worker"), nullptr);
+  EXPECT_NE(lane.find("busy_seconds"), nullptr);
+  EXPECT_NE(lane.find("idle_seconds"), nullptr);
+  EXPECT_NE(lane.find("shards"), nullptr);
 }
 
 TEST_F(RdtoolCliTest, DiffContract) {

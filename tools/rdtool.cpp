@@ -80,6 +80,13 @@
 //       Table-3-style per-iteration convergence table plus a phase-time
 //       breakdown.  Accepts both the Chrome trace_event and the JSONL form.
 //
+//   rdtool profile TRACE [--json]
+//       Sweep profiler (DESIGN.md section 14): read the per-shard worker
+//       spans of a refine --trace run (trace level iteration or above),
+//       attribute parallel speedup loss to imbalance vs idle vs serial
+//       sections, and score the static cost model by the rank correlation
+//       of predicted vs measured shard cost.
+//
 //   rdtool selftest [--dir DIR]
 //       End-to-end smoke test over real files (used by ctest).
 //
@@ -90,6 +97,12 @@
 // JSONL when FILE ends in .jsonl; --metrics writes the metric registry as
 // JSON.  Observation never changes results: fitted models are byte-
 // identical with and without these flags.
+//
+// refine additionally keeps a flight recorder attached by default
+// (DESIGN.md section 14): a lock-free per-worker event ring whose contents
+// are dumped to MODEL.flight.json (override: --flight-dump F; capacity:
+// --flight-capacity N; off: --no-flight-recorder) whenever the fit ends
+// degraded or faulted, so a bad run always leaves a post-mortem.
 //
 // Exit codes for lint, audit and refine are uniform; the single source of
 // truth is kExitCodeTable below (printed by `rdtool help`).  Other
@@ -127,7 +140,9 @@
 #include "netbase/strings.hpp"
 #include "netbase/sysinfo.hpp"
 #include "netbase/table.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observer.hpp"
+#include "obs/profiler.hpp"
 #include "topology/model_io.hpp"
 
 namespace {
@@ -149,6 +164,10 @@ constexpr char kExitCodeTable[] =
     "exit codes (plan):\n"
     "  0  shard plan emitted (A820/A821 advisories may print)\n"
     "  2  usage or I/O error\n"
+    "exit codes (profile):\n"
+    "  0  profile report produced\n"
+    "  1  trace has no sweep shard spans (not a sharded refine trace)\n"
+    "  2  usage or I/O error\n"
     "exit codes (refine):\n"
     "  0  fit converged: every training path RIB-Out matched\n"
     "  1  I/O error, resume mismatch or unrecoverable fault\n"
@@ -163,7 +182,7 @@ void print_help(std::FILE* out) {
   std::fprintf(
       out,
       "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-      "lint|audit|diff|impact|plan|stats|selftest|help> [options]\n"
+      "lint|audit|diff|impact|plan|stats|profile|selftest|help> [options]\n"
       "\n"
       "  generate  write a synthetic RIB dump (--out F [--scale S --seed N\n"
       "            --model-out F: also write the ground-truth model])\n"
@@ -198,6 +217,10 @@ void print_help(std::FILE* out) {
       "            identical inputs\n"
       "  stats     summarize a refinement trace (rdtool stats TRACE):\n"
       "            per-iteration convergence table + phase timings\n"
+      "  profile   sweep profiler (rdtool profile TRACE [--json]):\n"
+      "            per-worker busy/idle lanes, speedup-loss attribution\n"
+      "            (imbalance vs idle vs serial) and predicted-vs-measured\n"
+      "            shard-cost rank correlation from a refine --trace run\n"
       "  selftest  end-to-end smoke test over real files (--dir D)\n"
       "\n"
       "refine/predict/audit observability: --trace FILE writes Chrome\n"
@@ -205,6 +228,10 @@ void print_help(std::FILE* out) {
       "at --trace-level off|phase|iteration|prefix (default iteration);\n"
       "--metrics FILE writes the metric registry as JSON.  Results are\n"
       "byte-identical with and without observability attached.\n"
+      "\n"
+      "refine keeps a flight recorder on by default; a degraded or faulted\n"
+      "fit dumps a post-mortem to MODEL.flight.json (--flight-dump F,\n"
+      "--flight-capacity N, --no-flight-recorder)\n"
       "\n"
       "--threads 0 selects the hardware thread count; refine/audit --json\n"
       "reports include wall-clock phase timings\n"
@@ -268,6 +295,35 @@ bool write_file(const std::string& path, const std::string& contents) {
   return true;
 }
 
+/// write_file through a sibling temp file + rename, so the target path
+/// never holds a partial document -- even when the process dies mid-write
+/// (the second-SIGINT-during-flush case observability artifacts care
+/// about: a truncated trace is unloadable, no trace is just absent).
+bool write_file_atomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      std::fprintf(stderr, "rdtool: cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << contents;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "rdtool: cannot write %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "rdtool: cannot rename %s to %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 /// Shared --trace / --metrics / --trace-level plumbing for refine, predict
 /// and audit.  Owns the optional sinks and writes the artifacts at the end
 /// of the command; when neither flag is given nothing is constructed and
@@ -309,22 +365,23 @@ struct ObsSession {
   }
 
   /// Writes whichever artifacts were requested; false on I/O error.
+  /// Atomic per artifact (temp + rename): an interrupt or crash during the
+  /// flush leaves either the complete file or no file, never truncated
+  /// JSON that `rdtool stats` / Perfetto would choke on.
   bool flush() {
     if (trace.has_value()) {
-      std::ofstream out(trace_path);
-      if (!out) {
-        std::fprintf(stderr, "rdtool: cannot write %s\n", trace_path.c_str());
-        return false;
-      }
+      std::ostringstream out;
       if (trace_path.ends_with(".jsonl"))
         trace->write_jsonl(out);
       else
         trace->write_chrome(out);
+      if (!write_file_atomic(trace_path, out.str())) return false;
       std::fprintf(stderr, "rdtool: wrote %zu trace events to %s\n",
                    trace->size(), trace_path.c_str());
     }
     if (registry.has_value()) {
-      if (!write_file(metrics_path, registry->to_json(2) + "\n")) return false;
+      if (!write_file_atomic(metrics_path, registry->to_json(2) + "\n"))
+        return false;
       std::fprintf(stderr, "rdtool: wrote metrics to %s\n",
                    metrics_path.c_str());
     }
@@ -488,11 +545,34 @@ int cmd_refine(const nb::Cli& cli) {
   if (!obs_session.init(cli, "rdtool refine")) return 2;
   if (obs_session.attached()) config.observer = &obs_session.observer;
 
+  // Flight recorder (DESIGN.md section 14): on by default -- the per-event
+  // cost is one ring-slot write, and a degraded or faulted fit then always
+  // leaves a post-mortem dump next to the model.  --no-flight-recorder
+  // opts out; --flight-dump redirects the dump path.
+  std::optional<obs::FlightRecorder> flight;
+  if (!cli.get_bool("no-flight-recorder")) {
+    // Track count must cover every sweep worker; resolve() maps the
+    // --threads request (0 = hardware) the same way the pool will.
+    const unsigned workers = bgp::ThreadPool::resolve(config.threads);
+    flight.emplace(2 + workers,
+                   cli.get_u64("flight-capacity",
+                               obs::FlightRecorder::kDefaultCapacity));
+    config.flight_recorder = &*flight;
+    config.flight_dump_path =
+        cli.get_string("flight-dump", out_path + ".flight.json");
+  }
+
   g_interrupt.store(false);
   config.interrupt = &g_interrupt;
   auto prev_int = std::signal(SIGINT, handle_interrupt);
   auto prev_term = std::signal(SIGTERM, handle_interrupt);
   auto result = core::refine_model(model, training, config);
+  // Flush observability BEFORE restoring the default signal disposition
+  // and before any early return below: with the handlers still installed a
+  // second SIGINT stays cooperative instead of killing the process during
+  // a long trace write, and the flush itself is atomic (temp + rename), so
+  // an interrupted fit always leaves loadable artifacts.
+  const bool obs_flushed = obs_session.flush();
   std::signal(SIGINT, prev_int);
   std::signal(SIGTERM, prev_term);
 
@@ -502,7 +582,6 @@ int cmd_refine(const nb::Cli& cli) {
     // what happened; any partial state was already checkpointed.
     std::fprintf(stderr, "%s",
                  analysis::render_diagnostics(result.diagnostics).c_str());
-    obs_session.flush();
     return 1;
   }
   // An interrupted fit leaves no --out model: the partial state lives in
@@ -510,7 +589,7 @@ int cmd_refine(const nb::Cli& cli) {
   // for a finished one.
   if (!interrupted && !write_file(out_path, topo::model_to_string(model)))
     return 1;
-  if (!obs_session.flush()) return 1;
+  if (!obs_flushed) return 1;
   if (cli.get_bool("json")) {
     // Single JSON object on stdout; the model still lands in --out.
     nb::JsonWriter w;
@@ -532,6 +611,15 @@ int cmd_refine(const nb::Cli& cli) {
     w.key("prefixes_budget_exhausted")
         .value(static_cast<std::uint64_t>(result.prefixes_budget_exhausted));
     w.key("checkpoint_written").value(result.checkpoint_written);
+    w.key("sharded_iterations").value(result.sharded_iterations);
+    w.key("cache").begin_object();
+    w.key("hits").value(result.cache_hits);
+    w.key("misses").value(result.cache_misses);
+    w.key("invalidations").value(result.cache_invalidations);
+    w.end_object();
+    w.key("flight_dump_written").value(result.flight_dump_written);
+    if (result.flight_dump_written)
+      w.key("flight_dump").value(config.flight_dump_path);
     w.key("outcomes").begin_array();
     for (const core::PrefixFitOutcome& o : result.outcomes) {
       // The converged majority is summarized by prefixes_converged; listing
@@ -1152,6 +1240,52 @@ int cmd_plan(const nb::Cli& cli) {
 /// trace_event or JSONL) and summarizes it -- per-iteration convergence
 /// table (the trace-side twin of render_refine_log, from the "iteration"
 /// span args) plus a phase-time breakdown and per-prefix span totals.
+/// Loads a refinement trace -- the Chrome trace_event envelope or the
+/// JSONL form -- into a flat event list.  Shared by `rdtool stats` and
+/// `rdtool profile`.  False after printing the error (exit-2 semantics).
+bool load_trace_events(const std::string& path,
+                       std::vector<nb::JsonValue>* events) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rdtool: cannot open trace %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  if (auto doc = nb::json_parse(text, &error); doc.has_value()) {
+    // One document: the Chrome envelope (or a single bare event).
+    if (const nb::JsonValue* list = doc->find("traceEvents");
+        list != nullptr && list->is_array()) {
+      *events = list->array;
+    } else if (doc->find("ph") != nullptr) {
+      events->push_back(std::move(*doc));
+    } else {
+      std::fprintf(stderr, "rdtool: %s: no traceEvents array\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+  // JSONL: one event object per line.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto event = nb::json_parse(line, &error);
+    if (!event) {
+      std::fprintf(stderr, "rdtool: %s:%zu: %s\n", path.c_str(), line_no,
+                   error.c_str());
+      return false;
+    }
+    events->push_back(std::move(*event));
+  }
+  return true;
+}
+
 int cmd_stats(const nb::Cli& cli) {
   std::string path = cli.get_string("trace", "");
   if (path.empty() && !cli.positional().empty()) path = cli.positional().front();
@@ -1160,45 +1294,8 @@ int cmd_stats(const nb::Cli& cli) {
                          "(rdtool stats TRACE)\n");
     return 2;
   }
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "rdtool: cannot open trace %s\n", path.c_str());
-    return 2;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-
   std::vector<nb::JsonValue> events;
-  std::string error;
-  if (auto doc = nb::json_parse(text, &error); doc.has_value()) {
-    // One document: the Chrome envelope (or a single bare event).
-    if (const nb::JsonValue* list = doc->find("traceEvents");
-        list != nullptr && list->is_array()) {
-      events = list->array;
-    } else if (doc->find("ph") != nullptr) {
-      events.push_back(std::move(*doc));
-    } else {
-      std::fprintf(stderr, "rdtool: %s: no traceEvents array\n", path.c_str());
-      return 2;
-    }
-  } else {
-    // JSONL: one event object per line.
-    std::istringstream lines(text);
-    std::string line;
-    std::size_t line_no = 0;
-    while (std::getline(lines, line)) {
-      ++line_no;
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      auto event = nb::json_parse(line, &error);
-      if (!event) {
-        std::fprintf(stderr, "rdtool: %s:%zu: %s\n", path.c_str(), line_no,
-                     error.c_str());
-        return 2;
-      }
-      events.push_back(std::move(*event));
-    }
-  }
+  if (!load_trace_events(path, &events)) return 2;
 
   struct PhaseAgg {
     std::uint64_t count = 0;
@@ -1277,6 +1374,159 @@ int cmd_stats(const nb::Cli& cli) {
   return 0;
 }
 
+/// `rdtool profile TRACE [--json]`: the post-run sweep profiler (DESIGN.md
+/// section 14).  Reads the per-shard spans a `refine --trace` run emits at
+/// trace level iteration or above, attributes parallel speedup loss to
+/// imbalance vs idle vs serial sections, and scores the static cost model
+/// by the rank correlation of predicted vs measured shard cost.
+int cmd_profile(const nb::Cli& cli) {
+  std::string path = cli.get_string("trace", "");
+  if (path.empty() && !cli.positional().empty()) path = cli.positional().front();
+  if (path.empty()) {
+    std::fprintf(stderr, "rdtool: profile needs a trace file "
+                         "(rdtool profile TRACE)\n");
+    return 2;
+  }
+  std::vector<nb::JsonValue> events;
+  if (!load_trace_events(path, &events)) return 2;
+
+  std::vector<obs::SweepShardSample> samples;
+  std::vector<obs::SweepIterationSpan> all_sweeps;
+  double total_seconds = 0;
+  for (const nb::JsonValue& event : events) {
+    if (event.string_or("ph") != "X") continue;
+    const std::string_view cat = event.string_or("cat");
+    const std::string_view name = event.string_or("name");
+    const nb::JsonValue* args = event.find("args");
+    if (cat == "sweep" && name == "shard" && args != nullptr) {
+      obs::SweepShardSample s;
+      s.iteration = static_cast<std::size_t>(args->number_or("iteration"));
+      s.shard = static_cast<std::size_t>(args->number_or("shard"));
+      const auto tid = static_cast<std::uint64_t>(event.number_or("tid"));
+      s.worker = tid >= 1000 ? static_cast<unsigned>(tid - 1000) : 0;
+      s.predicted_cost =
+          static_cast<std::uint64_t>(args->number_or("predicted_cost"));
+      s.start_us = static_cast<std::uint64_t>(event.number_or("ts"));
+      s.dur_us = static_cast<std::uint64_t>(event.number_or("dur"));
+      s.messages = static_cast<std::uint64_t>(args->number_or("messages"));
+      s.prefixes = static_cast<std::size_t>(args->number_or("prefixes"));
+      s.arena_bytes =
+          static_cast<std::uint64_t>(args->number_or("arena_bytes"));
+      samples.push_back(s);
+    } else if (cat == "phase" && name == "simulate") {
+      obs::SweepIterationSpan span;
+      span.iteration =
+          args != nullptr
+              ? static_cast<std::size_t>(args->number_or("iteration"))
+              : 0;
+      span.start_us = static_cast<std::uint64_t>(event.number_or("ts"));
+      span.dur_us = static_cast<std::uint64_t>(event.number_or("dur"));
+      all_sweeps.push_back(span);
+    } else if (cat == "phase" && name == "refine") {
+      total_seconds = event.number_or("dur") / 1e6;
+    }
+  }
+  if (samples.empty()) {
+    std::fprintf(stderr,
+                 "rdtool: %s has no sweep shard spans; profile needs a trace "
+                 "from `refine --trace F` at --trace-level iteration or "
+                 "above, with the shard-executed sweep on (the default)\n",
+                 path.c_str());
+    return 1;
+  }
+  // Attribute only the sweeps that ran shard-executed (matching what an
+  // in-process RefineResult would carry); sweeps without shard samples --
+  // single-active-prefix tail iterations -- stay in the serial share.
+  std::vector<obs::SweepIterationSpan> sweeps;
+  for (const obs::SweepIterationSpan& span : all_sweeps) {
+    for (const obs::SweepShardSample& s : samples) {
+      if (s.iteration == span.iteration) {
+        sweeps.push_back(span);
+        break;
+      }
+    }
+  }
+  const obs::SweepProfile profile =
+      obs::profile_sweep(samples, sweeps, total_seconds);
+  const bool have_corr = profile.cost_rank_correlation ==
+                         profile.cost_rank_correlation;  // not NaN
+
+  if (cli.get_bool("json")) {
+    nb::JsonWriter w;
+    w.begin_object();
+    w.key("tool").value("profile");
+    w.key("version").value(1);
+    w.key("trace").value(path);
+    w.key("workers").value(profile.workers);
+    w.key("iterations").value(static_cast<std::uint64_t>(profile.iterations));
+    w.key("shard_samples")
+        .value(static_cast<std::uint64_t>(profile.shard_samples));
+    w.key("total_seconds").value_fixed(profile.total_seconds, 6);
+    w.key("parallel_seconds").value_fixed(profile.parallel_seconds, 6);
+    w.key("serial_seconds").value_fixed(profile.serial_seconds, 6);
+    w.key("busy_seconds").value_fixed(profile.busy_seconds, 6);
+    w.key("idle_seconds").value_fixed(profile.idle_seconds, 6);
+    w.key("imbalance_seconds").value_fixed(profile.imbalance_seconds, 6);
+    w.key("overhead_seconds").value_fixed(profile.overhead_seconds, 6);
+    w.key("measured_speedup").value_fixed(profile.measured_speedup, 4);
+    w.key("cost_rank_correlation");
+    if (have_corr)
+      w.value_fixed(profile.cost_rank_correlation, 4);
+    else
+      w.raw("null");
+    w.key("lanes").begin_array();
+    for (const obs::WorkerLane& lane : profile.lanes) {
+      w.begin_object();
+      w.key("worker").value(lane.worker);
+      w.key("shards").value(lane.shards);
+      w.key("busy_seconds")
+          .value_fixed(static_cast<double>(lane.busy_us) / 1e6, 6);
+      w.key("idle_seconds")
+          .value_fixed(static_cast<double>(lane.idle_us) / 1e6, 6);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("profile: %s\n", path.c_str());
+  std::printf("%u worker(s), %zu sharded sweep(s), %zu shard sample(s)\n",
+              profile.workers, profile.iterations, profile.shard_samples);
+  std::printf("wall clock %.3fs = parallel %.3fs + serial %.3fs\n",
+              profile.total_seconds, profile.parallel_seconds,
+              profile.serial_seconds);
+  std::printf(
+      "speedup loss: imbalance %.3fs, sweep overhead (planning/"
+      "scheduling) %.3fs, worker idle %.3fs\n",
+      profile.imbalance_seconds, profile.overhead_seconds,
+      profile.idle_seconds);
+  std::printf("measured speedup %.2fx over the same work serialized\n",
+              profile.measured_speedup);
+  if (have_corr)
+    std::printf("cost model: predicted-vs-measured shard rank correlation "
+                "%.4f over %zu shards\n",
+                profile.cost_rank_correlation, profile.shard_samples);
+  else
+    std::printf("cost model: rank correlation n/a (fewer than 2 shard "
+                "samples, or constant costs)\n");
+  nb::TextTable lanes({"worker", "shards", "busy s", "idle s", "busy %"});
+  for (const obs::WorkerLane& lane : profile.lanes) {
+    const double busy = static_cast<double>(lane.busy_us) / 1e6;
+    const double idle = static_cast<double>(lane.idle_us) / 1e6;
+    char busy_s[32], idle_s[32], util[32];
+    std::snprintf(busy_s, sizeof busy_s, "%.3f", busy);
+    std::snprintf(idle_s, sizeof idle_s, "%.3f", idle);
+    std::snprintf(util, sizeof util, "%.1f",
+                  busy + idle > 0 ? 100.0 * busy / (busy + idle) : 0.0);
+    lanes.add_row({std::to_string(lane.worker),
+                   std::to_string(lane.shards), busy_s, idle_s, util});
+  }
+  std::printf("\n%s", lanes.render().c_str());
+  return 0;
+}
+
 int cmd_selftest(const nb::Cli& cli) {
   const std::string dir = cli.get_string("dir", "/tmp");
   const std::string dump = dir + "/rdtool_selftest.dump";
@@ -1326,6 +1576,42 @@ int cmd_selftest(const nb::Cli& cli) {
       const char* argv[] = {"rdtool", trace_path.c_str()};
       nb::Cli sub(2, const_cast<char**>(argv));
       if (cmd_stats(sub) != 0) return 1;
+    }
+    // The same trace must profile: the default sweep is shard-executed, so
+    // per-shard spans are present at trace level iteration and above.
+    {
+      const char* argv[] = {"rdtool", trace_path.c_str(), "--json"};
+      nb::Cli sub(3, const_cast<char**>(argv));
+      if (cmd_profile(sub) != 0) {
+        std::fprintf(stderr, "selftest: profile failed on the refine "
+                             "trace\n");
+        return 1;
+      }
+    }
+  }
+  // Forced degraded fit (--prefix-budget 1 freezes every prefix as R702,
+  // exit 3): the default-on flight recorder must leave a post-mortem dump
+  // next to the model.
+  {
+    const std::string degraded_model = dir + "/rdtool_selftest_degraded.model";
+    const std::string flight_path = degraded_model + ".flight.json";
+    std::remove(flight_path.c_str());
+    {
+      const char* argv[] = {"rdtool", "--dataset", dump.c_str(),
+                            "--out", degraded_model.c_str(),
+                            "--prefix-budget", "1"};
+      nb::Cli sub(7, const_cast<char**>(argv));
+      if (cmd_refine(sub) != 3) {
+        std::fprintf(stderr, "selftest: budget-starved refine did not exit "
+                             "3\n");
+        return 1;
+      }
+    }
+    const std::string flight_doc = slurp(flight_path);
+    if (flight_doc.find("flight-recorder") == std::string::npos) {
+      std::fprintf(stderr, "selftest: degraded refine left no flight dump "
+                           "at %s\n", flight_path.c_str());
+      return 1;
     }
   }
 #ifdef RD_FAULT_INJECTION
@@ -1470,6 +1756,7 @@ int main(int argc, char** argv) {
   if (command == "impact") return cmd_impact(cli);
   if (command == "plan") return cmd_plan(cli);
   if (command == "stats") return cmd_stats(cli);
+  if (command == "profile") return cmd_profile(cli);
   if (command == "selftest") return cmd_selftest(cli);
   if (command == "help" || command == "--help" || command == "-h") {
     print_help(stdout);
