@@ -150,6 +150,20 @@ inline constexpr const char* kCheckpointError = "R705-checkpoint-error";
 inline constexpr const char* kResumeMismatch = "R706-resume-mismatch";
 inline constexpr const char* kFlightDumpError = "R707-flight-dump-error";
 
+// Serve-daemon runtime faults (serve/server; DESIGN.md section 15).  These
+// travel in the `code` member of serve protocol responses rather than
+// through analysis::Diagnostics: R710 marks a degraded (deadline-truncated)
+// answer, R711 a load-shed rejection, R712 a handler fault the worker
+// absorbed, R713 a quarantined connection (persistent malformed frames),
+// R714 a rejection because the daemon is draining, R715 a malformed or
+// unintelligible request.
+inline constexpr const char* kServeDeadline = "R710-serve-deadline";
+inline constexpr const char* kServeOverload = "R711-serve-overload";
+inline constexpr const char* kServeHandlerFault = "R712-serve-handler-fault";
+inline constexpr const char* kServeQuarantine = "R713-serve-quarantine";
+inline constexpr const char* kServeDraining = "R714-serve-draining";
+inline constexpr const char* kServeBadRequest = "R715-serve-bad-request";
+
 // Static route-space analysis (route_space / model_diff).  A800 proves a
 // router can never install any route for a prefix; A801 marks the proof
 // surface as incomplete (enumeration caps hit); A81x report abstract
@@ -200,6 +214,9 @@ inline constexpr const char* kRegistry[] = {
     kRefineOscillation, kEngineDiverged, kPrefixBudgetExhausted,
     kWallClockExhausted, kSweepFault, kCheckpointError, kResumeMismatch,
     kFlightDumpError,
+    // R71x serve-daemon runtime faults
+    kServeDeadline, kServeOverload, kServeHandlerFault, kServeQuarantine,
+    kServeDraining, kServeBadRequest,
     // A8xx static route-space analysis
     kStaticBlackhole, kRouteSpaceTruncated, kRouteSetDiffers,
     kStructureDiffers, kWorksetRelaxed, kPlanImbalance,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netbase/sysinfo.hpp"
+
 namespace bgp {
 
 namespace {
@@ -16,8 +18,9 @@ thread_local unsigned tls_worker_slot = 0;
 }  // namespace
 
 unsigned ThreadPool::resolve(unsigned threads) {
-  return threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                      : threads;
+  // Delegates to the one shared rule (0 = hardware concurrency, clamped)
+  // so pools, rdtool subcommands and benches cannot drift apart.
+  return nb::resolve_threads(threads);
 }
 
 ThreadPool::ThreadPool(unsigned threads) {

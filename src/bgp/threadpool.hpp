@@ -35,9 +35,10 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// The worker count `threads` resolves to: 0 -> hardware_concurrency
-  /// (min 1), anything else unchanged.  Exposed so callers (CLI --threads,
-  /// benchmarks) can report the effective count without constructing a pool.
+  /// The worker count `threads` resolves to (nb::resolve_threads: 0 ->
+  /// hardware_concurrency, min 1, clamped to nb::kMaxResolvedThreads).
+  /// Exposed so callers (CLI --threads, benchmarks, the serve daemon) can
+  /// report the effective count without constructing a pool.
   static unsigned resolve(unsigned threads);
 
   /// Runs body(i) for every i in [0, count), distributing dynamically.

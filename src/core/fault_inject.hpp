@@ -41,4 +41,28 @@ struct FaultPlan {
   std::size_t interrupt_iteration = 0;
 };
 
+/// Serve-path fault injection (serve::Server; DESIGN.md section 15).
+///
+/// Unlike the refine plan -- which fires at a fixed iteration -- serve
+/// faults are *request-addressed*: when `honor_request_faults` is set (and
+/// the binary was built with RD_FAULT_INJECTION), a request may carry a
+/// "fault" member naming the injection point, so tests and the CI smoke
+/// job steer faults at exactly the query they are probing:
+///
+///   "throw"      worker throws std::runtime_error mid-handler
+///   "bad-alloc"  std::bad_alloc during the what-if model fork
+///   "stall"      handler sleeps `stall_ms` (or the request's "stall_ms")
+///                before answering -- past the deadline, the connection
+///                answers degraded while the worker finishes harmlessly
+///   "diverge"    handler treats the simulation as non-converged
+///                (divergence-guard degraded path, R701)
+///
+/// With the flag off (the default, and always in non-injection builds) the
+/// "fault" member is ignored, so a malicious client cannot stall workers.
+struct ServeFaultPlan {
+  bool honor_request_faults = false;
+  /// Default sleep for "stall" requests that carry no "stall_ms".
+  std::uint64_t stall_ms = 200;
+};
+
 }  // namespace core

@@ -1,5 +1,7 @@
 #include "core/whatif.hpp"
 
+#include <chrono>
+
 namespace core {
 
 using topo::Model;
@@ -37,10 +39,6 @@ topo::Model apply_scenario(const Model& base, const WhatIfScenario& scenario) {
   return model;
 }
 
-namespace {
-
-// Distinct best paths per AS for one simulation, as full AS-level paths
-// (AS prepended).
 std::set<std::vector<nb::Asn>> best_paths_of(const Model& model,
                                              const bgp::PrefixSimResult& sim,
                                              nb::Asn asn) {
@@ -57,7 +55,33 @@ std::set<std::vector<nb::Asn>> best_paths_of(const Model& model,
   return out;
 }
 
-}  // namespace
+void diff_origin_routes(const Model& base, const bgp::Engine& before_engine,
+                        const Model& changed, const bgp::Engine& after_engine,
+                        nb::Asn origin, const WhatIfOptions& options,
+                        WhatIfResult* result) {
+  if (!base.has_as(origin)) return;
+  ++result->prefixes_evaluated;
+  const nb::Prefix prefix = nb::Prefix::for_asn(origin);
+  auto before = before_engine.run(prefix, origin);
+  auto after = after_engine.run(prefix, origin);
+  for (nb::Asn asn : base.asns()) {
+    if (!options.observers.empty() && !options.observers.count(asn)) continue;
+    ++result->pairs_evaluated;
+    auto paths_before = best_paths_of(base, before, asn);
+    auto paths_after = best_paths_of(changed, after, asn);
+    if (paths_before == paths_after) continue;
+    ++result->pairs_changed;
+    RouteChange change;
+    change.origin = origin;
+    change.observer = asn;
+    change.before = std::move(paths_before);
+    change.after = std::move(paths_after);
+    if (change.lost_reachability()) ++result->pairs_lost_reachability;
+    if (change.gained_reachability()) ++result->pairs_gained_reachability;
+    if (result->changes.size() < options.max_changes)
+      result->changes.push_back(std::move(change));
+  }
+}
 
 WhatIfResult evaluate_whatif(const Model& base, const WhatIfScenario& scenario,
                              const std::vector<nb::Asn>& origins,
@@ -67,30 +91,24 @@ WhatIfResult evaluate_whatif(const Model& base, const WhatIfScenario& scenario,
   bgp::Engine engine_before(base, options.engine);
   bgp::Engine engine_after(changed, options.engine);
 
+  const auto start = std::chrono::steady_clock::now();
   for (nb::Asn origin : origins) {
-    if (!base.has_as(origin)) continue;
-    ++result.prefixes_evaluated;
-    const nb::Prefix prefix = nb::Prefix::for_asn(origin);
-    auto before = engine_before.run(prefix, origin);
-    auto after = engine_after.run(prefix, origin);
-    for (nb::Asn asn : base.asns()) {
-      if (!options.observers.empty() && !options.observers.count(asn))
-        continue;
-      ++result.pairs_evaluated;
-      auto paths_before = best_paths_of(base, before, asn);
-      auto paths_after = best_paths_of(changed, after, asn);
-      if (paths_before == paths_after) continue;
-      ++result.pairs_changed;
-      RouteChange change;
-      change.origin = origin;
-      change.observer = asn;
-      change.before = std::move(paths_before);
-      change.after = std::move(paths_after);
-      if (change.lost_reachability()) ++result.pairs_lost_reachability;
-      if (change.gained_reachability()) ++result.pairs_gained_reachability;
-      if (result.changes.size() < options.max_changes)
-        result.changes.push_back(std::move(change));
+    // Budget / cancellation checks between prefixes (the refine contract:
+    // a bounded run returns a structured partial result, never nothing).
+    if (options.interrupt != nullptr &&
+        options.interrupt->load(std::memory_order_relaxed)) {
+      result.truncated = true;
+      break;
     }
+    if (options.wall_clock_budget_seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= options.wall_clock_budget_seconds) {
+      result.truncated = true;
+      break;
+    }
+    diff_origin_routes(base, engine_before, changed, engine_after, origin,
+                      options, &result);
   }
   return result;
 }

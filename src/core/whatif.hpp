@@ -9,6 +9,7 @@
 // are meaningful forecasts rather than toy-graph shortest-path changes.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <set>
 #include <vector>
@@ -66,6 +67,11 @@ struct WhatIfResult {
   /// Detailed changes, capped at `max_changes` (insertion order:
   /// prefix-major, then AS).
   std::vector<RouteChange> changes;
+  /// True when the wall-clock budget or the interrupt flag stopped the
+  /// evaluation before every origin was diffed: the counts above cover
+  /// only `prefixes_evaluated` prefixes (a structured partial result, the
+  /// same contract as refine's degraded stop -- R710 when served).
+  bool truncated = false;
 };
 
 struct WhatIfOptions {
@@ -74,7 +80,22 @@ struct WhatIfOptions {
   std::size_t max_changes = 1000;
   /// Restrict the diff to these observer ASes (empty = all ASes).
   std::set<nb::Asn> observers;
+  /// Wall-clock budget in seconds (0 = unbounded), checked between
+  /// prefixes -- PR 5's refine budget contract applied to what-if: on
+  /// exhaustion the result is returned truncated, never abandoned.
+  double wall_clock_budget_seconds = 0;
+  /// Cooperative cancellation, polled between prefixes (nullptr = none);
+  /// `rdtool serve` points this at the per-request deadline flag.
+  const std::atomic<bool>* interrupt = nullptr;
 };
+
+/// Distinct best AS-paths across `asn`'s quasi-routers for a finished full
+/// simulation, each with the observer AS prepended.  Shared by what-if
+/// diffs and the serve predict handler; the empty set means the AS has no
+/// route to the prefix.
+std::set<std::vector<nb::Asn>> best_paths_of(const topo::Model& model,
+                                             const bgp::PrefixSimResult& sim,
+                                             nb::Asn asn);
 
 /// Diffs predicted routing for the given origins between `base` and
 /// `base + scenario`.
@@ -82,5 +103,15 @@ WhatIfResult evaluate_whatif(const topo::Model& base,
                              const WhatIfScenario& scenario,
                              const std::vector<nb::Asn>& origins,
                              const WhatIfOptions& options = {});
+
+/// One prefix-slice of evaluate_whatif against pre-built engines, so a
+/// long-lived caller (the serve daemon's what-if handler) can reuse a
+/// cached copy-on-write fork across requests and check its own deadline
+/// between prefixes.  Accumulates counts and (capped) changes into
+/// `result`; `before` must simulate `base` and `after` the forked model.
+void diff_origin_routes(const topo::Model& base, const bgp::Engine& before,
+                        const topo::Model& changed, const bgp::Engine& after,
+                        nb::Asn origin, const WhatIfOptions& options,
+                        WhatIfResult* result);
 
 }  // namespace core

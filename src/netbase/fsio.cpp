@@ -1,0 +1,34 @@
+#include "netbase/fsio.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace nb {
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      if (error != nullptr) *error = "short write to " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nb

@@ -1,0 +1,21 @@
+// Atomic file publication shared by every artifact writer in the repo
+// (observability flushes, flight-recorder dumps, refine checkpoints,
+// rdtool outputs): write the contents to a sibling temp file, flush, then
+// rename over the target.  A crash -- or a second SIGINT during a long
+// flush -- leaves either the complete old file or the complete new one,
+// never a truncated document that `rdtool stats`, Perfetto or a resume
+// would choke on.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nb {
+
+/// Writes `contents` to `path` via `path + ".tmp"` + rename.  On failure
+/// the temp file is removed, `error` (if non-null) names the failing step,
+/// and the previous `path` contents (if any) are untouched.
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+}  // namespace nb

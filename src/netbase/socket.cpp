@@ -1,0 +1,312 @@
+#include "netbase/socket.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define RD_HAVE_SOCKETS 1
+#endif
+
+namespace nb {
+
+namespace {
+
+#ifdef RD_HAVE_SOCKETS
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr)
+    *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Milliseconds left until `deadline`; `timeout_ms == 0` means "forever".
+int slice_ms(std::chrono::steady_clock::time_point deadline, int timeout_ms) {
+  constexpr int kSlice = 100;  // poll granularity for stop-flag checks
+  if (timeout_ms == 0) return kSlice;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, kSlice));
+}
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+#endif  // RD_HAVE_SOCKETS
+
+}  // namespace
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+#ifdef RD_HAVE_SOCKETS
+
+void TcpStream::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void TcpStream::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::optional<TcpStream> TcpStream::connect(const std::string& host,
+                                            std::uint16_t port,
+                                            std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return std::nullopt;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address " + host;
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "connect");
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+TcpStream::IoStatus TcpStream::read_exact(void* buf, std::size_t n,
+                                          int timeout_ms,
+                                          const std::atomic<bool>* stop,
+                                          std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "read on closed stream";
+    return IoStatus::kError;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::size_t got = 0;
+  while (got < n) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed))
+      return IoStatus::kStopped;
+    const int wait = slice_ms(deadline, timeout_ms);
+    if (timeout_ms != 0 && wait == 0) return IoStatus::kTimeout;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "poll");
+      return IoStatus::kError;
+    }
+    if (ready == 0) continue;  // slice elapsed; re-check stop/deadline
+    const ssize_t r =
+        ::recv(fd_, static_cast<char*>(buf) + got, n - got, 0);
+    if (r == 0) {
+      if (error != nullptr && got > 0) *error = "peer closed mid-read";
+      return IoStatus::kClosed;
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      set_error(error, "recv");
+      return IoStatus::kError;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return IoStatus::kOk;
+}
+
+bool TcpStream::write_all(const void* buf, std::size_t n, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "write on closed stream";
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, static_cast<const char*>(buf) + sent,
+                             n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "send");
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::optional<TcpListener> TcpListener::bind(std::uint16_t port,
+                                             std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "bind");
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::listen(fd, 64) != 0) {
+    set_error(error, "listen");
+    ::close(fd);
+    return std::nullopt;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    set_error(error, "getsockname");
+    ::close(fd);
+    return std::nullopt;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+std::optional<TcpStream> TcpListener::accept(int timeout_ms,
+                                             std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "accept on closed listener";
+    return std::nullopt;
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) {
+    if (ready < 0 && errno != EINTR) set_error(error, "poll");
+    return std::nullopt;
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    set_error(error, "accept");
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+#else  // !RD_HAVE_SOCKETS
+
+// Non-POSIX stub: every operation fails with a clear error so `rdtool
+// serve` degrades to "unsupported on this platform" instead of failing to
+// link.
+void TcpStream::close() { fd_ = -1; }
+void TcpStream::shutdown_both() {}
+std::optional<TcpStream> TcpStream::connect(const std::string&, std::uint16_t,
+                                            std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return std::nullopt;
+}
+TcpStream::IoStatus TcpStream::read_exact(void*, std::size_t, int,
+                                          const std::atomic<bool>*,
+                                          std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return IoStatus::kError;
+}
+bool TcpStream::write_all(const void*, std::size_t, std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return false;
+}
+void TcpListener::close() { fd_ = -1; }
+std::optional<TcpListener> TcpListener::bind(std::uint16_t,
+                                             std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return std::nullopt;
+}
+std::optional<TcpStream> TcpListener::accept(int, std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return std::nullopt;
+}
+
+#endif  // RD_HAVE_SOCKETS
+
+FrameStatus read_frame(TcpStream& stream, std::string* payload,
+                       int timeout_ms, const std::atomic<bool>* stop,
+                       std::size_t max_bytes, std::string* error) {
+  unsigned char header[4];
+  switch (stream.read_exact(header, sizeof(header), timeout_ms, stop, error)) {
+    case TcpStream::IoStatus::kOk:
+      break;
+    case TcpStream::IoStatus::kClosed:
+      return FrameStatus::kClosed;
+    case TcpStream::IoStatus::kTimeout:
+      return FrameStatus::kTimeout;
+    case TcpStream::IoStatus::kStopped:
+      return FrameStatus::kStopped;
+    case TcpStream::IoStatus::kError:
+      return FrameStatus::kError;
+  }
+  const std::uint32_t length = (static_cast<std::uint32_t>(header[0]) << 24) |
+                               (static_cast<std::uint32_t>(header[1]) << 16) |
+                               (static_cast<std::uint32_t>(header[2]) << 8) |
+                               static_cast<std::uint32_t>(header[3]);
+  if (length > max_bytes) {
+    if (error != nullptr)
+      *error = "frame of " + std::to_string(length) + " bytes exceeds cap " +
+               std::to_string(max_bytes);
+    return FrameStatus::kTooLarge;
+  }
+  payload->resize(length);
+  if (length == 0) return FrameStatus::kOk;
+  switch (stream.read_exact(payload->data(), length, timeout_ms, stop,
+                            error)) {
+    case TcpStream::IoStatus::kOk:
+      return FrameStatus::kOk;
+    case TcpStream::IoStatus::kTimeout:
+      return FrameStatus::kTimeout;
+    case TcpStream::IoStatus::kStopped:
+      return FrameStatus::kStopped;
+    case TcpStream::IoStatus::kClosed:
+    case TcpStream::IoStatus::kError:
+      // A frame that announced `length` bytes and delivered fewer is a
+      // protocol error, not an orderly close.
+      if (error != nullptr && error->empty()) *error = "truncated frame";
+      return FrameStatus::kError;
+  }
+  return FrameStatus::kError;
+}
+
+bool write_frame(TcpStream& stream, std::string_view payload,
+                 std::string* error) {
+  if (payload.size() > 0xffffffffull) {
+    if (error != nullptr) *error = "frame too large to encode";
+    return false;
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  return stream.write_all(header, sizeof(header), error) &&
+         stream.write_all(payload.data(), payload.size(), error);
+}
+
+}  // namespace nb

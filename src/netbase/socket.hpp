@@ -1,0 +1,139 @@
+// Minimal loopback TCP sockets plus the length-prefixed frame protocol
+// `rdtool serve` speaks (DESIGN.md section 15).
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON.  The reader enforces a maximum payload size and
+// reports structured statuses instead of throwing: a malformed or
+// oversized header is a recoverable protocol error the server answers
+// with a diagnostic, not a crash.  Reads poll in short slices so a
+// draining server can abandon a blocked read promptly via the `stop`
+// flag.
+//
+// POSIX-only (like peak_rss_bytes); every call is SIGPIPE-safe -- writes
+// use MSG_NOSIGNAL so a client that hung up surfaces as an error return,
+// never a process-killing signal.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nb {
+
+/// One connected TCP byte stream (client or accepted server side).
+/// Move-only; the destructor closes the descriptor.
+class TcpStream {
+ public:
+  enum class IoStatus : std::uint8_t {
+    kOk,
+    kClosed,   // orderly EOF before / within the requested bytes
+    kTimeout,  // deadline passed with the read incomplete
+    kStopped,  // *stop became true while waiting
+    kError,    // socket error (see `error`)
+  };
+
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() { close(); }
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connects to host:port (numeric IPv4, e.g. "127.0.0.1").
+  static std::optional<TcpStream> connect(const std::string& host,
+                                          std::uint16_t port,
+                                          std::string* error = nullptr);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Shuts down both directions without closing the fd: unblocks a reader
+  /// in another thread (its poll wakes with EOF).
+  void shutdown_both();
+
+  /// Reads exactly `n` bytes, polling in ~100 ms slices; gives up when
+  /// `timeout_ms` elapses (0 = no deadline) or `*stop` (if non-null)
+  /// becomes true.  kClosed with 0 bytes read is an orderly peer hangup;
+  /// kClosed mid-buffer means the peer died mid-frame.
+  IoStatus read_exact(void* buf, std::size_t n, int timeout_ms,
+                      const std::atomic<bool>* stop,
+                      std::string* error = nullptr);
+
+  /// Writes all `n` bytes (retrying short writes).  False + `error` when
+  /// the peer is gone; never raises SIGPIPE.
+  bool write_all(const void* buf, std::size_t n, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 (serve is a loopback daemon; remote
+/// exposure is a reverse proxy's job, not this repo's).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+      other.port_ = 0;
+    }
+    return *this;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:port (0 = ephemeral; port() reports the choice).
+  static std::optional<TcpListener> bind(std::uint16_t port,
+                                         std::string* error = nullptr);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  void close();
+
+  /// Waits up to `timeout_ms` for a connection; nullopt on timeout or
+  /// closed listener (distinguish via valid() / `error`).
+  std::optional<TcpStream> accept(int timeout_ms,
+                                  std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Default cap on one frame's payload: far above any query this protocol
+/// carries, far below a rogue client's ability to balloon the heap.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+enum class FrameStatus : std::uint8_t {
+  kOk,
+  kClosed,    // orderly EOF between frames
+  kTimeout,   // deadline passed
+  kStopped,   // stop flag raised
+  kTooLarge,  // header announced > max_bytes; stream position is now
+              // unrecoverable (quarantine / close)
+  kError,     // truncated frame or socket error
+};
+
+/// Reads one length-prefixed frame into `payload`.
+FrameStatus read_frame(TcpStream& stream, std::string* payload,
+                       int timeout_ms, const std::atomic<bool>* stop,
+                       std::size_t max_bytes = kMaxFrameBytes,
+                       std::string* error = nullptr);
+
+/// Writes one frame (4-byte big-endian length + payload).
+bool write_frame(TcpStream& stream, std::string_view payload,
+                 std::string* error = nullptr);
+
+}  // namespace nb

@@ -1,10 +1,19 @@
 #include "netbase/sysinfo.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
 namespace nb {
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(threads, kMaxResolvedThreads);
+}
 
 std::uint64_t peak_rss_bytes() {
 #if defined(__unix__) || defined(__APPLE__)

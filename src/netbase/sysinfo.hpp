@@ -13,4 +13,17 @@ namespace nb {
 /// largest of them, not the last one.
 std::uint64_t peak_rss_bytes();
 
+/// Upper bound resolve_threads will ever return.  Generous -- far above any
+/// machine this repo targets -- but finite, so a typo like `--threads
+/// 4000000` cannot ask a ThreadPool (or a flight recorder sized per worker)
+/// for millions of tracks.
+inline constexpr unsigned kMaxResolvedThreads = 512;
+
+/// The one "--threads 0 means the hardware thread count" rule, shared by
+/// every subcommand, bench and pool constructor: 0 resolves to
+/// hardware_concurrency (minimum 1 -- the C++ standard allows it to report
+/// 0), explicit requests pass through, and the result is clamped to
+/// kMaxResolvedThreads either way.
+unsigned resolve_threads(unsigned threads);
+
 }  // namespace nb

@@ -1,9 +1,8 @@
 #include "obs/flight_recorder.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 
+#include "netbase/fsio.hpp"
 #include "netbase/json.hpp"
 
 namespace obs {
@@ -36,6 +35,14 @@ PayloadKeys payload_keys(FlightEventType type) {
       return {"iteration", "kind", nullptr};
     case FlightEventType::kStop:
       return {"stop", "iterations", nullptr};
+    case FlightEventType::kServeAccept:
+      return {"connection", nullptr, nullptr};
+    case FlightEventType::kServeRequest:
+      return {"op", "outcome", "micros"};
+    case FlightEventType::kServeShed:
+      return {"connection", "queue_depth", nullptr};
+    case FlightEventType::kServeDrain:
+      return {"in_flight", nullptr, nullptr};
   }
   return {};
 }
@@ -60,6 +67,14 @@ const char* flight_event_type_name(FlightEventType type) {
       return "fault";
     case FlightEventType::kStop:
       return "stop";
+    case FlightEventType::kServeAccept:
+      return "serve-accept";
+    case FlightEventType::kServeRequest:
+      return "serve-request";
+    case FlightEventType::kServeShed:
+      return "serve-shed";
+    case FlightEventType::kServeDrain:
+      return "serve-drain";
   }
   return "unknown";
 }
@@ -68,9 +83,14 @@ FlightRecorder::FlightRecorder(unsigned tracks, std::size_t capacity)
     : num_tracks_(tracks == 0 ? 1 : tracks),
       capacity_(capacity == 0 ? 1 : capacity),
       origin_(std::chrono::steady_clock::now()),
-      tracks_(new Track[num_tracks_]) {
+      tracks_(new Track[num_tracks_]),
+      labels_(num_tracks_) {
   for (std::size_t t = 0; t < num_tracks_; ++t)
     tracks_[t].ring.resize(capacity_);
+}
+
+void FlightRecorder::set_label(unsigned track, std::string label) {
+  if (track < num_tracks_) labels_[track] = std::move(label);
 }
 
 std::uint64_t FlightRecorder::now_us() const {
@@ -99,8 +119,10 @@ std::string FlightRecorder::dump_json(int indent) const {
     const std::uint64_t kept = std::min<std::uint64_t>(count, capacity_);
     json.begin_object();
     json.key("track").value(static_cast<std::uint64_t>(t));
-    json.key("label").value(t == 0 ? std::string("serial")
-                                   : "worker-" + std::to_string(t - 1));
+    json.key("label").value(
+        !labels_[t].empty() ? labels_[t]
+        : t == 0            ? std::string("serial")
+                            : "worker-" + std::to_string(t - 1));
     json.key("recorded").value(count);
     json.key("dropped").value(count - kept);
     json.key("events").begin_array();
@@ -126,26 +148,7 @@ std::string FlightRecorder::dump_json(int indent) const {
 
 bool FlightRecorder::dump_to_file(const std::string& path,
                                   std::string* error) const {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      if (error != nullptr) *error = "cannot write " + tmp;
-      return false;
-    }
-    out << dump_json(2) << "\n";
-    if (!out.good()) {
-      if (error != nullptr) *error = "short write to " + tmp;
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return nb::write_file_atomic(path, dump_json(2) + "\n", error);
 }
 
 }  // namespace obs

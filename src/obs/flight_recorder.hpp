@@ -39,10 +39,19 @@ enum class FlightEventType : std::uint8_t {
   kInterrupt,       // a=iteration
   kFault,           // a=iteration, b=kind (0 sweep, 1 plan, 2 resume)
   kStop,            // a=RefineStop as int, b=iterations
+  // Serve-daemon events (serve::Server; DESIGN.md section 15).  Track
+  // convention there: 0 = accept loop, 1 = admission (serialized by the
+  // queue mutex), 2 + w = worker w.
+  kServeAccept,   // a=connection id
+  kServeRequest,  // a=op (ServeRequest::Op), b=outcome (ServeOutcome),
+                  // c=handler micros
+  kServeShed,     // a=connection id, b=queue depth at rejection
+  kServeDrain,    // a=in-flight requests when the drain began
 };
 
 /// Stable token used in dumps: iteration-start | shard-start | shard-end |
-/// prefix-frozen | checkpoint | interrupt | fault | stop.
+/// prefix-frozen | checkpoint | interrupt | fault | stop | serve-accept |
+/// serve-request | serve-shed | serve-drain.
 const char* flight_event_type_name(FlightEventType type);
 
 /// One recorded event.  The payload words a/b/c are typed per
@@ -67,6 +76,11 @@ class FlightRecorder {
 
   unsigned tracks() const { return static_cast<unsigned>(num_tracks_); }
   std::size_t capacity() const { return capacity_; }
+
+  /// Overrides the dump label of `track` (default: "serial" / "worker-N",
+  /// the refine convention).  Call before any writer starts -- labels are
+  /// not synchronized with record().
+  void set_label(unsigned track, std::string label);
 
   /// Microseconds since recorder construction (the dump's time origin).
   std::uint64_t now_us() const;
@@ -109,6 +123,8 @@ class FlightRecorder {
   std::size_t capacity_;
   std::chrono::steady_clock::time_point origin_;
   std::unique_ptr<Track[]> tracks_;
+  /// Per-track dump labels; "" falls back to the refine convention.
+  std::vector<std::string> labels_;
 };
 
 }  // namespace obs

@@ -1,0 +1,52 @@
+#include "obs/flush.hpp"
+
+#include <sstream>
+
+#include "netbase/fsio.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+
+namespace {
+
+void note_error(FlushResult* result, const std::string& message) {
+  if (result->error.empty()) result->error = message;
+}
+
+}  // namespace
+
+FlushResult flush_observability(const FlushPlan& plan) {
+  FlushResult result;
+  if (plan.trace != nullptr && !plan.trace_path.empty()) {
+    std::ostringstream out;
+    if (plan.trace_path.ends_with(".jsonl"))
+      plan.trace->write_jsonl(out);
+    else
+      plan.trace->write_chrome(out);
+    std::string error;
+    if (nb::write_file_atomic(plan.trace_path, out.str(), &error))
+      result.trace_written = true;
+    else
+      note_error(&result, "trace: " + error);
+  }
+  if (plan.registry != nullptr && !plan.metrics_path.empty()) {
+    std::string error;
+    if (nb::write_file_atomic(plan.metrics_path, plan.registry->to_json(2) + "\n",
+                              &error))
+      result.metrics_written = true;
+    else
+      note_error(&result, "metrics: " + error);
+  }
+  if (plan.flight != nullptr && !plan.flight_path.empty()) {
+    std::string error;
+    if (plan.flight->dump_to_file(plan.flight_path, &error))
+      result.flight_written = true;
+    else
+      note_error(&result, "flight: " + error);
+  }
+  return result;
+}
+
+}  // namespace obs

@@ -1,0 +1,50 @@
+// One "flush all observability atomically" path shared by every exit edge
+// that publishes artifacts: rdtool refine (success, degraded, fault AND
+// cooperative interrupt / exit 130) and the serve daemon's SIGTERM drain.
+//
+// Each artifact is written through nb::write_file_atomic (temp + rename),
+// so an interrupt or crash during the flush leaves either the complete
+// file or no file -- never truncated JSON that `rdtool stats`, Perfetto or
+// the CI artifact validators would choke on.  Failures are per-artifact:
+// a bad trace path does not stop the metrics or flight dump from landing.
+#pragma once
+
+#include <string>
+
+namespace obs {
+
+class FlightRecorder;
+class Registry;
+class TraceSink;
+
+/// What to publish.  Every sink is optional; a null pointer or empty path
+/// skips that artifact.
+struct FlushPlan {
+  const TraceSink* trace = nullptr;
+  std::string trace_path;  // ".jsonl" suffix selects the JSONL form
+
+  const Registry* registry = nullptr;
+  std::string metrics_path;
+
+  const FlightRecorder* flight = nullptr;
+  std::string flight_path;
+};
+
+/// Outcome of one flush, per artifact: written / skipped / failed.
+struct FlushResult {
+  bool trace_written = false;
+  bool metrics_written = false;
+  bool flight_written = false;
+  /// First failure message ("" when everything requested landed).
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Writes every requested artifact atomically, continuing past individual
+/// failures (the result records the first error).  Callers must ensure the
+/// sinks are quiescent -- after the fit returned, after the serve workers
+/// joined.
+FlushResult flush_observability(const FlushPlan& plan);
+
+}  // namespace obs

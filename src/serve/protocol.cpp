@@ -1,0 +1,163 @@
+#include "serve/protocol.hpp"
+
+#include "netbase/json.hpp"
+
+namespace serve {
+
+namespace {
+
+/// Parses "ASN.IDX" (or bare "ASN", index 0); nullopt on malformed text.
+std::optional<nb::RouterId> parse_router(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t asn = 0;
+  std::uint64_t index = 0;
+  const std::size_t dot = text.find('.');
+  const auto number = [](std::string_view s, std::uint64_t* out) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+      *out = *out * 10 + static_cast<std::uint64_t>(c - '0');
+      if (*out > 0xffffffffull) return false;
+    }
+    return true;
+  };
+  if (dot == std::string_view::npos) {
+    if (!number(text, &asn)) return std::nullopt;
+  } else {
+    if (!number(text.substr(0, dot), &asn) ||
+        !number(text.substr(dot + 1), &index)) {
+      return std::nullopt;
+    }
+  }
+  if (asn > 0xffffu || index > 0xffffu) return std::nullopt;
+  return nb::RouterId(static_cast<nb::Asn>(asn),
+                      static_cast<std::uint16_t>(index));
+}
+
+bool parse_session(std::string_view text, nb::RouterId* a, nb::RouterId* b) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return false;
+  const auto left = parse_router(text.substr(0, colon));
+  const auto right = parse_router(text.substr(colon + 1));
+  if (!left || !right) return false;
+  *a = *left;
+  *b = *right;
+  return true;
+}
+
+/// Reads a required member as an AS number; false + error otherwise.
+bool read_asn(const nb::JsonValue& doc, const char* key, nb::Asn* out,
+              std::string* error) {
+  const nb::JsonValue* member = doc.find(key);
+  if (member == nullptr || !member->is_number() || member->number < 0 ||
+      member->number > 0xfffffffe) {
+    *error = std::string("missing or invalid \"") + key + "\" (AS number)";
+    return false;
+  }
+  *out = static_cast<nb::Asn>(member->number);
+  return true;
+}
+
+}  // namespace
+
+const char* op_name(ServeRequest::Op op) {
+  switch (op) {
+    case ServeRequest::Op::kPredict:
+      return "predict";
+    case ServeRequest::Op::kExplain:
+      return "explain";
+    case ServeRequest::Op::kWhatIf:
+      return "whatif";
+    case ServeRequest::Op::kHealth:
+      return "health";
+  }
+  return "unknown";
+}
+
+std::string ServeRequest::fork_key() const {
+  if (op != Op::kWhatIf) return "";
+  if (edit == "session-down")
+    return "session-down " + session_a.str() + ":" + session_b.str();
+  return "policy-edit origin " + std::to_string(origin) + " deny " +
+         std::to_string(from) + "->" + std::to_string(to);
+}
+
+std::optional<ServeRequest> parse_request(const std::string& text,
+                                          std::string* error) {
+  std::string parse_error;
+  const auto doc = nb::json_parse(text, &parse_error);
+  if (!doc) {
+    // Keep the parser's byte position: "poisoned" frames must come back
+    // with an actionable location, not a generic refusal.
+    *error = "bad JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  ServeRequest request;
+  const std::string_view op = doc->string_or("op");
+  if (op == "predict") {
+    request.op = ServeRequest::Op::kPredict;
+    if (!read_asn(*doc, "origin", &request.origin, error)) return std::nullopt;
+    if (!read_asn(*doc, "vantage", &request.vantage, error))
+      return std::nullopt;
+  } else if (op == "explain") {
+    request.op = ServeRequest::Op::kExplain;
+    if (!read_asn(*doc, "origin", &request.origin, error)) return std::nullopt;
+    if (!read_asn(*doc, "as", &request.vantage, error)) return std::nullopt;
+  } else if (op == "whatif") {
+    request.op = ServeRequest::Op::kWhatIf;
+    request.edit = doc->string_or("edit");
+    if (request.edit == "session-down") {
+      if (!parse_session(doc->string_or("session"), &request.session_a,
+                         &request.session_b)) {
+        *error = "whatif session-down needs \"session\": \"A.I:B.J\"";
+        return std::nullopt;
+      }
+    } else if (request.edit == "policy-edit") {
+      if (!read_asn(*doc, "origin", &request.origin, error) ||
+          !read_asn(*doc, "from", &request.from, error) ||
+          !read_asn(*doc, "to", &request.to, error)) {
+        return std::nullopt;
+      }
+    } else {
+      *error = "whatif \"edit\" must be session-down or policy-edit";
+      return std::nullopt;
+    }
+    if (const nb::JsonValue* origins = doc->find("origins");
+        origins != nullptr) {
+      if (!origins->is_array()) {
+        *error = "\"origins\" must be an array of AS numbers";
+        return std::nullopt;
+      }
+      for (const nb::JsonValue& entry : origins->array) {
+        if (!entry.is_number() || entry.number < 0 ||
+            entry.number > 0xfffffffe) {
+          *error = "\"origins\" must be an array of AS numbers";
+          return std::nullopt;
+        }
+        request.origins.push_back(static_cast<nb::Asn>(entry.number));
+      }
+    }
+  } else if (op == "health" || op == "statusz") {
+    request.op = ServeRequest::Op::kHealth;
+  } else {
+    *error = op.empty()
+                 ? std::string("missing \"op\"")
+                 : "unknown op \"" + std::string(op) +
+                       "\" (predict|explain|whatif|health)";
+    return std::nullopt;
+  }
+
+  request.id = static_cast<std::uint64_t>(doc->number_or("id", 0));
+  request.deadline_ms = doc->number_or("deadline_ms", 0);
+  if (request.deadline_ms < 0) request.deadline_ms = 0;
+  request.fault = doc->string_or("fault");
+  request.stall_ms = static_cast<std::uint64_t>(doc->number_or("stall_ms", 0));
+  return request;
+}
+
+}  // namespace serve

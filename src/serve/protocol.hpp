@@ -1,0 +1,77 @@
+// Wire protocol of the serve daemon (DESIGN.md section 15).
+//
+// Transport: length-prefixed frames (netbase/socket.hpp) carrying one JSON
+// document each.  Requests are objects with an "op" member:
+//
+//   {"op": "predict", "origin": O, "vantage": A [, "id": N]}
+//   {"op": "explain", "origin": O, "as": A}
+//   {"op": "whatif", "edit": "session-down", "session": "A.I:B.J"
+//        [, "origins": [O, ...]]}
+//   {"op": "whatif", "edit": "policy-edit", "origin": O,
+//        "from": A, "to": B [, "origins": [...]]}
+//   {"op": "health"}
+//
+// plus optional members every op accepts: "id" (echoed verbatim in the
+// response, default 0), "deadline_ms" (per-request deadline override,
+// clamped to the server's configured maximum) and -- only in
+// RD_FAULT_INJECTION builds with request faults enabled -- "fault" /
+// "stall_ms" (core::ServeFaultPlan).
+//
+// Responses are objects {"id": N, "status": S, ...} where S is one of
+//   "ok"        full answer; payload per op
+//   "degraded"  partial answer (deadline hit, divergence guard): payload
+//               present, "code" names the R-code (R710 / R701)
+//   "rejected"  request not executed (queue full R711, draining R714)
+//   "error"     malformed or failed request (R715 parse/validation -- with
+//               the parser's byte position -- R712 handler fault,
+//               R713 quarantine)
+// Non-"ok" responses carry "code" and "error" members.  Responses never
+// include timings or other run-dependent fields: byte-for-byte identical
+// queries get byte-for-byte identical answers, which is how the tests pin
+// concurrency safety.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/ids.hpp"
+
+namespace serve {
+
+struct ServeRequest {
+  enum class Op : std::uint8_t { kPredict, kExplain, kWhatIf, kHealth };
+
+  Op op = Op::kHealth;
+  std::uint64_t id = 0;  // echoed in the response
+  nb::Asn origin = nb::kInvalidAsn;
+  nb::Asn vantage = nb::kInvalidAsn;  // predict vantage / explain observer
+
+  // whatif
+  std::string edit;  // "session-down" | "policy-edit"
+  nb::RouterId session_a;
+  nb::RouterId session_b;
+  nb::Asn from = nb::kInvalidAsn;  // policy-edit: deny origin's prefix
+  nb::Asn to = nb::kInvalidAsn;    // from -> to announcements
+  std::vector<nb::Asn> origins;    // whatif origins (empty = server default)
+
+  double deadline_ms = 0;  // 0 = server default
+  std::string fault;       // RD_FAULT_INJECTION only; see ServeFaultPlan
+  std::uint64_t stall_ms = 0;
+
+  /// Stable cache key for the what-if model fork this request needs
+  /// ("" for non-whatif ops).  Identical edits -- regardless of origins,
+  /// deadline or id -- share one copy-on-write fork.
+  std::string fork_key() const;
+};
+
+const char* op_name(ServeRequest::Op op);
+
+/// Parses one request document.  On failure returns nullopt and fills
+/// `error` with a human-readable reason -- including the byte position for
+/// JSON syntax errors (nb::json_parse's position-carrying message).
+std::optional<ServeRequest> parse_request(const std::string& text,
+                                          std::string* error);
+
+}  // namespace serve

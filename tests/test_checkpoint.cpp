@@ -1,13 +1,18 @@
 // refine-checkpoint v1 round-trip and hardening tests: field fidelity,
-// atomic save semantics, and rejection (never a crash, always a line
-// number) of truncated or corrupted checkpoint files.
+// atomic save semantics, rejection (never a crash, always a line number)
+// of truncated or corrupted checkpoint files, and SIGTERM-during-fit
+// atomicity -- an interrupt landing on a checkpoint-every-iteration fit
+// must leave one complete, loadable checkpoint and no temp debris.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "core/fault_inject.hpp"
+#include "core/refine.hpp"
 #include "topology/model_io.hpp"
 
 namespace {
@@ -217,5 +222,103 @@ TEST(CheckpointTest, LoadReportsMissingFile) {
                    .has_value());
   EXPECT_FALSE(error.empty());
 }
+
+// ---- SIGTERM-during-fit atomicity -----------------------------------------
+
+/// A fit needing several iterations (the observed path goes the long way
+/// around a ring, so the 1-6 shortcut must be filtered away and the suffix
+/// propagated iteration by iteration) -- enough runway for an interrupt to
+/// land while checkpoints are being written every iteration.
+data::BgpDataset ring_dataset() {
+  data::BgpDataset dataset;
+  dataset.points.push_back({RouterId{1, 0}});
+  topo::AsPath path{1, 2, 3, 4, 5, 6};
+  dataset.records.push_back({0, path.origin(), path});
+  return dataset;
+}
+
+Model ring_model() {
+  topo::AsGraph g;
+  for (nb::Asn a = 1; a < 6; ++a) g.add_edge(a, a + 1);
+  g.add_edge(1, 6);
+  return Model::one_router_per_as(g);
+}
+
+/// Reads a file fully; "" when absent.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CheckpointInterruptTest, SigtermLeavesCompleteCheckpointAndNoTmp) {
+  const std::string path = testing::TempDir() + "ckpt_sigterm_test";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  // The rdtool SIGTERM path verbatim: the handler sets the interrupt flag,
+  // the loop observes it between iterations and checkpoints before
+  // returning kInterrupted.  Pre-raising the flag makes the very first
+  // poll hit -- the checkpoint write happens entirely "after SIGTERM".
+  std::atomic<bool> interrupt{true};
+  Model model = ring_model();
+  core::RefineConfig config;
+  config.interrupt = &interrupt;
+  config.checkpoint_path = path;
+  config.checkpoint_every = 1;
+  const auto result = core::refine_model(model, ring_dataset(), config);
+  EXPECT_EQ(result.stop, core::RefineStop::kInterrupted);
+  ASSERT_TRUE(result.checkpoint_written);
+
+  // Atomic save contract at the interrupt edge: no temp debris, a complete
+  // header, and the on-disk bytes equal a full re-serialization of what
+  // loads back -- i.e. not one byte of truncation.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  const std::string on_disk = slurp(path);
+  EXPECT_EQ(on_disk.rfind("refine-checkpoint v1", 0), 0u);
+  std::string error;
+  const auto loaded = topo::load_refine_checkpoint(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(on_disk, to_string(*loaded));
+  std::remove(path.c_str());
+}
+
+#ifdef RD_FAULT_INJECTION
+TEST(CheckpointInterruptTest, InterruptOverwritesPriorCheckpointAtomically) {
+  const std::string path = testing::TempDir() + "ckpt_overwrite_test";
+  std::remove(path.c_str());
+
+  // checkpoint_every=1 plus an injected interrupt at iteration 2: the
+  // iteration-1 checkpoint is already on disk when the interrupt-edge save
+  // renames over it.  The survivor must be the complete iteration-2 state,
+  // never a mix or a partial file.
+  Model model = ring_model();
+  core::FaultPlan plan;
+  plan.interrupt_iteration = 2;
+  core::RefineConfig config;
+  config.fault_plan = &plan;
+  config.checkpoint_path = path;
+  config.checkpoint_every = 1;
+  const auto result = core::refine_model(model, ring_dataset(), config);
+  EXPECT_EQ(result.stop, core::RefineStop::kInterrupted);
+  ASSERT_TRUE(result.checkpoint_written);
+
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::string error;
+  const auto loaded = topo::load_refine_checkpoint(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->iteration, 2u);
+  EXPECT_EQ(slurp(path), to_string(*loaded));
+
+  // And the surviving checkpoint is genuinely resumable.
+  Model resumed = loaded->model;
+  core::RefineConfig resume_config;
+  resume_config.resume = &*loaded;
+  EXPECT_TRUE(
+      core::refine_model(resumed, ring_dataset(), resume_config).success);
+  std::remove(path.c_str());
+}
+#endif  // RD_FAULT_INJECTION
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "netbase/rng.hpp"
 #include "netbase/stats.hpp"
 #include "netbase/strings.hpp"
+#include "netbase/sysinfo.hpp"
 #include "netbase/table.hpp"
 
 namespace {
@@ -87,6 +88,21 @@ TEST(RouterIdTest, OrderingMatchesTieBreakSemantics) {
   // Lower ASN wins; within an AS, lower index wins.
   EXPECT_LT(RouterId(100, 9), RouterId(101, 0));
   EXPECT_LT(RouterId(100, 0), RouterId(100, 1));
+}
+
+TEST(SysInfoTest, ResolveThreadsCentralizesTheZeroConvention) {
+  // 0 = "use the hardware": at least one thread, stable across calls, and
+  // the single place every --threads consumer resolves through.
+  EXPECT_GE(nb::resolve_threads(0), 1u);
+  EXPECT_EQ(nb::resolve_threads(0), nb::resolve_threads(0));
+  EXPECT_LE(nb::resolve_threads(0), nb::kMaxResolvedThreads);
+  // Explicit requests pass through unchanged up to the clamp.
+  EXPECT_EQ(nb::resolve_threads(1), 1u);
+  EXPECT_EQ(nb::resolve_threads(7), 7u);
+  EXPECT_EQ(nb::resolve_threads(nb::kMaxResolvedThreads),
+            nb::kMaxResolvedThreads);
+  // A runaway request (corrupt config, unit mix-up) is clamped, not obeyed.
+  EXPECT_EQ(nb::resolve_threads(1u << 20), nb::kMaxResolvedThreads);
 }
 
 TEST(RngTest, DeterministicForSeed) {

@@ -312,4 +312,44 @@ TEST_F(RdtoolCliTest, ImpactContract) {
   EXPECT_FALSE(json->find("prefixes")->array.empty());
 }
 
+TEST_F(RdtoolCliTest, ServeContract) {
+  EXPECT_EQ(run("serve"), 2);  // missing --model
+  EXPECT_EQ(run("serve --model " + path("no-such-file.model") +
+                " --once '{\"op\":\"health\"}'"),
+            1);
+  // An unintelligible --once request answers status "error" and exits 1.
+  EXPECT_EQ(
+      run("serve --model " + path("fit.model") + " --once '{\"op\":\"fly\"}'"),
+      1);
+  EXPECT_EQ(
+      run("serve --model " + path("fit.model") + " --once 'not json'"), 1);
+
+  // The pinned health --once shape (the CI smoke job's liveness probe).
+  int code = -1;
+  const auto health = nb::json_parse(capture(
+      "serve --model " + path("fit.model") + " --once '{\"op\":\"health\"}'",
+      &code));
+  EXPECT_EQ(code, 0);
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->string_or("status"), "ok");
+  for (const char* key :
+       {"uptime_seconds", "generation", "ases", "routers", "workers",
+        "queue_depth", "queue_capacity", "draining", "peak_rss_bytes",
+        "counters"}) {
+    EXPECT_NE(health->find(key), nullptr) << key;
+  }
+
+  // A real query through --once: scale-0.05 seed-3 generation is
+  // deterministic, so AS 11 and AS 12 always exist in fit.model.
+  const auto predict = nb::json_parse(capture(
+      "serve --model " + path("fit.model") +
+          " --once '{\"op\":\"predict\",\"origin\":11,\"vantage\":12}'",
+      &code));
+  EXPECT_EQ(code, 0);
+  ASSERT_TRUE(predict.has_value());
+  EXPECT_EQ(predict->string_or("status"), "ok");
+  ASSERT_NE(predict->find("paths"), nullptr);
+  EXPECT_FALSE(predict->find("paths")->array.empty());
+}
+
 }  // namespace

@@ -1,0 +1,473 @@
+// Robustness tests for the serve daemon (DESIGN.md section 15): protocol
+// parsing, the full socket round-trip, concurrent-query byte-identity
+// against the single-shot answer() oracle, load shedding, poisoned-query
+// quarantine, the cooperative drain, and -- when the library is built with
+// RD_FAULT_INJECTION -- injected handler faults (throw, bad_alloc during a
+// what-if fork, stalls answered degraded within the deadline).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "netbase/json.hpp"
+#include "netbase/socket.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "topology/model.hpp"
+
+namespace {
+
+using serve::ServeConfig;
+using serve::ServeRequest;
+using serve::Server;
+
+namespace codes = analysis::codes;
+
+topo::Model diamond() {
+  topo::AsGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  g.add_edge(3, 4);
+  return topo::Model::one_router_per_as(g);
+}
+
+/// Blocking client: one frame out, one frame in.  Fails the test on any
+/// transport error (the quarantine tests inspect the status themselves).
+std::optional<std::string> roundtrip(nb::TcpStream& stream,
+                                     const std::string& request) {
+  std::string error;
+  if (!nb::write_frame(stream, request, &error)) {
+    ADD_FAILURE() << "write_frame: " << error;
+    return std::nullopt;
+  }
+  std::string payload;
+  const nb::FrameStatus status =
+      nb::read_frame(stream, &payload, /*timeout_ms=*/10000, nullptr,
+                     nb::kMaxFrameBytes, &error);
+  if (status != nb::FrameStatus::kOk) {
+    ADD_FAILURE() << "read_frame: " << static_cast<int>(status) << " "
+                  << error;
+    return std::nullopt;
+  }
+  return payload;
+}
+
+nb::TcpStream connect_to(const Server& server) {
+  std::string error;
+  auto stream = nb::TcpStream::connect("127.0.0.1", server.port(), &error);
+  EXPECT_TRUE(stream.has_value()) << error;
+  return std::move(*stream);
+}
+
+std::string status_of(const std::string& response) {
+  const auto doc = nb::json_parse(response, nullptr);
+  return doc ? std::string(doc->string_or("status")) : "<unparsable>";
+}
+
+std::string code_of(const std::string& response) {
+  const auto doc = nb::json_parse(response, nullptr);
+  return doc ? std::string(doc->string_or("code")) : "<unparsable>";
+}
+
+TEST(ServeProtocolTest, ParsesEveryOp) {
+  std::string error;
+  auto predict = serve::parse_request(
+      R"({"op":"predict","origin":4,"vantage":1,"id":9})", &error);
+  ASSERT_TRUE(predict.has_value()) << error;
+  EXPECT_EQ(predict->op, ServeRequest::Op::kPredict);
+  EXPECT_EQ(predict->origin, 4u);
+  EXPECT_EQ(predict->vantage, 1u);
+  EXPECT_EQ(predict->id, 9u);
+
+  auto explain = serve::parse_request(
+      R"({"op":"explain","origin":4,"as":1})", &error);
+  ASSERT_TRUE(explain.has_value()) << error;
+  EXPECT_EQ(explain->op, ServeRequest::Op::kExplain);
+
+  auto down = serve::parse_request(
+      R"({"op":"whatif","edit":"session-down","session":"1.0:2.0"})", &error);
+  ASSERT_TRUE(down.has_value()) << error;
+  EXPECT_EQ(down->session_a, nb::RouterId(1, 0));
+  EXPECT_EQ(down->session_b, nb::RouterId(2, 0));
+
+  auto policy = serve::parse_request(
+      R"({"op":"whatif","edit":"policy-edit","origin":4,"from":2,"to":4,)"
+      R"("origins":[4]})",
+      &error);
+  ASSERT_TRUE(policy.has_value()) << error;
+  EXPECT_EQ(policy->origins, std::vector<nb::Asn>{4});
+
+  auto health = serve::parse_request(R"({"op":"statusz"})", &error);
+  ASSERT_TRUE(health.has_value()) << error;
+  EXPECT_EQ(health->op, ServeRequest::Op::kHealth);
+}
+
+TEST(ServeProtocolTest, MalformedRequestsCarryActionableErrors) {
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("{not json", &error).has_value());
+  // The parser's byte position must survive into the message: a poisoned
+  // frame comes back locatable, not as a generic refusal.
+  EXPECT_NE(error.find("bad JSON"), std::string::npos) << error;
+
+  EXPECT_FALSE(serve::parse_request(R"({"op":"fly"})", &error).has_value());
+  EXPECT_NE(error.find("unknown op"), std::string::npos) << error;
+
+  EXPECT_FALSE(
+      serve::parse_request(R"({"op":"predict","origin":4})", &error)
+          .has_value());
+  EXPECT_NE(error.find("vantage"), std::string::npos) << error;
+
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"op":"whatif","edit":"session-down","session":"x"})",
+                   &error)
+                   .has_value());
+}
+
+TEST(ServeProtocolTest, ForkKeyIgnoresPerRequestFields) {
+  std::string error;
+  const auto a = serve::parse_request(
+      R"({"op":"whatif","edit":"policy-edit","origin":4,"from":2,"to":4,)"
+      R"("id":1,"deadline_ms":50})",
+      &error);
+  const auto b = serve::parse_request(
+      R"({"op":"whatif","edit":"policy-edit","origin":4,"from":2,"to":4,)"
+      R"("id":2,"origins":[4]})",
+      &error);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->fork_key(), b->fork_key());
+  EXPECT_FALSE(a->fork_key().empty());
+}
+
+TEST(ServeServerTest, AnswersEveryOpInProcess) {
+  const topo::Model model = diamond();
+  Server server(model, ServeConfig{});
+
+  const std::string predict =
+      server.answer(R"({"op":"predict","origin":4,"vantage":1,"id":3})");
+  EXPECT_EQ(status_of(predict), "ok");
+  EXPECT_NE(predict.find("\"id\": 3"), std::string::npos);
+  EXPECT_NE(predict.find("\"paths\""), std::string::npos);
+
+  EXPECT_EQ(status_of(server.answer(R"({"op":"explain","origin":4,"as":1})")),
+            "ok");
+  EXPECT_EQ(status_of(server.answer(
+                R"({"op":"whatif","edit":"session-down","session":"1.0:2.0"})")),
+            "ok");
+  EXPECT_EQ(status_of(server.answer(R"({"op":"health"})")), "ok");
+
+  const std::string bad = server.answer("{broken");
+  EXPECT_EQ(status_of(bad), "error");
+  EXPECT_EQ(code_of(bad), codes::kServeBadRequest);
+
+  const std::string unknown_as =
+      server.answer(R"({"op":"predict","origin":99,"vantage":1})");
+  EXPECT_EQ(status_of(unknown_as), "error");
+  EXPECT_EQ(code_of(unknown_as), codes::kServeBadRequest);
+}
+
+TEST(ServeServerTest, ResponsesAreDeterministic) {
+  const topo::Model model = diamond();
+  Server server(model, ServeConfig{});
+  const std::string request =
+      R"({"op":"predict","origin":4,"vantage":1,"id":1})";
+  const std::string first = server.answer(request);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(server.answer(request), first);
+}
+
+TEST(ServeServerTest, SocketRoundTripMatchesAnswerByteForByte) {
+  const topo::Model model = diamond();
+  ServeConfig config;
+  config.threads = 2;
+  Server server(model, config);
+  std::string error;
+  ASSERT_TRUE(server.listen(0, &error)) << error;
+
+  // The oracle: the in-process answer for each request.  Server responses
+  // carry no timings, so the socket path must reproduce them exactly.
+  Server oracle(model, ServeConfig{});
+  const std::vector<std::string> requests = {
+      R"({"op":"predict","origin":4,"vantage":1,"id":1})",
+      R"({"op":"predict","origin":2,"vantage":3,"id":2})",
+      R"({"op":"explain","origin":4,"as":1,"id":3})",
+      R"({"op":"whatif","edit":"session-down","session":"1.0:2.0","id":4})",
+      R"({"op":"whatif","edit":"policy-edit","origin":4,"from":2,"to":4,)"
+      R"("id":5})",
+  };
+  std::vector<std::string> expected;
+  for (const std::string& request : requests)
+    expected.push_back(oracle.answer(request));
+
+  // Several client threads hammer the daemon with the same mix; every
+  // response must be byte-identical to the oracle's.
+  constexpr int kClients = 4;
+  constexpr int kRounds = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto stream = connect_to(server);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t i = (c + round) % requests.size();
+        const auto response = roundtrip(stream, requests[i]);
+        if (!response || *response != expected[i]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  server.shutdown();
+}
+
+TEST(ServeServerTest, MalformedFramesAreAnsweredThenQuarantined) {
+  const topo::Model model = diamond();
+  ServeConfig config;
+  config.quarantine_threshold = 3;
+  Server server(model, config);
+  std::string error;
+  ASSERT_TRUE(server.listen(0, &error)) << error;
+
+  auto stream = connect_to(server);
+  // First two poisoned frames: structured R715 with the parse position,
+  // connection stays usable.
+  for (int i = 0; i < 2; ++i) {
+    const auto response = roundtrip(stream, "{poisoned");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(status_of(*response), "error");
+    EXPECT_EQ(code_of(*response), codes::kServeBadRequest);
+    EXPECT_NE(response->find("bad JSON"), std::string::npos);
+  }
+  // A good request in between resets nothing here -- keep poisoning.
+  const auto third = roundtrip(stream, "{poisoned");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(code_of(*third), codes::kServeQuarantine);
+  // The daemon closed the connection after quarantining it.
+  std::string payload;
+  const nb::FrameStatus after = nb::read_frame(
+      stream, &payload, /*timeout_ms=*/2000, nullptr, nb::kMaxFrameBytes);
+  EXPECT_EQ(after, nb::FrameStatus::kClosed);
+
+  // A healthy request streak on a fresh connection resets the streak
+  // counter between bad frames.
+  auto fresh = connect_to(server);
+  EXPECT_EQ(code_of(*roundtrip(fresh, "{poisoned")), codes::kServeBadRequest);
+  EXPECT_EQ(status_of(*roundtrip(fresh, R"({"op":"health"})")), "ok");
+  EXPECT_EQ(code_of(*roundtrip(fresh, "{poisoned")), codes::kServeBadRequest);
+  EXPECT_EQ(code_of(*roundtrip(fresh, "{poisoned")), codes::kServeBadRequest);
+
+  EXPECT_GE(server.status().malformed, 5u);
+  EXPECT_EQ(server.status().quarantined, 1u);
+  server.shutdown();
+}
+
+TEST(ServeServerTest, OversizedFrameIsQuarantinedImmediately) {
+  const topo::Model model = diamond();
+  ServeConfig config;
+  config.max_frame_bytes = 256;
+  Server server(model, config);
+  std::string error;
+  ASSERT_TRUE(server.listen(0, &error)) << error;
+
+  auto stream = connect_to(server);
+  // Announce a payload over the cap without sending it: the stream
+  // position is unrecoverable, so the daemon must answer and close.
+  const std::string huge(512, 'x');
+  const auto response = roundtrip(stream, huge);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(code_of(*response), codes::kServeQuarantine);
+  server.shutdown();
+}
+
+TEST(ServeServerTest, HealthAnswersAndCountsServeTraffic) {
+  const topo::Model model = diamond();
+  Server server(model, ServeConfig{});
+  std::string listen_error;
+  ASSERT_TRUE(server.listen(0, &listen_error)) << listen_error;
+  auto stream = connect_to(server);
+  ASSERT_TRUE(roundtrip(stream, R"({"op":"predict","origin":4,"vantage":1})")
+                  .has_value());
+  const auto health = roundtrip(stream, R"({"op":"health","id":42})");
+  ASSERT_TRUE(health.has_value());
+  const auto doc = nb::json_parse(*health, nullptr);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->number_or("id", -1), 42);
+  EXPECT_EQ(doc->string_or("status"), "ok");
+  for (const char* key :
+       {"uptime_seconds", "generation", "workers", "queue_depth",
+        "queue_capacity", "draining", "peak_rss_bytes", "counters"}) {
+    EXPECT_NE(doc->find(key), nullptr) << key;
+  }
+  const nb::JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->number_or("requests", 0), 2);
+  EXPECT_GE(counters->number_or("connections", 0), 1);
+  server.shutdown();
+}
+
+TEST(ServeServerTest, DrainRejectsNewWorkAndShutsDownCleanly) {
+  const topo::Model model = diamond();
+  Server server(model, ServeConfig{});
+  std::string error;
+  ASSERT_TRUE(server.listen(0, &error)) << error;
+  auto stream = connect_to(server);
+  ASSERT_EQ(status_of(*roundtrip(stream,
+                                 R"({"op":"predict","origin":4,"vantage":1})")),
+            "ok");
+
+  server.request_stop();
+  // Existing connections survive the drain window, but new (non-health)
+  // requests are rejected with R714; health still answers.
+  const auto rejected =
+      roundtrip(stream, R"({"op":"predict","origin":4,"vantage":1})");
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(status_of(*rejected), "rejected");
+  EXPECT_EQ(code_of(*rejected), codes::kServeDraining);
+  const auto health = roundtrip(stream, R"({"op":"health"})");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(status_of(*health), "ok");
+
+  server.shutdown();
+  EXPECT_EQ(server.status().rejected_draining, 1u);
+  // shutdown() is idempotent and the listener is gone.
+  server.shutdown();
+  std::string connect_error;
+  EXPECT_FALSE(
+      nb::TcpStream::connect("127.0.0.1", server.port(), &connect_error)
+          .has_value());
+}
+
+TEST(ServeServerTest, WhatIfForkCacheHitsOnRepeatedEdits) {
+  const topo::Model model = diamond();
+  Server server(model, ServeConfig{});
+  const std::string request =
+      R"({"op":"whatif","edit":"session-down","session":"1.0:2.0"})";
+  const std::string first = server.answer(request);
+  EXPECT_EQ(status_of(first), "ok");
+  EXPECT_EQ(server.answer(request), first);
+  EXPECT_EQ(server.status().fork_misses, 1u);
+  EXPECT_EQ(server.status().fork_hits, 1u);
+}
+
+#ifdef RD_FAULT_INJECTION
+
+ServeConfig faulty_config() {
+  ServeConfig config;
+  config.threads = 1;
+  config.fault.honor_request_faults = true;
+  return config;
+}
+
+TEST(ServeFaultInjectionTest, WorkerThrowBecomesStructuredResponse) {
+  const topo::Model model = diamond();
+  Server server(model, faulty_config());
+  const std::string response = server.answer(
+      R"({"op":"predict","origin":4,"vantage":1,"fault":"throw","id":5})");
+  EXPECT_EQ(status_of(response), "error");
+  EXPECT_EQ(code_of(response), codes::kServeHandlerFault);
+  EXPECT_NE(response.find("\"id\": 5"), std::string::npos);
+  // The worker survived: the next request answers normally.
+  EXPECT_EQ(status_of(server.answer(
+                R"({"op":"predict","origin":4,"vantage":1})")),
+            "ok");
+  EXPECT_EQ(server.status().worker_faults, 1u);
+}
+
+TEST(ServeFaultInjectionTest, BadAllocDuringForkIsAbsorbed) {
+  const topo::Model model = diamond();
+  Server server(model, faulty_config());
+  const std::string response = server.answer(
+      R"({"op":"whatif","edit":"session-down","session":"1.0:2.0",)"
+      R"("fault":"bad-alloc"})");
+  EXPECT_EQ(status_of(response), "error");
+  EXPECT_EQ(code_of(response), codes::kServeHandlerFault);
+  // The failed fork left no cache entry; a clean retry works and misses.
+  const std::string retry = server.answer(
+      R"({"op":"whatif","edit":"session-down","session":"1.0:2.0"})");
+  EXPECT_EQ(status_of(retry), "ok");
+  EXPECT_EQ(server.status().fork_hits, 0u);
+}
+
+TEST(ServeFaultInjectionTest, ForcedDivergenceDegradesWithEngineCode) {
+  const topo::Model model = diamond();
+  Server server(model, faulty_config());
+  const std::string response = server.answer(
+      R"({"op":"predict","origin":4,"vantage":1,"fault":"diverge"})");
+  EXPECT_EQ(status_of(response), "degraded");
+  EXPECT_EQ(code_of(response), codes::kEngineDiverged);
+  // Degraded, not empty: the partial paths are still in the payload.
+  EXPECT_NE(response.find("\"paths\""), std::string::npos);
+}
+
+TEST(ServeFaultInjectionTest, StalledHandlerAnswersDegradedWithinDeadline) {
+  const topo::Model model = diamond();
+  ServeConfig config = faulty_config();
+  config.deadline_seconds = 0.2;
+  Server server(model, config);
+  std::string error;
+  ASSERT_TRUE(server.listen(0, &error)) << error;
+
+  auto stream = connect_to(server);
+  const auto start = std::chrono::steady_clock::now();
+  const auto response = roundtrip(
+      stream,
+      R"({"op":"predict","origin":4,"vantage":1,"fault":"stall",)"
+      R"("stall_ms":2000,"id":7})");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(response.has_value());
+  // The connection answered at its deadline while the worker slept on.
+  EXPECT_EQ(status_of(*response), "degraded");
+  EXPECT_EQ(code_of(*response), codes::kServeDeadline);
+  EXPECT_LT(elapsed, 1.5);
+  EXPECT_EQ(server.status().deadline_expired, 1u);
+  // Drain joins the still-sleeping worker without wedging.
+  server.shutdown();
+  EXPECT_GE(server.status().abandoned, 1u);
+}
+
+TEST(ServeFaultInjectionTest, OverloadShedsStructurally) {
+  const topo::Model model = diamond();
+  ServeConfig config = faulty_config();
+  config.queue_capacity = 1;
+  config.deadline_seconds = 5.0;
+  Server server(model, config);
+  std::string error;
+  ASSERT_TRUE(server.listen(0, &error)) << error;
+
+  // Occupy the single worker with a stall, then fill the queue from a
+  // second connection; the third connection must be shed immediately.
+  auto busy = connect_to(server);
+  ASSERT_TRUE(nb::write_frame(
+      busy,
+      R"({"op":"predict","origin":4,"vantage":1,"fault":"stall",)"
+      R"("stall_ms":1500})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  auto queued = connect_to(server);
+  ASSERT_TRUE(nb::write_frame(queued,
+                              R"({"op":"predict","origin":4,"vantage":1})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  auto shed = connect_to(server);
+  const auto response =
+      roundtrip(shed, R"({"op":"predict","origin":2,"vantage":3})");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(status_of(*response), "rejected");
+  EXPECT_EQ(code_of(*response), codes::kServeOverload);
+  EXPECT_EQ(server.status().shed, 1u);
+
+  // Health still answers while the daemon is saturated.
+  auto monitor = connect_to(server);
+  EXPECT_EQ(status_of(*roundtrip(monitor, R"({"op":"health"})")), "ok");
+  server.shutdown();
+}
+
+#endif  // RD_FAULT_INJECTION
+
+}  // namespace

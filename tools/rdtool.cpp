@@ -116,6 +116,7 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "analysis/fixtures.hpp"
 #include "bgp/threadpool.hpp"
@@ -136,13 +137,16 @@
 #include "data/dynamics.hpp"
 #include "data/rib_io.hpp"
 #include "netbase/cli.hpp"
+#include "netbase/fsio.hpp"
 #include "netbase/json.hpp"
 #include "netbase/strings.hpp"
 #include "netbase/sysinfo.hpp"
 #include "netbase/table.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/flush.hpp"
 #include "obs/observer.hpp"
 #include "obs/profiler.hpp"
+#include "serve/server.hpp"
 #include "topology/model_io.hpp"
 
 namespace {
@@ -175,6 +179,12 @@ constexpr char kExitCodeTable[] =
     "  3  fit completed degraded: oscillating or budget-exhausted\n"
     "     prefixes were frozen, or the iteration cap left paths unmatched\n"
     "  130  interrupted (SIGINT/SIGTERM); resume with --resume\n"
+    "exit codes (serve):\n"
+    "  0  drained cleanly after SIGINT/SIGTERM (or --once answered ok/\n"
+    "     degraded/rejected)\n"
+    "  1  model unreadable, bind or artifact-flush failure, or --once\n"
+    "     answered status \"error\"\n"
+    "  2  usage error\n"
     "other subcommands exit 0 on success, non-zero on failure;\n"
     "see the header of tools/rdtool.cpp for details\n";
 
@@ -182,7 +192,8 @@ void print_help(std::FILE* out) {
   std::fprintf(
       out,
       "usage: rdtool <generate|info|refine|predict|whatif|explain|"
-      "lint|audit|diff|impact|plan|stats|profile|selftest|help> [options]\n"
+      "lint|audit|diff|impact|plan|stats|profile|serve|selftest|help> "
+      "[options]\n"
       "\n"
       "  generate  write a synthetic RIB dump (--out F [--scale S --seed N\n"
       "            --model-out F: also write the ground-truth model])\n"
@@ -221,6 +232,12 @@ void print_help(std::FILE* out) {
       "            per-worker busy/idle lanes, speedup-loss attribution\n"
       "            (imbalance vs idle vs serial) and predicted-vs-measured\n"
       "            shard-cost rank correlation from a refine --trace run\n"
+      "  serve     long-lived route-prediction daemon (--model F [--port P]\n"
+      "            [--port-file F] [--threads N] [--queue-capacity N]\n"
+      "            [--deadline-seconds S] [--drain-seconds S]\n"
+      "            [--whatif-origins N] [--once REQUEST]); length-prefixed\n"
+      "            JSON protocol, SIGTERM drains and exits 0 (see DESIGN.md\n"
+      "            section 15)\n"
       "  selftest  end-to-end smoke test over real files (--dir D)\n"
       "\n"
       "refine/predict/audit observability: --trace FILE writes Chrome\n"
@@ -295,30 +312,15 @@ bool write_file(const std::string& path, const std::string& contents) {
   return true;
 }
 
-/// write_file through a sibling temp file + rename, so the target path
-/// never holds a partial document -- even when the process dies mid-write
-/// (the second-SIGINT-during-flush case observability artifacts care
-/// about: a truncated trace is unloadable, no trace is just absent).
+/// write_file through a sibling temp file + rename (nb::write_file_atomic),
+/// so the target path never holds a partial document -- even when the
+/// process dies mid-write (the second-SIGINT-during-flush case
+/// observability artifacts care about: a truncated trace is unloadable, no
+/// trace is just absent).
 bool write_file_atomic(const std::string& path, const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      std::fprintf(stderr, "rdtool: cannot write %s\n", tmp.c_str());
-      return false;
-    }
-    out << contents;
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "rdtool: cannot write %s\n", tmp.c_str());
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::fprintf(stderr, "rdtool: cannot rename %s to %s\n", tmp.c_str(),
-                 path.c_str());
-    std::remove(tmp.c_str());
+  std::string error;
+  if (!nb::write_file_atomic(path, contents, &error)) {
+    std::fprintf(stderr, "rdtool: %s\n", error.c_str());
     return false;
   }
   return true;
@@ -364,28 +366,39 @@ struct ObsSession {
     return true;
   }
 
-  /// Writes whichever artifacts were requested; false on I/O error.
-  /// Atomic per artifact (temp + rename): an interrupt or crash during the
-  /// flush leaves either the complete file or no file, never truncated
-  /// JSON that `rdtool stats` / Perfetto would choke on.
-  bool flush() {
+  /// Writes whichever artifacts were requested -- plus `flight`, when the
+  /// caller wants the flight ring published on this exit edge -- through
+  /// the shared atomic flush path (obs::flush_observability, temp +
+  /// rename): an interrupt or crash during the flush leaves either the
+  /// complete file or no file, never truncated JSON that `rdtool stats` /
+  /// Perfetto would choke on.  False on any I/O error (all artifacts are
+  /// still attempted).
+  bool flush(const obs::FlightRecorder* flight = nullptr,
+             const std::string& flight_path = std::string()) {
+    obs::FlushPlan plan;
     if (trace.has_value()) {
-      std::ostringstream out;
-      if (trace_path.ends_with(".jsonl"))
-        trace->write_jsonl(out);
-      else
-        trace->write_chrome(out);
-      if (!write_file_atomic(trace_path, out.str())) return false;
-      std::fprintf(stderr, "rdtool: wrote %zu trace events to %s\n",
-                   trace->size(), trace_path.c_str());
+      plan.trace = &*trace;
+      plan.trace_path = trace_path;
     }
     if (registry.has_value()) {
-      if (!write_file_atomic(metrics_path, registry->to_json(2) + "\n"))
-        return false;
+      plan.registry = &*registry;
+      plan.metrics_path = metrics_path;
+    }
+    plan.flight = flight;
+    plan.flight_path = flight_path;
+    const obs::FlushResult result = obs::flush_observability(plan);
+    if (result.trace_written)
+      std::fprintf(stderr, "rdtool: wrote %zu trace events to %s\n",
+                   trace->size(), trace_path.c_str());
+    if (result.metrics_written)
       std::fprintf(stderr, "rdtool: wrote metrics to %s\n",
                    metrics_path.c_str());
-    }
-    return true;
+    if (result.flight_written)
+      std::fprintf(stderr, "rdtool: wrote flight dump to %s\n",
+                   flight_path.c_str());
+    if (!result.ok())
+      std::fprintf(stderr, "rdtool: %s\n", result.error.c_str());
+    return result.ok();
   }
 };
 
@@ -571,8 +584,18 @@ int cmd_refine(const nb::Cli& cli) {
   // and before any early return below: with the handlers still installed a
   // second SIGINT stays cooperative instead of killing the process during
   // a long trace write, and the flush itself is atomic (temp + rename), so
-  // an interrupted fit always leaves loadable artifacts.
-  const bool obs_flushed = obs_session.flush();
+  // an interrupted fit always leaves loadable artifacts.  An interrupted
+  // fit also publishes the flight rings (refine_model itself only dumps on
+  // degraded/faulted stops): the 130 edge is exactly where a post-mortem
+  // of the final iterations is wanted.
+  const bool dump_flight_here =
+      flight.has_value() && !result.flight_dump_written &&
+      result.stop == core::RefineStop::kInterrupted &&
+      !config.flight_dump_path.empty();
+  const bool obs_flushed =
+      obs_session.flush(dump_flight_here ? &*flight : nullptr,
+                        dump_flight_here ? config.flight_dump_path : "");
+  if (dump_flight_here && obs_flushed) result.flight_dump_written = true;
   std::signal(SIGINT, prev_int);
   std::signal(SIGTERM, prev_term);
 
@@ -1527,6 +1550,125 @@ int cmd_profile(const nb::Cli& cli) {
   return 0;
 }
 
+/// `rdtool serve`: the long-lived route-prediction daemon (DESIGN.md
+/// section 15).  Loads the fitted model once, then answers predict /
+/// explain / what-if / health queries over the length-prefixed JSON
+/// protocol until SIGINT/SIGTERM, which triggers the cooperative drain:
+/// stop accepting, finish the admitted queue within --drain-seconds, flush
+/// observability atomically, exit 0.  `--once REQUEST` answers a single
+/// request on stdout through the exact worker code path (no sockets) --
+/// the byte-identity oracle the tests and quick-start examples use.
+int cmd_serve(const nb::Cli& cli) {
+  if (!cli.has("model")) return usage();
+  auto model = load_model(cli.get_string("model", ""));
+  if (!model) return 1;
+
+  serve::ServeConfig config;
+  config.threads = static_cast<unsigned>(cli.get_u64("threads", 0));
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_u64("queue-capacity", 0));
+  config.deadline_seconds = cli.get_double("deadline-seconds", 2.0);
+  config.drain_seconds = cli.get_double("drain-seconds", 5.0);
+  config.whatif_max_origins =
+      static_cast<std::size_t>(cli.get_u64("whatif-origins", 8));
+  config.engine = detect_engine_options(*model);
+#ifdef RD_FAULT_INJECTION
+  // Request-addressed fault points (throw/stall/bad-alloc/diverge) stay
+  // inert unless the operator opts in: a daemon exposed to real clients
+  // must not let them stall its workers.
+  config.fault.honor_request_faults = cli.get_bool("allow-request-faults");
+  config.fault.stall_ms = cli.get_u64("stall-ms", 200);
+#endif
+
+  ObsSession obs_session;
+  if (!obs_session.init(cli, "rdtool serve")) return 2;
+  config.trace = obs_session.sink();
+
+  if (cli.has("once")) {
+    // One request, no sockets, no threads: parse -> execute -> render on
+    // stdout.  Exit 0 unless the answer itself is an error.
+    serve::Server server(*model, config);
+    const std::string response = server.answer(cli.get_string("once", ""));
+    std::printf("%s\n", response.c_str());
+    if (!obs_session.flush()) return 1;
+    const auto doc = nb::json_parse(response, nullptr);
+    return doc && doc->string_or("status") != "error" ? 0 : 1;
+  }
+
+  std::optional<obs::FlightRecorder> flight;
+  std::string flight_dump_path;
+  if (!cli.get_bool("no-flight-recorder")) {
+    flight.emplace(
+        serve::Server::flight_tracks(nb::resolve_threads(config.threads)),
+        cli.get_u64("flight-capacity", obs::FlightRecorder::kDefaultCapacity));
+    flight->set_label(0, "accept");
+    flight->set_label(1, "admission");
+    config.flight = &*flight;
+    flight_dump_path = cli.get_string(
+        "flight-dump", cli.get_string("model", "") + ".serve.flight.json");
+  }
+
+  serve::Server server(*model, config);
+  std::string error;
+  const auto port = static_cast<std::uint16_t>(cli.get_u64("port", 0));
+  if (!server.listen(port, &error)) {
+    std::fprintf(stderr, "rdtool: %s\n", error.c_str());
+    return 1;
+  }
+  // CI and scripts pass --port 0 (ephemeral) plus --port-file to learn the
+  // kernel's pick without a race.
+  if (cli.has("port-file") &&
+      !write_file(cli.get_string("port-file", ""),
+                  std::to_string(server.port()) + "\n")) {
+    return 1;
+  }
+  std::fprintf(stderr,
+               "rdtool: serving %s on 127.0.0.1:%u (%u workers, queue %zu, "
+               "deadline %.3fs)\n",
+               cli.get_string("model", "").c_str(), server.port(),
+               server.workers(), server.queue_capacity(),
+               config.deadline_seconds);
+
+  g_interrupt.store(false);
+  auto prev_int = std::signal(SIGINT, handle_interrupt);
+  auto prev_term = std::signal(SIGTERM, handle_interrupt);
+#ifdef SIGPIPE
+  // A client hanging up mid-response must surface as a write error on that
+  // connection, never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  while (!g_interrupt.load(std::memory_order_relaxed))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Cooperative drain (the acceptance contract: SIGTERM always reaches
+  // exit 0 with complete artifacts).  shutdown() returns only after every
+  // worker and connection thread joined, so the sinks are quiescent for
+  // the atomic flush below.
+  std::fprintf(stderr, "rdtool: draining (budget %.3fs)\n",
+               config.drain_seconds);
+  server.request_stop();
+  server.shutdown();
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+
+  server.export_metrics(obs_session.reg());
+  const bool flushed = obs_session.flush(
+      flight.has_value() ? &*flight : nullptr, flight_dump_path);
+
+  const serve::ServeStatus status = server.status();
+  std::fprintf(stderr,
+               "rdtool: served %llu requests (%llu ok, %llu degraded, "
+               "%llu errors, %llu shed) over %llu connections in %.3fs\n",
+               static_cast<unsigned long long>(status.requests),
+               static_cast<unsigned long long>(status.ok),
+               static_cast<unsigned long long>(status.degraded),
+               static_cast<unsigned long long>(status.errors),
+               static_cast<unsigned long long>(status.shed),
+               static_cast<unsigned long long>(status.connections),
+               status.uptime_seconds);
+  return flushed ? 0 : 1;
+}
+
 int cmd_selftest(const nb::Cli& cli) {
   const std::string dir = cli.get_string("dir", "/tmp");
   const std::string dump = dir + "/rdtool_selftest.dump";
@@ -1757,6 +1899,7 @@ int main(int argc, char** argv) {
   if (command == "plan") return cmd_plan(cli);
   if (command == "stats") return cmd_stats(cli);
   if (command == "profile") return cmd_profile(cli);
+  if (command == "serve") return cmd_serve(cli);
   if (command == "selftest") return cmd_selftest(cli);
   if (command == "help" || command == "--help" || command == "-h") {
     print_help(stdout);
